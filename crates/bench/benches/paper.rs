@@ -1,0 +1,25 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper (the same battery as the `paper_experiments` binary's
+//! `all` subcommand). Uses `harness = false` because the experiments are
+//! self-timing macro-benchmarks, not statistical micro-benchmarks.
+
+/// The workloads allocate and free millions of violation/fix objects
+/// across worker threads; mimalloc removes the cross-thread contention
+/// of the system allocator (see DESIGN.md, "Dependencies").
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+fn main() {
+    // `cargo bench -- <filter>` passes criterion-style args; we accept an
+    // optional experiment-name filter and ignore harness flags.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let reports = bigdansing_bench::experiments::all();
+    for r in reports {
+        if filter.is_empty() || filter.iter().any(|f| r.title.contains(f.as_str())) {
+            r.print();
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Result tables: one per figure/table of the paper.
+
+use std::fmt;
+
+/// A cell of a report: a number, a time, or a marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form text (row labels).
+    Text(String),
+    /// Seconds of wall-clock time.
+    Secs(f64),
+    /// A count.
+    Count(u64),
+    /// A ratio / quality measure.
+    Ratio(f64),
+    /// Did not finish (size above the quadratic cap — the paper's
+    /// 4-hour-timeout analogue).
+    Dnf,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Secs(s) if *s < 0.001 => write!(f, "{:.1}µs", s * 1e6),
+            Cell::Secs(s) if *s < 1.0 => write!(f, "{:.1}ms", s * 1e3),
+            Cell::Secs(s) => write!(f, "{s:.2}s"),
+            Cell::Count(n) => write!(f, "{n}"),
+            Cell::Ratio(r) => write!(f, "{r:.3}"),
+            Cell::Dnf => write!(f, "DNF"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(s: f64) -> Self {
+        Cell::Secs(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(n: u64) -> Self {
+        Cell::Count(n)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(n: usize) -> Self {
+        Cell::Count(n as u64)
+    }
+}
+
+/// A titled table of results.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Which figure/table this regenerates, plus workload notes.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Report {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(Cell::Secs(0.0000005).to_string(), "0.5µs");
+        assert_eq!(Cell::Secs(0.0123).to_string(), "12.3ms");
+        assert_eq!(Cell::Secs(3.5).to_string(), "3.50s");
+        assert_eq!(Cell::Count(12).to_string(), "12");
+        assert_eq!(Cell::Ratio(0.98765).to_string(), "0.988");
+        assert_eq!(Cell::Dnf.to_string(), "DNF");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("Figure X", &["system", "time"]);
+        r.row(vec!["BigDansing".into(), Cell::Secs(1.0)]);
+        r.row(vec!["NADEEF".into(), Cell::Dnf]);
+        let s = r.render();
+        assert!(s.contains("== Figure X =="));
+        assert!(s.contains("BigDansing"));
+        assert!(s.contains("DNF"));
+        // both data lines start at the same column for field 2
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! `bigdansing` — command-line data cleansing.
+//!
+//! ```text
+//! bigdansing detect  <input.csv> --fd "zipcode -> city" [--report out]
+//! bigdansing clean   <input.csv> --fd "..." [--dc "..."] [--cfd "..."]
+//!                    -o clean.csv [--workers N] [--repair eq|hyper]
+//! bigdansing convert <input.csv> -o table.bdcol     # columnar layout
+//! ```
+//!
+//! Rules use the same syntax as the library parsers:
+//! FD `"a, b -> c"`, DC `"t1.x > t2.x & t1.y < t2.y"`,
+//! CFD `"a -> b | a=1, b=_"`.
+
+use bigdansing::{
+    csv, BigDansing, CleanseOptions, EquivalenceClassRepair, HypergraphRepair, RepairStrategy,
+};
+use bigdansing_common::Table;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+const USAGE: &str = "\
+bigdansing — data cleansing with the BigDansing rule engine
+
+USAGE:
+  bigdansing detect  <input.csv> [RULES] [--report STEM] [--workers N]
+  bigdansing clean   <input.csv> [RULES] -o <clean.csv> [--workers N]
+                     [--repair eq|hyper] [--max-iterations N]
+  bigdansing convert <input.csv> -o <table.bdcol>
+
+RULES (repeatable):
+  --fd  \"zipcode -> city\"
+  --dc  \"t1.salary > t2.salary & t1.rate < t2.rate\"
+  --cfd \"zipcode -> city | zipcode=90210, city=LA\"
+
+OPTIONS:
+  -o, --output PATH      output file
+  --report STEM          write STEM.violations.csv / STEM.fixes.csv
+  --workers N            worker threads (default: all cores)
+  --repair eq|hyper      repair algorithm (default: eq)
+  --max-iterations N     detect/repair rounds (default: 10)
+";
+
+struct Args {
+    command: String,
+    input: String,
+    fds: Vec<String>,
+    dcs: Vec<String>,
+    cfds: Vec<String>,
+    output: Option<String>,
+    report: Option<String>,
+    workers: usize,
+    repair: String,
+    max_iterations: usize,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        input: String::new(),
+        fds: vec![],
+        dcs: vec![],
+        cfds: vec![],
+        output: None,
+        report: None,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        repair: "eq".into(),
+        max_iterations: 10,
+    };
+    let mut positional = Vec::new();
+    while let Some(a) = argv.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--fd" => args.fds.push(value("--fd")?),
+            "--dc" => args.dcs.push(value("--dc")?),
+            "--cfd" => args.cfds.push(value("--cfd")?),
+            "-o" | "--output" => args.output = Some(value("--output")?),
+            "--report" => args.report = Some(value("--report")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer")?
+            }
+            "--repair" => args.repair = value("--repair")?,
+            "--max-iterations" => {
+                args.max_iterations = value("--max-iterations")?
+                    .parse()
+                    .map_err(|_| "--max-iterations needs an integer")?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    args.input = positional
+        .first()
+        .cloned()
+        .ok_or("missing input file")?;
+    Ok(args)
+}
+
+fn build_system(args: &Args, table: &Table) -> Result<BigDansing, String> {
+    let mut sys = BigDansing::parallel(args.workers);
+    for spec in &args.fds {
+        sys.add_fd(spec, table.schema()).map_err(|e| e.to_string())?;
+    }
+    for spec in &args.dcs {
+        sys.add_dc(spec, table.schema()).map_err(|e| e.to_string())?;
+    }
+    for spec in &args.cfds {
+        sys.add_cfd(spec, table.schema()).map_err(|e| e.to_string())?;
+    }
+    if sys.rules().is_empty() {
+        return Err("no rules given (use --fd / --dc / --cfd)".into());
+    }
+    Ok(sys)
+}
+
+fn load(path: &str) -> Result<Table, String> {
+    if path.ends_with(".bdcol") {
+        bigdansing_storage::layout::read_table(path).map_err(|e| e.to_string())
+    } else {
+        csv::read_file(path, true, None).map_err(|e| e.to_string())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    let table = load(&args.input)?;
+    eprintln!("loaded `{}`: {} rows × {} attributes", args.input, table.len(), table.schema().arity());
+
+    match args.command.as_str() {
+        "detect" => {
+            let sys = build_system(&args, &table)?;
+            let out = sys.detect(&table);
+            eprintln!(
+                "{} violations, {} possible fixes",
+                out.violation_count(),
+                out.fix_count()
+            );
+            match &args.report {
+                Some(stem) => {
+                    bigdansing::report::write_reports(&out, Some(&table), stem)
+                        .map_err(|e| e.to_string())?;
+                    eprintln!("wrote {stem}.violations.csv and {stem}.fixes.csv");
+                }
+                None => print!("{}", bigdansing::report::violations_csv(&out, Some(&table))),
+            }
+        }
+        "clean" => {
+            let sys = build_system(&args, &table)?;
+            let output = args.output.as_deref().ok_or("clean needs --output")?;
+            let strategy = match args.repair.as_str() {
+                "eq" => RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair)),
+                "hyper" => RepairStrategy::ParallelBlackBox(Arc::new(HypergraphRepair::default())),
+                other => return Err(format!("unknown repair algorithm `{other}`")),
+            };
+            let result = sys
+                .cleanse(
+                    &table,
+                    CleanseOptions {
+                        strategy,
+                        max_iterations: args.max_iterations,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "cleansed in {} iteration(s): {} cells changed, cost {:.3}, converged: {}",
+                result.iterations, result.cells_changed, result.repair_cost, result.converged
+            );
+            csv::write_file(&result.table, output).map_err(|e| e.to_string())?;
+            eprintln!("wrote {output}");
+            if let Some(stem) = &args.report {
+                let residue = sys.detect(&result.table);
+                bigdansing::report::write_reports(&residue, Some(&result.table), stem)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("residual violations: {}", residue.violation_count());
+            }
+        }
+        "convert" => {
+            let output = args.output.as_deref().ok_or("convert needs --output")?;
+            bigdansing_storage::layout::write_table(&table, output).map_err(|e| e.to_string())?;
+            eprintln!("wrote {output} (columnar binary layout)");
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! A small CSV reader/writer.
+//!
+//! BigDansing "provides a set of parsers for producing data units and
+//! elements from input datasets" (§2.1). This module is the relational
+//! parser: comma-separated, double-quote quoting with `""` escapes, no
+//! external dependencies.
+
+use crate::{Error, Result, Schema, Table, Tuple, TupleId, Value};
+use std::fs;
+use std::path::Path;
+
+/// Split one CSV record into raw fields.
+pub fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quote a field if it contains a delimiter, quote, or newline.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parse CSV text into a [`Table`]. When `header` is true the first line
+/// supplies the schema; otherwise `schema` must be provided.
+pub fn parse_str(name: &str, text: &str, header: bool, schema: Option<Schema>) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let schema = if header {
+        let head = lines
+            .next()
+            .ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+        Schema::new(&split_line(head))
+    } else {
+        schema.ok_or_else(|| Error::Parse("headerless CSV needs an explicit schema".into()))?
+    };
+    let mut tuples = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields = split_line(line);
+        if fields.len() != schema.arity() {
+            return Err(Error::Parse(format!(
+                "line {}: expected {} fields, found {}",
+                i + 1,
+                schema.arity(),
+                fields.len()
+            )));
+        }
+        let values = fields.iter().map(|f| Value::parse_lossy(f)).collect();
+        tuples.push(Tuple::new(i as TupleId, values));
+    }
+    Ok(Table::new(name, schema, tuples))
+}
+
+/// Read a CSV file from disk.
+pub fn read_file(path: impl AsRef<Path>, header: bool, schema: Option<Schema>) -> Result<Table> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_string();
+    parse_str(&name, &text, header, schema)
+}
+
+/// Render a table as CSV text (with a header line).
+pub fn to_string(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &table
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| quote(a))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for t in table.tuples() {
+        let row: Vec<String> = t.values().iter().map(|v| quote(&v.to_string())).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table as CSV to disk.
+pub fn write_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, to_string(table))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_quotes_and_escapes() {
+        assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_line(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_line(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(split_line(""), vec![""]);
+        assert_eq!(split_line("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn parse_with_header_types_values() {
+        let t = parse_str("D", "zip,city\n90210,LA\n60601,CH\n", true, None).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().attrs(), &["zip".to_string(), "city".to_string()]);
+        assert_eq!(t.tuple(0).unwrap().value(0), &Value::Int(90210));
+        assert_eq!(t.tuple(1).unwrap().value(1), &Value::str("CH"));
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let err = parse_str("D", "a,b\n1,2\n3\n", true, None).unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+    }
+
+    #[test]
+    fn headerless_requires_schema() {
+        assert!(parse_str("D", "1,2\n", false, None).is_err());
+        let t = parse_str("D", "1,2\n", false, Some(Schema::parse("a,b"))).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let src = "name,city\n\"Doe, Jane\",NY\nBob,LA\n";
+        let t = parse_str("D", src, true, None).unwrap();
+        let rendered = to_string(&t);
+        let t2 = parse_str("D", &rendered, true, None).unwrap();
+        assert_eq!(t.len(), t2.len());
+        assert_eq!(
+            t.tuple(0).unwrap().value(0),
+            t2.tuple(0).unwrap().value(0)
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bigdansing_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let t = parse_str("t", "a,b\n1,x\n", true, None).unwrap();
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path, true, None).unwrap();
+        assert_eq!(back.name(), "t");
+        assert_eq!(back.len(), 1);
+    }
+}

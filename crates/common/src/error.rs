@@ -1,0 +1,65 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type for BigDansing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A rule string (FD / CFD / DC) could not be parsed.
+    RuleParse(String),
+    /// A job referenced a label or operator that does not exist, or the
+    /// logical plan failed validation (§3.2 of the paper).
+    InvalidPlan(String),
+    /// A schema lookup failed (unknown attribute, arity mismatch, ...).
+    Schema(String),
+    /// Input data could not be parsed (CSV / RDF).
+    Parse(String),
+    /// An I/O failure, stringified so the error stays `Clone + Eq`.
+    Io(String),
+    /// A repair algorithm was asked to do something it does not support.
+    Repair(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RuleParse(m) => write!(f, "rule parse error: {m}"),
+            Error::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Repair(m) => write!(f, "repair error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::RuleParse("bad arrow".into());
+        assert_eq!(e.to_string(), "rule parse error: bad arrow");
+        let e = Error::InvalidPlan("no detect".into());
+        assert!(e.to_string().contains("no detect"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(ref m) if m.contains("gone")));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-common
+//!
+//! The data model shared by every crate in the BigDansing reproduction.
+//!
+//! BigDansing (SIGMOD 2015, §2.1) defines its input as a set of *data
+//! units* — the smallest unit of an input dataset — each carrying
+//! *elements* identified by model-specific functions. For relational data
+//! the unit is a [`Tuple`] and the elements are its attributes, addressed
+//! through [`Cell`]s. For RDF data the unit is a triple (see [`rdf`]),
+//! which maps onto a 3-attribute tuple.
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — a dynamically typed cell value with a total order,
+//! * [`Schema`] / [`Tuple`] / [`Cell`] / [`Table`] — the relational model,
+//! * [`csv`] — a small CSV parser/writer used by examples and tools,
+//! * [`rdf`] — the RDF triple model of Appendix C,
+//! * [`sim`] — similarity functions (Levenshtein) used by dedup rules,
+//! * [`metrics`] — lightweight counters used to validate experiment shape,
+//! * [`codec`] — the binary row codec used by the disk-backed execution
+//!   mode that simulates Hadoop-style per-stage materialization.
+
+pub mod codec;
+pub mod csv;
+pub mod error;
+pub mod metrics;
+pub mod rdf;
+pub mod schema;
+pub mod sim;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use schema::Schema;
+pub use table::Table;
+pub use tuple::{Cell, Tuple, TupleId};
+pub use value::Value;

@@ -1,0 +1,130 @@
+//! Relation schemas: ordered attribute names with index lookup.
+
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable schema.
+///
+/// Attribute lookup is case-insensitive on the declared names, matching
+/// the forgiving style of the paper's job scripts (Appendix A).
+#[derive(Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+struct SchemaInner {
+    attrs: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names.
+    pub fn new<S: AsRef<str>>(attrs: &[S]) -> Self {
+        let attrs: Vec<String> = attrs.iter().map(|s| s.as_ref().to_string()).collect();
+        let index = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.to_ascii_lowercase(), i))
+            .collect();
+        Schema {
+            inner: Arc::new(SchemaInner { attrs, index }),
+        }
+    }
+
+    /// Parse a comma-separated attribute list, e.g.
+    /// `"name,zipcode,city,state,salary,rate"`.
+    pub fn parse(spec: &str) -> Self {
+        let attrs: Vec<&str> = spec.split(',').map(str::trim).collect();
+        Schema::new(&attrs)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.inner.attrs.len()
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attrs(&self) -> &[String] {
+        &self.inner.attrs
+    }
+
+    /// Index of `name` (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.inner
+            .index
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| Error::Schema(format!("unknown attribute `{name}`")))
+    }
+
+    /// Name of the attribute at `idx`.
+    pub fn name_of(&self, idx: usize) -> Result<&str> {
+        self.inner
+            .attrs
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| Error::Schema(format!("attribute index {idx} out of range")))
+    }
+
+    /// A new schema keeping only the attributes at `indices`, in order.
+    /// Used by `Scope` projection pushdown.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut names = Vec::with_capacity(indices.len());
+        for &i in indices {
+            names.push(self.name_of(i)?.to_string());
+        }
+        Ok(Schema::new(&names))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema({})", self.inner.attrs.join(","))
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.attrs == other.inner.attrs
+    }
+}
+
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_lookup() {
+        let s = Schema::parse("name, zipcode ,city");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("zipcode").unwrap(), 1);
+        assert_eq!(s.index_of("ZipCode").unwrap(), 1);
+        assert_eq!(s.name_of(2).unwrap(), "city");
+        assert!(s.index_of("salary").is_err());
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s = Schema::parse("a,b,c,d");
+        let p = s.project(&[3, 1]).unwrap();
+        assert_eq!(p.attrs(), &["d".to_string(), "b".to_string()]);
+        assert_eq!(p.index_of("b").unwrap(), 1);
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Schema::parse("a,b"), Schema::parse("a, b"));
+        assert_ne!(Schema::parse("a,b"), Schema::parse("b,a"));
+    }
+
+    #[test]
+    fn out_of_range_name_errors() {
+        let s = Schema::parse("x");
+        assert!(s.name_of(1).is_err());
+    }
+}

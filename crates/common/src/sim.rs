@@ -1,0 +1,133 @@
+//! Similarity functions for UDF rules.
+//!
+//! Rule φU in the paper deduplicates with "an ad-hoc similarity function";
+//! the deduplication experiment (§6.5) implements Levenshtein distance as
+//! the UDF. This module provides Levenshtein plus the normalized
+//! similarity helpers the dedup rules use.
+
+/// Levenshtein edit distance between two strings (unit costs), computed
+/// over `char`s with a two-row dynamic program (O(min(n,m)) memory).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (j, &cb) in long.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, &ca) in short.iter().enumerate() {
+            let sub = prev[i] + usize::from(ca != cb);
+            cur[i + 1] = sub.min(prev[i + 1] + 1).min(cur[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized similarity in [0, 1]: `1 - lev(a,b) / max(|a|,|b|)`.
+/// Empty-vs-empty is 1.0.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// The `simF` predicate of rule φU: true when similarity ≥ `threshold`.
+pub fn similar(a: &str, b: &str, threshold: f64) -> bool {
+    // Cheap length-difference lower bound on the edit distance: if the
+    // lengths alone force the similarity below the threshold, skip the DP.
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        return true;
+    }
+    let min_possible = la.abs_diff(lb);
+    if 1.0 - min_possible as f64 / (max_len as f64) < threshold {
+        return false;
+    }
+    levenshtein_similarity(a, b) >= threshold
+}
+
+/// A cheap blocking key for strings: lowercase first `n` characters.
+/// Dedup rules use it so candidate pairs only form within a block (§3.1).
+pub fn prefix_key(s: &str, n: usize) -> String {
+    s.chars().take(n).flat_map(|c| c.to_lowercase()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("ü", "u"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("Laure", "Laura");
+        assert!(s > 0.7 && s < 1.0);
+    }
+
+    #[test]
+    fn similar_matches_threshold() {
+        assert!(similar("Robert", "Robert", 1.0));
+        assert!(similar("Robert", "Rovert", 0.8));
+        assert!(!similar("Robert", "Xavier", 0.8));
+        // length prefilter must not change the outcome
+        assert!(!similar("ab", "abcdefghij", 0.5));
+    }
+
+    #[test]
+    fn prefix_key_normalizes() {
+        assert_eq!(prefix_key("Robert", 3), "rob");
+        assert_eq!(prefix_key("LA", 3), "la");
+        assert_eq!(prefix_key("", 3), "");
+    }
+
+    proptest! {
+        #[test]
+        fn metric_axioms(a in "[a-c]{0,12}", b in "[a-c]{0,12}", c in "[a-c]{0,12}") {
+            // identity of indiscernibles
+            prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+            // symmetry
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            // triangle inequality
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn similar_agrees_with_direct_computation(a in "[a-d]{0,10}", b in "[a-d]{0,10}",
+                                                  t in 0.0f64..=1.0) {
+            prop_assert_eq!(similar(&a, &b, t), levenshtein_similarity(&a, &b) >= t);
+        }
+    }
+}

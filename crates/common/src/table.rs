@@ -1,0 +1,192 @@
+//! In-memory relations: a [`Schema`] plus a vector of [`Tuple`]s.
+
+use crate::{Cell, Error, Result, Schema, Tuple, TupleId, Value};
+use std::collections::HashMap;
+
+/// A named, schema-ful collection of tuples — the unit handed to
+/// `BigDansing.addInputPath` in the paper's job API.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Table {
+    /// Create a table from already-identified tuples.
+    pub fn new(name: impl Into<String>, schema: Schema, tuples: Vec<Tuple>) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            tuples,
+        }
+    }
+
+    /// Create a table from raw rows, assigning sequential tuple ids.
+    pub fn from_rows(name: impl Into<String>, schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Tuple::new(i as TupleId, r))
+            .collect();
+        Table::new(name, schema, tuples)
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Look up a tuple by id. Ids are usually dense, so try a direct index
+    /// first and fall back to a scan (ids stay stable across repairs but a
+    /// table may be a scoped subset).
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        if let Some(t) = self.tuples.get(id as usize) {
+            if t.id() == id {
+                return Some(t);
+            }
+        }
+        self.tuples.iter().find(|t| t.id() == id)
+    }
+
+    /// The current value of `cell`.
+    pub fn cell_value(&self, cell: Cell) -> Option<&Value> {
+        self.tuple(cell.tuple).and_then(|t| t.get(cell.attr as usize))
+    }
+
+    /// Apply a set of cell assignments, returning the updated table.
+    /// Unknown cells are reported as errors so repair bugs surface early.
+    pub fn apply(&self, assignments: &HashMap<Cell, Value>) -> Result<Table> {
+        let mut by_tuple: HashMap<TupleId, Vec<(usize, &Value)>> = HashMap::new();
+        for (cell, v) in assignments {
+            by_tuple
+                .entry(cell.tuple)
+                .or_default()
+                .push((cell.attr as usize, v));
+        }
+        let mut tuples = Vec::with_capacity(self.tuples.len());
+        let mut seen = 0usize;
+        for t in &self.tuples {
+            match by_tuple.get(&t.id()) {
+                Some(edits) => {
+                    let mut values = t.values().to_vec();
+                    for (attr, v) in edits {
+                        if *attr >= values.len() {
+                            return Err(Error::Repair(format!(
+                                "fix targets attribute {attr} of arity-{} tuple {}",
+                                values.len(),
+                                t.id()
+                            )));
+                        }
+                        values[*attr] = (*v).clone();
+                    }
+                    seen += 1;
+                    tuples.push(Tuple::new(t.id(), values));
+                }
+                None => tuples.push(t.clone()),
+            }
+        }
+        if seen != by_tuple.len() {
+            return Err(Error::Repair(format!(
+                "{} fixes target tuples missing from `{}`",
+                by_tuple.len() - seen,
+                self.name
+            )));
+        }
+        Ok(Table::new(self.name.clone(), self.schema.clone(), tuples))
+    }
+
+    /// Count cells that differ from `other` (same ids assumed) — used by
+    /// the repair-quality experiments.
+    pub fn diff_cells(&self, other: &Table) -> usize {
+        self.tuples
+            .iter()
+            .zip(other.tuples.iter())
+            .map(|(a, b)| {
+                a.values()
+                    .iter()
+                    .zip(b.values().iter())
+                    .filter(|(x, y)| x != y)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let schema = Schema::parse("zipcode,city");
+        Table::from_rows(
+            "D",
+            schema,
+            vec![
+                vec![Value::Int(90210), Value::str("LA")],
+                vec![Value::Int(90210), Value::str("SF")],
+                vec![Value::Int(60601), Value::str("CH")],
+            ],
+        )
+    }
+
+    #[test]
+    fn sequential_ids_and_lookup() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.tuple(1).unwrap().value(1), &Value::str("SF"));
+        assert_eq!(t.tuple(9), None);
+        assert_eq!(t.cell_value(Cell::new(2, 0)), Some(&Value::Int(60601)));
+    }
+
+    #[test]
+    fn apply_rewrites_only_targeted_cells() {
+        let t = sample();
+        let mut fixes = HashMap::new();
+        fixes.insert(Cell::new(1, 1), Value::str("LA"));
+        let t2 = t.apply(&fixes).unwrap();
+        assert_eq!(t2.tuple(1).unwrap().value(1), &Value::str("LA"));
+        assert_eq!(t2.tuple(0).unwrap().value(1), &Value::str("LA"));
+        assert_eq!(t.diff_cells(&t2), 1);
+    }
+
+    #[test]
+    fn apply_rejects_unknown_targets() {
+        let t = sample();
+        let mut fixes = HashMap::new();
+        fixes.insert(Cell::new(77, 0), Value::Null);
+        assert!(t.apply(&fixes).is_err());
+        let mut fixes = HashMap::new();
+        fixes.insert(Cell::new(0, 9), Value::Null);
+        assert!(t.apply(&fixes).is_err());
+    }
+
+    #[test]
+    fn lookup_survives_non_dense_ids() {
+        let schema = Schema::parse("a");
+        let tuples = vec![Tuple::new(10, vec![Value::Int(1)]), Tuple::new(3, vec![Value::Int(2)])];
+        let t = Table::new("D", schema, tuples);
+        assert_eq!(t.tuple(3).unwrap().value(0), &Value::Int(2));
+        assert_eq!(t.tuple(10).unwrap().value(0), &Value::Int(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Data units and elements (§2.1 of the paper).
+//!
+//! A [`Tuple`] is the relational *data unit*: a stable identifier plus a
+//! shared slice of [`Value`]s. A [`Cell`] names one *element* of a unit —
+//! the `(tuple id, attribute)` pair that violations and fixes refer to.
+
+use crate::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable tuple identifier, assigned at load time and preserved across
+/// `Scope` projections so fixes can be applied back to the source table.
+pub type TupleId = u64;
+
+/// A relational data unit.
+///
+/// Cloning is O(1): the cell payload is behind an `Arc`, which is what
+/// makes replicating tuples into multiple data flows (the paper's labeled
+/// copies, Appendix A) affordable.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    id: TupleId,
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple with an explicit id.
+    pub fn new(id: TupleId, values: Vec<Value>) -> Self {
+        Tuple {
+            id,
+            values: values.into(),
+        }
+    }
+
+    /// The tuple's stable identifier.
+    pub fn id(&self) -> TupleId {
+        self.id
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow the cell value at `idx`; panics if out of range (mirrors the
+    /// paper's `getCellValue`, which assumes in-schema access).
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Borrow the cell value at `idx`, or `None` when out of range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All cell values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// A new tuple with the same id keeping only `indices` (Scope
+    /// projection). Out-of-range indices yield `Value::Null`, keeping the
+    /// operator total as required for UDF-provided scopes.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        let values: Vec<Value> = indices
+            .iter()
+            .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        Tuple::new(self.id, values)
+    }
+
+    /// A new tuple with the same id and `idx` replaced by `v`.
+    pub fn with_value(&self, idx: usize, v: Value) -> Tuple {
+        let mut values: Vec<Value> = self.values.to_vec();
+        values[idx] = v;
+        Tuple::new(self.id, values)
+    }
+
+    /// The [`Cell`] handle for attribute `idx` of this tuple.
+    pub fn cell(&self, idx: usize) -> Cell {
+        Cell {
+            tuple: self.id,
+            attr: idx as u32,
+        }
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}(", self.id)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An element: one attribute of one data unit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Owning tuple.
+    pub tuple: TupleId,
+    /// Attribute index within the *source* schema.
+    pub attr: u32,
+}
+
+impl Cell {
+    /// Construct a cell handle.
+    pub fn new(tuple: TupleId, attr: usize) -> Self {
+        Cell {
+            tuple,
+            attr: attr as u32,
+        }
+    }
+
+    /// Dense encoding used as a graph-node id by the repair hypergraph.
+    pub fn encode(&self) -> u64 {
+        (self.tuple << 16) | (self.attr as u64 & 0xFFFF)
+    }
+
+    /// Inverse of [`Cell::encode`].
+    pub fn decode(code: u64) -> Cell {
+        Cell {
+            tuple: code >> 16,
+            attr: (code & 0xFFFF) as u32,
+        }
+    }
+}
+
+impl fmt::Debug for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}[{}]", self.tuple, self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tup() -> Tuple {
+        Tuple::new(7, vec![Value::str("Annie"), Value::Int(10001), Value::str("NY")])
+    }
+
+    #[test]
+    fn accessors() {
+        let t = tup();
+        assert_eq!(t.id(), 7);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.value(2), &Value::str("NY"));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn projection_keeps_id_and_pads_nulls() {
+        let t = tup();
+        let p = t.project(&[1, 2, 9]);
+        assert_eq!(p.id(), 7);
+        assert_eq!(p.values(), &[Value::Int(10001), Value::str("NY"), Value::Null]);
+    }
+
+    #[test]
+    fn with_value_is_persistent() {
+        let t = tup();
+        let t2 = t.with_value(2, Value::str("LA"));
+        assert_eq!(t.value(2), &Value::str("NY"));
+        assert_eq!(t2.value(2), &Value::str("LA"));
+        assert_eq!(t2.id(), t.id());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = tup();
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &c.values));
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = Cell::new(123456, 5);
+        assert_eq!(Cell::decode(c.encode()), c);
+    }
+
+    proptest! {
+        #[test]
+        fn cell_encode_is_injective(t1 in 0u64..1u64<<40, a1 in 0usize..100,
+                                    t2 in 0u64..1u64<<40, a2 in 0usize..100) {
+            let c1 = Cell::new(t1, a1);
+            let c2 = Cell::new(t2, a2);
+            prop_assert_eq!(c1 == c2, c1.encode() == c2.encode());
+        }
+    }
+}

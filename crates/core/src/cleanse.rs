@@ -1,0 +1,325 @@
+//! The iterative detect ⇄ repair loop (§2.2 of the paper).
+//!
+//! "An iterative process terminates if there are no more violations or
+//! there are only violations with no corresponding possible fixes. The
+//! repair step may introduce new violations … to ensure termination, the
+//! algorithm puts a special variable on such units after a fixed number
+//! of iterations" — here a per-cell change counter; cells that exceed it
+//! are *frozen* and excluded from further updates.
+
+use bigdansing_common::{Cell, Error, Result, Table, Value};
+use bigdansing_plan::Executor;
+use bigdansing_repair::dist_equivalence::repair_distributed_equivalence;
+use bigdansing_repair::{
+    blackbox::RepairOptions, repair_parallel, repair_serial, Assignment, EquivalenceClassRepair,
+    RepairAlgorithm,
+};
+use bigdansing_rules::Rule;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How repairs are computed each iteration.
+#[derive(Clone)]
+pub enum RepairStrategy {
+    /// §5.1: run a centralized algorithm per connected component, in
+    /// parallel (the default, with the equivalence-class algorithm).
+    ParallelBlackBox(Arc<dyn RepairAlgorithm>),
+    /// The centralized baseline: one instance over all violations.
+    SerialBlackBox(Arc<dyn RepairAlgorithm>),
+    /// §5.2: the natively distributed equivalence-class algorithm
+    /// (two map-reduce rounds).
+    DistributedEquivalence,
+}
+
+impl Default for RepairStrategy {
+    fn default() -> Self {
+        RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair))
+    }
+}
+
+impl std::fmt::Debug for RepairStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairStrategy::ParallelBlackBox(a) => write!(f, "ParallelBlackBox({})", a.name()),
+            RepairStrategy::SerialBlackBox(a) => write!(f, "SerialBlackBox({})", a.name()),
+            RepairStrategy::DistributedEquivalence => write!(f, "DistributedEquivalence"),
+        }
+    }
+}
+
+/// Options for [`cleanse_loop`].
+#[derive(Debug, Clone)]
+pub struct CleanseOptions {
+    /// Maximum detect ⇄ repair iterations.
+    pub max_iterations: usize,
+    /// Freeze threshold: after this many updates a cell stops changing
+    /// (the paper's "special variable" guaranteeing termination).
+    pub max_changes_per_cell: usize,
+    /// Repair strategy.
+    pub strategy: RepairStrategy,
+    /// Options forwarded to the parallel black-box driver.
+    pub repair_options: RepairOptions,
+}
+
+impl Default for CleanseOptions {
+    fn default() -> Self {
+        CleanseOptions {
+            max_iterations: 10,
+            max_changes_per_cell: 3,
+            strategy: RepairStrategy::default(),
+            repair_options: RepairOptions::default(),
+        }
+    }
+}
+
+/// The outcome of a cleansing run.
+#[derive(Debug, Clone)]
+pub struct CleanseResult {
+    /// The repaired table.
+    pub table: Table,
+    /// Detect ⇄ repair iterations executed.
+    pub iterations: usize,
+    /// Violations seen across all iterations.
+    pub total_violations: usize,
+    /// Distinct cell updates applied.
+    pub cells_changed: usize,
+    /// Cells frozen by the termination rule.
+    pub frozen_cells: usize,
+    /// Σ distance(old, new) over all applied updates (§2.1 cost).
+    pub repair_cost: f64,
+    /// True when the final table has no violations (false when the loop
+    /// stopped on unfixable violations or the iteration cap).
+    pub converged: bool,
+}
+
+/// Run the full cleansing process over `table`.
+pub fn cleanse_loop(
+    executor: &Executor,
+    rules: &[Arc<dyn Rule>],
+    table: &Table,
+    options: CleanseOptions,
+) -> Result<CleanseResult> {
+    if rules.is_empty() {
+        return Err(Error::Repair("no rules registered".into()));
+    }
+    let mut current = table.clone();
+    let mut change_count: HashMap<Cell, usize> = HashMap::new();
+    let mut result = CleanseResult {
+        table: current.clone(),
+        iterations: 0,
+        total_violations: 0,
+        cells_changed: 0,
+        frozen_cells: 0,
+        repair_cost: 0.0,
+        converged: false,
+    };
+    for _ in 0..options.max_iterations.max(1) {
+        let detected = executor.detect(&current, rules);
+        if detected.is_clean() {
+            result.converged = true;
+            break;
+        }
+        result.iterations += 1;
+        result.total_violations += detected.violation_count();
+
+        let assignment: Assignment = match &options.strategy {
+            RepairStrategy::ParallelBlackBox(algo) => repair_parallel(
+                executor.engine(),
+                &detected.detected,
+                algo.as_ref(),
+                options.repair_options,
+            ),
+            RepairStrategy::SerialBlackBox(algo) => {
+                repair_serial(&detected.detected, algo.as_ref())
+            }
+            RepairStrategy::DistributedEquivalence => {
+                repair_distributed_equivalence(executor.engine(), &detected.detected)
+            }
+        };
+
+        // apply, honoring frozen cells and counting changes
+        let mut applicable: HashMap<Cell, Value> = HashMap::new();
+        for (cell, value) in assignment {
+            let count = change_count.entry(cell).or_insert(0);
+            if *count >= options.max_changes_per_cell {
+                continue; // frozen
+            }
+            if current.cell_value(cell) == Some(&value) {
+                continue; // no-op
+            }
+            *count += 1;
+            if *count == options.max_changes_per_cell {
+                result.frozen_cells += 1;
+            }
+            applicable.insert(cell, value);
+        }
+        if applicable.is_empty() {
+            // only violations with no (applicable) fixes remain: the
+            // paper's second termination condition
+            break;
+        }
+        for (cell, value) in &applicable {
+            if let Some(old) = current.cell_value(*cell) {
+                result.repair_cost += old.distance(value);
+            }
+        }
+        result.cells_changed += applicable.len();
+        current = current.apply(&applicable)?;
+    }
+    if !result.converged {
+        result.converged = executor.detect(&current, rules).is_clean();
+    }
+    result.table = current;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Schema;
+    use bigdansing_dataflow::Engine;
+    use bigdansing_repair::HypergraphRepair;
+    use bigdansing_rules::{DcRule, FdRule};
+
+    fn fd_table() -> Table {
+        let schema = Schema::parse("zipcode,city");
+        Table::from_rows(
+            "t",
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("LA")],
+                vec![Value::Int(1), Value::str("SF")],
+                vec![Value::Int(1), Value::str("LA")],
+                vec![Value::Int(2), Value::str("NY")],
+            ],
+        )
+    }
+
+    fn fd_rules(schema: &Schema) -> Vec<Arc<dyn Rule>> {
+        vec![Arc::new(FdRule::parse("zipcode -> city", schema).unwrap())]
+    }
+
+    #[test]
+    fn fd_cleansing_converges_in_one_iteration() {
+        let t = fd_table();
+        let exec = Executor::new(Engine::parallel(2));
+        let rules = fd_rules(t.schema());
+        let res = cleanse_loop(&exec, &rules, &t, CleanseOptions::default()).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.iterations, 1);
+        assert_eq!(res.cells_changed, 1);
+        assert!(res.repair_cost > 0.0);
+        assert!(exec.detect(&res.table, &rules).is_clean());
+    }
+
+    #[test]
+    fn all_strategies_clean_the_fd_table() {
+        let t = fd_table();
+        let exec = Executor::new(Engine::parallel(2));
+        let rules = fd_rules(t.schema());
+        for strategy in [
+            RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair)),
+            RepairStrategy::SerialBlackBox(Arc::new(EquivalenceClassRepair)),
+            RepairStrategy::DistributedEquivalence,
+        ] {
+            let res = cleanse_loop(
+                &exec,
+                &rules,
+                &t,
+                CleanseOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(res.converged, "strategy failed");
+            assert!(exec.detect(&res.table, &rules).is_clean());
+        }
+    }
+
+    #[test]
+    fn dc_cleansing_with_hypergraph_repair() {
+        let schema = Schema::parse("salary,rate");
+        let t = Table::from_rows(
+            "tax",
+            schema.clone(),
+            vec![
+                vec![Value::Int(100), Value::Int(30)],
+                vec![Value::Int(200), Value::Int(10)],
+                vec![Value::Int(300), Value::Int(40)],
+            ],
+        );
+        let rules: Vec<Arc<dyn Rule>> = vec![Arc::new(
+            DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", &schema).unwrap(),
+        )];
+        let exec = Executor::new(Engine::parallel(2));
+        let res = cleanse_loop(
+            &exec,
+            &rules,
+            &t,
+            CleanseOptions {
+                strategy: RepairStrategy::ParallelBlackBox(Arc::new(HypergraphRepair::default())),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(res.converged, "DC repair did not converge: {res:?}");
+        assert!(exec.detect(&res.table, &rules).is_clean());
+    }
+
+    #[test]
+    fn no_rules_is_an_error() {
+        let t = fd_table();
+        let exec = Executor::new(Engine::sequential());
+        assert!(cleanse_loop(&exec, &[], &t, CleanseOptions::default()).is_err());
+    }
+
+    #[test]
+    fn clean_input_converges_with_zero_iterations() {
+        let schema = Schema::parse("zipcode,city");
+        let t = Table::from_rows(
+            "t",
+            schema.clone(),
+            vec![vec![Value::Int(1), Value::str("LA")]],
+        );
+        let exec = Executor::new(Engine::sequential());
+        let res = cleanse_loop(&exec, &fd_rules(&schema), &t, CleanseOptions::default()).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.cells_changed, 0);
+    }
+
+    #[test]
+    fn freeze_counter_guarantees_termination() {
+        // a pathological pair of FDs that keep re-breaking each other:
+        // a->b and b->a over inconsistent data
+        let schema = Schema::parse("a,b");
+        let t = Table::from_rows(
+            "t",
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        );
+        let rules: Vec<Arc<dyn Rule>> = vec![
+            Arc::new(FdRule::parse("a -> b", &schema).unwrap()),
+            Arc::new(FdRule::parse("b -> a", &schema).unwrap()),
+        ];
+        let exec = Executor::new(Engine::sequential());
+        let res = cleanse_loop(
+            &exec,
+            &rules,
+            &t,
+            CleanseOptions {
+                max_iterations: 20,
+                max_changes_per_cell: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // must terminate (converged or not) within the iteration budget
+        assert!(res.iterations <= 20);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # BigDansing
+//!
+//! A from-scratch Rust reproduction of **"BigDansing: A System for Big
+//! Data Cleansing"** (Khayyat et al., SIGMOD 2015): a rule-based data
+//! cleansing system that detects violations of data-quality rules with a
+//! five-operator logical abstraction (Scope, Block, Iterate, Detect,
+//! GenFix), optimizes detection plans (shared scans, UCrossProduct,
+//! CoBlock, OCJoin), and repairs violations with distributed versions of
+//! classic repair algorithms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bigdansing::{BigDansing, CleanseOptions};
+//! use bigdansing_common::{csv, Schema};
+//!
+//! let table = csv::parse_str(
+//!     "tax",
+//!     "zipcode,city\n90210,LA\n90210,SF\n90210,LA\n10001,NY\n",
+//!     true,
+//!     None,
+//! )
+//! .unwrap();
+//!
+//! let mut sys = BigDansing::parallel(4);
+//! sys.add_fd("zipcode -> city", table.schema()).unwrap();
+//!
+//! // detection only
+//! let report = sys.detect(&table);
+//! assert_eq!(report.violation_count(), 2);
+//!
+//! // full cleansing (detect ⇄ repair until clean)
+//! let result = sys.cleanse(&table, CleanseOptions::default()).unwrap();
+//! assert!(result.converged);
+//! assert!(sys.detect(&result.table).is_clean());
+//! ```
+
+pub mod cleanse;
+pub mod report;
+pub mod system;
+
+pub use cleanse::{CleanseOptions, CleanseResult, RepairStrategy};
+pub use system::BigDansing;
+
+// Re-export the workspace's main vocabulary so downstream users can
+// depend on `bigdansing` alone.
+pub use bigdansing_common::{csv, rdf, sim, Cell, Error, Result, Schema, Table, Tuple, Value};
+pub use bigdansing_dataflow::{Engine, ExecMode, PDataset};
+pub use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, Job};
+pub use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm};
+pub use bigdansing_rules::{
+    CfdRule, DcRule, DedupRule, DetectUnit, Fix, FixRhs, Op, Rule, UdfRule, UnitKind, Violation,
+};

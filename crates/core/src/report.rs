@@ -1,0 +1,152 @@
+//! Violation/fix reports.
+//!
+//! Detect-only jobs don't end in a repair: "if no GenFix operator is
+//! provided, the output of the Detect operator is written to disk"
+//! (§3.2). This module renders a [`DetectOutput`] as CSV for exactly
+//! that purpose (and for the CLI's `detect` command).
+
+use bigdansing_common::{Result, Table};
+use bigdansing_plan::DetectOutput;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn csv_quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Render violations as CSV: one row per violating element, with the
+/// violation id, rule, tuple, attribute (named when `schema` is given),
+/// and observed value.
+pub fn violations_csv(output: &DetectOutput, table: Option<&Table>) -> String {
+    let mut out = String::from("violation,rule,tuple,attribute,value\n");
+    for (i, (v, _)) in output.detected.iter().enumerate() {
+        for (cell, value) in v.cells() {
+            let attr = table
+                .and_then(|t| t.schema().name_of(cell.attr as usize).ok())
+                .map(str::to_string)
+                .unwrap_or_else(|| cell.attr.to_string());
+            let _ = writeln!(
+                out,
+                "{i},{},{},{},{}",
+                csv_quote(v.rule()),
+                cell.tuple,
+                csv_quote(&attr),
+                csv_quote(&value.to_string())
+            );
+        }
+    }
+    out
+}
+
+/// Render possible fixes as CSV: one row per fix expression.
+pub fn fixes_csv(output: &DetectOutput, table: Option<&Table>) -> String {
+    let attr_name = |attr: u32| -> String {
+        table
+            .and_then(|t| t.schema().name_of(attr as usize).ok())
+            .map(str::to_string)
+            .unwrap_or_else(|| attr.to_string())
+    };
+    let mut out = String::from("violation,rule,tuple,attribute,op,target\n");
+    for (i, (v, fixes)) in output.detected.iter().enumerate() {
+        for f in fixes {
+            let target = match &f.rhs {
+                bigdansing_rules::FixRhs::Cell(c, val) => {
+                    format!("t{}[{}] (={})", c.tuple, attr_name(c.attr), val)
+                }
+                bigdansing_rules::FixRhs::Const(val) => val.to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{i},{},{},{},{},{}",
+                csv_quote(v.rule()),
+                f.left.tuple,
+                csv_quote(&attr_name(f.left.attr)),
+                f.op,
+                csv_quote(&target)
+            );
+        }
+    }
+    out
+}
+
+/// Write both reports next to each other:
+/// `<stem>.violations.csv` and `<stem>.fixes.csv`.
+pub fn write_reports(
+    output: &DetectOutput,
+    table: Option<&Table>,
+    stem: impl AsRef<Path>,
+) -> Result<()> {
+    let stem = stem.as_ref();
+    let with_ext = |ext: &str| {
+        let mut os = stem.as_os_str().to_os_string();
+        os.push(ext);
+        std::path::PathBuf::from(os)
+    };
+    std::fs::write(with_ext(".violations.csv"), violations_csv(output, table))?;
+    std::fs::write(with_ext(".fixes.csv"), fixes_csv(output, table))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigDansing;
+    use bigdansing_common::{csv, Schema};
+
+    fn detect() -> (Table, DetectOutput) {
+        let table = csv::parse_str(
+            "t",
+            "zipcode,city\n1,LA\n1,SF\n",
+            true,
+            None,
+        )
+        .unwrap();
+        let mut sys = BigDansing::sequential();
+        sys.add_fd("zipcode -> city", table.schema()).unwrap();
+        let out = sys.detect(&table);
+        (table, out)
+    }
+
+    #[test]
+    fn violations_csv_names_attributes() {
+        let (table, out) = detect();
+        let rendered = violations_csv(&out, Some(&table));
+        assert!(rendered.starts_with("violation,rule,tuple,attribute,value\n"));
+        assert!(rendered.contains("fd:zipcode->city"));
+        assert!(rendered.contains(",city,SF"));
+        assert!(rendered.contains(",zipcode,1"));
+    }
+
+    #[test]
+    fn fixes_csv_renders_expressions() {
+        let (table, out) = detect();
+        let rendered = fixes_csv(&out, Some(&table));
+        assert!(rendered.contains("=,"), "equality op rendered");
+        assert!(rendered.contains("t1[city]"), "target cell rendered: {rendered}");
+    }
+
+    #[test]
+    fn reports_hit_disk() {
+        let (table, out) = detect();
+        let dir = std::env::temp_dir().join("bigdansing_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("run1");
+        write_reports(&out, Some(&table), &stem).unwrap();
+        let v = std::fs::read_to_string(dir.join("run1.violations.csv")).unwrap();
+        assert!(v.lines().count() > 1);
+        let f = std::fs::read_to_string(dir.join("run1.fixes.csv")).unwrap();
+        assert!(f.lines().count() > 1);
+    }
+
+    #[test]
+    fn schemaless_reports_fall_back_to_indices() {
+        let (_, out) = detect();
+        let rendered = violations_csv(&out, None);
+        assert!(rendered.contains(",1,"), "attribute index used");
+        let _ = Schema::parse("a"); // keep import used
+    }
+}

@@ -1,0 +1,193 @@
+//! The BigDansing system façade (Figure 1 of the paper): rules in,
+//! clean data out.
+
+use crate::cleanse::{cleanse_loop, CleanseOptions, CleanseResult};
+use bigdansing_common::{Error, Result, Schema, Table};
+use bigdansing_dataflow::Engine;
+use bigdansing_plan::{physical, DetectOutput, Executor, Job};
+use bigdansing_rules::{CfdRule, DcRule, FdRule, Rule};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The system: an execution engine plus a set of registered rules.
+pub struct BigDansing {
+    executor: Executor,
+    rules: Vec<Arc<dyn Rule>>,
+}
+
+impl BigDansing {
+    /// Build on an explicit engine.
+    pub fn on_engine(engine: Engine) -> BigDansing {
+        BigDansing {
+            executor: Executor::new(engine),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Single-threaded system (the correctness oracle).
+    pub fn sequential() -> BigDansing {
+        Self::on_engine(Engine::sequential())
+    }
+
+    /// Spark-like in-memory parallel system.
+    pub fn parallel(workers: usize) -> BigDansing {
+        Self::on_engine(Engine::parallel(workers))
+    }
+
+    /// Hadoop-like disk-backed parallel system.
+    pub fn disk_backed(workers: usize) -> BigDansing {
+        Self::on_engine(Engine::disk_backed(workers))
+    }
+
+    /// The execution engine.
+    pub fn engine(&self) -> &Engine {
+        self.executor.engine()
+    }
+
+    /// The executor (for advanced pipeline control).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Registered rules.
+    pub fn rules(&self) -> &[Arc<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Register a declarative FD, e.g. `"zipcode -> city"`.
+    pub fn add_fd(&mut self, spec: &str, schema: &Schema) -> Result<&mut Self> {
+        let rule = FdRule::parse(spec, schema)?;
+        self.rules.push(Arc::new(rule));
+        Ok(self)
+    }
+
+    /// Register a declarative DC, e.g.
+    /// `"t1.salary > t2.salary & t1.rate < t2.rate"`.
+    pub fn add_dc(&mut self, spec: &str, schema: &Schema) -> Result<&mut Self> {
+        let rule = DcRule::parse(spec, schema)?;
+        self.rules.push(Arc::new(rule));
+        Ok(self)
+    }
+
+    /// Register a declarative CFD, e.g.
+    /// `"zipcode -> city | zipcode=90210, city=LA"`.
+    pub fn add_cfd(&mut self, spec: &str, schema: &Schema) -> Result<&mut Self> {
+        let rule = CfdRule::parse(spec, schema)?;
+        self.rules.push(Arc::new(rule));
+        Ok(self)
+    }
+
+    /// Register any rule (UDF rules, dedup rules, custom impls).
+    pub fn add_rule(&mut self, rule: Arc<dyn Rule>) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Run violation detection for every registered rule over `table`
+    /// (one shared scan).
+    pub fn detect(&self, table: &Table) -> DetectOutput {
+        self.executor.detect(table, &self.rules)
+    }
+
+    /// Run the full iterative cleansing process (§2.2): detect, repair,
+    /// re-detect, until no violations remain or only unfixable ones do.
+    pub fn cleanse(&self, table: &Table, options: CleanseOptions) -> Result<CleanseResult> {
+        cleanse_loop(&self.executor, &self.rules, table, options)
+    }
+
+    /// Execute a hand-authored [`Job`] (Appendix A): validate it into a
+    /// logical plan, consolidate and translate it (§3.2, §4.2), then run
+    /// every resulting pipeline against the named input `tables`.
+    pub fn run_job(&self, job: Job, tables: &HashMap<String, Table>) -> Result<DetectOutput> {
+        let plan = job.build()?;
+        let phys = physical::translate(plan)?;
+        let mut out = DetectOutput::default();
+        for pipeline in &phys.pipelines {
+            let table = tables.get(&pipeline.source).ok_or_else(|| {
+                Error::InvalidPlan(format!("job references unknown dataset `{}`", pipeline.source))
+            })?;
+            out.extend(self.executor.run_pipeline(self.executor.load(table), pipeline));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Value;
+
+    fn dirty_table() -> Table {
+        let schema = Schema::parse("zipcode,city,salary,rate");
+        Table::from_rows(
+            "tax",
+            schema,
+            vec![
+                vec![Value::Int(90210), Value::str("LA"), Value::Int(100), Value::Int(10)],
+                vec![Value::Int(90210), Value::str("SF"), Value::Int(200), Value::Int(20)],
+                vec![Value::Int(90210), Value::str("LA"), Value::Int(300), Value::Int(30)],
+            ],
+        )
+    }
+
+    #[test]
+    fn declarative_registration() {
+        let t = dirty_table();
+        let mut sys = BigDansing::sequential();
+        sys.add_fd("zipcode -> city", t.schema()).unwrap();
+        sys.add_dc("t1.salary > t2.salary & t1.rate < t2.rate", t.schema())
+            .unwrap();
+        sys.add_cfd("zipcode -> city | zipcode=90210, city=LA", t.schema())
+            .unwrap();
+        assert_eq!(sys.rules().len(), 3);
+        assert!(sys.add_fd("bogus", t.schema()).is_err());
+    }
+
+    #[test]
+    fn detect_counts_fd_violations() {
+        let t = dirty_table();
+        let mut sys = BigDansing::parallel(2);
+        sys.add_fd("zipcode -> city", t.schema()).unwrap();
+        let out = sys.detect(&t);
+        assert_eq!(out.violation_count(), 2); // (0,1) and (1,2)
+    }
+
+    #[test]
+    fn run_job_executes_hand_authored_plans() {
+        let t = dirty_table();
+        let rule: Arc<dyn Rule> =
+            Arc::new(FdRule::parse("zipcode -> city", t.schema()).unwrap());
+        let mut job = Job::new("manual");
+        job.add_input("tax", &["S"]);
+        job.add_scope(&rule, "S");
+        job.add_block(&rule, "S");
+        job.add_detect(&rule, "S");
+        job.add_genfix(&rule, "S");
+        let sys = BigDansing::parallel(2);
+        let tables = HashMap::from([("tax".to_string(), t)]);
+        let out = sys.run_job(job, &tables).unwrap();
+        assert_eq!(out.violation_count(), 2);
+        assert_eq!(out.fix_count(), 2);
+        // unknown dataset is a plan error
+        let mut bad = Job::new("bad");
+        bad.add_input("nope", &["S"]);
+        bad.add_detect(&rule, "S");
+        assert!(sys.run_job(bad, &tables).is_err());
+    }
+
+    #[test]
+    fn cleanse_reaches_a_clean_table() {
+        let t = dirty_table();
+        let mut sys = BigDansing::parallel(2);
+        sys.add_fd("zipcode -> city", t.schema()).unwrap();
+        let result = sys.cleanse(&t, crate::CleanseOptions::default()).unwrap();
+        assert!(result.converged);
+        assert!(sys.detect(&result.table).is_clean());
+        // majority LA wins; one cell changed
+        assert_eq!(result.cells_changed, 1);
+        assert_eq!(
+            result.table.tuple(1).unwrap().value(1),
+            &Value::str("LA")
+        );
+    }
+}

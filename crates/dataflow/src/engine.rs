@@ -1,0 +1,170 @@
+//! The execution context: worker count, mode, metrics, spill directory.
+
+use bigdansing_common::metrics::Metrics;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a [`crate::PDataset`] executes its transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single worker, inline execution. The correctness oracle.
+    Sequential,
+    /// Spark-like: in-memory, multi-threaded.
+    Parallel,
+    /// Hadoop-like: multi-threaded, but [`crate::PDataset::checkpoint`]
+    /// round-trips every partition through disk at stage boundaries.
+    DiskBacked,
+}
+
+struct EngineInner {
+    mode: ExecMode,
+    workers: usize,
+    metrics: Arc<Metrics>,
+    spill_dir: PathBuf,
+    spill_seq: AtomicU64,
+}
+
+/// A cheaply clonable handle on the execution context. All datasets
+/// created from the same engine share its worker pool, metrics, and
+/// spill directory.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    fn build(mode: ExecMode, workers: usize) -> Engine {
+        let workers = workers.max(1);
+        let spill_dir = std::env::temp_dir().join(format!(
+            "bigdansing-spill-{}-{}",
+            std::process::id(),
+            NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        Engine {
+            inner: Arc::new(EngineInner {
+                mode,
+                workers,
+                metrics: Metrics::new_shared(),
+                spill_dir,
+                spill_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A single-threaded engine.
+    pub fn sequential() -> Engine {
+        Engine::build(ExecMode::Sequential, 1)
+    }
+
+    /// A Spark-like in-memory engine with `workers` threads.
+    pub fn parallel(workers: usize) -> Engine {
+        Engine::build(ExecMode::Parallel, workers)
+    }
+
+    /// A Hadoop-like engine with `workers` threads whose checkpoints
+    /// materialize through disk.
+    pub fn disk_backed(workers: usize) -> Engine {
+        Engine::build(ExecMode::DiskBacked, workers)
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.inner.mode
+    }
+
+    /// Number of worker threads used for each stage.
+    pub fn workers(&self) -> usize {
+        match self.inner.mode {
+            ExecMode::Sequential => 1,
+            _ => self.inner.workers,
+        }
+    }
+
+    /// Default number of partitions for new datasets: a few per worker so
+    /// dynamic scheduling can smooth skew.
+    pub fn default_partitions(&self) -> usize {
+        (self.workers() * 4).max(1)
+    }
+
+    /// The shared metrics counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Directory used by [`crate::PDataset::checkpoint`] spills.
+    pub fn spill_dir(&self) -> &PathBuf {
+        &self.inner.spill_dir
+    }
+
+    /// A fresh spill-file path.
+    pub fn next_spill_path(&self) -> PathBuf {
+        let id = self.inner.spill_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.spill_dir.join(format!("stage-{id}.bin"))
+    }
+
+    /// Split `data` into `nparts` round-robin-balanced partitions.
+    pub(crate) fn split<T>(data: Vec<T>, nparts: usize) -> Vec<Vec<T>> {
+        let nparts = nparts.max(1);
+        let n = data.len();
+        let base = n / nparts;
+        let extra = n % nparts;
+        let mut parts = Vec::with_capacity(nparts);
+        let mut it = data.into_iter();
+        for p in 0..nparts {
+            let take = base + usize::from(p < extra);
+            parts.push(it.by_ref().take(take).collect());
+        }
+        parts
+    }
+}
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine({:?}, workers={})",
+            self.inner.mode,
+            self.workers()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_and_workers() {
+        assert_eq!(Engine::sequential().workers(), 1);
+        assert_eq!(Engine::parallel(8).workers(), 8);
+        assert_eq!(Engine::parallel(0).workers(), 1);
+        assert_eq!(Engine::disk_backed(4).mode(), ExecMode::DiskBacked);
+        assert!(Engine::parallel(2).default_partitions() >= 2);
+    }
+
+    #[test]
+    fn split_is_balanced_and_complete() {
+        let parts = Engine::split((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let all: Vec<i32> = parts.into_iter().flatten().collect();
+        assert_eq!(all, (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn split_more_parts_than_items() {
+        let parts = Engine::split(vec![1, 2], 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn spill_paths_are_unique() {
+        let e = Engine::disk_backed(2);
+        assert_ne!(e.next_spill_path(), e.next_spill_path());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-dataflow
+//!
+//! The parallel data-processing substrate that BigDansing's execution
+//! layer targets. The paper runs on Spark (in-memory) and Hadoop
+//! MapReduce (disk-backed, stage-materializing); this crate provides a
+//! faithful laptop-scale stand-in: an in-memory, partitioned dataset
+//! abstraction ([`PDataset`]) whose transformations execute across a
+//! configurable number of worker threads.
+//!
+//! The operation set mirrors what Appendix G of the paper uses to
+//! translate physical operators: `map`, `filter`, `flatMap`,
+//! `mapPartitions`, `groupByKey`, `coGroup` (for the CoBlock enhancer),
+//! `selfCartesian` (the paper's custom Spark extension backing
+//! UCrossProduct), `cartesian`, `rangePartition` + per-partition sorting
+//! (backing OCJoin), `union`, `reduceByKey`, and `collect`.
+//!
+//! Execution modes ([`ExecMode`]):
+//! * `Sequential` — one worker; used as the correctness oracle.
+//! * `Parallel { workers }` — Spark-like in-memory execution.
+//! * `DiskBacked { workers }` — Hadoop-like: callers checkpoint datasets
+//!   at stage boundaries, which serializes every partition to disk and
+//!   reads it back ([`PDataset::checkpoint`]).
+
+pub mod engine;
+pub mod grouping;
+pub mod joins;
+pub mod pdataset;
+pub mod pool;
+
+pub use engine::{Engine, ExecMode};
+pub use pdataset::PDataset;

@@ -1,0 +1,287 @@
+//! The partitioned dataset and its element-wise transformations.
+
+use crate::engine::{Engine, ExecMode};
+use crate::pool::par_map_indexed;
+use bigdansing_common::codec::{decode_batch, encode_batch, Codec};
+use bigdansing_common::metrics::Metrics;
+use std::fs;
+
+/// A partitioned, engine-bound collection — the RDD stand-in.
+///
+/// All transformations are eager (each stage runs to completion across
+/// the worker pool before the next starts), which matches the
+/// stage-barrier execution of the systems the paper targets closely
+/// enough for every experiment we reproduce.
+pub struct PDataset<T> {
+    engine: Engine,
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Send> PDataset<T> {
+    /// Create a dataset from partitions produced elsewhere.
+    pub fn from_partitions(engine: Engine, partitions: Vec<Vec<T>>) -> Self {
+        PDataset { engine, partitions }
+    }
+
+    /// Distribute `data` over the engine's default partition count.
+    pub fn from_vec(engine: Engine, data: Vec<T>) -> Self {
+        let nparts = engine.default_partitions();
+        Self::from_vec_with(engine, data, nparts)
+    }
+
+    /// Distribute `data` over `nparts` partitions.
+    pub fn from_vec_with(engine: Engine, data: Vec<T>, nparts: usize) -> Self {
+        let partitions = Engine::split(data, nparts);
+        PDataset { engine, partitions }
+    }
+
+    /// The owning engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Borrow the raw partitions.
+    pub fn partitions(&self) -> &[Vec<T>] {
+        &self.partitions
+    }
+
+    /// Consume the dataset into its partitions.
+    pub fn into_partitions(self) -> Vec<Vec<T>> {
+        self.partitions
+    }
+
+    /// Total number of records.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Gather every record on the "driver".
+    pub fn collect(self) -> Vec<T> {
+        self.partitions.into_iter().flatten().collect()
+    }
+
+    /// Run `f` over whole partitions — the workhorse every other
+    /// transformation is built on.
+    pub fn map_partitions<R, F>(self, f: F) -> PDataset<R>
+    where
+        R: Send,
+        F: Fn(Vec<T>) -> Vec<R> + Sync,
+    {
+        let workers = self.engine.workers();
+        let partitions = par_map_indexed(workers, self.partitions, |_, p| f(p));
+        PDataset {
+            engine: self.engine,
+            partitions,
+        }
+    }
+
+    /// Element-wise map.
+    pub fn map<R, F>(self, f: F) -> PDataset<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.map_partitions(|p| p.into_iter().map(&f).collect())
+    }
+
+    /// Element-wise flat map.
+    pub fn flat_map<R, I, F>(self, f: F) -> PDataset<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+    {
+        self.map_partitions(|p| p.into_iter().flat_map(&f).collect())
+    }
+
+    /// Keep only records matching `pred`.
+    pub fn filter<F>(self, pred: F) -> PDataset<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.map_partitions(|p| p.into_iter().filter(&pred).collect())
+    }
+
+    /// Concatenate two datasets (must share an engine).
+    pub fn union(mut self, other: PDataset<T>) -> PDataset<T> {
+        self.partitions.extend(other.partitions);
+        self
+    }
+
+    /// Rebalance into `nparts` partitions (a full shuffle).
+    pub fn repartition(self, nparts: usize) -> PDataset<T> {
+        let metrics = self.engine.metrics().clone();
+        let all: Vec<T> = self.partitions.into_iter().flatten().collect();
+        Metrics::add(&metrics.records_shuffled, all.len() as u64);
+        PDataset {
+            partitions: Engine::split(all, nparts),
+            engine: self.engine,
+        }
+    }
+
+    /// Sort each partition in place by a key (no global order).
+    pub fn sort_within_partitions<K, F>(self, key: F) -> PDataset<T>
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.map_partitions(|mut p| {
+            p.sort_by_key(&key);
+            p
+        })
+    }
+}
+
+impl<T: Send + Codec> PDataset<T> {
+    /// Stage-boundary materialization.
+    ///
+    /// Under [`ExecMode::DiskBacked`] every partition is encoded with the
+    /// binary [`Codec`], written to the engine's spill directory, dropped,
+    /// and read back — reproducing the dominant cost difference between
+    /// BigDansing-Hadoop and BigDansing-Spark (Figures 10(a)/10(c)).
+    /// Under the other modes this is a no-op.
+    pub fn checkpoint(self) -> PDataset<T> {
+        if self.engine.mode() != ExecMode::DiskBacked {
+            return self;
+        }
+        let engine = self.engine.clone();
+        fs::create_dir_all(engine.spill_dir()).expect("create spill dir");
+        let metrics = engine.metrics().clone();
+        let paths: Vec<std::path::PathBuf> =
+            (0..self.partitions.len()).map(|_| engine.next_spill_path()).collect();
+        let workers = engine.workers();
+        let written = par_map_indexed(
+            workers,
+            self.partitions.into_iter().zip(paths).collect::<Vec<_>>(),
+            |_, (part, path)| {
+                let buf = encode_batch(&part);
+                fs::write(&path, &buf).expect("spill write");
+                (path, buf.len() as u64)
+            },
+        );
+        let bytes: u64 = written.iter().map(|(_, b)| *b).sum();
+        Metrics::add(&metrics.bytes_spilled, bytes);
+        let partitions = par_map_indexed(workers, written, |_, (path, _)| {
+            let buf = fs::read(&path).expect("spill read");
+            let part = decode_batch::<T>(&buf).expect("spill decode");
+            let _ = fs::remove_file(&path);
+            part
+        });
+        PDataset { engine, partitions }
+    }
+}
+
+impl<T: Send + Clone> PDataset<T> {
+    /// A shallow copy sharing the same engine (clones the records).
+    pub fn duplicate(&self) -> PDataset<T> {
+        PDataset {
+            engine: self.engine.clone(),
+            partitions: self.partitions.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn map_filter_flatmap_roundtrip() {
+        let e = Engine::parallel(4);
+        let ds = PDataset::from_vec(e, (0..100i64).collect());
+        let out = ds
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect();
+        let expect: Vec<i64> = (0..100)
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect();
+        assert_eq!(sorted(out), sorted(expect));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let data: Vec<i64> = (0..1000).rev().collect();
+        let run = |e: Engine| {
+            PDataset::from_vec(e, data.clone())
+                .map(|x| x % 37)
+                .filter(|x| x % 2 == 1)
+                .collect()
+        };
+        assert_eq!(sorted(run(Engine::sequential())), sorted(run(Engine::parallel(8))));
+    }
+
+    #[test]
+    fn count_and_partitions() {
+        let e = Engine::parallel(3);
+        let ds = PDataset::from_vec_with(e, (0..10i64).collect(), 4);
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.count(), 10);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let e = Engine::sequential();
+        let a = PDataset::from_vec(e.clone(), vec![1i64, 2]);
+        let b = PDataset::from_vec(e, vec![3i64]);
+        assert_eq!(sorted(a.union(b).collect()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn repartition_preserves_records_and_counts_shuffle() {
+        let e = Engine::parallel(2);
+        let ds = PDataset::from_vec(e.clone(), (0..50i64).collect());
+        let ds = ds.repartition(7);
+        assert_eq!(ds.num_partitions(), 7);
+        assert_eq!(sorted(ds.collect()), (0..50).collect::<Vec<_>>());
+        assert_eq!(Metrics::get(&e.metrics().records_shuffled), 50);
+    }
+
+    #[test]
+    fn sort_within_partitions_sorts_locally() {
+        let e = Engine::sequential();
+        let ds = PDataset::from_vec_with(e, vec![5i64, 1, 4, 2, 3, 0], 2);
+        let parts = ds.sort_within_partitions(|x| *x).into_partitions();
+        for p in parts {
+            assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn checkpoint_noop_in_memory_modes() {
+        let e = Engine::parallel(2);
+        let ds = PDataset::from_vec(e.clone(), (0..20u64).collect());
+        let out = ds.checkpoint().collect();
+        assert_eq!(sorted(out.into_iter().map(|x| x as i64).collect()), (0..20).collect::<Vec<_>>());
+        assert_eq!(Metrics::get(&e.metrics().bytes_spilled), 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let e = Engine::disk_backed(2);
+        let ds = PDataset::from_vec(e.clone(), (0..200u64).collect());
+        let out = ds.checkpoint().collect();
+        assert_eq!(out.len(), 200);
+        let mut out = out;
+        out.sort();
+        assert_eq!(out, (0..200).collect::<Vec<u64>>());
+        assert!(Metrics::get(&e.metrics().bytes_spilled) > 0);
+        // spill files are cleaned up after the read-back
+        if let Ok(read) = std::fs::read_dir(e.spill_dir()) {
+            assert_eq!(read.count(), 0);
+        }
+    }
+}

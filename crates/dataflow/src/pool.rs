@@ -1,0 +1,103 @@
+//! Scoped worker-thread execution.
+//!
+//! One helper drives everything: [`par_map_indexed`] fans a vector of
+//! work items out to `workers` threads with dynamic (atomic-counter)
+//! scheduling, so skewed partitions — e.g. popular blocking keys — don't
+//! serialize a stage behind one thread.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item, in parallel across up to `workers` threads,
+/// preserving item order in the result.
+///
+/// With `workers <= 1` (or a single item) the items run inline on the
+/// calling thread, which keeps the Sequential engine free of thread
+/// overhead and makes it a deterministic oracle.
+pub fn par_map_indexed<I, R, F>(workers: usize, items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .take()
+                    .expect("pool: work item taken twice");
+                let r = f(i, item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("pool: missing result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map_indexed(4, (0..100).collect::<Vec<i32>>(), |i, x| (i, x * 2));
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, (i as i32) * 2);
+        }
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = par_map_indexed(1, items.clone(), |_, x| x * x);
+        let par = par_map_indexed(8, items, |_, x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let _ = par_map_indexed(6, vec![(); 500], |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let out: Vec<i32> = par_map_indexed(4, Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+        let out = par_map_indexed(4, vec![9], |_, x: i32| x + 1);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let ids = StdMutex::new(HashSet::new());
+        // enough items with a small sleep so several threads participate
+        par_map_indexed(4, vec![(); 64], |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+}

@@ -1,0 +1,83 @@
+//! The deduplication datasets customer1 / customer2 (§6.1, §6.5):
+//! TPC-H customers replicated 3× / 5× as exact duplicates, plus 2% of
+//! tuples duplicated with random edits on name and phone.
+
+use crate::errors::{inject_duplicates, replicate_exact};
+use crate::tpch;
+use bigdansing_common::Table;
+
+/// Dedup ground truth: pairs of `(original id, edited duplicate id)`.
+pub type DupPairs = Vec<(u64, u64)>;
+
+/// Attribute indices in the customer schema (`c_custkey, c_name,
+/// c_address, c_phone`).
+pub mod attr {
+    /// c_custkey
+    pub const CUSTKEY: usize = 0;
+    /// c_name
+    pub const NAME: usize = 1;
+    /// c_address
+    pub const ADDRESS: usize = 2;
+    /// c_phone
+    pub const PHONE: usize = 3;
+}
+
+/// Build a dedup dataset: `base_rows` distinct customers replicated
+/// `factor`× exactly, then `edit_rate` of rows duplicated with edits on
+/// name and phone.
+pub fn dedup_dataset(
+    name: &str,
+    base_rows: usize,
+    factor: usize,
+    edit_rate: f64,
+    seed: u64,
+) -> (Table, DupPairs) {
+    let base = tpch::customers(base_rows, seed);
+    let replicated = replicate_exact(&base, factor);
+    let (table, pairs) =
+        inject_duplicates(&replicated, &[attr::NAME, attr::PHONE], edit_rate, seed ^ 0xD);
+    (
+        Table::new(name, table.schema().clone(), table.tuples().to_vec()),
+        pairs,
+    )
+}
+
+/// customer1: 3× exact duplicates (paper: 19M rows; size here is the
+/// caller's choice).
+pub fn customer1(base_rows: usize, seed: u64) -> (Table, DupPairs) {
+    dedup_dataset("customer1", base_rows, 3, 0.02, seed)
+}
+
+/// customer2: 5× exact duplicates (paper: 32M rows).
+pub fn customer2(base_rows: usize, seed: u64) -> (Table, DupPairs) {
+    dedup_dataset("customer2", base_rows, 5, 0.02, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn customer1_is_three_x_plus_edits() {
+        let (t, pairs) = customer1(200, 1);
+        assert_eq!(t.len(), 600 + pairs.len());
+        assert_eq!(t.name(), "customer1");
+    }
+
+    #[test]
+    fn customer2_is_five_x() {
+        let (t, _) = customer2(100, 2);
+        assert!(t.len() >= 500);
+    }
+
+    #[test]
+    fn edited_duplicates_stay_similar() {
+        let (t, pairs) = customer1(300, 3);
+        assert!(!pairs.is_empty());
+        for (o, d) in &pairs {
+            let orig = t.tuple(*o).unwrap().value(attr::NAME).to_string();
+            let dup = t.tuple(*d).unwrap().value(attr::NAME).to_string();
+            assert!(bigdansing_common::sim::levenshtein_similarity(&orig, &dup) > 0.7);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Error injectors: the paper's corruption procedures.
+
+use crate::truth::GroundTruth;
+use crate::text;
+use bigdansing_common::{Cell, Table, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Corrupt `rate` (0.0–1.0) of the rows by garbling the given string
+/// attributes ("we introduced errors by adding random text to attributes
+/// City and State at a 10% rate").
+pub fn garble_attrs(clean: &Table, attrs: &[usize], rate: f64, seed: u64) -> GroundTruth {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = HashSet::new();
+    let tuples = clean
+        .tuples()
+        .iter()
+        .map(|t| {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                let attr = attrs[rng.gen_range(0..attrs.len())];
+                let old = t.value(attr).to_string();
+                errors.insert(Cell::new(t.id(), attr));
+                t.with_value(attr, Value::str(text::garble(&mut rng, &old)))
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    GroundTruth {
+        clean: clean.clone(),
+        dirty: Table::new(clean.name(), clean.schema().clone(), tuples),
+        errors,
+    }
+}
+
+/// Corrupt a numeric attribute with random perturbations (the "10%
+/// numerical random errors on the Rate attribute" of TaxB).
+pub fn perturb_numeric(clean: &Table, attr: usize, rate: f64, seed: u64) -> GroundTruth {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = HashSet::new();
+    let tuples = clean
+        .tuples()
+        .iter()
+        .map(|t| {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                errors.insert(Cell::new(t.id(), attr));
+                let old = t.value(attr).as_f64().unwrap_or(0.0);
+                // a large multiplicative + additive perturbation so the
+                // monotone salary/rate relationship visibly breaks
+                let noise = rng.gen_range(-0.9..2.0);
+                let new = (old * (1.0 + noise)).abs() + rng.gen_range(0.0..5.0);
+                t.with_value(attr, Value::Float((new * 100.0).round() / 100.0))
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    GroundTruth {
+        clean: clean.clone(),
+        dirty: Table::new(clean.name(), clean.schema().clone(), tuples),
+        errors,
+    }
+}
+
+/// Duplicate `rate` of the rows with single-character edits on the given
+/// attributes (the dedup datasets: "randomly select 2% of the tuples and
+/// duplicate them with random edits on name and phone").
+///
+/// Returns the augmented table plus the list of `(original id, duplicate
+/// id)` pairs, which is the dedup ground truth.
+pub fn inject_duplicates(
+    table: &Table,
+    edit_attrs: &[usize],
+    rate: f64,
+    seed: u64,
+) -> (Table, Vec<(u64, u64)>) {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples: Vec<Tuple> = table.tuples().to_vec();
+    let mut next_id = tuples.iter().map(|t| t.id()).max().unwrap_or(0) + 1;
+    let mut pairs = Vec::new();
+    for t in table.tuples() {
+        if !rng.gen_bool(rate.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let mut values = t.values().to_vec();
+        for &attr in edit_attrs {
+            if let Some(s) = values[attr].as_str() {
+                values[attr] = Value::str(text::random_edit(&mut rng, s));
+            }
+        }
+        tuples.push(Tuple::new(next_id, values));
+        pairs.push((t.id(), next_id));
+        next_id += 1;
+    }
+    (
+        Table::new(table.name(), table.schema().clone(), tuples),
+        pairs,
+    )
+}
+
+/// Replicate every row `factor` times as exact duplicates (the paper's
+/// customer1 = 3× and customer2 = 5× tables), assigning fresh ids.
+pub fn replicate_exact(table: &Table, factor: usize) -> Table {
+    let mut tuples = Vec::with_capacity(table.len() * factor);
+    let mut next_id = 0u64;
+    for t in table.tuples() {
+        for _ in 0..factor.max(1) {
+            tuples.push(Tuple::new(next_id, t.values().to_vec()));
+            next_id += 1;
+        }
+    }
+    Table::new(table.name(), table.schema().clone(), tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Schema;
+
+    fn base() -> Table {
+        let schema = Schema::parse("name,city");
+        Table::from_rows(
+            "t",
+            schema,
+            (0..100)
+                .map(|i| vec![Value::str(format!("name{i}")), Value::str("LA")])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn garble_rate_is_respected_and_tracked() {
+        let t = base();
+        let gt = garble_attrs(&t, &[1], 0.2, 42);
+        assert_eq!(gt.dirty.len(), t.len());
+        let diff = gt.clean.diff_cells(&gt.dirty);
+        assert_eq!(diff, gt.error_count());
+        assert!(diff > 5 && diff < 40, "≈20 expected, got {diff}");
+        // every tracked error cell really differs
+        for c in &gt.errors {
+            assert_ne!(gt.clean.cell_value(*c), gt.dirty.cell_value(*c));
+        }
+    }
+
+    #[test]
+    fn garble_is_deterministic_per_seed() {
+        let t = base();
+        let a = garble_attrs(&t, &[1], 0.1, 7);
+        let b = garble_attrs(&t, &[1], 0.1, 7);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.dirty.diff_cells(&b.dirty), 0);
+    }
+
+    #[test]
+    fn perturb_changes_numbers_only() {
+        let schema = Schema::parse("salary,rate");
+        let t = Table::from_rows(
+            "t",
+            schema,
+            (0..200)
+                .map(|i| vec![Value::Int(1000 + i), Value::Float(i as f64 / 10.0)])
+                .collect(),
+        );
+        let gt = perturb_numeric(&t, 1, 0.1, 3);
+        assert!(gt.error_count() > 5);
+        for c in &gt.errors {
+            assert_eq!(c.attr, 1);
+            assert!(gt.dirty.cell_value(*c).unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn duplicates_are_near_matches_with_fresh_ids() {
+        let t = base();
+        let (aug, pairs) = inject_duplicates(&t, &[0], 0.1, 11);
+        assert_eq!(aug.len(), t.len() + pairs.len());
+        assert!(!pairs.is_empty());
+        for (orig, dup) in &pairs {
+            let o = aug.tuple(*orig).unwrap();
+            let d = aug.tuple(*dup).unwrap();
+            let lo = o.value(0).as_str().unwrap();
+            let ld = d.value(0).as_str().unwrap();
+            assert!(bigdansing_common::sim::levenshtein(lo, ld) <= 1);
+            assert_eq!(o.value(1), d.value(1), "unedited attrs copied");
+        }
+    }
+
+    #[test]
+    fn replicate_multiplies_rows() {
+        let t = base();
+        let r = replicate_exact(&t, 3);
+        assert_eq!(r.len(), 300);
+        // ids unique
+        let ids: std::collections::HashSet<u64> = r.tuples().iter().map(|t| t.id()).collect();
+        assert_eq!(ids.len(), 300);
+    }
+}

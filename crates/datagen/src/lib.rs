@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-datagen
+//!
+//! Seeded synthetic generators reproducing the datasets of the paper's
+//! experimental study (§6.1, Table 2):
+//!
+//! | dataset | module | rules exercised |
+//! |---|---|---|
+//! | TaxA (US personal tax) | [`tax`] | ϕ1 `zipcode → city` (FD) |
+//! | TaxB (TaxA + rate errors) | [`tax`] | ϕ2 salary/rate DC |
+//! | TPCH (lineitem ⋈ customer) | [`tpch`] | ϕ3 `o_custkey → c_address` |
+//! | customer1 / customer2 | [`customer`] | ϕ4 dedup UDF |
+//! | NCVoter | [`ncvoter`] | ϕ5 dedup UDF |
+//! | HAI (healthcare infections) | [`hai`] | ϕ6–ϕ8 FDs |
+//!
+//! Every generator takes an explicit seed; the *clean* table is retained
+//! as [`truth::GroundTruth`] so repair quality (precision / recall /
+//! distance, Table 4) can be evaluated exactly.
+
+pub mod customer;
+pub mod errors;
+pub mod hai;
+pub mod ncvoter;
+pub mod tax;
+pub mod text;
+pub mod tpch;
+pub mod truth;
+
+pub use truth::GroundTruth;

@@ -1,0 +1,85 @@
+//! The NCVoter dataset (§6.1): North Carolina voter records with 2%
+//! near-duplicate rows (random edits on name and phone).
+
+use crate::errors::inject_duplicates;
+use crate::text;
+use bigdansing_common::{Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Voter schema: `voter_id, name, phone, city, state, zipcode`.
+pub fn schema() -> Schema {
+    Schema::parse("voter_id,name,phone,city,state,zipcode")
+}
+
+/// Attribute indices.
+pub mod attr {
+    /// voter_id
+    pub const VOTER_ID: usize = 0;
+    /// name
+    pub const NAME: usize = 1;
+    /// phone
+    pub const PHONE: usize = 2;
+    /// city
+    pub const CITY: usize = 3;
+    /// state
+    pub const STATE: usize = 4;
+    /// zipcode
+    pub const ZIPCODE: usize = 5;
+}
+
+/// Generate `rows` clean voter records.
+pub fn clean(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..rows)
+        .map(|i| {
+            let zip = text::zipcode(&mut rng);
+            let (city, _) = text::city_of_zip(zip);
+            vec![
+                Value::Int(i as i64),
+                Value::str(text::name(&mut rng)),
+                Value::str(text::phone(&mut rng)),
+                Value::str(city),
+                Value::str("NC"),
+                Value::Int(zip),
+            ]
+        })
+        .collect();
+    Table::from_rows("ncvoter", schema(), tuples)
+}
+
+/// The ϕ5 experiment input: voters with 2% near-duplicates. Returns the
+/// table and the true duplicate pairs.
+pub fn ncvoter(rows: usize, seed: u64) -> (Table, Vec<(u64, u64)>) {
+    let base = clean(rows, seed);
+    inject_duplicates(&base, &[attr::NAME, attr::PHONE], 0.02, seed ^ 0x5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rows_plus_duplicates() {
+        let (t, pairs) = ncvoter(1000, 1);
+        assert_eq!(t.len(), 1000 + pairs.len());
+        assert!(pairs.len() > 5, "≈20 duplicates expected");
+    }
+
+    #[test]
+    fn duplicates_edit_name_or_phone_only() {
+        let (t, pairs) = ncvoter(500, 2);
+        for (o, d) in &pairs {
+            let orig = t.tuple(*o).unwrap();
+            let dup = t.tuple(*d).unwrap();
+            assert_eq!(orig.value(attr::CITY), dup.value(attr::CITY));
+            assert_eq!(orig.value(attr::ZIPCODE), dup.value(attr::ZIPCODE));
+        }
+    }
+
+    #[test]
+    fn state_is_nc() {
+        let t = clean(50, 3);
+        assert!(t.tuples().iter().all(|t| t.value(attr::STATE) == &Value::str("NC")));
+    }
+}

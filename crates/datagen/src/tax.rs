@@ -1,0 +1,148 @@
+//! TaxA / TaxB: US personal-tax records (§6.1, following \[11\]).
+//!
+//! Clean invariants:
+//! * `zipcode → city` and `zipcode → state` hold (ϕ1, ϕ6-style FDs);
+//! * `rate` is a monotone function of `salary`, so the φ2/φD denial
+//!   constraint `¬(t1.salary > t2.salary ∧ t1.rate < t2.rate)` holds.
+//!
+//! TaxA corrupts City/State with random text; TaxB corrupts Rate with
+//! numeric noise.
+
+use crate::errors::{garble_attrs, perturb_numeric};
+use crate::text;
+use crate::truth::GroundTruth;
+use bigdansing_common::{Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The tax schema: `name, zipcode, city, state, salary, rate`.
+pub fn schema() -> Schema {
+    Schema::parse("name,zipcode,city,state,salary,rate")
+}
+
+/// Attribute indices.
+pub mod attr {
+    /// name
+    pub const NAME: usize = 0;
+    /// zipcode
+    pub const ZIPCODE: usize = 1;
+    /// city
+    pub const CITY: usize = 2;
+    /// state
+    pub const STATE: usize = 3;
+    /// salary
+    pub const SALARY: usize = 4;
+    /// rate
+    pub const RATE: usize = 5;
+}
+
+/// The clean tax-rate schedule: piecewise-linear, strictly monotone in
+/// salary.
+pub fn clean_rate(salary: i64) -> f64 {
+    let s = salary as f64;
+    (5.0 + s / 10_000.0).min(45.0)
+}
+
+/// Generate `rows` clean tax records.
+pub fn clean(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..rows)
+        .map(|_| {
+            let zip = text::zipcode(&mut rng);
+            let (city, state) = text::city_of_zip(zip);
+            let salary = rng.gen_range(10_000..250_000i64);
+            vec![
+                Value::str(text::name(&mut rng)),
+                Value::Int(zip),
+                Value::str(city),
+                Value::str(state),
+                Value::Int(salary),
+                Value::Float(clean_rate(salary)),
+            ]
+        })
+        .collect();
+    Table::from_rows("taxa", schema(), tuples)
+}
+
+/// TaxA: clean table + random text on City and State at `error_rate`.
+pub fn taxa(rows: usize, error_rate: f64, seed: u64) -> GroundTruth {
+    let c = clean(rows, seed);
+    garble_attrs(&c, &[attr::CITY, attr::STATE], error_rate, seed ^ 0xA)
+}
+
+/// TaxB: clean table + numeric noise on Rate at `error_rate`.
+pub fn taxb(rows: usize, error_rate: f64, seed: u64) -> GroundTruth {
+    let mut c = clean(rows, seed);
+    // rename for clarity in reports
+    c = Table::new("taxb", c.schema().clone(), c.tuples().to_vec());
+    perturb_numeric(&c, attr::RATE, error_rate, seed ^ 0xB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_satisfies_phi1() {
+        let t = clean(500, 1);
+        // zipcode -> city must hold
+        let mut seen: std::collections::HashMap<i64, String> = Default::default();
+        for tup in t.tuples() {
+            let zip = tup.value(attr::ZIPCODE).as_i64().unwrap();
+            let city = tup.value(attr::CITY).to_string();
+            let prev = seen.entry(zip).or_insert_with(|| city.clone());
+            assert_eq!(*prev, city, "clean TaxA violates zipcode→city");
+        }
+    }
+
+    #[test]
+    fn clean_data_satisfies_phi2() {
+        let t = clean(300, 2);
+        for a in t.tuples() {
+            for b in t.tuples() {
+                let (sa, ra) = (a.value(attr::SALARY), a.value(attr::RATE));
+                let (sb, rb) = (b.value(attr::SALARY), b.value(attr::RATE));
+                assert!(
+                    !(sa > sb && ra < rb),
+                    "clean TaxB violates the salary/rate DC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn taxa_injects_city_state_errors_only() {
+        let gt = taxa(400, 0.1, 3);
+        assert!(gt.error_count() > 10);
+        for c in &gt.errors {
+            assert!(c.attr as usize == attr::CITY || c.attr as usize == attr::STATE);
+        }
+    }
+
+    #[test]
+    fn taxb_breaks_the_dc() {
+        let gt = taxb(400, 0.1, 4);
+        // at least one violating pair must now exist
+        let t = &gt.dirty;
+        let mut found = false;
+        'outer: for a in t.tuples() {
+            for b in t.tuples() {
+                if a.value(attr::SALARY) > b.value(attr::SALARY)
+                    && a.value(attr::RATE) < b.value(attr::RATE)
+                {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "TaxB noise should create DC violations");
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = taxa(100, 0.1, 9);
+        let b = taxa(100, 0.1, 9);
+        assert_eq!(a.dirty.diff_cells(&b.dirty), 0);
+        assert_eq!(a.dirty.len(), 100);
+    }
+}

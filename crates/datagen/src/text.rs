@@ -1,0 +1,151 @@
+//! Value pools and random-text helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// First-name pool (deterministic order).
+pub const FIRST_NAMES: &[&str] = &[
+    "Annie", "Laure", "John", "Mark", "Robert", "Mary", "James", "Linda", "Carlos", "Aisha",
+    "Wei", "Fatima", "Igor", "Sofia", "Hiro", "Priya", "Omar", "Elena", "Noah", "Zara",
+];
+
+/// Last-name pool.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Jones", "Khan", "Garcia", "Chen", "Patel", "Okafor", "Ivanov", "Tanaka", "Silva",
+    "Brown", "Miller", "Davis", "Haddad", "Novak", "Kim", "Osei", "Rossi", "Larsen", "Dubois",
+];
+
+/// (city, state) pairs; a zipcode deterministically maps into this pool,
+/// which is what makes `zipcode → city` hold on clean data.
+pub const CITIES: &[(&str, &str)] = &[
+    ("NY", "NY"),
+    ("LA", "CA"),
+    ("CH", "IL"),
+    ("SF", "CA"),
+    ("HOU", "TX"),
+    ("PHI", "PA"),
+    ("PHX", "AZ"),
+    ("SA", "TX"),
+    ("SD", "CA"),
+    ("DAL", "TX"),
+    ("AUS", "TX"),
+    ("SJ", "CA"),
+    ("JAX", "FL"),
+    ("COL", "OH"),
+    ("FW", "TX"),
+    ("CLT", "NC"),
+    ("SEA", "WA"),
+    ("DEN", "CO"),
+    ("DC", "DC"),
+    ("BOS", "MA"),
+];
+
+/// A full name drawn from the pools.
+pub fn name(rng: &mut StdRng) -> String {
+    let f = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let l = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    format!("{f} {l}")
+}
+
+/// Number of distinct zipcodes the generators draw from; also the number
+/// of FD blocks, so block sizes grow linearly with table size.
+pub const ZIP_POOL: i64 = 2000;
+
+/// The city/state a zipcode maps to on clean data.
+pub fn city_of_zip(zip: i64) -> (&'static str, &'static str) {
+    let idx = (zip.unsigned_abs() as usize) % CITIES.len();
+    CITIES[idx]
+}
+
+/// A random zipcode from the pool.
+pub fn zipcode(rng: &mut StdRng) -> i64 {
+    10_000 + rng.gen_range(0..ZIP_POOL)
+}
+
+/// A random 10-digit phone number string.
+pub fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(0..1000),
+        rng.gen_range(0..10000)
+    )
+}
+
+/// Append random garbage to a string — the paper's "random text added to
+/// attributes" error model.
+pub fn garble(rng: &mut StdRng, s: &str) -> String {
+    let tag: u32 = rng.gen_range(0..100_000);
+    format!("{s}#{tag:05}")
+}
+
+/// Apply a single random character edit (substitute / insert / delete) —
+/// the "random edits" of the dedup datasets.
+pub fn random_edit(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let letter = (b'a' + rng.gen_range(0..26u8)) as char;
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => out[pos] = letter,               // substitute
+        1 => out.insert(pos, letter),         // insert
+        _ => {
+            out.remove(pos);                  // delete
+        }
+    }
+    let res: String = out.into_iter().collect();
+    if res == s {
+        format!("{s}{letter}")
+    } else {
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(name(&mut a), name(&mut b));
+        assert_eq!(phone(&mut a), phone(&mut b));
+        assert_eq!(zipcode(&mut a), zipcode(&mut b));
+    }
+
+    #[test]
+    fn zip_maps_consistently() {
+        assert_eq!(city_of_zip(10007), city_of_zip(10007));
+        let (c, s) = city_of_zip(10001);
+        assert!(!c.is_empty() && !s.is_empty());
+    }
+
+    #[test]
+    fn garble_changes_the_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = garble(&mut rng, "LA");
+        assert_ne!(g, "LA");
+        assert!(g.starts_with("LA#"));
+    }
+
+    #[test]
+    fn random_edit_is_one_edit_away_and_different() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let e = random_edit(&mut rng, "Robert");
+            assert_ne!(e, "Robert");
+            assert!(bigdansing_common::sim::levenshtein("Robert", &e) <= 1);
+        }
+    }
+
+    #[test]
+    fn random_edit_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(random_edit(&mut rng, ""), "x");
+    }
+}

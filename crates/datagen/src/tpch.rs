@@ -1,0 +1,130 @@
+//! TPC-H-shaped data: customers, lineitems, and their join (§6.1's
+//! "we joined the lineitem and customer tables and applied 10% random
+//! errors on the address"; rule ϕ3: `o_custkey → c_address`).
+
+use crate::errors::garble_attrs;
+use crate::text;
+use crate::truth::GroundTruth;
+use bigdansing_common::{Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Schema of the joined table:
+/// `o_custkey, c_name, c_address, c_phone, l_quantity, l_price`.
+pub fn joined_schema() -> Schema {
+    Schema::parse("o_custkey,c_name,c_address,c_phone,l_quantity,l_price")
+}
+
+/// Attribute indices in the joined table.
+pub mod attr {
+    /// o_custkey
+    pub const CUSTKEY: usize = 0;
+    /// c_name
+    pub const NAME: usize = 1;
+    /// c_address
+    pub const ADDRESS: usize = 2;
+    /// c_phone
+    pub const PHONE: usize = 3;
+    /// l_quantity
+    pub const QUANTITY: usize = 4;
+    /// l_price
+    pub const PRICE: usize = 5;
+}
+
+/// Schema of the standalone customer table (used by the dedup datasets).
+pub fn customer_schema() -> Schema {
+    Schema::parse("c_custkey,c_name,c_address,c_phone")
+}
+
+/// Generate a clean customer table with `customers` rows.
+pub fn customers(customers: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..customers)
+        .map(|k| {
+            vec![
+                Value::Int(k as i64),
+                Value::str(text::name(&mut rng)),
+                Value::str(format!("{} Main St #{k}", rng.gen_range(1..9999))),
+                Value::str(text::phone(&mut rng)),
+            ]
+        })
+        .collect();
+    Table::from_rows("customer", customer_schema(), tuples)
+}
+
+/// Generate the clean joined lineitem ⋈ customer table with `rows`
+/// lineitems over `rows / 8 + 1` customers (several lineitems per
+/// customer, so ϕ3 has real blocks).
+pub fn joined_clean(rows: usize, seed: u64) -> Table {
+    let ncust = rows / 8 + 1;
+    let cust = customers(ncust, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7C);
+    let tuples = (0..rows)
+        .map(|_| {
+            let c = cust.tuples()[rng.gen_range(0..ncust)].clone();
+            vec![
+                c.value(0).clone(),
+                c.value(1).clone(),
+                c.value(2).clone(),
+                c.value(3).clone(),
+                Value::Int(rng.gen_range(1..50)),
+                Value::Float((rng.gen_range(1.0..90_000.0f64) * 100.0).round() / 100.0),
+            ]
+        })
+        .collect();
+    Table::from_rows("tpch", joined_schema(), tuples)
+}
+
+/// The ϕ3 experiment input: joined table with `error_rate` random text
+/// on the address.
+pub fn tpch(rows: usize, error_rate: f64, seed: u64) -> GroundTruth {
+    let c = joined_clean(rows, seed);
+    garble_attrs(&c, &[attr::ADDRESS], error_rate, seed ^ 0x3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_join_satisfies_phi3() {
+        let t = joined_clean(400, 1);
+        let mut addr: std::collections::HashMap<i64, String> = Default::default();
+        for tup in t.tuples() {
+            let k = tup.value(attr::CUSTKEY).as_i64().unwrap();
+            let a = tup.value(attr::ADDRESS).to_string();
+            let prev = addr.entry(k).or_insert_with(|| a.clone());
+            assert_eq!(*prev, a);
+        }
+    }
+
+    #[test]
+    fn customers_have_unique_keys() {
+        let c = customers(100, 2);
+        let keys: std::collections::HashSet<i64> = c
+            .tuples()
+            .iter()
+            .map(|t| t.value(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn errors_hit_the_address_attribute() {
+        let gt = tpch(500, 0.1, 3);
+        assert!(gt.error_count() > 20);
+        for c in &gt.errors {
+            assert_eq!(c.attr as usize, attr::ADDRESS);
+        }
+    }
+
+    #[test]
+    fn multiple_lineitems_per_customer() {
+        let t = joined_clean(400, 4);
+        let mut counts: std::collections::HashMap<i64, usize> = Default::default();
+        for tup in t.tuples() {
+            *counts.entry(tup.value(0).as_i64().unwrap()).or_default() += 1;
+        }
+        assert!(counts.values().any(|&c| c > 1));
+    }
+}

@@ -1,0 +1,184 @@
+//! Ground truth and repair-quality metrics (Table 4 of the paper).
+
+use bigdansing_common::{Cell, Table};
+use std::collections::HashSet;
+
+/// A dirty table plus the clean table it was derived from and the exact
+/// set of corrupted cells.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The error-free table.
+    pub clean: Table,
+    /// The table with injected errors.
+    pub dirty: Table,
+    /// Cells whose values were corrupted.
+    pub errors: HashSet<Cell>,
+}
+
+/// Precision / recall of a repair (Table 4's quality measures):
+/// precision = correctly-updated cells / updated cells;
+/// recall = correctly-updated cells / injected errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Ratio of correct updates among all updates.
+    pub precision: f64,
+    /// Ratio of injected errors that were correctly restored.
+    pub recall: f64,
+    /// Cells the repair updated.
+    pub updated: usize,
+    /// Updates matching the clean value exactly.
+    pub correct: usize,
+}
+
+impl GroundTruth {
+    /// Evaluate a repaired table against the truth.
+    pub fn evaluate(&self, repaired: &Table) -> Quality {
+        let mut updated = 0usize;
+        let mut correct = 0usize;
+        for (dirty_t, (clean_t, rep_t)) in self
+            .dirty
+            .tuples()
+            .iter()
+            .zip(self.clean.tuples().iter().zip(repaired.tuples()))
+        {
+            for attr in 0..dirty_t.arity() {
+                let before = dirty_t.value(attr);
+                let after = rep_t.value(attr);
+                if before != after {
+                    updated += 1;
+                    if after == clean_t.value(attr) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let precision = if updated == 0 {
+            1.0
+        } else {
+            correct as f64 / updated as f64
+        };
+        let recall = if self.errors.is_empty() {
+            1.0
+        } else {
+            correct as f64 / self.errors.len() as f64
+        };
+        Quality {
+            precision,
+            recall,
+            updated,
+            correct,
+        }
+    }
+
+    /// Mean absolute numeric distance between a repaired attribute and
+    /// the truth, over the corrupted cells — the ‖R,G‖/e measure used
+    /// for the hypergraph algorithm on TaxB.
+    pub fn mean_numeric_distance(&self, repaired: &Table, attr: usize) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for cell in &self.errors {
+            if cell.attr as usize != attr {
+                continue;
+            }
+            let clean = self.clean.cell_value(*cell).and_then(|v| v.as_f64());
+            let rep = repaired.cell_value(*cell).and_then(|v| v.as_f64());
+            if let (Some(c), Some(r)) = (clean, rep) {
+                total += (c - r).abs();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Injected error count.
+    pub fn error_count(&self) -> usize {
+        self.errors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::{Schema, Value};
+    use std::collections::HashMap;
+
+    fn truth() -> GroundTruth {
+        let schema = Schema::parse("a,b");
+        let clean = Table::from_rows(
+            "t",
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+            ],
+        );
+        let dirty = Table::from_rows(
+            "t",
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("x!")],
+                vec![Value::Int(2), Value::str("y")],
+            ],
+        );
+        GroundTruth {
+            clean,
+            dirty,
+            errors: HashSet::from([Cell::new(0, 1)]),
+        }
+    }
+
+    #[test]
+    fn perfect_repair_scores_one() {
+        let t = truth();
+        let mut fix = HashMap::new();
+        fix.insert(Cell::new(0, 1), Value::str("x"));
+        let repaired = t.dirty.apply(&fix).unwrap();
+        let q = t.evaluate(&repaired);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.updated, 1);
+    }
+
+    #[test]
+    fn wrong_update_hurts_precision() {
+        let t = truth();
+        let mut fix = HashMap::new();
+        fix.insert(Cell::new(0, 1), Value::str("zzz"));
+        fix.insert(Cell::new(1, 1), Value::str("wrong"));
+        let repaired = t.dirty.apply(&fix).unwrap();
+        let q = t.evaluate(&repaired);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.updated, 2);
+    }
+
+    #[test]
+    fn no_update_has_full_precision_zero_recall() {
+        let t = truth();
+        let q = t.evaluate(&t.dirty);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn numeric_distance() {
+        let schema = Schema::parse("v");
+        let clean = Table::from_rows("t", schema.clone(), vec![vec![Value::Int(10)]]);
+        let dirty = Table::from_rows("t", schema.clone(), vec![vec![Value::Int(50)]]);
+        let gt = GroundTruth {
+            clean,
+            dirty: dirty.clone(),
+            errors: HashSet::from([Cell::new(0, 0)]),
+        };
+        assert_eq!(gt.mean_numeric_distance(&dirty, 0), 40.0);
+        let mut fix = HashMap::new();
+        fix.insert(Cell::new(0, 0), Value::Int(12));
+        let rep = dirty.apply(&fix).unwrap();
+        assert_eq!(gt.mean_numeric_distance(&rep, 0), 2.0);
+        assert_eq!(gt.mean_numeric_distance(&rep, 5), 0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Algorithm 2: the OCJoin operator.
+
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Tuple, Value};
+use bigdansing_dataflow::pool::par_map_indexed;
+use bigdansing_dataflow::PDataset;
+use bigdansing_rules::ops::Op;
+use bigdansing_rules::OrderCond;
+
+/// Tuning knobs for [`ocjoin`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OcJoinConfig {
+    /// Number of range partitions (`nbParts`). Defaults to
+    /// 4 × workers when zero.
+    pub nb_parts: usize,
+}
+
+/// One range partition with cached statistics for pruning: min/max of the
+/// partitioning attribute, plus the tuples sorted by the primary
+/// condition's right-side attribute (the "Sorts" lists of Algorithm 2 —
+/// we keep the one list the merge pass binary-searches; the remaining
+/// conditions are verified per candidate).
+struct Part {
+    tuples: Vec<Tuple>,
+    /// Sorted (right-attr value, index into `tuples`).
+    sorted_right: Vec<(Value, usize)>,
+    min_left: Value,
+    max_left: Value,
+    min_right: Value,
+    max_right: Value,
+}
+
+impl Part {
+    fn build(tuples: Vec<Tuple>, left_attr: usize, right_attr: usize) -> Option<Part> {
+        if tuples.is_empty() {
+            return None;
+        }
+        let mut sorted_right: Vec<(Value, usize)> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.value(right_attr).clone(), i))
+            .collect();
+        sorted_right.sort_by(|a, b| a.0.cmp(&b.0));
+        let (mut min_l, mut max_l) = (
+            tuples[0].value(left_attr).clone(),
+            tuples[0].value(left_attr).clone(),
+        );
+        for t in &tuples {
+            let v = t.value(left_attr);
+            if *v < min_l {
+                min_l = v.clone();
+            }
+            if *v > max_l {
+                max_l = v.clone();
+            }
+        }
+        let min_r = sorted_right.first().map(|(v, _)| v.clone()).unwrap();
+        let max_r = sorted_right.last().map(|(v, _)| v.clone()).unwrap();
+        Some(Part {
+            tuples,
+            sorted_right,
+            min_left: min_l,
+            max_left: max_l,
+            min_right: min_r,
+            max_right: max_r,
+        })
+    }
+}
+
+/// Can a pair `(t1 ∈ left, t2 ∈ right)` possibly satisfy
+/// `t1.A op t2.B` given the partitions' min/max statistics? This is the
+/// pruning phase (Algorithm 2, line 7) made *sound* for pure inequality
+/// conditions: a partition pair is skipped only when no value pair in the
+/// ranges can satisfy the primary condition.
+fn feasible(op: Op, left: &Part, right: &Part) -> bool {
+    match op {
+        Op::Lt => left.min_left < right.max_right,
+        Op::Le => left.min_left <= right.max_right,
+        Op::Gt => left.max_left > right.min_right,
+        Op::Ge => left.max_left >= right.min_right,
+        // equality ops are not routed to OCJoin, but stay conservative
+        Op::Eq | Op::Ne => true,
+    }
+}
+
+/// The merge pass for one (left-role, right-role) partition pair: for
+/// each `t1`, binary-search the right partition's sorted list for the
+/// range matching the primary condition, then verify the remaining
+/// conditions on each candidate.
+fn join_pair(left: &Part, right: &Part, conds: &[OrderCond], out: &mut Vec<(Tuple, Tuple)>) {
+    let primary = conds[0];
+    let rest = &conds[1..];
+    for t1 in &left.tuples {
+        let v1 = t1.value(primary.left_attr);
+        let sr = &right.sorted_right;
+        // candidate index range in `sorted_right` satisfying the primary op
+        let (lo, hi) = match primary.op {
+            // t1.A < t2.B  → t2.B in (v1, +∞): first index with value > v1
+            Op::Lt => (sr.partition_point(|(v, _)| v <= v1), sr.len()),
+            Op::Le => (sr.partition_point(|(v, _)| v < v1), sr.len()),
+            // t1.A > t2.B → t2.B in (-∞, v1): up to first index with value >= v1
+            Op::Gt => (0, sr.partition_point(|(v, _)| v < v1)),
+            Op::Ge => (0, sr.partition_point(|(v, _)| v <= v1)),
+            Op::Eq => (
+                sr.partition_point(|(v, _)| v < v1),
+                sr.partition_point(|(v, _)| v <= v1),
+            ),
+            Op::Ne => (0, sr.len()),
+        };
+        'cand: for &(_, idx) in &sr[lo..hi] {
+            let t2 = &right.tuples[idx];
+            if t1.id() == t2.id() {
+                continue;
+            }
+            if primary.op == Op::Ne && t1.value(primary.left_attr) == t2.value(primary.right_attr)
+            {
+                continue;
+            }
+            for c in rest {
+                if !c.op.holds(t1.value(c.left_attr), t2.value(c.right_attr)) {
+                    continue 'cand;
+                }
+            }
+            out.push((t1.clone(), t2.clone()));
+        }
+    }
+}
+
+/// OCJoin: all ordered pairs `(t1, t2)` (with `t1.id() != t2.id()`)
+/// satisfying every condition in `conds`, computed with range
+/// partitioning + sorting + pruning + merge joining.
+///
+/// `conds` must be non-empty; the first condition drives partitioning
+/// ("OCJoin chooses the first attribute involved in the first
+/// condition", §4.3).
+pub fn ocjoin(
+    input: PDataset<Tuple>,
+    conds: &[OrderCond],
+    config: OcJoinConfig,
+) -> PDataset<(Tuple, Tuple)> {
+    assert!(!conds.is_empty(), "OCJoin needs at least one condition");
+    let engine = input.engine().clone();
+    let workers = engine.workers();
+    let nb_parts = if config.nb_parts == 0 {
+        engine.default_partitions()
+    } else {
+        config.nb_parts
+    };
+    let primary = conds[0];
+
+    // Partitioning phase: range partition on the primary left attribute.
+    let partitioned = input.range_partition_by(
+        |t: &Tuple| t.value(primary.left_attr).clone(),
+        nb_parts,
+    );
+
+    // Sorting phase (parallel, local to each partition).
+    let parts: Vec<Part> = par_map_indexed(workers, partitioned.into_partitions(), |_, p| {
+        Part::build(p, primary.left_attr, primary.right_attr)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Pruning phase: enumerate ordered partition pairs, keep feasible ones.
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    let mut pruned = 0u64;
+    for i in 0..parts.len() {
+        for j in 0..parts.len() {
+            if feasible(primary.op, &parts[i], &parts[j]) {
+                tasks.push((i, j));
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    Metrics::add(&engine.metrics().partitions_pruned, pruned);
+    Metrics::add(&engine.metrics().partitions_joined, tasks.len() as u64);
+
+    // Joining phase (parallel over surviving partition pairs).
+    let parts_ref = &parts;
+    let partitions = par_map_indexed(workers, tasks, |_, (i, j)| {
+        let mut out = Vec::new();
+        join_pair(&parts_ref[i], &parts_ref[j], conds, &mut out);
+        out
+    });
+    let produced: usize = partitions.iter().map(Vec::len).sum();
+    Metrics::add(&engine.metrics().pairs_generated, produced as u64);
+    PDataset::from_partitions(engine, partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::cross_join_filter;
+    use bigdansing_dataflow::Engine;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn tup(id: u64, salary: i64, rate: i64) -> Tuple {
+        Tuple::new(id, vec![Value::Int(salary), Value::Int(rate)])
+    }
+
+    fn phi2_conds() -> Vec<OrderCond> {
+        // t1.salary > t2.salary & t1.rate < t2.rate (scoped attrs 0, 1)
+        vec![
+            OrderCond { left_attr: 0, op: Op::Gt, right_attr: 0 },
+            OrderCond { left_attr: 1, op: Op::Lt, right_attr: 1 },
+        ]
+    }
+
+    fn pair_ids(pairs: Vec<(Tuple, Tuple)>) -> HashSet<(u64, u64)> {
+        pairs.into_iter().map(|(a, b)| (a.id(), b.id())).collect()
+    }
+
+    #[test]
+    fn matches_naive_on_small_input() {
+        let data: Vec<Tuple> = vec![
+            tup(1, 100, 30), // poor, high rate
+            tup(2, 200, 10), // rich, low rate → (2,1) violates
+            tup(3, 150, 20),
+            tup(4, 300, 5),
+        ];
+        let e = Engine::parallel(4);
+        let conds = phi2_conds();
+        let fast = pair_ids(ocjoin(PDataset::from_vec(e.clone(), data.clone()), &conds, OcJoinConfig::default()).collect());
+        let slow = pair_ids(cross_join_filter(PDataset::from_vec(e, data), &conds).collect());
+        assert_eq!(fast, slow);
+        assert!(fast.contains(&(2, 1)));
+        assert!(fast.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn single_condition_join() {
+        let data: Vec<Tuple> = (0..50).map(|i| tup(i, i as i64, 0)).collect();
+        let e = Engine::parallel(2);
+        let conds = vec![OrderCond { left_attr: 0, op: Op::Lt, right_attr: 0 }];
+        let out = ocjoin(PDataset::from_vec(e, data), &conds, OcJoinConfig { nb_parts: 5 });
+        // i < j pairs: 50*49/2
+        assert_eq!(out.count(), 50 * 49 / 2);
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        let data: Vec<Tuple> = (0..200).map(|i| tup(i, i as i64, -(i as i64))).collect();
+        let e = Engine::parallel(2);
+        let _ = ocjoin(
+            PDataset::from_vec(e.clone(), data),
+            &[OrderCond { left_attr: 0, op: Op::Gt, right_attr: 0 }],
+            OcJoinConfig { nb_parts: 8 },
+        )
+        .count();
+        assert!(Metrics::get(&e.metrics().partitions_pruned) > 0, "no partition pair pruned");
+    }
+
+    #[test]
+    fn no_self_pairs() {
+        let data = vec![tup(1, 10, 5), tup(2, 10, 5)];
+        let e = Engine::sequential();
+        let out = ocjoin(
+            PDataset::from_vec(e, data),
+            &[OrderCond { left_attr: 0, op: Op::Ge, right_attr: 0 }],
+            OcJoinConfig::default(),
+        )
+        .collect();
+        for (a, b) in out {
+            assert_ne!(a.id(), b.id());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let e = Engine::sequential();
+        let conds = phi2_conds();
+        assert_eq!(ocjoin(PDataset::from_vec(e.clone(), vec![]), &conds, OcJoinConfig::default()).count(), 0);
+        assert_eq!(ocjoin(PDataset::from_vec(e, vec![tup(1, 1, 1)]), &conds, OcJoinConfig::default()).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one condition")]
+    fn rejects_empty_conditions() {
+        let e = Engine::sequential();
+        let _ = ocjoin(PDataset::from_vec(e, vec![tup(1, 1, 1)]), &[], OcJoinConfig::default());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn equivalent_to_naive_cross_filter(
+            rows in prop::collection::vec((0i64..40, 0i64..40), 0..60),
+            op1 in prop::sample::select(vec![Op::Lt, Op::Gt, Op::Le, Op::Ge]),
+            op2 in prop::sample::select(vec![Op::Lt, Op::Gt, Op::Le, Op::Ge]),
+            nb_parts in 1usize..8,
+        ) {
+            let data: Vec<Tuple> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, (s, r))| tup(i as u64, *s, *r))
+                .collect();
+            let conds = vec![
+                OrderCond { left_attr: 0, op: op1, right_attr: 0 },
+                OrderCond { left_attr: 1, op: op2, right_attr: 1 },
+            ];
+            let e = Engine::parallel(3);
+            let fast = pair_ids(ocjoin(PDataset::from_vec(e.clone(), data.clone()), &conds, OcJoinConfig { nb_parts }).collect());
+            let slow = pair_ids(cross_join_filter(PDataset::from_vec(e, data), &conds).collect());
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The execution layer: physical pipelines → dataflow stages
+//! (Appendix G of the paper, modulo the Spark→threads substitution).
+//!
+//! Every stage boundary calls [`PDataset::checkpoint`], which is a no-op
+//! on the in-memory engines and a full disk round-trip on the
+//! Hadoop-like [`bigdansing_dataflow::ExecMode::DiskBacked`] engine.
+
+use crate::physical::{IterateStrategy, RulePipeline};
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Table, Tuple};
+use bigdansing_dataflow::{Engine, PDataset};
+use bigdansing_ocjoin::{ocjoin, OcJoinConfig};
+use bigdansing_rules::{DetectUnit, Fix, Rule, RuleExt, Violation};
+use std::sync::Arc;
+
+/// The result of running detection: each violation paired with its
+/// possible fixes (the input to the repair stage). The association is
+/// preserved because hypergraph-style repair algorithms resolve
+/// violations by choosing among *that violation's* fixes (§5.1).
+#[derive(Debug, Clone, Default)]
+pub struct DetectOutput {
+    /// `(violation, possible fixes)` pairs, across all rules run.
+    pub detected: Vec<(Violation, Vec<Fix>)>,
+}
+
+impl DetectOutput {
+    /// Merge another output into this one.
+    pub fn extend(&mut self, other: DetectOutput) {
+        self.detected.extend(other.detected);
+    }
+
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.detected.is_empty()
+    }
+
+    /// The violations alone.
+    pub fn violations(&self) -> Vec<&Violation> {
+        self.detected.iter().map(|(v, _)| v).collect()
+    }
+
+    /// Number of violations.
+    pub fn violation_count(&self) -> usize {
+        self.detected.len()
+    }
+
+    /// All possible fixes, flattened.
+    pub fn all_fixes(&self) -> Vec<&Fix> {
+        self.detected.iter().flat_map(|(_, fs)| fs).collect()
+    }
+
+    /// Number of possible fixes.
+    pub fn fix_count(&self) -> usize {
+        self.detected.iter().map(|(_, fs)| fs.len()).sum()
+    }
+}
+
+/// Runs physical pipelines on a dataflow engine.
+#[derive(Clone)]
+pub struct Executor {
+    engine: Engine,
+}
+
+impl Executor {
+    /// Create an executor bound to `engine`.
+    pub fn new(engine: Engine) -> Executor {
+        Executor { engine }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Load a table into a partitioned dataset (one "scan": counted in
+    /// the `tuples_scanned` metric so shared-scan consolidation is
+    /// observable).
+    pub fn load(&self, table: &Table) -> PDataset<Tuple> {
+        Metrics::add(&self.engine.metrics().tuples_scanned, table.len() as u64);
+        PDataset::from_vec(self.engine.clone(), table.tuples().to_vec())
+    }
+
+    /// Run Iterate, Detect, and GenFix fused in one stage (as Spark does
+    /// when maps follow a shuffle): candidate units are generated,
+    /// tested, and — when a GenFix is present — annotated with their
+    /// possible fixes inside the same partition pass; candidates are
+    /// never materialized as a whole. Metrics (`pairs_generated`,
+    /// `detect_calls`) are kept via per-partition batched atomics.
+    fn iterate_and_detect(
+        &self,
+        scoped: PDataset<Tuple>,
+        rule: &Arc<dyn Rule>,
+        strategy: &IterateStrategy,
+        use_genfix: bool,
+    ) -> PDataset<(Violation, Vec<Fix>)> {
+        let metrics = self.engine.metrics().clone();
+        let finish = move |r: &Arc<dyn Rule>, vs: Vec<Violation>| -> Vec<(Violation, Vec<Fix>)> {
+            vs.into_iter()
+                .map(|v| {
+                    let fixes = if use_genfix { r.gen_fix(&v) } else { Vec::new() };
+                    (v, fixes)
+                })
+                .collect()
+        };
+        match strategy {
+            IterateStrategy::SingleUnits => {
+                let r = Arc::clone(rule);
+                scoped.map_partitions(move |part| {
+                    Metrics::add(&metrics.detect_calls, part.len() as u64);
+                    let vs = part
+                        .into_iter()
+                        .flat_map(|t| r.detect(&DetectUnit::Single(t)))
+                        .collect();
+                    finish(&r, vs)
+                })
+            }
+            IterateStrategy::BlockList => {
+                let r = Arc::clone(rule);
+                let rb = Arc::clone(rule);
+                scoped
+                    .group_by_key(move |t| rb.block(t).unwrap_or_default())
+                    .map_partitions(move |groups| {
+                        Metrics::add(&metrics.detect_calls, groups.len() as u64);
+                        let vs = groups
+                            .into_iter()
+                            .flat_map(|(_, block)| r.detect(&DetectUnit::List(block)))
+                            .collect();
+                        finish(&r, vs)
+                    })
+            }
+            IterateStrategy::BlockPairs { ordered } => {
+                let rb = Arc::clone(rule);
+                let rd = Arc::clone(rule);
+                let ordered = *ordered;
+                scoped
+                    .group_by_key(move |t| rb.block(t).unwrap_or_default())
+                    .map_partitions(move |groups| {
+                        let mut vs = Vec::new();
+                        let mut pairs = 0u64;
+                        for (_, block) in groups {
+                            for i in 0..block.len() {
+                                let j0 = if ordered { 0 } else { i + 1 };
+                                for j in j0..block.len() {
+                                    if i == j {
+                                        continue;
+                                    }
+                                    pairs += 1;
+                                    vs.extend(rd.detect_pair(&block[i], &block[j]));
+                                }
+                            }
+                        }
+                        Metrics::add(&metrics.pairs_generated, pairs);
+                        Metrics::add(&metrics.detect_calls, pairs);
+                        finish(&rd, vs)
+                    })
+            }
+            IterateStrategy::UCrossProduct => {
+                let rd = Arc::clone(rule);
+                scoped.self_cartesian().map_partitions(move |part| {
+                    Metrics::add(&metrics.detect_calls, part.len() as u64);
+                    let vs = part
+                        .into_iter()
+                        .flat_map(|(a, b)| rd.detect_pair(&a, &b))
+                        .collect();
+                    finish(&rd, vs)
+                })
+            }
+            IterateStrategy::CrossProduct => {
+                let rd = Arc::clone(rule);
+                scoped.self_cross_product().map_partitions(move |part| {
+                    Metrics::add(&metrics.detect_calls, part.len() as u64);
+                    let vs = part
+                        .into_iter()
+                        .filter(|(a, b)| a.id() != b.id())
+                        .flat_map(|(a, b)| rd.detect_pair(&a, &b))
+                        .collect();
+                    finish(&rd, vs)
+                })
+            }
+            IterateStrategy::OcJoin(conds) => {
+                let rd = Arc::clone(rule);
+                ocjoin(scoped, conds, OcJoinConfig::default()).map_partitions(move |part| {
+                    Metrics::add(&metrics.detect_calls, part.len() as u64);
+                    let vs = part
+                        .into_iter()
+                        .flat_map(|(a, b)| rd.detect_pair(&a, &b))
+                        .collect();
+                    finish(&rd, vs)
+                })
+            }
+        }
+    }
+
+    /// Run one pipeline over an already-loaded dataset.
+    pub fn run_pipeline(&self, data: PDataset<Tuple>, pipeline: &RulePipeline) -> DetectOutput {
+        let rule = Arc::clone(&pipeline.rule);
+        let metrics = self.engine.metrics().clone();
+
+        // PScope
+        let scoped = if pipeline.use_scope {
+            let r = Arc::clone(&rule);
+            data.flat_map(move |t| r.scope(&t)).checkpoint()
+        } else {
+            data
+        };
+
+        // PBlock / PIterate / PDetect / PGenFix (fused stage, as in Spark)
+        let detected = self
+            .iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)
+            .checkpoint()
+            .collect();
+        Metrics::add(&metrics.violations, detected.len() as u64);
+        DetectOutput { detected }
+    }
+
+    /// Detect with a **shared scan**: the table is loaded once and every
+    /// Detect with a **shared scan**: the table is loaded once and every
+    /// rule's pipeline runs over the same in-memory dataset — the
+    /// execution-layer counterpart of plan consolidation.
+    pub fn detect(&self, table: &Table, rules: &[Arc<dyn Rule>]) -> DetectOutput {
+        let data = self.load(table);
+        let mut out = DetectOutput::default();
+        for rule in rules {
+            let pipeline = crate::physical::pipeline_for_rule(Arc::clone(rule), table.name());
+            out.extend(self.run_pipeline(data.duplicate(), &pipeline));
+        }
+        out
+    }
+
+    /// Detect reloading the table for every rule — the unconsolidated
+    /// baseline used by the shared-scan ablation.
+    pub fn detect_unconsolidated(&self, table: &Table, rules: &[Arc<dyn Rule>]) -> DetectOutput {
+        let mut out = DetectOutput::default();
+        for rule in rules {
+            let data = self.load(table);
+            let pipeline = crate::physical::pipeline_for_rule(Arc::clone(rule), table.name());
+            out.extend(self.run_pipeline(data, &pipeline));
+        }
+        out
+    }
+
+    /// The Figure 12(a) ablation: run a rule through Detect only — no
+    /// Scope, no Block, candidates from a UCrossProduct over the whole
+    /// dataset. Only meaningful for rules with an identity Scope.
+    pub fn detect_only(&self, table: &Table, rule: Arc<dyn Rule>) -> DetectOutput {
+        let pipeline = RulePipeline {
+            rule,
+            source: table.name().to_string(),
+            use_scope: false,
+            strategy: IterateStrategy::UCrossProduct,
+            use_genfix: true,
+        };
+        self.run_pipeline(self.load(table), &pipeline)
+    }
+
+    /// The CoBlock path (Figure 6): two datasets, blocked with the same
+    /// rule, joined on the blocking key; candidate pairs are
+    /// (left-group × right-group) within each co-group.
+    pub fn detect_two_tables(
+        &self,
+        rule: Arc<dyn Rule>,
+        left: &Table,
+        right: &Table,
+    ) -> DetectOutput {
+        let metrics = self.engine.metrics().clone();
+        let rl = Arc::clone(&rule);
+        let rr = Arc::clone(&rule);
+        let left_ds = self.load(left).flat_map(move |t| rl.scope(&t)).checkpoint();
+        let rr2 = Arc::clone(&rule);
+        let right_ds = self.load(right).flat_map(move |t| rr2.scope(&t)).checkpoint();
+        let kl = Arc::clone(&rule);
+        let kr = Arc::clone(&rule);
+        let pairs = left_ds
+            .co_group(
+                right_ds,
+                move |t| kl.block(t).unwrap_or_default(),
+                move |t| kr.block(t).unwrap_or_default(),
+            )
+            .flat_map(|(_, ls, rs)| {
+                let mut out = Vec::with_capacity(ls.len() * rs.len());
+                for a in &ls {
+                    for b in &rs {
+                        out.push(DetectUnit::Pair(a.clone(), b.clone()));
+                    }
+                }
+                out
+            });
+        Metrics::add(&metrics.pairs_generated, pairs.count() as u64);
+        Metrics::add(&metrics.detect_calls, pairs.count() as u64);
+        let violations_ds = pairs.flat_map(move |u| rr.detect(&u)).checkpoint();
+        Metrics::add(&metrics.violations, violations_ds.count() as u64);
+        let rg = Arc::clone(&rule);
+        let detected = violations_ds
+            .map(move |v| {
+                let fixes = rg.gen_fix(&v);
+                (v, fixes)
+            })
+            .collect();
+        DetectOutput { detected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::{Schema, Value};
+    use bigdansing_rules::{DcRule, DedupRule, FdRule};
+    use std::collections::HashSet;
+
+    /// The Table 1 tax records from Example 1 of the paper.
+    fn example1() -> Table {
+        let schema = Schema::parse("name,zipcode,city,state,salary,rate");
+        let row = |name: &str, zip: i64, city: &str, st: &str, sal: i64, rate: i64| {
+            vec![
+                Value::str(name),
+                Value::Int(zip),
+                Value::str(city),
+                Value::str(st),
+                Value::Int(sal),
+                Value::Int(rate),
+            ]
+        };
+        Table::from_rows(
+            "D",
+            schema,
+            vec![
+                row("Annie", 10001, "NY", "NY", 24000, 15),
+                row("Laure", 90210, "LA", "CA", 25000, 10),
+                row("John", 60601, "CH", "IL", 40000, 25),
+                row("Mark", 90210, "SF", "CA", 88000, 30),
+                row("Robert", 68270, "CH", "IL", 15000, 12),
+                row("Mary", 90210, "LA", "CA", 81000, 28),
+            ],
+        )
+    }
+
+    fn fd_rule() -> Arc<dyn Rule> {
+        Arc::new(FdRule::parse("zipcode -> city", example1().schema()).unwrap())
+    }
+
+    fn violating_id_sets(out: &DetectOutput) -> HashSet<Vec<u64>> {
+        out.violations().iter().map(|v| v.tuple_ids()).collect()
+    }
+
+    #[test]
+    fn phi_f_finds_the_papers_violations() {
+        // Example 1: (t2, t4) and (t4, t6) violate φF — ids 1, 3, 5 here.
+        let table = example1();
+        let exec = Executor::new(Engine::parallel(4));
+        let out = exec.detect(&table, &[fd_rule()]);
+        assert_eq!(
+            violating_id_sets(&out),
+            HashSet::from([vec![1, 3], vec![3, 5]])
+        );
+        assert_eq!(out.fix_count(), 2, "one equalizing fix per violation");
+    }
+
+    #[test]
+    fn phi_d_finds_the_papers_violations() {
+        // Example 1: (t1, t2) and (t2, t5) violate φD.
+        let table = example1();
+        let dc: Arc<dyn Rule> = Arc::new(
+            DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", table.schema()).unwrap(),
+        );
+        let exec = Executor::new(Engine::parallel(4));
+        let out = exec.detect(&table, &[dc]);
+        assert_eq!(
+            violating_id_sets(&out),
+            HashSet::from([vec![0, 1], vec![1, 4]])
+        );
+    }
+
+    #[test]
+    fn all_engines_agree_on_violations() {
+        let table = example1();
+        let rules = vec![fd_rule()];
+        let seq = violating_id_sets(&Executor::new(Engine::sequential()).detect(&table, &rules));
+        let par = violating_id_sets(&Executor::new(Engine::parallel(8)).detect(&table, &rules));
+        let disk =
+            violating_id_sets(&Executor::new(Engine::disk_backed(4)).detect(&table, &rules));
+        assert_eq!(seq, par);
+        assert_eq!(seq, disk);
+    }
+
+    #[test]
+    fn disk_backed_mode_actually_spills() {
+        let table = example1();
+        let exec = Executor::new(Engine::disk_backed(2));
+        let _ = exec.detect(&table, &[fd_rule()]);
+        assert!(Metrics::get(&exec.engine().metrics().bytes_spilled) > 0);
+    }
+
+    #[test]
+    fn shared_scan_loads_once_per_detect_call() {
+        let table = example1();
+        let rules: Vec<Arc<dyn Rule>> = vec![fd_rule(), fd_rule()];
+        let exec = Executor::new(Engine::sequential());
+        let _ = exec.detect(&table, &rules);
+        let shared = Metrics::get(&exec.engine().metrics().tuples_scanned);
+        exec.engine().metrics().reset();
+        let _ = exec.detect_unconsolidated(&table, &rules);
+        let unshared = Metrics::get(&exec.engine().metrics().tuples_scanned);
+        assert_eq!(shared, table.len() as u64);
+        assert_eq!(unshared, 2 * table.len() as u64);
+    }
+
+    #[test]
+    fn blocking_generates_fewer_pairs_than_detect_only() {
+        let table = example1();
+        let dedup: Arc<dyn Rule> = Arc::new(DedupRule::new("udf:dedup", 0, 0.8));
+        let exec = Executor::new(Engine::sequential());
+        let full = exec.detect(&table, &[Arc::clone(&dedup)]);
+        let blocked_pairs = Metrics::get(&exec.engine().metrics().pairs_generated);
+        exec.engine().metrics().reset();
+        let only = exec.detect_only(&table, dedup);
+        let all_pairs = Metrics::get(&exec.engine().metrics().pairs_generated);
+        assert!(blocked_pairs < all_pairs, "{blocked_pairs} !< {all_pairs}");
+        assert_eq!(
+            violating_id_sets(&full),
+            violating_id_sets(&only),
+            "same violations either way"
+        );
+    }
+
+    #[test]
+    fn two_table_coblock_detects_cross_table_violations() {
+        // same FD across two tables that each are internally consistent
+        let schema = Schema::parse("zipcode,city");
+        let left = Table::from_rows(
+            "L",
+            schema.clone(),
+            vec![vec![Value::Int(90210), Value::str("LA")]],
+        );
+        let right = Table::new(
+            "R",
+            schema.clone(),
+            vec![Tuple::new(
+                100,
+                vec![Value::Int(90210), Value::str("SF")],
+            )],
+        );
+        let fd: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", &schema).unwrap());
+        let exec = Executor::new(Engine::parallel(2));
+        let out = exec.detect_two_tables(fd, &left, &right);
+        assert_eq!(out.violation_count(), 1);
+        assert_eq!(out.violations()[0].tuple_ids(), vec![0, 100]);
+    }
+
+    #[test]
+    fn detect_output_merging() {
+        let mut a = DetectOutput::default();
+        assert!(a.is_clean());
+        let table = example1();
+        let exec = Executor::new(Engine::sequential());
+        let b = exec.detect(&table, &[fd_rule()]);
+        a.extend(b.clone());
+        a.extend(b.clone());
+        assert_eq!(a.violation_count(), 2 * b.violation_count());
+        assert!(!a.is_clean());
+    }
+}

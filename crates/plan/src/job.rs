@@ -1,0 +1,259 @@
+//! The user-facing job API (Appendix A of the paper).
+//!
+//! A job binds input datasets to labels and lists the logical operators
+//! to run over each flow. For declarative rules users never write a job:
+//! [`Job::add_rule`] generates the standard
+//! Scope → Block → Iterate → Detect → GenFix chain, exactly as "the
+//! RuleEngine automatically translates the declarative rule into a job".
+
+use crate::logical::{Label, LogicalOp, LogicalPlan, OpKind};
+use bigdansing_common::Result;
+use bigdansing_rules::{Rule, UnitKind};
+use std::sync::Arc;
+
+/// A BigDansing job under construction.
+pub struct Job {
+    name: String,
+    sources: Vec<(String, Label)>,
+    ops: Vec<LogicalOp>,
+    fresh: usize,
+}
+
+impl Job {
+    /// Start a job (`new BigDansing("Example Job")`).
+    pub fn new(name: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            sources: Vec::new(),
+            ops: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bind an input dataset to one or more labels
+    /// (`job.addInputPath(schema, D1, "S", "T")`). Multiple labels create
+    /// replicated flows of the same dataset.
+    pub fn add_input(&mut self, dataset: impl Into<String>, labels: &[&str]) -> &mut Job {
+        let dataset = dataset.into();
+        for l in labels {
+            self.sources.push((dataset.clone(), l.to_string()));
+        }
+        self
+    }
+
+    fn fresh_label(&mut self, prefix: &str) -> Label {
+        self.fresh += 1;
+        format!("__{prefix}{}", self.fresh)
+    }
+
+    fn push(&mut self, kind: OpKind, rule: &Arc<dyn Rule>, ins: Vec<Label>, outs: Vec<Label>) {
+        self.ops.push(LogicalOp {
+            kind,
+            rule: Arc::clone(rule),
+            in_labels: ins,
+            out_labels: outs,
+        });
+    }
+
+    /// `job.addScope(Scope, "S")`: scope the flow `label` in place.
+    pub fn add_scope(&mut self, rule: &Arc<dyn Rule>, label: &str) -> &mut Job {
+        self.push(OpKind::Scope, rule, vec![label.into()], vec![label.into()]);
+        self
+    }
+
+    /// `job.addBlock(Block, "S")`.
+    pub fn add_block(&mut self, rule: &Arc<dyn Rule>, label: &str) -> &mut Job {
+        self.push(OpKind::Block, rule, vec![label.into()], vec![label.into()]);
+        self
+    }
+
+    /// `job.addIterate("M", "S", "T")`: combine the input flows into a
+    /// candidate flow `out`.
+    pub fn add_iterate(&mut self, rule: &Arc<dyn Rule>, inputs: &[&str], out: &str) -> &mut Job {
+        self.push(
+            OpKind::Iterate,
+            rule,
+            inputs.iter().map(|s| s.to_string()).collect(),
+            vec![out.into()],
+        );
+        self
+    }
+
+    /// `job.addDetect(Detect, "V")`.
+    pub fn add_detect(&mut self, rule: &Arc<dyn Rule>, label: &str) -> &mut Job {
+        let out = self.fresh_label("V");
+        self.push(OpKind::Detect, rule, vec![label.into()], vec![out]);
+        self
+    }
+
+    /// `job.addGenFix(GenFix, "V")`.
+    pub fn add_genfix(&mut self, rule: &Arc<dyn Rule>, label: &str) -> &mut Job {
+        // consumes the most recent Detect output for this rule
+        let vin = self
+            .ops
+            .iter()
+            .rev()
+            .find(|o| o.kind == OpKind::Detect && o.rule.name() == rule.name())
+            .map(|o| o.out_labels[0].clone())
+            .unwrap_or_else(|| label.to_string());
+        let out = self.fresh_label("F");
+        self.push(OpKind::GenFix, rule, vec![vin], vec![out]);
+        self
+    }
+
+    /// Auto-generate the full operator chain for a (declarative) rule
+    /// over `dataset`: Scope → Block → Iterate → Detect → GenFix, with
+    /// Block/Iterate inserted per the rule's metadata (Figure 3's planner
+    /// flow).
+    pub fn add_rule(&mut self, rule: Arc<dyn Rule>, dataset: &str) -> &mut Job {
+        let base = self.fresh_label(&format!("{}·", rule.name()));
+        self.sources.push((dataset.to_string(), base.clone()));
+        self.add_scope(&rule, &base);
+        if rule.blocks() {
+            self.add_block(&rule, &base);
+        }
+        if rule.unit_kind() != UnitKind::Single {
+            let m = self.fresh_label("M");
+            let base2 = base.clone();
+            self.add_iterate(&rule, &[&base2], &m);
+            self.add_detect(&rule, &m);
+        } else {
+            self.add_detect(&rule, &base);
+        }
+        self.add_genfix(&rule, "");
+        self
+    }
+
+    /// Validate and freeze into a [`LogicalPlan`].
+    ///
+    /// Following §3.2, a Detect whose input flow has no Iterate gets one
+    /// generated according to its input shape.
+    pub fn build(mut self) -> Result<LogicalPlan> {
+        // generate missing Iterates
+        let mut to_insert: Vec<(usize, LogicalOp)> = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.kind != OpKind::Detect {
+                continue;
+            }
+            let feeds_from_iterate = self.ops.iter().any(|o| {
+                o.kind == OpKind::Iterate && o.out_labels.iter().any(|l| op.in_labels.contains(l))
+            });
+            if !feeds_from_iterate && op.rule.unit_kind() != UnitKind::Single {
+                let label = op.in_labels[0].clone();
+                to_insert.push((
+                    i,
+                    LogicalOp {
+                        kind: OpKind::Iterate,
+                        rule: Arc::clone(&op.rule),
+                        in_labels: vec![label.clone()],
+                        out_labels: vec![label],
+                    },
+                ));
+            }
+        }
+        for (offset, (i, op)) in to_insert.into_iter().enumerate() {
+            self.ops.insert(i + offset, op);
+        }
+        let plan = LogicalPlan {
+            sources: self.sources,
+            ops: self.ops,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Schema;
+    use bigdansing_rules::{DcRule, FdRule};
+
+    fn schema() -> Schema {
+        Schema::parse("name,zipcode,city,state,salary,rate")
+    }
+
+    fn fd() -> Arc<dyn Rule> {
+        Arc::new(FdRule::parse("zipcode -> city", &schema()).unwrap())
+    }
+
+    #[test]
+    fn manual_job_mirrors_appendix_a() {
+        let rule = fd();
+        let mut job = Job::new("Example Job");
+        job.add_input("D1", &["S"]);
+        job.add_scope(&rule, "S");
+        job.add_block(&rule, "S");
+        job.add_iterate(&rule, &["S"], "M");
+        job.add_detect(&rule, "M");
+        job.add_genfix(&rule, "M");
+        let plan = job.build().unwrap();
+        assert_eq!(plan.ops.len(), 5);
+        assert_eq!(plan.detects().len(), 1);
+        assert_eq!(
+            plan.sources_of_op(plan.detects()[0]).into_iter().collect::<Vec<_>>(),
+            vec!["D1".to_string()]
+        );
+    }
+
+    #[test]
+    fn add_rule_generates_full_chain_for_fd() {
+        let mut job = Job::new("auto");
+        job.add_rule(fd(), "D");
+        let plan = job.build().unwrap();
+        let kinds: Vec<OpKind> = plan.ops.iter().map(|o| o.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::Scope, OpKind::Block, OpKind::Iterate, OpKind::Detect, OpKind::GenFix]
+        );
+    }
+
+    #[test]
+    fn add_rule_skips_block_for_unblockable_dc() {
+        let dc: Arc<dyn Rule> = Arc::new(
+            DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", &schema()).unwrap(),
+        );
+        let mut job = Job::new("auto");
+        job.add_rule(dc, "D");
+        let plan = job.build().unwrap();
+        assert!(plan.ops.iter().all(|o| o.kind != OpKind::Block));
+        assert!(plan.ops.iter().any(|o| o.kind == OpKind::Iterate));
+    }
+
+    #[test]
+    fn missing_iterate_is_generated_before_detect() {
+        let rule = fd();
+        let mut job = Job::new("no-iterate");
+        job.add_input("D", &["S"]);
+        job.add_detect(&rule, "S");
+        let plan = job.build().unwrap();
+        let kinds: Vec<OpKind> = plan.ops.iter().map(|o| o.kind).collect();
+        assert_eq!(kinds, vec![OpKind::Iterate, OpKind::Detect]);
+    }
+
+    #[test]
+    fn detect_is_mandatory() {
+        let rule = fd();
+        let mut job = Job::new("no-detect");
+        job.add_input("D", &["S"]);
+        job.add_scope(&rule, "S");
+        assert!(job.build().is_err());
+    }
+
+    #[test]
+    fn multiple_rules_share_a_job() {
+        let mut job = Job::new("multi");
+        job.add_rule(fd(), "D");
+        let dc: Arc<dyn Rule> = Arc::new(
+            DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", &schema()).unwrap(),
+        );
+        job.add_rule(dc, "D");
+        let plan = job.build().unwrap();
+        assert_eq!(plan.detects().len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-plan
+//!
+//! The RuleEngine's three layers (§2.2 of the paper):
+//!
+//! 1. **Logical layer** ([`job`], [`logical`]): users (or the declarative
+//!    rule parsers) assemble a [`job::Job`] of labeled logical operators —
+//!    Scope, Block, Iterate, Detect, GenFix — which is validated into a
+//!    [`logical::LogicalPlan`] following the planner flow of §3.2
+//!    (Figure 3): at least one input dataset and one Detect, Iterate
+//!    generated from the Detect's input shape when missing, Scope/Block
+//!    optional pass-throughs.
+//! 2. **Physical layer** ([`consolidate`], [`physical`]): Algorithm 1
+//!    merges redundant operators over the same input (shared scans,
+//!    Figure 5), then each Detect is translated into a
+//!    [`physical::RulePipeline`] whose Iterate is implemented by a
+//!    *wrapper* (within-block enumeration, cross product) or an
+//!    *enhancer* — UCrossProduct, OCJoin, CoBlock — per the selection
+//!    rules of §4.2.
+//! 3. **Execution layer** ([`executor`]): pipelines run on the
+//!    [`bigdansing_dataflow`] engine (the Spark/Hadoop stand-in),
+//!    checkpointing at stage boundaries under the disk-backed mode.
+
+pub mod consolidate;
+pub mod executor;
+pub mod job;
+pub mod logical;
+pub mod physical;
+
+pub use executor::{DetectOutput, Executor};
+pub use job::Job;
+pub use logical::{Label, LogicalOp, LogicalPlan, OpKind};
+pub use physical::{IterateStrategy, PhysicalPlan, RulePipeline};

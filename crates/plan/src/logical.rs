@@ -1,0 +1,233 @@
+//! Logical plans: labeled operator DAGs (§3, Figure 3/4).
+
+use bigdansing_common::{Error, Result};
+use bigdansing_rules::Rule;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A data-flow label ("S", "T", "M", … in the paper's job scripts).
+pub type Label = String;
+
+/// The five logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Removes irrelevant data units / attributes.
+    Scope,
+    /// Groups units sharing a blocking key.
+    Block,
+    /// Enumerates candidate violations from (blocked) units.
+    Iterate,
+    /// Decides whether a candidate is a violation.
+    Detect,
+    /// Computes possible fixes for each violation.
+    GenFix,
+}
+
+/// One logical operator instance: a kind, the rule whose UDF it invokes,
+/// and its input/output labels. A consolidated operator carries several
+/// output labels (it feeds multiple downstream flows from one scan).
+#[derive(Clone)]
+pub struct LogicalOp {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// The rule providing the UDF body.
+    pub rule: Arc<dyn Rule>,
+    /// Labels consumed.
+    pub in_labels: Vec<Label>,
+    /// Labels produced.
+    pub out_labels: Vec<Label>,
+}
+
+impl std::fmt::Debug for LogicalOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}[{}]({} -> {})",
+            self.kind,
+            self.rule.name(),
+            self.in_labels.join(","),
+            self.out_labels.join(",")
+        )
+    }
+}
+
+/// A validated logical plan.
+pub struct LogicalPlan {
+    /// `(dataset name, label)` bindings — the plan's leaves.
+    pub sources: Vec<(String, Label)>,
+    /// Operators in topological (insertion) order.
+    pub ops: Vec<LogicalOp>,
+}
+
+impl LogicalPlan {
+    /// The dataset names feeding `label`, walking producers backwards
+    /// (the paper's `getSourceDS`). In-place operators (same input and
+    /// output label) are common, so the walk tracks visited labels.
+    pub fn sources_of_label(&self, label: &str) -> BTreeSet<String> {
+        let mut visited = BTreeSet::new();
+        let mut out = BTreeSet::new();
+        self.trace(label, &mut visited, &mut out);
+        out
+    }
+
+    fn trace(&self, label: &str, visited: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+        if !visited.insert(label.to_string()) {
+            return;
+        }
+        for (ds, l) in &self.sources {
+            if l == label {
+                out.insert(ds.clone());
+            }
+        }
+        for op in &self.ops {
+            if op.out_labels.iter().any(|l| l == label) {
+                for input in &op.in_labels {
+                    self.trace(input, visited, out);
+                }
+            }
+        }
+    }
+
+    /// The dataset names feeding an operator.
+    pub fn sources_of_op(&self, op: &LogicalOp) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for l in &op.in_labels {
+            out.extend(self.sources_of_label(l));
+        }
+        out
+    }
+
+    /// Validation per §3.2: ≥1 source, ≥1 Detect, every label resolvable.
+    pub fn validate(&self) -> Result<()> {
+        if self.sources.is_empty() {
+            return Err(Error::InvalidPlan("plan has no input dataset".into()));
+        }
+        if !self.ops.iter().any(|o| o.kind == OpKind::Detect) {
+            return Err(Error::InvalidPlan("plan has no Detect operator".into()));
+        }
+        let mut known: BTreeSet<&str> = self.sources.iter().map(|(_, l)| l.as_str()).collect();
+        for op in &self.ops {
+            for l in &op.in_labels {
+                if !known.contains(l.as_str()) {
+                    return Err(Error::InvalidPlan(format!(
+                        "operator {op:?} consumes undefined label `{l}`"
+                    )));
+                }
+            }
+            for l in &op.out_labels {
+                known.insert(l);
+            }
+        }
+        for op in &self.ops {
+            if op.kind == OpKind::Detect && op.in_labels.is_empty() {
+                return Err(Error::InvalidPlan("Detect without input".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The Detect operators, in plan order.
+    pub fn detects(&self) -> Vec<&LogicalOp> {
+        self.ops.iter().filter(|o| o.kind == OpKind::Detect).collect()
+    }
+
+    /// Find the plan's operator of `kind` for `rule` (by rule name),
+    /// if present.
+    pub fn find_op(&self, kind: OpKind, rule_name: &str) -> Option<&LogicalOp> {
+        self.ops
+            .iter()
+            .find(|o| o.kind == kind && o.rule.name() == rule_name)
+    }
+}
+
+impl std::fmt::Debug for LogicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "LogicalPlan:")?;
+        for (ds, l) in &self.sources {
+            writeln!(f, "  source {ds} as {l}")?;
+        }
+        for op in &self.ops {
+            writeln!(f, "  {op:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Schema;
+    use bigdansing_rules::FdRule;
+
+    fn fd() -> Arc<dyn Rule> {
+        Arc::new(FdRule::parse("zipcode -> city", &Schema::parse("zipcode,city")).unwrap())
+    }
+
+    fn op(kind: OpKind, ins: &[&str], outs: &[&str]) -> LogicalOp {
+        LogicalOp {
+            kind,
+            rule: fd(),
+            in_labels: ins.iter().map(|s| s.to_string()).collect(),
+            out_labels: outs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn simple_plan() -> LogicalPlan {
+        LogicalPlan {
+            sources: vec![("D".into(), "S".into())],
+            ops: vec![
+                op(OpKind::Scope, &["S"], &["S1"]),
+                op(OpKind::Block, &["S1"], &["B"]),
+                op(OpKind::Iterate, &["B"], &["M"]),
+                op(OpKind::Detect, &["M"], &["V"]),
+                op(OpKind::GenFix, &["V"], &["F"]),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        simple_plan().validate().unwrap();
+    }
+
+    #[test]
+    fn missing_detect_fails() {
+        let mut p = simple_plan();
+        p.ops.retain(|o| o.kind != OpKind::Detect);
+        assert!(matches!(p.validate(), Err(Error::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn missing_source_fails() {
+        let mut p = simple_plan();
+        p.sources.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn undefined_label_fails() {
+        let mut p = simple_plan();
+        p.ops[2].in_labels = vec!["NOPE".into()];
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn source_tracing_walks_the_dag() {
+        let p = simple_plan();
+        let detect = p.detects()[0];
+        assert_eq!(
+            p.sources_of_op(detect),
+            BTreeSet::from(["D".to_string()])
+        );
+        assert_eq!(p.sources_of_label("F"), BTreeSet::from(["D".to_string()]));
+        assert!(p.sources_of_label("ZZ").is_empty());
+    }
+
+    #[test]
+    fn find_op_matches_kind_and_rule() {
+        let p = simple_plan();
+        assert!(p.find_op(OpKind::Block, "fd:zipcode->city").is_some());
+        assert!(p.find_op(OpKind::Block, "other").is_none());
+    }
+}

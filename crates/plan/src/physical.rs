@@ -1,0 +1,255 @@
+//! Physical plans: wrappers and enhancers (§4.1-4.2).
+//!
+//! Each logical Detect chain becomes a [`RulePipeline`] whose Iterate is
+//! realized by one of the [`IterateStrategy`] variants. The enhancer
+//! selection follows §4.2 exactly:
+//!
+//! * rule blocks → within-block enumeration (unordered when Detect is
+//!   symmetric — the UCrossProduct optimization applied inside blocks);
+//! * no block + ordering comparisons → **OCJoin**;
+//! * no block + symmetric comparisons only → **UCrossProduct**;
+//! * otherwise → plain **CrossProduct** (ordered pairs);
+//! * single-unit rules detect unit-by-unit;
+//! * two non-consolidated Blocks into one Detect → **CoBlock** (handled
+//!   by [`crate::executor::Executor::detect_two_tables`]).
+
+use crate::consolidate::consolidate;
+use crate::logical::{LogicalPlan, OpKind};
+use bigdansing_common::Result;
+use bigdansing_rules::{OrderCond, Rule, UnitKind};
+use std::sync::Arc;
+
+/// How candidate detect-units are generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterateStrategy {
+    /// Feed each unit to Detect on its own (`UnitKind::Single` rules).
+    SingleUnits,
+    /// Block, then enumerate pairs within each block; `ordered` pairs for
+    /// order-sensitive Detects, unordered otherwise.
+    BlockPairs {
+        /// Enumerate ordered (i≠j) instead of unordered (i<j) pairs.
+        ordered: bool,
+    },
+    /// Block, then hand each whole block to Detect (`UnitKind::List`).
+    BlockList,
+    /// The UCrossProduct enhancer: all unordered pairs, n(n−1)/2.
+    UCrossProduct,
+    /// Plain cross product: all ordered pairs (minus the diagonal).
+    CrossProduct,
+    /// The OCJoin enhancer with its ordering conditions.
+    OcJoin(Vec<OrderCond>),
+}
+
+/// One executable detection pipeline: a rule, its source dataset, and the
+/// chosen physical operators.
+#[derive(Clone)]
+pub struct RulePipeline {
+    /// The rule driving every wrapper in the pipeline.
+    pub rule: Arc<dyn Rule>,
+    /// The dataset this pipeline scans.
+    pub source: String,
+    /// Whether a Scope operator runs (plans without Scope push the input
+    /// through, §3.2).
+    pub use_scope: bool,
+    /// Candidate generation strategy.
+    pub strategy: IterateStrategy,
+    /// Whether a GenFix operator runs (otherwise violations are the
+    /// final output).
+    pub use_genfix: bool,
+}
+
+impl std::fmt::Debug for RulePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RulePipeline[{} on {}: scope={} iterate={:?} genfix={}]",
+            self.rule.name(),
+            self.source,
+            self.use_scope,
+            self.strategy,
+            self.use_genfix
+        )
+    }
+}
+
+/// A full physical plan: one pipeline per Detect.
+#[derive(Debug)]
+pub struct PhysicalPlan {
+    /// Pipelines in plan order.
+    pub pipelines: Vec<RulePipeline>,
+    /// How many logical operators Algorithm 1 merged while building this
+    /// plan (0 when consolidation found nothing).
+    pub consolidated_ops: usize,
+}
+
+/// Pick the Iterate implementation for a rule (§4.2's enhancer rules).
+pub fn choose_strategy(rule: &dyn Rule) -> IterateStrategy {
+    match rule.unit_kind() {
+        UnitKind::Single => IterateStrategy::SingleUnits,
+        UnitKind::List => IterateStrategy::BlockList,
+        UnitKind::Pair => {
+            if rule.blocks() {
+                IterateStrategy::BlockPairs {
+                    ordered: !rule.symmetric(),
+                }
+            } else {
+                let conds = rule.ordering_conditions();
+                if !conds.is_empty() {
+                    IterateStrategy::OcJoin(conds)
+                } else if rule.symmetric() {
+                    IterateStrategy::UCrossProduct
+                } else {
+                    IterateStrategy::CrossProduct
+                }
+            }
+        }
+    }
+}
+
+/// Translate a logical plan into a physical plan: consolidate
+/// (Algorithm 1), then map each Detect chain onto wrappers/enhancers.
+pub fn translate(plan: LogicalPlan) -> Result<PhysicalPlan> {
+    plan.validate()?;
+    let (plan, consolidated_ops) = consolidate(plan);
+    let mut pipelines = Vec::new();
+    for detect in plan.detects() {
+        let rule = Arc::clone(&detect.rule);
+        let sources = plan.sources_of_op(detect);
+        let source = sources
+            .into_iter()
+            .next()
+            .expect("validated plan: detect has a source");
+        let use_scope = plan.find_op(OpKind::Scope, rule.name()).is_some();
+        let has_block_op = plan.find_op(OpKind::Block, rule.name()).is_some();
+        let mut strategy = choose_strategy(rule.as_ref());
+        // a rule that *could* block but whose job omitted the Block
+        // operator falls back to UCrossProduct (§4.2: used when "users do
+        // not provide a matching Block for the Iterate operator")
+        if !has_block_op {
+            strategy = match strategy {
+                IterateStrategy::BlockPairs { ordered: false } => IterateStrategy::UCrossProduct,
+                IterateStrategy::BlockPairs { ordered: true } => IterateStrategy::CrossProduct,
+                IterateStrategy::BlockList => IterateStrategy::SingleUnits,
+                other => other,
+            };
+        }
+        let use_genfix = plan
+            .ops
+            .iter()
+            .any(|o| o.kind == OpKind::GenFix && o.rule.name() == rule.name());
+        pipelines.push(RulePipeline {
+            rule,
+            source,
+            use_scope,
+            strategy,
+            use_genfix,
+        });
+    }
+    Ok(PhysicalPlan {
+        pipelines,
+        consolidated_ops,
+    })
+}
+
+/// Build the standard pipeline for a rule directly (the path used when a
+/// declarative rule is registered without a hand-written job).
+pub fn pipeline_for_rule(rule: Arc<dyn Rule>, source: impl Into<String>) -> RulePipeline {
+    let strategy = choose_strategy(rule.as_ref());
+    RulePipeline {
+        rule,
+        source: source.into(),
+        use_scope: true,
+        strategy,
+        use_genfix: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use bigdansing_common::Schema;
+    use bigdansing_rules::{CfdRule, DcRule, DedupRule, FdRule};
+
+    fn schema() -> Schema {
+        Schema::parse("name,zipcode,city,state,salary,rate")
+    }
+
+    #[test]
+    fn fd_gets_blocked_unordered_pairs() {
+        let fd = FdRule::parse("zipcode -> city", &schema()).unwrap();
+        assert_eq!(
+            choose_strategy(&fd),
+            IterateStrategy::BlockPairs { ordered: false }
+        );
+    }
+
+    #[test]
+    fn inequality_dc_gets_ocjoin() {
+        let dc = DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", &schema()).unwrap();
+        match choose_strategy(&dc) {
+            IterateStrategy::OcJoin(conds) => assert_eq!(conds.len(), 2),
+            other => panic!("expected OCJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_dc_blocks() {
+        let dc = DcRule::parse("t1.city = t2.city & t1.state != t2.state", &schema()).unwrap();
+        assert_eq!(
+            choose_strategy(&dc),
+            IterateStrategy::BlockPairs { ordered: false }
+        );
+    }
+
+    #[test]
+    fn constant_cfd_is_single_units() {
+        let cfd =
+            CfdRule::parse("zipcode -> city | zipcode=90210, city=LA", &schema()).unwrap();
+        assert_eq!(choose_strategy(&cfd), IterateStrategy::SingleUnits);
+    }
+
+    #[test]
+    fn unblocked_dedup_gets_ucross() {
+        let r = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(0);
+        assert_eq!(choose_strategy(&r), IterateStrategy::UCrossProduct);
+    }
+
+    #[test]
+    fn translate_auto_job() {
+        let fd: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", &schema()).unwrap());
+        let mut job = Job::new("t");
+        job.add_rule(Arc::clone(&fd), "D");
+        let phys = translate(job.build().unwrap()).unwrap();
+        assert_eq!(phys.pipelines.len(), 1);
+        let p = &phys.pipelines[0];
+        assert_eq!(p.source, "D");
+        assert!(p.use_scope && p.use_genfix);
+        assert_eq!(p.strategy, IterateStrategy::BlockPairs { ordered: false });
+    }
+
+    #[test]
+    fn job_without_block_falls_back_to_ucross() {
+        let fd: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", &schema()).unwrap());
+        let mut job = Job::new("t");
+        job.add_input("D", &["S"]);
+        job.add_scope(&fd, "S");
+        job.add_detect(&fd, "S"); // no Block, no Iterate
+        let phys = translate(job.build().unwrap()).unwrap();
+        assert_eq!(phys.pipelines[0].strategy, IterateStrategy::UCrossProduct);
+        assert!(!phys.pipelines[0].use_genfix);
+    }
+
+    #[test]
+    fn translate_counts_consolidation() {
+        // two flows of the same rule over the same dataset consolidate
+        let fd: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", &schema()).unwrap());
+        let mut job = Job::new("t");
+        job.add_input("D", &["S", "T"]);
+        job.add_scope(&fd, "S");
+        job.add_scope(&fd, "T");
+        job.add_detect(&fd, "S");
+        let phys = translate(job.build().unwrap()).unwrap();
+        assert_eq!(phys.consolidated_ops, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Scaling data repair as a black box (§5.1).
+//!
+//! "We divide a repair task into independent smaller repair tasks":
+//! build the violation hypergraph, find its connected components, and
+//! hand each component to an independent instance of a centralized
+//! [`RepairAlgorithm`], run in parallel across the engine's workers.
+
+use crate::cc::{components_bsp, group_by_component};
+use crate::hypergraph::Hypergraph;
+use crate::partition::{repair_partitioned, PartitionConfig};
+use crate::{Assignment, Detected};
+use bigdansing_dataflow::pool::par_map_indexed;
+use bigdansing_dataflow::Engine;
+
+/// A centralized repair algorithm, treated as a black box: it receives
+/// one connected component of the violation hypergraph (violations with
+/// their possible fixes) and returns cell assignments.
+pub trait RepairAlgorithm: Send + Sync {
+    /// Algorithm name (for reports).
+    fn name(&self) -> &str;
+    /// Compute a repair for one component.
+    fn repair(&self, component: &[Detected]) -> Assignment;
+}
+
+/// Options for the parallel driver.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairOptions {
+    /// Components with more violations than this are k-way partitioned
+    /// and repaired with the master/slave protocol (the paper's
+    /// "dealing with big connected components"). `usize::MAX` disables.
+    pub max_component_size: usize,
+    /// k for the partitioned path.
+    pub k: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            max_component_size: usize::MAX,
+            k: 4,
+        }
+    }
+}
+
+/// Run `algo` independently on every connected component, in parallel —
+/// the distributed black-box repair of §5.1. Assignments are disjoint
+/// across components, so the union is conflict-free.
+pub fn repair_parallel(
+    engine: &Engine,
+    detected: &[Detected],
+    algo: &dyn RepairAlgorithm,
+    options: RepairOptions,
+) -> Assignment {
+    let graph = Hypergraph::build(detected);
+    let labels = components_bsp(engine, &graph.encoded_edges());
+    let groups = group_by_component(&labels);
+    let components: Vec<Vec<Detected>> = groups
+        .into_iter()
+        .map(|idxs| {
+            idxs.into_iter()
+                .map(|i| detected[graph.edges[i].detected_idx].clone())
+                .collect()
+        })
+        .collect();
+    let results = par_map_indexed(engine.workers(), components, |_, comp: Vec<Detected>| {
+        if comp.len() > options.max_component_size {
+            repair_partitioned(
+                algo,
+                &comp,
+                PartitionConfig {
+                    k: options.k,
+                    max_iterations: 8,
+                },
+            )
+        } else {
+            algo.repair(&comp)
+        }
+    });
+    let mut out = Assignment::new();
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// The centralized baseline: one repair instance over the entire
+/// violation set (what NADEEF does; the serial arm of Figure 12(b)).
+pub fn repair_serial(detected: &[Detected], algo: &dyn RepairAlgorithm) -> Assignment {
+    algo.repair(detected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EquivalenceClassRepair;
+    use bigdansing_common::{Cell, Value};
+    use bigdansing_rules::{Fix, Violation};
+
+    fn fd_detected(a: u64, va: &str, b: u64, vb: &str, attr: usize) -> Detected {
+        let ca = Cell::new(a, attr);
+        let cb = Cell::new(b, attr);
+        let mut v = Violation::new("fd");
+        v.add_cell(ca, Value::str(va));
+        v.add_cell(cb, Value::str(vb));
+        (v, vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))])
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_equivalence_class() {
+        let detected = vec![
+            fd_detected(1, "LA", 2, "SF", 2),
+            fd_detected(3, "LA", 2, "SF", 2),
+            fd_detected(10, "NY", 11, "BO", 3),
+            fd_detected(12, "NY", 11, "BO", 3),
+        ];
+        let algo = EquivalenceClassRepair;
+        let serial = repair_serial(&detected, &algo);
+        let engine = Engine::parallel(4);
+        let parallel = repair_parallel(&engine, &detected, &algo, RepairOptions::default());
+        assert_eq!(serial, parallel);
+        assert!(!parallel.is_empty());
+    }
+
+    #[test]
+    fn components_repair_independently() {
+        // two disjoint components; the second should not affect the first
+        let detected = vec![
+            fd_detected(1, "A", 2, "B", 0),
+            fd_detected(100, "X", 101, "Y", 1),
+        ];
+        let engine = Engine::parallel(2);
+        let assign =
+            repair_parallel(&engine, &detected, &EquivalenceClassRepair, RepairOptions::default());
+        // each pair ties → smaller value wins → one change per component
+        assert_eq!(assign.len(), 2);
+        assert_eq!(assign[&Cell::new(2, 0)], Value::str("A"));
+        assert_eq!(assign[&Cell::new(101, 1)], Value::str("X"));
+    }
+
+    #[test]
+    fn oversized_components_take_the_partitioned_path() {
+        // a chain component with 6 violations, threshold 2 → partitioned
+        let mut detected = Vec::new();
+        for i in 0..6u64 {
+            detected.push(fd_detected(i, "LA", i + 1, "SF", 2));
+        }
+        let engine = Engine::parallel(2);
+        let assign = repair_parallel(
+            &engine,
+            &detected,
+            &EquivalenceClassRepair,
+            RepairOptions {
+                max_component_size: 2,
+                k: 3,
+            },
+        );
+        assert!(!assign.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let engine = Engine::sequential();
+        let assign =
+            repair_parallel(&engine, &[], &EquivalenceClassRepair, RepairOptions::default());
+        assert!(assign.is_empty());
+    }
+}

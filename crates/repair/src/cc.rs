@@ -1,0 +1,252 @@
+//! Connected components of the violation hypergraph.
+//!
+//! The paper uses GraphX, whose Pregel/BSP model processes the graph in
+//! synchronized supersteps (§5.1). [`components_bsp`] reproduces that:
+//! label propagation where, each superstep, every hyperedge takes the
+//! minimum label of its members and every node takes the minimum label
+//! of its incident edges — run as parallel min-aggregations over a
+//! partitioning fixed up front (GraphX-style partition reuse).
+//! [`components_union_find`] is the sequential oracle.
+
+use bigdansing_dataflow::Engine;
+use std::collections::HashMap;
+
+/// Disjoint-set forest over arbitrary `u64` node ids.
+pub struct UnionFind {
+    parent: HashMap<u64, u64>,
+}
+
+impl UnionFind {
+    /// An empty forest.
+    pub fn new() -> UnionFind {
+        UnionFind {
+            parent: HashMap::new(),
+        }
+    }
+
+    /// Find with path compression.
+    pub fn find(&mut self, x: u64) -> u64 {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    /// Union by arbitrary order (smaller root wins, keeps labels
+    /// deterministic).
+    pub fn union(&mut self, a: u64, b: u64) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(hi, lo);
+    }
+}
+
+impl Default for UnionFind {
+    fn default() -> Self {
+        UnionFind::new()
+    }
+}
+
+/// Component label (minimum member node id) per edge, via union-find.
+pub fn components_union_find(edges: &[Vec<u64>]) -> Vec<u64> {
+    let mut uf = UnionFind::new();
+    for edge in edges {
+        for w in edge.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        if let Some(&first) = edge.first() {
+            uf.find(first);
+        }
+    }
+    edges
+        .iter()
+        .map(|e| e.first().map(|&n| uf.find(n)).unwrap_or(u64::MAX))
+        .collect()
+}
+
+/// Component label per edge via BSP label propagation on the engine.
+///
+/// Each superstep is two parallel min-aggregations (node→edge and
+/// edge→node) over a *fixed* partitioning — like GraphX, the bipartite
+/// incidence structure is partitioned once and reused across
+/// supersteps instead of reshuffled, so a superstep is pure
+/// computation. Iteration stops when no node label changes — the
+/// Pregel-style fixed point.
+pub fn components_bsp(engine: &Engine, edges: &[Vec<u64>]) -> Vec<u64> {
+    use bigdansing_dataflow::pool::par_map_indexed;
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    // dense node ids (one-time "partitioning" pass)
+    let mut node_index: HashMap<u64, u32> = HashMap::new();
+    let mut node_ids: Vec<u64> = Vec::new();
+    let dense_edges: Vec<Vec<u32>> = edges
+        .iter()
+        .map(|e| {
+            e.iter()
+                .map(|&n| {
+                    *node_index.entry(n).or_insert_with(|| {
+                        node_ids.push(n);
+                        (node_ids.len() - 1) as u32
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    // fixed incidence partitioning: edges chunked once, nodes chunked once
+    let workers = engine.workers();
+    let nparts = engine.default_partitions();
+    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); node_ids.len()];
+    for (e, members) in dense_edges.iter().enumerate() {
+        for &n in members {
+            incidence[n as usize].push(e as u32);
+        }
+    }
+    let edge_chunks = chunk_ranges(dense_edges.len(), nparts);
+    let node_chunks = chunk_ranges(node_ids.len(), nparts);
+
+    // initial labels: each node labels itself with its original id
+    let mut node_label: Vec<u64> = node_ids.clone();
+    let mut edge_label: Vec<u64> = vec![u64::MAX; dense_edges.len()];
+    loop {
+        // superstep part 1: edges adopt the min label of their members
+        let nl = &node_label;
+        let de = &dense_edges;
+        let new_edges: Vec<Vec<u64>> = par_map_indexed(workers, edge_chunks.clone(), |_, (lo, hi)| {
+            (lo..hi)
+                .map(|e| de[e].iter().map(|&n| nl[n as usize]).min().unwrap_or(u64::MAX))
+                .collect()
+        });
+        for ((lo, _), labels) in edge_chunks.iter().zip(new_edges) {
+            edge_label[*lo..*lo + labels.len()].copy_from_slice(&labels);
+        }
+        // superstep part 2: nodes adopt the min label of incident edges
+        let el = &edge_label;
+        let inc = &incidence;
+        let nl = &node_label;
+        let new_nodes: Vec<Vec<u64>> = par_map_indexed(workers, node_chunks.clone(), |_, (lo, hi)| {
+            (lo..hi)
+                .map(|n| {
+                    inc[n]
+                        .iter()
+                        .map(|&e| el[e as usize])
+                        .min()
+                        .unwrap_or(u64::MAX)
+                        .min(nl[n])
+                })
+                .collect()
+        });
+        let mut changed = false;
+        for ((lo, _), labels) in node_chunks.iter().zip(new_nodes) {
+            for (i, l) in labels.into_iter().enumerate() {
+                if node_label[lo + i] != l {
+                    node_label[lo + i] = l;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    edge_label
+}
+
+/// Split `0..n` into at most `parts` contiguous `(lo, hi)` ranges.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Group edge indices by component label, ordered by label for
+/// determinism.
+pub fn group_by_component(labels: &[u64]) -> Vec<Vec<usize>> {
+    let mut groups: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    for (i, &l) in labels.iter().enumerate() {
+        groups.entry(l).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn normalize(labels: &[u64]) -> Vec<Vec<usize>> {
+        group_by_component(labels)
+    }
+
+    #[test]
+    fn figure7_components() {
+        // v1 = {1,2}, v2 = {2,3}, v3 = {4,5}: CC1 = {v1,v2}, CC2 = {v3}
+        let edges = vec![vec![1, 2], vec![2, 3], vec![4, 5]];
+        let uf = components_union_find(&edges);
+        assert_eq!(uf[0], uf[1]);
+        assert_ne!(uf[0], uf[2]);
+        let e = Engine::parallel(2);
+        let bsp = components_bsp(&e, &edges);
+        assert_eq!(normalize(&uf), normalize(&bsp));
+        assert_eq!(group_by_component(&uf), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn long_chain_converges() {
+        // a path of 50 edges — stresses multi-superstep propagation
+        let edges: Vec<Vec<u64>> = (0..50).map(|i| vec![i, i + 1]).collect();
+        let e = Engine::parallel(4);
+        let bsp = components_bsp(&e, &edges);
+        assert!(bsp.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<Vec<u64>> = vec![];
+        assert!(components_union_find(&none).is_empty());
+        let e = Engine::sequential();
+        assert!(components_bsp(&e, &none).is_empty());
+        let single = vec![vec![7]];
+        assert_eq!(components_union_find(&single), vec![7]);
+        assert_eq!(components_bsp(&e, &single), vec![7]);
+    }
+
+    #[test]
+    fn union_find_basic_properties() {
+        let mut uf = UnionFind::new();
+        assert_eq!(uf.find(5), 5);
+        uf.union(5, 9);
+        uf.union(9, 2);
+        assert_eq!(uf.find(5), uf.find(2));
+        assert_eq!(uf.find(5), 2, "smallest id becomes the root");
+        uf.union(5, 2); // no-op union
+        assert_eq!(uf.find(9), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn bsp_matches_union_find(edges in prop::collection::vec(
+            prop::collection::vec(0u64..30, 1..4), 0..25)) {
+            let uf = components_union_find(&edges);
+            let e = Engine::parallel(3);
+            let bsp = components_bsp(&e, &edges);
+            prop_assert_eq!(normalize(&uf), normalize(&bsp));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The scalable equivalence-class algorithm (§5.2).
+//!
+//! "We extend the equivalence class algorithm to a distributed setting
+//! by modeling it as a distributed word counting algorithm … with two
+//! map-reduce sequences":
+//!
+//! * round 1 maps each possible fix's elements to
+//!   `⟨(ccid, value), 1⟩` — counting each element's value **once** even
+//!   if it appears in several fixes — and reduces to per-(class, value)
+//!   frequencies;
+//! * round 2 re-keys by `ccid` and reduces to the highest-frequency
+//!   value, which becomes `targ(E)` for every element of the class.
+//!
+//! Classes (`ccid`) come from the BSP connected components over the
+//! equality-fix graph, exactly the GraphX step of §5.1. The result is
+//! bit-identical to the centralized [`crate::EquivalenceClassRepair`]
+//! (both break frequency ties toward the smaller value), which the
+//! parity tests assert.
+
+use crate::cc::components_bsp;
+use crate::{Assignment, Detected};
+use bigdansing_common::{Cell, Value};
+use bigdansing_dataflow::{Engine, PDataset};
+use bigdansing_rules::{FixRhs, Op};
+use std::collections::{BTreeSet, HashMap};
+
+/// Run the distributed equivalence-class repair on `engine`.
+pub fn repair_distributed_equivalence(engine: &Engine, detected: &[Detected]) -> Assignment {
+    // -- class formation: BSP connected components over Eq-fix edges --
+    let mut edges: Vec<Vec<u64>> = Vec::new();
+    let mut observed: HashMap<Cell, Value> = HashMap::new();
+    let mut consts: BTreeSet<(Cell, Value)> = BTreeSet::new();
+    for (violation, fixes) in detected {
+        for (c, v) in violation.cells() {
+            observed.entry(*c).or_insert_with(|| v.clone());
+        }
+        for fix in fixes {
+            if fix.op != Op::Eq {
+                continue;
+            }
+            observed
+                .entry(fix.left)
+                .or_insert_with(|| fix.left_value.clone());
+            match &fix.rhs {
+                FixRhs::Cell(rc, rv) => {
+                    observed.entry(*rc).or_insert_with(|| rv.clone());
+                    edges.push(vec![fix.left.encode(), rc.encode()]);
+                }
+                FixRhs::Const(k) => {
+                    edges.push(vec![fix.left.encode()]);
+                    consts.insert((fix.left, k.clone()));
+                }
+            }
+        }
+    }
+    // include untouched violation cells as singleton classes so the
+    // class map is total (they produce no assignment)
+    let mut cells: Vec<Cell> = observed.keys().copied().collect();
+    cells.sort();
+    for c in &cells {
+        edges.push(vec![c.encode()]);
+    }
+    let labels = components_bsp(engine, &edges);
+    let mut class_of: HashMap<Cell, u64> = HashMap::new();
+    for (edge, label) in edges.iter().zip(&labels) {
+        for &node in edge {
+            class_of.insert(Cell::decode(node), *label);
+        }
+    }
+
+    // -- map-reduce round 1: ⟨(ccid, value), count⟩ with count-once ----
+    // map: one record per element (deduplicated) and per const candidate
+    let mut records: Vec<((u64, Value), u64)> = cells
+        .iter()
+        .map(|c| ((class_of[c], observed[c].clone()), 1u64))
+        .collect();
+    records.extend(
+        consts
+            .iter()
+            .map(|(c, k)| ((class_of[c], k.clone()), 1u64)),
+    );
+    let counted: PDataset<((u64, Value), u64)> =
+        PDataset::from_vec(engine.clone(), records)
+            .reduce_by_key(|(k, _)| k.clone(), |(_, n)| n, |a, b| a + b);
+
+    // -- map-reduce round 2: ⟨ccid, (value, count)⟩ → max-frequency -----
+    let targets: Vec<(u64, (Value, u64))> = counted
+        .map(|((cc, value), count)| (cc, (value, count)))
+        .reduce_by_key(
+            |(cc, _)| *cc,
+            |(_, vc)| vc,
+            |(va, ca), (vb, cb)| {
+                // higher count wins; ties toward the smaller value
+                match ca.cmp(&cb) {
+                    std::cmp::Ordering::Less => (vb, cb),
+                    std::cmp::Ordering::Greater => (va, ca),
+                    std::cmp::Ordering::Equal => {
+                        if va <= vb {
+                            (va, ca)
+                        } else {
+                            (vb, cb)
+                        }
+                    }
+                }
+            },
+        )
+        .collect();
+    let targ: HashMap<u64, Value> = targets.into_iter().map(|(cc, (v, _))| (cc, v)).collect();
+
+    // -- final assignment: every element moves to its class target ------
+    let mut out = Assignment::new();
+    for c in &cells {
+        if let Some(t) = targ.get(&class_of[c]) {
+            if observed[c] != *t {
+                out.insert(*c, t.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::{repair_serial, RepairAlgorithm};
+    use crate::EquivalenceClassRepair;
+    use bigdansing_rules::{Fix, Violation};
+    use proptest::prelude::*;
+
+    fn fd_detected(a: u64, va: &str, b: u64, vb: &str, attr: usize) -> Detected {
+        let ca = Cell::new(a, attr);
+        let cb = Cell::new(b, attr);
+        let mut v = Violation::new("fd");
+        v.add_cell(ca, Value::str(va));
+        v.add_cell(cb, Value::str(vb));
+        (v, vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))])
+    }
+
+    #[test]
+    fn matches_centralized_on_example1() {
+        let detected = vec![
+            fd_detected(2, "LA", 4, "SF", 2),
+            fd_detected(6, "LA", 4, "SF", 2),
+        ];
+        let engine = Engine::parallel(4);
+        let dist = repair_distributed_equivalence(&engine, &detected);
+        let central = repair_serial(&detected, &EquivalenceClassRepair);
+        assert_eq!(dist, central);
+        assert_eq!(dist[&Cell::new(4, 2)], Value::str("LA"));
+    }
+
+    #[test]
+    fn const_candidates_count_once() {
+        let ca = Cell::new(1, 0);
+        let cb = Cell::new(2, 0);
+        let mut v = Violation::new("cfd");
+        v.add_cell(ca, Value::str("B"));
+        v.add_cell(cb, Value::str("Z"));
+        let fixes = vec![
+            Fix::assign_cell(ca, Value::str("B"), cb, Value::str("Z")),
+            Fix::assign_const(ca, Value::str("B"), Value::str("Z")),
+            Fix::assign_const(ca, Value::str("B"), Value::str("Z")), // duplicate
+        ];
+        let engine = Engine::sequential();
+        let dist = repair_distributed_equivalence(&engine, &[(v.clone(), fixes.clone())]);
+        let central = EquivalenceClassRepair.repair(&[(v, fixes)]);
+        assert_eq!(dist, central);
+        assert_eq!(dist[&ca], Value::str("Z"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let engine = Engine::sequential();
+        assert!(repair_distributed_equivalence(&engine, &[]).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn distributed_equals_centralized(
+            // random small FD-violation batches over a few cells/values
+            pairs in prop::collection::vec(
+                ((0u64..8, 0u64..8), prop::sample::select(vec!["A", "B", "C"]),
+                 prop::sample::select(vec!["A", "B", "C"])), 0..12)
+        ) {
+            let detected: Vec<Detected> = pairs
+                .into_iter()
+                .filter(|((a, b), _, _)| a != b)
+                .map(|((a, b), va, vb)| fd_detected(a, va, b, vb, 1))
+                .collect();
+            let engine = Engine::parallel(3);
+            let dist = repair_distributed_equivalence(&engine, &detected);
+            let central = repair_serial(&detected, &EquivalenceClassRepair);
+            prop_assert_eq!(dist, central);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The centralized equivalence-class algorithm (Bohannon et al. \[5\],
+//! §5.2 of the paper).
+//!
+//! "Group all elements that should be equivalent together, then decide
+//! how to assign values to each group": equality fixes union their cells
+//! into classes; each class gets the target value that minimizes the
+//! cost function of §2.1 — with exact-match distance 0 this is the most
+//! frequent observed value (constants proposed by fixes count as
+//! candidates too). Ties break toward the smallest value so the
+//! distributed implementation can match bit-for-bit.
+
+use crate::blackbox::RepairAlgorithm;
+use crate::cc::UnionFind;
+use crate::{Assignment, Detected};
+use bigdansing_common::{Cell, Value};
+use bigdansing_rules::{FixRhs, Op};
+use std::collections::{BTreeMap, HashMap};
+
+/// The centralized equivalence-class repair algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct EquivalenceClassRepair;
+
+/// Pick the majority value; ties break toward the smaller value.
+pub(crate) fn majority_value(counts: &BTreeMap<Value, usize>) -> Option<Value> {
+    counts
+        .iter()
+        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+        .map(|(v, _)| v.clone())
+}
+
+/// Build the equivalence classes and per-class candidate-value counts
+/// from the equality fixes in `detected`. Returns
+/// `(class id per cell, observed value per cell, counts per class)`.
+///
+/// Candidate counting matches §5.2: each *element* contributes its value
+/// once, and constants proposed by fixes contribute once per class.
+/// `(class id per cell, observed value per cell, value counts per class)`.
+pub(crate) type Classes = (
+    HashMap<Cell, u64>,
+    HashMap<Cell, Value>,
+    HashMap<u64, BTreeMap<Value, usize>>,
+);
+
+pub(crate) fn build_classes(detected: &[Detected]) -> Classes {
+    let mut uf = UnionFind::new();
+    let mut observed: HashMap<Cell, Value> = HashMap::new();
+    // deduplicated: a cell proposing the same constant in several fixes
+    // contributes one candidate (mirrors §5.2's count-once rule)
+    let mut consts: std::collections::BTreeSet<(Cell, Value)> = Default::default();
+    for (violation, fixes) in detected {
+        for (c, v) in violation.cells() {
+            observed.entry(*c).or_insert_with(|| v.clone());
+        }
+        for fix in fixes {
+            if fix.op != Op::Eq {
+                continue; // the equivalence-class algorithm handles = fixes
+            }
+            observed.entry(fix.left).or_insert_with(|| fix.left_value.clone());
+            match &fix.rhs {
+                FixRhs::Cell(rc, rv) => {
+                    observed.entry(*rc).or_insert_with(|| rv.clone());
+                    uf.union(fix.left.encode(), rc.encode());
+                }
+                FixRhs::Const(k) => {
+                    uf.find(fix.left.encode());
+                    consts.insert((fix.left, k.clone()));
+                }
+            }
+        }
+    }
+    // class id per cell (only cells that participate in some Eq fix)
+    let mut class_of: HashMap<Cell, u64> = HashMap::new();
+    let mut counts: HashMap<u64, BTreeMap<Value, usize>> = HashMap::new();
+    let mut cells: Vec<Cell> = observed.keys().copied().collect();
+    cells.sort();
+    for cell in cells {
+        let code = cell.encode();
+        // only cells actually unioned (or with const candidates) matter,
+        // but including singletons is harmless: their majority value is
+        // their own value, producing no assignment.
+        let class = uf.find(code);
+        class_of.insert(cell, class);
+        *counts
+            .entry(class)
+            .or_default()
+            .entry(observed[&cell].clone())
+            .or_insert(0) += 1;
+    }
+    for (cell, k) in consts {
+        let class = class_of[&cell];
+        *counts.entry(class).or_default().entry(k).or_insert(0) += 1;
+    }
+    (class_of, observed, counts)
+}
+
+impl RepairAlgorithm for EquivalenceClassRepair {
+    fn name(&self) -> &str {
+        "equivalence-class"
+    }
+
+    fn repair(&self, component: &[Detected]) -> Assignment {
+        let (class_of, observed, counts) = build_classes(component);
+        let targets: HashMap<u64, Value> = counts
+            .iter()
+            .filter_map(|(cc, c)| majority_value(c).map(|v| (*cc, v)))
+            .collect();
+        let mut out = Assignment::new();
+        for (cell, class) in &class_of {
+            if let Some(target) = targets.get(class) {
+                if observed[cell] != *target {
+                    out.insert(*cell, target.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_rules::{Fix, Violation};
+
+    fn city_cell(t: u64) -> Cell {
+        Cell::new(t, 2)
+    }
+
+    /// φF on Example 1: cities of t2/t4 and t4/t6 should be equal.
+    fn example1_detected() -> Vec<Detected> {
+        let mk = |a: u64, va: &str, b: u64, vb: &str| -> Detected {
+            let mut v = Violation::new("fd");
+            v.add_cell(city_cell(a), Value::str(va));
+            v.add_cell(city_cell(b), Value::str(vb));
+            let f = Fix::assign_cell(city_cell(a), Value::str(va), city_cell(b), Value::str(vb));
+            (v, vec![f])
+        };
+        vec![mk(2, "LA", 4, "SF"), mk(6, "LA", 4, "SF")]
+    }
+
+    #[test]
+    fn majority_wins_la_over_sf() {
+        let algo = EquivalenceClassRepair;
+        let assign = algo.repair(&example1_detected());
+        // class {t2,t4,t6}.city with values {LA, SF, LA} → target LA
+        assert_eq!(assign.len(), 1);
+        assert_eq!(assign[&city_cell(4)], Value::str("LA"));
+    }
+
+    #[test]
+    fn tie_breaks_to_smaller_value() {
+        let mut v = Violation::new("fd");
+        v.add_cell(city_cell(1), Value::str("B"));
+        v.add_cell(city_cell(2), Value::str("A"));
+        let f = Fix::assign_cell(city_cell(1), Value::str("B"), city_cell(2), Value::str("A"));
+        let assign = EquivalenceClassRepair.repair(&[(v, vec![f])]);
+        assert_eq!(assign.len(), 1);
+        assert_eq!(assign[&city_cell(1)], Value::str("A"));
+    }
+
+    #[test]
+    fn const_fixes_add_candidates() {
+        // two cells tied 1-1; a const fix proposing one of the values
+        // tips the majority
+        let mut v = Violation::new("cfd");
+        v.add_cell(city_cell(1), Value::str("B"));
+        v.add_cell(city_cell(2), Value::str("Z"));
+        let fixes = vec![
+            Fix::assign_cell(city_cell(1), Value::str("B"), city_cell(2), Value::str("Z")),
+            Fix::assign_const(city_cell(1), Value::str("B"), Value::str("Z")),
+        ];
+        let assign = EquivalenceClassRepair.repair(&[(v, fixes)]);
+        assert_eq!(assign[&city_cell(1)], Value::str("Z"));
+        assert!(!assign.contains_key(&city_cell(2)));
+    }
+
+    #[test]
+    fn non_eq_fixes_are_ignored() {
+        let mut v = Violation::new("dc");
+        v.add_cell(Cell::new(1, 5), Value::Int(10));
+        v.add_cell(Cell::new(2, 5), Value::Int(20));
+        let f = Fix::compare(
+            Cell::new(1, 5),
+            Value::Int(10),
+            Op::Ge,
+            FixRhs::Cell(Cell::new(2, 5), Value::Int(20)),
+        );
+        let assign = EquivalenceClassRepair.repair(&[(v, vec![f])]);
+        assert!(assign.is_empty());
+    }
+
+    #[test]
+    fn clean_input_produces_no_assignments() {
+        assert!(EquivalenceClassRepair.repair(&[]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_classes_repair_independently() {
+        let mut d = example1_detected();
+        // a second, unrelated class: t10/t11 state cells
+        let sc = |t: u64| Cell::new(t, 3);
+        let mut v = Violation::new("fd2");
+        v.add_cell(sc(10), Value::str("CA"));
+        v.add_cell(sc(11), Value::str("CA2"));
+        d.push((
+            v,
+            vec![Fix::assign_cell(sc(10), Value::str("CA"), sc(11), Value::str("CA2"))],
+        ));
+        let assign = EquivalenceClassRepair.repair(&d);
+        assert_eq!(assign.len(), 2);
+        assert_eq!(assign[&city_cell(4)], Value::str("LA"));
+        // CA vs CA2 tie → smaller value CA wins; cell 11 changes
+        assert_eq!(assign[&sc(11)], Value::str("CA"));
+    }
+}

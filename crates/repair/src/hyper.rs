@@ -1,0 +1,420 @@
+//! The hypergraph-based repair algorithm for general (e.g. DC) rules —
+//! the second centralized algorithm BigDansing ships (§5.1), following
+//! the holistic strategy of Chu et al. \[6\] and the vertex-cover
+//! heuristic of Kolahi & Lakshmanan \[23\]:
+//!
+//! 1. pick the cell appearing in the most unresolved violations (a
+//!    greedy vertex cover of the hyperedges),
+//! 2. gather every constraint the possible fixes place on that cell,
+//! 3. assign the value that satisfies the most constraints at the least
+//!    cost — for numeric inequality constraints this clamps the cell
+//!    into the feasible `[max lower bound, min upper bound]` interval,
+//!    our stand-in for the quadratic-programming relaxation of \[6\],
+//! 4. repeat until every violation is resolved (or the round budget is
+//!    exhausted — the §2.2 loop re-detects and retries).
+
+use crate::blackbox::RepairAlgorithm;
+use crate::fixeval::{current, value_above, value_below, violation_resolved};
+use crate::{Assignment, Detected};
+use bigdansing_common::{Cell, Value};
+use bigdansing_rules::{FixRhs, Op};
+use std::collections::HashMap;
+
+/// Greedy holistic hypergraph repair.
+#[derive(Debug, Clone)]
+pub struct HypergraphRepair {
+    /// Safety bound on cover/assign rounds over the component.
+    pub max_rounds: usize,
+}
+
+impl Default for HypergraphRepair {
+    fn default() -> Self {
+        HypergraphRepair { max_rounds: 4 }
+    }
+}
+
+/// A requirement `cell op <target>` derived from a possible fix. The
+/// target is another cell (resolved through the evolving assignment, so
+/// a partner repaired earlier in the same round supplies its *new*
+/// value) or a constant.
+#[derive(Debug, Clone)]
+struct Constraint {
+    op: Op,
+    /// Partner cell, when the bound comes from another element.
+    cell: Option<Cell>,
+    /// Observed value (of the partner cell, or the constant).
+    value: Value,
+}
+
+impl Constraint {
+    /// The bound's current value under `assign`.
+    fn target<'a>(&'a self, assign: &'a Assignment) -> &'a Value {
+        match self.cell {
+            Some(c) => current(assign, c, &self.value),
+            None => &self.value,
+        }
+    }
+
+    /// Does `v` satisfy the constraint under `assign`?
+    fn holds(&self, v: &Value, assign: &Assignment) -> bool {
+        self.op.holds(v, self.target(assign))
+    }
+}
+
+/// Constraints each cell would have to satisfy to enforce some fix of an
+/// unresolved violation, plus each cell's violation degree.
+/// Per-cell constraint lists (tagged with their violation index) and
+/// per-cell violation degrees.
+type Gathered = (HashMap<Cell, Vec<(usize, Constraint)>>, HashMap<Cell, usize>);
+
+fn gather(component: &[Detected], unresolved: &[usize], assign: &Assignment) -> Gathered {
+    let mut constraints: HashMap<Cell, Vec<(usize, Constraint)>> = HashMap::new();
+    let mut degree: HashMap<Cell, usize> = HashMap::new();
+    let _ = assign;
+    for &vi in unresolved {
+        let (_, fixes) = &component[vi];
+        for fix in fixes {
+            // enforcing through the left cell: left op rhs
+            let (rhs_cell, rhs_value) = match &fix.rhs {
+                FixRhs::Cell(c, v) => (Some(*c), v.clone()),
+                FixRhs::Const(v) => (None, v.clone()),
+            };
+            constraints.entry(fix.left).or_default().push((
+                vi,
+                Constraint {
+                    op: fix.op,
+                    cell: rhs_cell,
+                    value: rhs_value,
+                },
+            ));
+            *degree.entry(fix.left).or_default() += 1;
+            // enforcing through the rhs cell: left op c  ⇔  c flip(op) left
+            if let FixRhs::Cell(c, _) = &fix.rhs {
+                constraints.entry(*c).or_default().push((
+                    vi,
+                    Constraint {
+                        op: fix.op.flip(),
+                        cell: Some(fix.left),
+                        value: fix.left_value.clone(),
+                    },
+                ));
+                *degree.entry(*c).or_default() += 1;
+            }
+        }
+    }
+    (constraints, degree)
+}
+
+/// The value for `cell` satisfying the most of its constraints, at
+/// minimal distance from the current value. Numeric bound constraints
+/// are combined into a feasible interval first.
+fn best_value(
+    current_value: &Value,
+    constraints: &[(usize, Constraint)],
+    assign: &Assignment,
+) -> Value {
+    // feasible interval from the ordering constraints
+    let mut lower: Option<Value> = None; // c >= lower
+    let mut upper: Option<Value> = None; // c <= upper
+    let mut candidates: Vec<Value> = vec![current_value.clone()];
+    for (_, c) in constraints {
+        let target = c.target(assign).clone();
+        match c.op {
+            Op::Ge => {
+                if lower.as_ref().is_none_or(|l| target > *l) {
+                    lower = Some(target);
+                }
+            }
+            Op::Gt => {
+                let v = value_above(&target);
+                if lower.as_ref().is_none_or(|l| v > *l) {
+                    lower = Some(v);
+                }
+            }
+            Op::Le => {
+                if upper.as_ref().is_none_or(|u| target < *u) {
+                    upper = Some(target);
+                }
+            }
+            Op::Lt => {
+                let v = value_below(&target);
+                if upper.as_ref().is_none_or(|u| v < *u) {
+                    upper = Some(v);
+                }
+            }
+            Op::Eq => candidates.push(target),
+            Op::Ne => candidates.push(value_above(&target)),
+        }
+    }
+    // the clamp of the current value into [lower, upper] is the
+    // minimal-change point of the feasible interval
+    let mut clamped = current_value.clone();
+    if let Some(l) = &lower {
+        if clamped < *l {
+            clamped = l.clone();
+        }
+    }
+    if let Some(u) = &upper {
+        if clamped > *u {
+            clamped = u.clone();
+        }
+    }
+    candidates.push(clamped);
+    if let Some(l) = &lower {
+        candidates.push(l.clone());
+    }
+    if let Some(u) = &upper {
+        candidates.push(u.clone());
+    }
+    // Interior candidates: with contradictory bounds (typical when some
+    // bounds come from *other dirty cells*) the optimum sits strictly
+    // between the extremes, so sample the constraint targets themselves.
+    let mut targets: Vec<Value> = constraints.iter().map(|(_, c)| c.target(assign).clone()).collect();
+    targets.sort();
+    targets.dedup();
+    const MAX_SAMPLES: usize = 32;
+    let stride = (targets.len() / MAX_SAMPLES).max(1);
+    for t in targets.iter().step_by(stride) {
+        candidates.push(t.clone());
+        candidates.push(value_above(t));
+    }
+    // score candidates: satisfied constraints desc, distance asc, value asc
+    let score = |v: &Value| -> usize {
+        constraints
+            .iter()
+            .filter(|(_, c)| c.holds(v, assign))
+            .count()
+    };
+    candidates.sort();
+    candidates.dedup();
+    candidates
+        .into_iter()
+        .map(|v| {
+            let s = score(&v);
+            let d = current_value.distance(&v);
+            (v, s, d)
+        })
+        .max_by(|(va, sa, da), (vb, sb, db)| {
+            sa.cmp(sb)
+                .then_with(|| db.total_cmp(da))
+                .then_with(|| vb.cmp(va))
+        })
+        .map(|(v, _, _)| v)
+        .expect("candidates never empty")
+}
+
+impl RepairAlgorithm for HypergraphRepair {
+    fn name(&self) -> &str {
+        "hypergraph"
+    }
+
+    fn repair(&self, component: &[Detected]) -> Assignment {
+        let mut assign = Assignment::new();
+        for _ in 0..self.max_rounds.max(1) {
+            let unresolved: Vec<usize> = (0..component.len())
+                .filter(|&i| !violation_resolved(&component[i], &assign))
+                .collect();
+            if unresolved.is_empty() {
+                break;
+            }
+            let (constraints, degree) = gather(component, &unresolved, &assign);
+            if constraints.is_empty() {
+                break; // violations with no possible fixes: terminal (§2.2)
+            }
+            // greedy cover: repair cells in descending violation degree,
+            // breaking ties toward the cheapest repair (§2.1's cost
+            // model); skip violations already covered within this round
+            let cell_current = |cell: Cell| -> Value {
+                assign.get(&cell).cloned().unwrap_or_else(|| {
+                    constraints
+                        .get(&cell)
+                        .and_then(|cs| cs.first())
+                        .and_then(|(vi, _)| component[*vi].0.value_of(cell).cloned())
+                        .unwrap_or(Value::Null)
+                })
+            };
+            let mut order: Vec<(Cell, f64)> = degree
+                .keys()
+                .map(|&c| {
+                    let cur = cell_current(c);
+                    let bv = best_value(&cur, &constraints[&c], &assign);
+                    (c, cur.distance(&bv))
+                })
+                .collect();
+            order.sort_by(|(ca, costa), (cb, costb)| {
+                degree[cb]
+                    .cmp(&degree[ca])
+                    .then_with(|| costa.total_cmp(costb))
+                    .then_with(|| ca.cmp(cb))
+            });
+            let order: Vec<Cell> = order.into_iter().map(|(c, _)| c).collect();
+            let mut covered: std::collections::HashSet<usize> = Default::default();
+            let mut changed = false;
+            for cell in order {
+                let Some(cs) = constraints.get(&cell) else { continue };
+                let pending: Vec<(usize, Constraint)> = cs
+                    .iter()
+                    .filter(|(vi, _)| !covered.contains(vi))
+                    .cloned()
+                    .collect();
+                if pending.is_empty() {
+                    continue;
+                }
+                // the cell's current value: from the assignment overlay or
+                // any violation that records it
+                let cur = assign.get(&cell).cloned().unwrap_or_else(|| {
+                    component[pending[0].0]
+                        .0
+                        .value_of(cell)
+                        .cloned()
+                        .unwrap_or(Value::Null)
+                });
+                let v = best_value(&cur, &pending, &assign);
+                if v != cur {
+                    assign.insert(cell, v.clone());
+                    changed = true;
+                }
+                for (vi, c) in &pending {
+                    if c.holds(&v, &assign) {
+                        covered.insert(*vi);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixeval::fix_holds;
+    use bigdansing_rules::{Fix, Violation};
+
+    /// A φD-style violation: t1 (rich, low rate) vs t2 (poor, high rate).
+    /// Possible fixes: t1.salary ≤ t2.salary OR t1.rate ≥ t2.rate.
+    fn dc_detected(t1: u64, s1: i64, r1: i64, t2: u64, s2: i64, r2: i64) -> Detected {
+        let sal = |t: u64| Cell::new(t, 4);
+        let rate = |t: u64| Cell::new(t, 5);
+        let mut v = Violation::new("dc:phi2");
+        v.add_cell(sal(t1), Value::Int(s1));
+        v.add_cell(sal(t2), Value::Int(s2));
+        v.add_cell(rate(t1), Value::Int(r1));
+        v.add_cell(rate(t2), Value::Int(r2));
+        let fixes = vec![
+            Fix::compare(sal(t1), Value::Int(s1), Op::Le, FixRhs::Cell(sal(t2), Value::Int(s2))),
+            Fix::compare(rate(t1), Value::Int(r1), Op::Ge, FixRhs::Cell(rate(t2), Value::Int(r2))),
+        ];
+        (v, fixes)
+    }
+
+    #[test]
+    fn resolves_dc_violation_with_minimal_change() {
+        // salary gap is huge (200k→100k), rate gap tiny (10→11):
+        // the cheap repair touches a rate, not a salary.
+        let det = dc_detected(1, 200_000, 10, 2, 100_000, 11);
+        let assign = HypergraphRepair::default().repair(std::slice::from_ref(&det));
+        assert!(violation_resolved(&det, &assign));
+        assert!(
+            !assign.contains_key(&Cell::new(1, 4)) && !assign.contains_key(&Cell::new(2, 4)),
+            "salaries should be untouched: {assign:?}"
+        );
+    }
+
+    #[test]
+    fn high_degree_cell_is_repaired_once_for_many_violations() {
+        // one dirty tuple (id 0, rate far too low) violates against many
+        // others; the cover heuristic should fix tuple 0's rate once
+        let dets: Vec<Detected> = (1..20)
+            .map(|i| dc_detected(0, 900, 1, i, 100 + i as i64, 50))
+            .collect();
+        let assign = HypergraphRepair::default().repair(&dets);
+        // a single cell assignment (on tuple 0) resolves everything
+        assert_eq!(assign.len(), 1, "{assign:?}");
+        assert_eq!(assign.keys().next().unwrap().tuple, 0);
+        for d in &dets {
+            assert!(violation_resolved(d, &assign));
+        }
+    }
+
+    #[test]
+    fn every_violation_ends_resolved() {
+        let dets = vec![
+            dc_detected(1, 200, 10, 2, 100, 20),
+            dc_detected(3, 500, 1, 2, 100, 20),
+            dc_detected(1, 200, 10, 4, 50, 90),
+        ];
+        let assign = HypergraphRepair::default().repair(&dets);
+        for d in &dets {
+            assert!(violation_resolved(d, &assign), "unresolved: {:?}", d.0);
+        }
+        assert!(dets
+            .iter()
+            .all(|d| d.1.iter().any(|f| fix_holds(f, &assign))
+                || violation_resolved(d, &assign)));
+    }
+
+    #[test]
+    fn violations_without_fixes_are_left_alone() {
+        let mut v = Violation::new("r");
+        v.add_cell(Cell::new(1, 0), Value::Int(1));
+        let assign = HypergraphRepair::default().repair(&[(v, vec![])]);
+        assert!(
+            assign.is_empty(),
+            "no possible fixes → no repair (terminal state per §2.2)"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dets: Vec<Detected> = (0..10)
+            .map(|i| dc_detected(i, 100 + i as i64, 10, i + 100, 50, 20 + i as i64))
+            .collect();
+        let a1 = HypergraphRepair::default().repair(&dets);
+        let a2 = HypergraphRepair::default().repair(&dets);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn poisoned_bounds_do_not_win() {
+        // lower bounds from clean partners 15..19, one poisoned 80;
+        // upper bounds 21..23, one poisoned 3. The optimum sits near 19,
+        // satisfying 8 of 10 constraints — not at either extreme.
+        let a = Assignment::new();
+        let mut cs = Vec::new();
+        for (i, v) in [15, 16, 17, 18, 19, 80].iter().enumerate() {
+            cs.push((i, Constraint { op: Op::Ge, cell: None, value: Value::Int(*v) }));
+        }
+        for (i, v) in [21, 22, 23, 3].iter().enumerate() {
+            cs.push((10 + i, Constraint { op: Op::Le, cell: None, value: Value::Int(*v) }));
+        }
+        let v = best_value(&Value::Int(2), &cs, &a);
+        let sat = cs.iter().filter(|(_, c)| c.holds(&v, &a)).count();
+        assert_eq!(sat, 8, "best candidate satisfies 8/10, got {v:?} with {sat}");
+        assert!(v >= Value::Int(19) && v <= Value::Int(21), "{v:?}");
+    }
+
+    #[test]
+    fn feasible_interval_clamps_minimally() {
+        // c must be >= 10 and <= 20; current 5 → clamp to 10
+        let a = Assignment::new();
+        let cs = vec![
+            (0, Constraint { op: Op::Ge, cell: None, value: Value::Int(10) }),
+            (1, Constraint { op: Op::Le, cell: None, value: Value::Int(20) }),
+        ];
+        assert_eq!(best_value(&Value::Int(5), &cs, &a), Value::Int(10));
+        // current inside the interval → unchanged
+        assert_eq!(best_value(&Value::Int(15), &cs, &a), Value::Int(15));
+        // infeasible bounds → best-scoring candidate still returned
+        let cs = vec![
+            (0, Constraint { op: Op::Ge, cell: None, value: Value::Int(20) }),
+            (1, Constraint { op: Op::Le, cell: None, value: Value::Int(10) }),
+        ];
+        let v = best_value(&Value::Int(15), &cs, &a);
+        let sat = cs.iter().filter(|(_, c)| c.holds(&v, &a)).count();
+        assert_eq!(sat, 1, "one of two incompatible constraints satisfied");
+    }
+}

@@ -1,0 +1,117 @@
+//! The violation hypergraph (§5.1).
+//!
+//! "The nodes represent the elements and each hyperedge covers a set of
+//! elements that together violate a rule, along with possible repairs."
+
+use crate::Detected;
+use bigdansing_common::Cell;
+use std::collections::BTreeSet;
+
+/// One hyperedge: the element set of a violation (plus any extra cells
+/// its fixes reference).
+#[derive(Debug, Clone)]
+pub struct HyperEdge {
+    /// Index into the originating `Detected` slice.
+    pub detected_idx: usize,
+    /// Sorted, deduplicated member cells.
+    pub cells: Vec<Cell>,
+}
+
+/// The violation hypergraph, in edge-list form (node set is implicit).
+#[derive(Debug, Default)]
+pub struct Hypergraph {
+    /// One edge per violation.
+    pub edges: Vec<HyperEdge>,
+}
+
+impl Hypergraph {
+    /// Build from detection output. Cells referenced only by fixes are
+    /// included too, so repairs on them stay inside one component.
+    pub fn build(detected: &[Detected]) -> Hypergraph {
+        let edges = detected
+            .iter()
+            .enumerate()
+            .map(|(i, (v, fixes))| {
+                let mut cells: BTreeSet<Cell> = v.cells().iter().map(|(c, _)| *c).collect();
+                for f in fixes {
+                    cells.extend(f.cells());
+                }
+                HyperEdge {
+                    detected_idx: i,
+                    cells: cells.into_iter().collect(),
+                }
+            })
+            .collect();
+        Hypergraph { edges }
+    }
+
+    /// Number of hyperedges (violations).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All distinct nodes (cells).
+    pub fn nodes(&self) -> Vec<Cell> {
+        let set: BTreeSet<Cell> = self
+            .edges
+            .iter()
+            .flat_map(|e| e.cells.iter().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Edge cells encoded as `u64` node ids (for the CC algorithms).
+    pub fn encoded_edges(&self) -> Vec<Vec<u64>> {
+        self.edges
+            .iter()
+            .map(|e| e.cells.iter().map(Cell::encode).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Value;
+    use bigdansing_rules::{Fix, Violation};
+
+    fn detected(cells: &[(u64, usize)]) -> Detected {
+        let mut v = Violation::new("r");
+        for (t, a) in cells {
+            v.add_cell(Cell::new(*t, *a), Value::Int(0));
+        }
+        (v, vec![])
+    }
+
+    #[test]
+    fn builds_edges_with_sorted_unique_cells() {
+        let d = vec![detected(&[(2, 1), (1, 1), (2, 1)])];
+        let g = Hypergraph::build(&d);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges[0].cells, vec![Cell::new(1, 1), Cell::new(2, 1)]);
+    }
+
+    #[test]
+    fn fix_only_cells_join_the_edge() {
+        let mut v = Violation::new("r");
+        v.add_cell(Cell::new(1, 0), Value::Int(0));
+        let fix = Fix::assign_cell(Cell::new(1, 0), Value::Int(0), Cell::new(9, 4), Value::Int(1));
+        let g = Hypergraph::build(&[(v, vec![fix])]);
+        assert!(g.edges[0].cells.contains(&Cell::new(9, 4)));
+        assert_eq!(g.nodes().len(), 2);
+    }
+
+    #[test]
+    fn figure7_shape() {
+        // v1 = {c1, c2}, v2 = {c2, c3}, v3 = {c4, c5}
+        let d = vec![
+            detected(&[(1, 0), (2, 0)]),
+            detected(&[(2, 0), (3, 0)]),
+            detected(&[(4, 0), (5, 0)]),
+        ];
+        let g = Hypergraph::build(&d);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.nodes().len(), 5);
+        assert_eq!(g.encoded_edges()[0].len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-rules
+//!
+//! The quality-rule model of BigDansing (§2.1, §3).
+//!
+//! A rule is anything implementing [`Rule`]: the two fundamental abstract
+//! functions `Detect` and `GenFix`, plus the scalability hooks `Scope`,
+//! `Block`, and the metadata (`ordering conditions`, symmetry) the planner
+//! uses to pick enhancer operators (`OCJoin`, `UCrossProduct`, `CoBlock`).
+//!
+//! Declarative rules come with parsers that "automatically implement the
+//! abstract functions" exactly as the paper describes:
+//!
+//! * [`fd::FdRule`] — functional dependencies, `zipcode -> city`;
+//! * [`cfd::CfdRule`] — conditional FDs with a pattern tableau;
+//! * [`dc::DcRule`] — denial constraints over `=, !=, <, >, <=, >=`
+//!   predicates, e.g. φ2: `t1.salary > t2.salary & t1.rate < t2.rate`;
+//! * [`dedup::DedupRule`] — the φU-style similarity/UDF rule;
+//! * [`udf::UdfRule`] — arbitrary procedural rules from closures.
+
+pub mod cfd;
+pub mod dc;
+pub mod dedup;
+pub mod fd;
+pub mod ops;
+pub mod rule;
+pub mod udf;
+pub mod violation;
+
+pub use cfd::CfdRule;
+pub use dc::{DcRule, Operand, Predicate};
+pub use dedup::DedupRule;
+pub use fd::FdRule;
+pub use ops::{DetectUnit, Op, UnitKind};
+pub use rule::{BlockKey, OrderCond, Rule, RuleExt};
+pub use udf::UdfRule;
+pub use violation::{Fix, FixRhs, Violation};

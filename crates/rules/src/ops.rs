@@ -1,0 +1,228 @@
+//! Comparison operators and Detect input shapes.
+
+use bigdansing_common::{Tuple, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The comparison operators of the fix language (§2.1):
+/// `{=, ≠, <, >, ≤, ≥}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+}
+
+impl Op {
+    /// Evaluate the operator on two values using the total order of
+    /// [`Value`].
+    pub fn holds(&self, a: &Value, b: &Value) -> bool {
+        let ord = a.cmp(b);
+        match self {
+            Op::Eq => ord == Ordering::Equal,
+            Op::Ne => ord != Ordering::Equal,
+            Op::Lt => ord == Ordering::Less,
+            Op::Gt => ord == Ordering::Greater,
+            Op::Le => ord != Ordering::Greater,
+            Op::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The logical negation (`¬(a < b)` ⇔ `a ≥ b`).
+    pub fn negate(&self) -> Op {
+        match self {
+            Op::Eq => Op::Ne,
+            Op::Ne => Op::Eq,
+            Op::Lt => Op::Ge,
+            Op::Gt => Op::Le,
+            Op::Le => Op::Gt,
+            Op::Ge => Op::Lt,
+        }
+    }
+
+    /// The operator with its sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(&self) -> Op {
+        match self {
+            Op::Eq => Op::Eq,
+            Op::Ne => Op::Ne,
+            Op::Lt => Op::Gt,
+            Op::Gt => Op::Lt,
+            Op::Le => Op::Ge,
+            Op::Ge => Op::Le,
+        }
+    }
+
+    /// True for `=` / `≠`: the predicate outcome is invariant under
+    /// swapping the two tuples, which is what licenses UCrossProduct
+    /// (§4.2: "only symmetric comparisons, e.g. = and ≠").
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self, Op::Eq | Op::Ne)
+    }
+
+    /// True for the ordering comparisons OCJoin handles: `<, >, ≤, ≥`.
+    pub fn is_ordering(&self) -> bool {
+        matches!(self, Op::Lt | Op::Gt | Op::Le | Op::Ge)
+    }
+
+    /// Parse the textual form used in rule strings.
+    pub fn parse(s: &str) -> Option<Op> {
+        Some(match s {
+            "=" | "==" => Op::Eq,
+            "!=" | "<>" => Op::Ne,
+            "<" => Op::Lt,
+            ">" => Op::Gt,
+            "<=" => Op::Le,
+            ">=" => Op::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Le => "<=",
+            Op::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How many data units a rule's `Detect` consumes (§3.1: "a single U, a
+/// pair-U, or a list of Us"). The planner uses this to choose the Iterate
+/// shape when none is given.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// Detect inspects one unit (e.g. single-tuple checks).
+    Single,
+    /// Detect inspects an (unordered or ordered) pair of units — all the
+    /// paper's example rules.
+    Pair,
+    /// Detect inspects a whole block of units at once.
+    List,
+}
+
+/// The input handed to `Detect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectUnit {
+    /// One data unit.
+    Single(Tuple),
+    /// A candidate pair.
+    Pair(Tuple, Tuple),
+    /// A whole block.
+    List(Vec<Tuple>),
+}
+
+impl DetectUnit {
+    /// The units inside, in order.
+    pub fn tuples(&self) -> Vec<&Tuple> {
+        match self {
+            DetectUnit::Single(t) => vec![t],
+            DetectUnit::Pair(a, b) => vec![a, b],
+            DetectUnit::List(l) => l.iter().collect(),
+        }
+    }
+
+    /// The pair view; panics when the unit is not a pair (detects for
+    /// pair-rules are only ever fed pairs by the planner).
+    pub fn as_pair(&self) -> (&Tuple, &Tuple) {
+        match self {
+            DetectUnit::Pair(a, b) => (a, b),
+            other => panic!("expected a pair detect-unit, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Op; 6] = [Op::Eq, Op::Ne, Op::Lt, Op::Gt, Op::Le, Op::Ge];
+
+    #[test]
+    fn holds_matches_ordering() {
+        let a = Value::Int(1);
+        let b = Value::Int(2);
+        assert!(Op::Lt.holds(&a, &b));
+        assert!(Op::Le.holds(&a, &b));
+        assert!(Op::Ne.holds(&a, &b));
+        assert!(!Op::Eq.holds(&a, &b));
+        assert!(!Op::Gt.holds(&a, &b));
+        assert!(Op::Ge.holds(&b, &a));
+        assert!(Op::Eq.holds(&a, &a));
+        assert!(Op::Le.holds(&a, &a));
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        let vals = [Value::Int(1), Value::Int(2), Value::str("x")];
+        for op in ALL {
+            assert_eq!(op.negate().negate(), op);
+            for a in &vals {
+                for b in &vals {
+                    assert_ne!(op.holds(a, b), op.negate().holds(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_swaps_sides() {
+        let vals = [Value::Int(1), Value::Int(2)];
+        for op in ALL {
+            for a in &vals {
+                for b in &vals {
+                    assert_eq!(op.holds(a, b), op.flip().holds(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Op::Eq.is_symmetric());
+        assert!(Op::Ne.is_symmetric());
+        assert!(!Op::Lt.is_symmetric());
+        assert!(Op::Lt.is_ordering() && Op::Ge.is_ordering());
+        assert!(!Op::Eq.is_ordering());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for op in ALL {
+            assert_eq!(Op::parse(&op.to_string()), Some(op));
+        }
+        assert_eq!(Op::parse("=="), Some(Op::Eq));
+        assert_eq!(Op::parse("<>"), Some(Op::Ne));
+        assert_eq!(Op::parse("~"), None);
+    }
+
+    #[test]
+    fn detect_unit_tuples() {
+        let t = Tuple::new(0, vec![Value::Int(1)]);
+        let u = Tuple::new(1, vec![Value::Int(2)]);
+        assert_eq!(DetectUnit::Single(t.clone()).tuples().len(), 1);
+        let p = DetectUnit::Pair(t.clone(), u.clone());
+        assert_eq!(p.as_pair().0.id(), 0);
+        assert_eq!(DetectUnit::List(vec![t, u]).tuples().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a pair")]
+    fn as_pair_panics_on_single() {
+        DetectUnit::Single(Tuple::new(0, vec![])).as_pair();
+    }
+}

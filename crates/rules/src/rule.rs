@@ -1,0 +1,170 @@
+//! The [`Rule`] trait: BigDansing's five-operator abstraction (§3.1).
+//!
+//! `Detect` and `GenFix` are the two fundamental functions every rule
+//! must provide; `Scope` and `Block` are the scalability hooks; `Iterate`
+//! is owned by the planner (it materializes candidate units from blocks)
+//! but rules steer it through [`Rule::unit_kind`], [`Rule::symmetric`],
+//! and [`Rule::ordering_conditions`].
+
+use crate::ops::{DetectUnit, Op, UnitKind};
+use crate::violation::{Fix, Violation};
+use bigdansing_common::{Tuple, Value};
+
+/// A blocking key: one or more values extracted from a data unit.
+/// Composite keys block on several attributes at once.
+pub type BlockKey = Vec<Value>;
+
+/// One ordering-comparison join condition of a rule, used by the planner
+/// to route candidate generation to OCJoin (§4.3). Attribute indices are
+/// in *scoped* (post-Scope) coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderCond {
+    /// Attribute of the left tuple.
+    pub left_attr: usize,
+    /// The ordering comparison (`<, >, ≤, ≥`).
+    pub op: Op,
+    /// Attribute of the right tuple.
+    pub right_attr: usize,
+}
+
+/// A data-quality rule.
+///
+/// Implementations must be thread-safe: the engine invokes the operators
+/// from many workers concurrently.
+pub trait Rule: Send + Sync {
+    /// A stable identifier, used to label violations.
+    fn name(&self) -> &str;
+
+    /// `Scope(U) → list⟨U⟩`: keep/transform the units relevant to this
+    /// rule. The default keeps everything. Returning an empty vector
+    /// drops the unit; returning several replicates it.
+    ///
+    /// Scoped tuples keep their original ids, and any cells emitted by
+    /// `detect`/`gen_fix` must reference **source-schema attribute
+    /// indices** so fixes can be applied to the base table.
+    fn scope(&self, unit: &Tuple) -> Vec<Tuple> {
+        vec![unit.clone()]
+    }
+
+    /// `Block(U) → key`: the blocking key under which violations may
+    /// occur, or `None` when the rule cannot block (candidates are then
+    /// generated with UCrossProduct / OCJoin over the whole scope).
+    ///
+    /// Contract: for a given rule this must return `Some` for every unit
+    /// or `None` for every unit, consistently with [`Rule::blocks`].
+    fn block(&self, unit: &Tuple) -> Option<BlockKey> {
+        let _ = unit;
+        None
+    }
+
+    /// Whether this rule provides a Block operator — the planner's
+    /// data-independent view of [`Rule::block`].
+    fn blocks(&self) -> bool {
+        false
+    }
+
+    /// The Detect input shape the planner must produce.
+    fn unit_kind(&self) -> UnitKind {
+        UnitKind::Pair
+    }
+
+    /// True when `detect` is invariant under swapping the pair — allows
+    /// the UCrossProduct enhancer (each unordered pair visited once).
+    fn symmetric(&self) -> bool {
+        true
+    }
+
+    /// Ordering-comparison join conditions, if any, for OCJoin routing.
+    fn ordering_conditions(&self) -> Vec<OrderCond> {
+        Vec::new()
+    }
+
+    /// `Detect(U | ⟨Ui,Uj⟩ | list⟨U⟩) → list⟨violation⟩`.
+    fn detect(&self, input: &DetectUnit) -> Vec<Violation>;
+
+    /// `GenFix(violation) → possible fixes`.
+    fn gen_fix(&self, violation: &Violation) -> Vec<Fix>;
+}
+
+/// Convenience helpers layered on every rule.
+pub trait RuleExt: Rule {
+    /// Detect over an explicit pair.
+    fn detect_pair(&self, a: &Tuple, b: &Tuple) -> Vec<Violation> {
+        self.detect(&DetectUnit::Pair(a.clone(), b.clone()))
+    }
+
+    /// Run detect + gen_fix over a pair, returning `(violations, fixes)`.
+    fn detect_and_fix_pair(&self, a: &Tuple, b: &Tuple) -> (Vec<Violation>, Vec<Fix>) {
+        let vs = self.detect_pair(a, b);
+        let fixes = vs.iter().flat_map(|v| self.gen_fix(v)).collect();
+        (vs, fixes)
+    }
+}
+
+impl<R: Rule + ?Sized> RuleExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Cell;
+
+    /// A toy rule: two units with equal attr-0 but different attr-1
+    /// violate; fix equalizes attr-1.
+    struct Toy;
+
+    impl Rule for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn block(&self, unit: &Tuple) -> Option<BlockKey> {
+            Some(vec![unit.value(0).clone()])
+        }
+        fn detect(&self, input: &DetectUnit) -> Vec<Violation> {
+            let (a, b) = input.as_pair();
+            if a.value(0) == b.value(0) && a.value(1) != b.value(1) {
+                vec![Violation::new("toy")
+                    .with_cell(a.cell(1), a.value(1).clone())
+                    .with_cell(b.cell(1), b.value(1).clone())]
+            } else {
+                vec![]
+            }
+        }
+        fn gen_fix(&self, v: &Violation) -> Vec<Fix> {
+            let (c1, v1) = &v.cells()[0];
+            let (c2, v2) = &v.cells()[1];
+            vec![Fix::assign_cell(*c1, v1.clone(), *c2, v2.clone())]
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let r = Toy;
+        let t = Tuple::new(0, vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(r.scope(&t), vec![t.clone()]);
+        assert_eq!(r.unit_kind(), UnitKind::Pair);
+        assert!(r.symmetric());
+        assert!(r.ordering_conditions().is_empty());
+        assert_eq!(r.block(&t), Some(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn detect_and_fix_pair_helper() {
+        let r = Toy;
+        let a = Tuple::new(0, vec![Value::Int(1), Value::str("x")]);
+        let b = Tuple::new(1, vec![Value::Int(1), Value::str("y")]);
+        let (vs, fixes) = r.detect_and_fix_pair(&a, &b);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(fixes.len(), 1);
+        assert_eq!(fixes[0].left, Cell::new(0, 1));
+        let c = Tuple::new(2, vec![Value::Int(2), Value::str("x")]);
+        assert!(r.detect_pair(&a, &c).is_empty());
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let rules: Vec<Box<dyn Rule>> = vec![Box::new(Toy)];
+        let a = Tuple::new(0, vec![Value::Int(1), Value::str("x")]);
+        let b = Tuple::new(1, vec![Value::Int(1), Value::str("y")]);
+        assert_eq!(rules[0].detect_pair(&a, &b).len(), 1);
+    }
+}

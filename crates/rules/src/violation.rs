@@ -1,0 +1,320 @@
+//! Violations and possible fixes (§2.1).
+//!
+//! `Detect(data units) → violation`: a violation is the set of elements
+//! that together are erroneous w.r.t. a rule. `GenFix(violation) →
+//! possible fixes`: each fix is an expression `x op y` with `x` an
+//! element and `y` an element or a constant.
+//!
+//! Both carry the *observed values* of their elements so that repair
+//! algorithms can run distributed without consulting the base table.
+
+use crate::ops::Op;
+use bigdansing_common::codec::Codec;
+use bigdansing_common::{Cell, Result, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A detected violation: the elements (with their observed values) that
+/// jointly violate one rule.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Violation {
+    rule: Arc<str>,
+    cells: Vec<(Cell, Value)>,
+}
+
+impl Violation {
+    /// Start a violation for `rule`. Accepts `&str`, `String`, or a
+    /// pre-interned `Arc<str>` — rules keep their name as `Arc<str>` so
+    /// millions of violations share one allocation.
+    pub fn new(rule: impl Into<Arc<str>>) -> Self {
+        Violation {
+            rule: rule.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Add an element with its observed value (the paper's `addTuple` /
+    /// cell registration).
+    pub fn add_cell(&mut self, cell: Cell, value: Value) -> &mut Self {
+        self.cells.push((cell, value));
+        self
+    }
+
+    /// Builder-style [`Violation::add_cell`].
+    pub fn with_cell(mut self, cell: Cell, value: Value) -> Self {
+        self.cells.push((cell, value));
+        self
+    }
+
+    /// The violated rule's name.
+    pub fn rule(&self) -> &str {
+        &self.rule
+    }
+
+    /// The elements in the violation.
+    pub fn cells(&self) -> &[(Cell, Value)] {
+        &self.cells
+    }
+
+    /// The observed value of `cell`, if it participates.
+    pub fn value_of(&self, cell: Cell) -> Option<&Value> {
+        self.cells.iter().find(|(c, _)| *c == cell).map(|(_, v)| v)
+    }
+
+    /// Ids of the tuples touched by this violation.
+    pub fn tuple_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.cells.iter().map(|(c, _)| c.tuple).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+impl fmt::Debug for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Violation[{}](", self.rule)?;
+        for (i, (c, v)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:?}={v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The right-hand side of a fix expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FixRhs {
+    /// Another element, with its observed value.
+    Cell(Cell, Value),
+    /// A constant.
+    Const(Value),
+}
+
+impl FixRhs {
+    /// The observed/constant value of the right-hand side.
+    pub fn value(&self) -> &Value {
+        match self {
+            FixRhs::Cell(_, v) => v,
+            FixRhs::Const(v) => v,
+        }
+    }
+}
+
+/// A possible fix: `left op rhs` (§2.1). The repair algorithm chooses
+/// which possible fixes to enforce.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Fix {
+    /// The element to change (or constrain).
+    pub left: Cell,
+    /// Observed value of `left` at detection time.
+    pub left_value: Value,
+    /// The comparison the repaired data must satisfy.
+    pub op: Op,
+    /// The target element or constant.
+    pub rhs: FixRhs,
+}
+
+impl Fix {
+    /// An equality fix between two elements, the most common case
+    /// (e.g. `t2[city] = t4[city]` in Figure 2).
+    pub fn assign_cell(left: Cell, left_value: Value, right: Cell, right_value: Value) -> Fix {
+        Fix {
+            left,
+            left_value,
+            op: Op::Eq,
+            rhs: FixRhs::Cell(right, right_value),
+        }
+    }
+
+    /// An equality fix to a constant.
+    pub fn assign_const(left: Cell, left_value: Value, value: Value) -> Fix {
+        Fix {
+            left,
+            left_value,
+            op: Op::Eq,
+            rhs: FixRhs::Const(value),
+        }
+    }
+
+    /// A general comparison fix (used by DC repairs, e.g.
+    /// `t1.rate <= t2.rate`).
+    pub fn compare(left: Cell, left_value: Value, op: Op, rhs: FixRhs) -> Fix {
+        Fix {
+            left,
+            left_value,
+            op,
+            rhs,
+        }
+    }
+
+    /// Every element mentioned by the fix.
+    pub fn cells(&self) -> Vec<Cell> {
+        match &self.rhs {
+            FixRhs::Cell(c, _) => vec![self.left, *c],
+            FixRhs::Const(_) => vec![self.left],
+        }
+    }
+}
+
+impl fmt::Debug for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.rhs {
+            FixRhs::Cell(c, v) => write!(f, "{:?} {} {:?}(={v})", self.left, self.op, c),
+            FixRhs::Const(v) => write!(f, "{:?} {} {v}", self.left, self.op),
+        }
+    }
+}
+
+// --- codecs for the disk-backed execution mode ---
+
+impl Codec for Violation {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.rule.to_string().encode(buf);
+        (self.cells.len() as u64).encode(buf);
+        for (c, v) in &self.cells {
+            c.encode().encode(buf);
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let rule = String::decode(buf)?;
+        let n = u64::decode(buf)? as usize;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = Cell::decode(u64::decode(buf)?);
+            let v = Value::decode(buf)?;
+            cells.push((c, v));
+        }
+        Ok(Violation {
+            rule: Arc::from(rule.as_str()),
+            cells,
+        })
+    }
+}
+
+impl Codec for Fix {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.left.encode().encode(buf);
+        self.left_value.encode(buf);
+        buf.push(match self.op {
+            Op::Eq => 0,
+            Op::Ne => 1,
+            Op::Lt => 2,
+            Op::Gt => 3,
+            Op::Le => 4,
+            Op::Ge => 5,
+        });
+        match &self.rhs {
+            FixRhs::Cell(c, v) => {
+                buf.push(0);
+                c.encode().encode(buf);
+                v.encode(buf);
+            }
+            FixRhs::Const(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        use bigdansing_common::Error;
+        let left = Cell::decode(u64::decode(buf)?);
+        let left_value = Value::decode(buf)?;
+        let op_tag = *buf
+            .first()
+            .ok_or_else(|| Error::Io("fix codec underrun".into()))?;
+        *buf = &buf[1..];
+        let op = match op_tag {
+            0 => Op::Eq,
+            1 => Op::Ne,
+            2 => Op::Lt,
+            3 => Op::Gt,
+            4 => Op::Le,
+            5 => Op::Ge,
+            t => return Err(Error::Io(format!("fix codec: bad op tag {t}"))),
+        };
+        let rhs_tag = *buf
+            .first()
+            .ok_or_else(|| Error::Io("fix codec underrun".into()))?;
+        *buf = &buf[1..];
+        let rhs = match rhs_tag {
+            0 => FixRhs::Cell(Cell::decode(u64::decode(buf)?), Value::decode(buf)?),
+            1 => FixRhs::Const(Value::decode(buf)?),
+            t => return Err(Error::Io(format!("fix codec: bad rhs tag {t}"))),
+        };
+        Ok(Fix {
+            left,
+            left_value,
+            op,
+            rhs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Violation {
+        Violation::new("fd:zip->city")
+            .with_cell(Cell::new(2, 1), Value::str("LA"))
+            .with_cell(Cell::new(4, 1), Value::str("SF"))
+    }
+
+    #[test]
+    fn violation_accessors() {
+        let v = v();
+        assert_eq!(v.rule(), "fd:zip->city");
+        assert_eq!(v.cells().len(), 2);
+        assert_eq!(v.value_of(Cell::new(4, 1)), Some(&Value::str("SF")));
+        assert_eq!(v.value_of(Cell::new(9, 9)), None);
+        assert_eq!(v.tuple_ids(), vec![2, 4]);
+    }
+
+    #[test]
+    fn fix_constructors_and_cells() {
+        let f = Fix::assign_cell(Cell::new(2, 1), Value::str("LA"), Cell::new(4, 1), Value::str("SF"));
+        assert_eq!(f.op, Op::Eq);
+        assert_eq!(f.cells().len(), 2);
+        let g = Fix::assign_const(Cell::new(2, 1), Value::str("LA"), Value::str("SF"));
+        assert_eq!(g.cells(), vec![Cell::new(2, 1)]);
+        assert_eq!(g.rhs.value(), &Value::str("SF"));
+        let h = Fix::compare(
+            Cell::new(1, 5),
+            Value::Float(3.0),
+            Op::Le,
+            FixRhs::Cell(Cell::new(2, 5), Value::Float(1.0)),
+        );
+        assert_eq!(h.op, Op::Le);
+    }
+
+    #[test]
+    fn violation_codec_roundtrip() {
+        let v = v();
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let back = Violation::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn fix_codec_roundtrip_both_rhs() {
+        for f in [
+            Fix::assign_cell(Cell::new(2, 1), Value::str("a"), Cell::new(4, 1), Value::str("b")),
+            Fix::compare(Cell::new(7, 0), Value::Int(1), Op::Ge, FixRhs::Const(Value::Float(2.5))),
+        ] {
+            let mut buf = Vec::new();
+            f.encode(&mut buf);
+            let back = Fix::decode(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn fix_codec_rejects_garbage() {
+        let buf = [0u8; 3];
+        assert!(Fix::decode(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-storage
+//!
+//! The data storage manager of Appendix F. BigDansing does not treat
+//! storage as a black box: it
+//!
+//! 1. **partitions** datasets *by content* (attribute values) rather than
+//!    by size, so the Block operator can be pushed down to the storage
+//!    layer and detection needs no shuffle ([`partitioned`]);
+//! 2. **replicates** a dataset heterogeneously — each replica logically
+//!    partitioned on a different attribute — so several cleansing jobs
+//!    with different blocking keys all find a co-located copy
+//!    ([`replicas`]);
+//! 3. stores data in a **binary, column-oriented layout** so the Scope
+//!    operator's projection can be pushed down to the reader and string
+//!    parsing is avoided entirely ([`layout`]).
+
+pub mod layout;
+pub mod partitioned;
+pub mod replicas;
+
+pub use partitioned::PartitionedStore;
+pub use replicas::ReplicatedStore;

@@ -1,0 +1,69 @@
+//! Property-based integration tests: random tables and rules through the
+//! full stack.
+
+use bigdansing::{BigDansing, CleanseOptions};
+use bigdansing_common::{Schema, Table, Value};
+use bigdansing_dataflow::Engine;
+use bigdansing_plan::Executor;
+use bigdansing_rules::{FdRule, Rule};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    prop::collection::vec((0i64..6, 0i64..4, 0i64..4), 0..max_rows).prop_map(|rows| {
+        Table::from_rows(
+            "t",
+            Schema::parse("a,b,c"),
+            rows.into_iter()
+                .map(|(a, b, c)| vec![Value::Int(a), Value::Int(b), Value::Int(c)])
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cleansing_terminates_and_detection_confirms(table in arb_table(40)) {
+        let mut sys = BigDansing::parallel(2);
+        sys.add_fd("a -> b", table.schema()).unwrap();
+        let res = sys.cleanse(&table, CleanseOptions::default()).unwrap();
+        // terminated within the budget, and convergence is truthful
+        prop_assert!(res.iterations <= 10);
+        let clean = sys.detect(&res.table).is_clean();
+        prop_assert_eq!(res.converged, clean);
+        // an FD with equality fixes is always repairable
+        prop_assert!(clean, "FD cleansing must converge");
+    }
+
+    #[test]
+    fn engine_parity_on_random_data(table in arb_table(50), workers in 1usize..5) {
+        let rule: Arc<dyn Rule> = Arc::new(FdRule::parse("a -> b", table.schema()).unwrap());
+        let count = |e: Engine| Executor::new(e).detect(&table, &[Arc::clone(&rule)]).violation_count();
+        let seq = count(Engine::sequential());
+        prop_assert_eq!(seq, count(Engine::parallel(workers)));
+        prop_assert_eq!(seq, count(Engine::disk_backed(workers)));
+    }
+
+    #[test]
+    fn repaired_tables_only_change_fd_rhs_cells(table in arb_table(40)) {
+        let mut sys = BigDansing::sequential();
+        sys.add_fd("a -> c", table.schema()).unwrap();
+        let res = sys.cleanse(&table, CleanseOptions::default()).unwrap();
+        for (before, after) in table.tuples().iter().zip(res.table.tuples()) {
+            prop_assert_eq!(before.value(0), after.value(0), "LHS untouched");
+            prop_assert_eq!(before.value(1), after.value(1), "unrelated attr untouched");
+        }
+    }
+
+    #[test]
+    fn cleansing_is_idempotent(table in arb_table(30)) {
+        let mut sys = BigDansing::parallel(2);
+        sys.add_fd("a -> b", table.schema()).unwrap();
+        let once = sys.cleanse(&table, CleanseOptions::default()).unwrap();
+        let twice = sys.cleanse(&once.table, CleanseOptions::default()).unwrap();
+        prop_assert_eq!(twice.cells_changed, 0, "second cleanse is a no-op");
+        prop_assert_eq!(once.table.diff_cells(&twice.table), 0);
+    }
+}
