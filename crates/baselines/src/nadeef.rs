@@ -60,9 +60,24 @@ mod tests {
             "t",
             schema,
             vec![
-                vec![Value::Int(1), Value::str("LA"), Value::Int(100), Value::Int(30)],
-                vec![Value::Int(1), Value::str("SF"), Value::Int(200), Value::Int(10)],
-                vec![Value::Int(2), Value::str("NY"), Value::Int(300), Value::Int(40)],
+                vec![
+                    Value::Int(1),
+                    Value::str("LA"),
+                    Value::Int(100),
+                    Value::Int(30),
+                ],
+                vec![
+                    Value::Int(1),
+                    Value::str("SF"),
+                    Value::Int(200),
+                    Value::Int(10),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::str("NY"),
+                    Value::Int(300),
+                    Value::Int(40),
+                ],
             ],
         )
     }

@@ -16,9 +16,9 @@ use bigdansing_datagen::tax;
 use bigdansing_ocjoin::naive::{cross_join_filter, ucross_join_filter};
 use bigdansing_ocjoin::{ocjoin, OcJoinConfig};
 use bigdansing_plan::Executor;
+use bigdansing_repair::blackbox::RepairOptions;
 use bigdansing_repair::cc::{components_bsp, components_union_find};
 use bigdansing_repair::{repair_parallel, repair_serial, EquivalenceClassRepair};
-use bigdansing_repair::blackbox::RepairOptions;
 use bigdansing_rules::{DcRule, DedupRule, FdRule, Rule};
 use std::sync::Arc;
 
@@ -64,13 +64,21 @@ fn bench_blocking_vs_detect_only(c: &mut Criterion) {
     g.bench_function("full_api_blocked", |b| {
         b.iter(|| {
             let exec = Executor::new(Engine::parallel(2));
-            black_box(exec.detect(&gt.dirty, &[Arc::clone(&rule)]).violation_count())
+            black_box(
+                exec.detect(&gt.dirty, &[Arc::clone(&rule)])
+                    .unwrap()
+                    .violation_count(),
+            )
         })
     });
     g.bench_function("detect_only", |b| {
         b.iter(|| {
             let exec = Executor::new(Engine::parallel(2));
-            black_box(exec.detect_only(&gt.dirty, Arc::clone(&rule)).violation_count())
+            black_box(
+                exec.detect_only(&gt.dirty, Arc::clone(&rule))
+                    .unwrap()
+                    .violation_count(),
+            )
         })
     });
     g.finish();
@@ -97,7 +105,11 @@ fn bench_levenshtein(c: &mut Criterion) {
     let mut g = c.benchmark_group("levenshtein");
     for (name, a, b_) in [
         ("short", "Robert", "Roberta"),
-        ("long", "Wolfeschlegelsteinhausen", "Wolfeschlegelsteinhauser"),
+        (
+            "long",
+            "Wolfeschlegelsteinhausen",
+            "Wolfeschlegelsteinhauser",
+        ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &(a, b_), |b, (x, y)| {
             b.iter(|| black_box(sim::levenshtein(black_box(x), black_box(y))))
@@ -111,7 +123,7 @@ fn bench_repair(c: &mut Criterion) {
     let rule: Arc<dyn Rule> =
         Arc::new(FdRule::parse("zipcode -> city", gt.dirty.schema()).unwrap());
     let exec = Executor::new(Engine::parallel(2));
-    let detected = exec.detect(&gt.dirty, &[rule]);
+    let detected = exec.detect(&gt.dirty, &[rule]).unwrap();
     let mut g = c.benchmark_group("equivalence_repair");
     g.sample_size(10);
     g.bench_function("parallel_per_cc", |b| {

@@ -15,7 +15,9 @@ use bigdansing_storage::{layout, PartitionedStore};
 use std::sync::Arc;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
 }
 
 /// Shared scans (plan consolidation): k rules over one dataset, loaded
@@ -23,7 +25,12 @@ fn workers() -> usize {
 pub fn ablation_shared_scan() -> Report {
     let mut r = Report::new(
         "Ablation — plan consolidation: shared scan vs per-rule scans (TaxA, 3 FDs)",
-        &["rows", "consolidated", "unconsolidated", "scans (cons/uncons)"],
+        &[
+            "rows",
+            "consolidated",
+            "unconsolidated",
+            "scans (cons/uncons)",
+        ],
     );
     let specs = ["zipcode -> city", "zipcode -> state", "city -> state"];
     for n in [rows(20_000), rows(60_000)] {
@@ -33,10 +40,10 @@ pub fn ablation_shared_scan() -> Report {
             .map(|s| Arc::new(FdRule::parse(s, gt.dirty.schema()).unwrap()) as Arc<dyn Rule>)
             .collect();
         let exec = Executor::new(Engine::parallel(workers()));
-        let (_, shared) = time_best(|| exec.detect(&gt.dirty, &rules));
+        let (_, shared) = time_best(|| exec.detect(&gt.dirty, &rules).unwrap());
         let scans_shared = Metrics::get(&exec.engine().metrics().tuples_scanned);
         exec.engine().metrics().reset();
-        let (_, separate) = time_best(|| exec.detect_unconsolidated(&gt.dirty, &rules));
+        let (_, separate) = time_best(|| exec.detect_unconsolidated(&gt.dirty, &rules).unwrap());
         let scans_sep = Metrics::get(&exec.engine().metrics().tuples_scanned);
         r.row(vec![
             format!("{}K", n / 1000).into(),
@@ -60,21 +67,27 @@ pub fn ablation_coblock() -> Report {
         // a right table sharing customer keys but with re-generated
         // addresses: every shared key violates the cross-table FD
         let right_gt = tpch::tpch(n, 0.10, 33);
-        let rule: Arc<dyn Rule> = Arc::new(
-            FdRule::parse("o_custkey -> c_address", left.schema()).unwrap(),
-        );
+        let rule: Arc<dyn Rule> =
+            Arc::new(FdRule::parse("o_custkey -> c_address", left.schema()).unwrap());
         let exec = Executor::new(Engine::parallel(workers()));
-        let (out, co) = time_best(|| exec.detect_two_tables(Arc::clone(&rule), &left, &right_gt.dirty));
+        let (out, co) = time_best(|| {
+            exec.detect_two_tables(Arc::clone(&rule), &left, &right_gt.dirty)
+                .unwrap()
+        });
         // naive: concatenate both tables (re-identified) and run the
         // unblocked UCrossProduct over the union — what a system without
         // CoBlock would do
         let mut tuples = left.tuples().to_vec();
         let offset = 1_000_000u64;
-        tuples.extend(right_gt.dirty.tuples().iter().map(|t| {
-            bigdansing_common::Tuple::new(t.id() + offset, t.values().to_vec())
-        }));
+        tuples.extend(
+            right_gt
+                .dirty
+                .tuples()
+                .iter()
+                .map(|t| bigdansing_common::Tuple::new(t.id() + offset, t.values().to_vec())),
+        );
         let union = bigdansing_common::Table::new("u", left.schema().clone(), tuples);
-        let (_, naive) = time_best(|| exec.detect_only(&union, Arc::clone(&rule)));
+        let (_, naive) = time_best(|| exec.detect_only(&union, Arc::clone(&rule)).unwrap());
         r.row(vec![
             format!("{}K", n / 1000).into(),
             out.violation_count().into(),
@@ -100,7 +113,7 @@ pub fn ablation_storage() -> Report {
     // Block pushdown: shuffle-free detection over a content-partitioned
     // store vs the regular group-by pipeline
     let exec = Executor::new(Engine::parallel(workers()));
-    let (_, regular) = time_best(|| exec.detect(&gt.dirty, &[Arc::clone(&rule)]));
+    let (_, regular) = time_best(|| exec.detect(&gt.dirty, &[Arc::clone(&rule)]).unwrap());
     let shuffled = Metrics::get(&exec.engine().metrics().records_shuffled);
     let store = PartitionedStore::build(&gt.dirty, &[tax::attr::ZIPCODE]);
     let engine = Engine::parallel(workers());

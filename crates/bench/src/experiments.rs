@@ -11,6 +11,7 @@ use crate::{quadratic_cap, rows, time};
 use bigdansing::{CleanseOptions, RepairStrategy};
 use bigdansing_common::Table;
 use bigdansing_dataflow::Engine;
+use bigdansing_dataflow::PDataset;
 use bigdansing_datagen::{customer, hai, ncvoter, tax, tpch};
 use bigdansing_ocjoin::naive::{cross_join_filter, ucross_join_filter};
 use bigdansing_ocjoin::{ocjoin, OcJoinConfig};
@@ -20,7 +21,6 @@ use bigdansing_repair::{
     HypergraphRepair,
 };
 use bigdansing_rules::{DcRule, DedupRule, FdRule, Rule};
-use bigdansing_dataflow::PDataset;
 use std::sync::Arc;
 
 const SEED: u64 = 0xB16_DA25;
@@ -28,7 +28,9 @@ const ERR: f64 = 0.10; // the paper's default 10% error rate
 
 /// The number of workers standing in for the paper's cluster.
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
 }
 
 fn phi1(schema: &bigdansing_common::Schema) -> Arc<dyn Rule> {
@@ -65,19 +67,56 @@ pub fn inventory() -> Vec<Report> {
         "Table 2 — datasets (container-scale defaults; ×BIGDANSING_SCALE)",
         &["dataset", "default rows", "source module"],
     );
-    datasets.row(vec!["TaxA".into(), fmt_rows(rows(100_000)).into(), "datagen::tax::taxa".into()]);
-    datasets.row(vec!["TaxB".into(), fmt_rows(rows(6_000)).into(), "datagen::tax::taxb".into()]);
-    datasets.row(vec!["TPCH".into(), fmt_rows(rows(100_000)).into(), "datagen::tpch::tpch".into()]);
-    datasets.row(vec!["customer1".into(), fmt_rows(rows(6_000)).into(), "datagen::customer::customer1".into()]);
-    datasets.row(vec!["customer2".into(), fmt_rows(rows(10_000)).into(), "datagen::customer::customer2".into()]);
-    datasets.row(vec!["NCVoter".into(), fmt_rows(rows(5_000)).into(), "datagen::ncvoter::ncvoter".into()]);
-    datasets.row(vec!["HAI".into(), fmt_rows(rows(5_000)).into(), "datagen::hai::hai".into()]);
+    datasets.row(vec![
+        "TaxA".into(),
+        fmt_rows(rows(100_000)).into(),
+        "datagen::tax::taxa".into(),
+    ]);
+    datasets.row(vec![
+        "TaxB".into(),
+        fmt_rows(rows(6_000)).into(),
+        "datagen::tax::taxb".into(),
+    ]);
+    datasets.row(vec![
+        "TPCH".into(),
+        fmt_rows(rows(100_000)).into(),
+        "datagen::tpch::tpch".into(),
+    ]);
+    datasets.row(vec![
+        "customer1".into(),
+        fmt_rows(rows(6_000)).into(),
+        "datagen::customer::customer1".into(),
+    ]);
+    datasets.row(vec![
+        "customer2".into(),
+        fmt_rows(rows(10_000)).into(),
+        "datagen::customer::customer2".into(),
+    ]);
+    datasets.row(vec![
+        "NCVoter".into(),
+        fmt_rows(rows(5_000)).into(),
+        "datagen::ncvoter::ncvoter".into(),
+    ]);
+    datasets.row(vec![
+        "HAI".into(),
+        fmt_rows(rows(5_000)).into(),
+        "datagen::hai::hai".into(),
+    ]);
     let mut rules = Report::new("Table 3 — integrity constraints", &["id", "rule"]);
     rules.row(vec!["ϕ1".into(), "(FD) zipcode -> city".into()]);
-    rules.row(vec!["ϕ2".into(), "(DC) t1.salary > t2.salary & t1.rate < t2.rate".into()]);
+    rules.row(vec![
+        "ϕ2".into(),
+        "(DC) t1.salary > t2.salary & t1.rate < t2.rate".into(),
+    ]);
     rules.row(vec!["ϕ3".into(), "(FD) o_custkey -> c_address".into()]);
-    rules.row(vec!["ϕ4".into(), "(UDF) customer rows are duplicates (Levenshtein ≥ 0.85)".into()]);
-    rules.row(vec!["ϕ5".into(), "(UDF) NCVoter rows are duplicates".into()]);
+    rules.row(vec![
+        "ϕ4".into(),
+        "(UDF) customer rows are duplicates (Levenshtein ≥ 0.85)".into(),
+    ]);
+    rules.row(vec![
+        "ϕ5".into(),
+        "(UDF) NCVoter rows are duplicates".into(),
+    ]);
     rules.row(vec!["ϕ6".into(), "(FD) zipcode -> state".into()]);
     rules.row(vec!["ϕ7".into(), "(FD) phone -> zipcode".into()]);
     rules.row(vec!["ϕ8".into(), "(FD) provider_id -> city, phone".into()]);
@@ -110,7 +149,12 @@ pub fn fig8a() -> Report {
         } else {
             Cell::Dnf
         };
-        r.row(vec!["ϕ1 (TaxA)".into(), fmt_rows(n).into(), Cell::Secs(bd), nad]);
+        r.row(vec![
+            "ϕ1 (TaxA)".into(),
+            fmt_rows(n).into(),
+            Cell::Secs(bd),
+            nad,
+        ]);
     }
     // ϕ2 on TaxB (hypergraph repair)
     for n in [rows(1_000), rows(3_000)] {
@@ -128,7 +172,12 @@ pub fn fig8a() -> Report {
         } else {
             Cell::Dnf
         };
-        r.row(vec!["ϕ2 (TaxB)".into(), fmt_rows(n).into(), Cell::Secs(bd), nad]);
+        r.row(vec![
+            "ϕ2 (TaxB)".into(),
+            fmt_rows(n).into(),
+            Cell::Secs(bd),
+            nad,
+        ]);
     }
     // ϕ3 on TPCH
     for n in [rows(5_000), rows(50_000)] {
@@ -147,7 +196,12 @@ pub fn fig8a() -> Report {
         } else {
             Cell::Dnf
         };
-        r.row(vec!["ϕ3 (TPCH)".into(), fmt_rows(n).into(), Cell::Secs(bd), nad]);
+        r.row(vec![
+            "ϕ3 (TPCH)".into(),
+            fmt_rows(n).into(),
+            Cell::Secs(bd),
+            nad,
+        ]);
     }
     r
 }
@@ -156,14 +210,20 @@ pub fn fig8a() -> Report {
 pub fn fig8b() -> Report {
     let mut r = Report::new(
         "Figure 8(b) — detection vs repair time by error rate (ϕ1, TaxA)",
-        &["error rate", "violations", "detection", "repair", "detect share"],
+        &[
+            "error rate",
+            "violations",
+            "detection",
+            "repair",
+            "detect share",
+        ],
     );
     let n = rows(20_000);
     for pct in [0.01, 0.05, 0.10, 0.50] {
         let gt = tax::taxa(n, pct, SEED);
         let rules = vec![phi1(gt.dirty.schema())];
         let exec = Executor::new(Engine::parallel(workers()));
-        let (detected, t_detect) = time(|| exec.detect(&gt.dirty, &rules));
+        let (detected, t_detect) = time(|| exec.detect(&gt.dirty, &rules).unwrap());
         let (_assign, t_repair) = time(|| {
             repair_parallel(
                 exec.engine(),
@@ -190,10 +250,21 @@ fn single_node_engine() -> Engine {
 
 /// Shared shape of Figures 9(a)/9(c): equality-FD detection across
 /// systems and sizes.
-fn fig9_equality(title: &str, sizes: [usize; 3], make: impl Fn(usize) -> (Table, Arc<dyn Rule>)) -> Report {
+fn fig9_equality(
+    title: &str,
+    sizes: [usize; 3],
+    make: impl Fn(usize) -> (Table, Arc<dyn Rule>),
+) -> Report {
     let mut r = Report::new(
         title,
-        &["rows", "BigDansing", "NADEEF", "PostgreSQL", "SparkSQL", "Shark"],
+        &[
+            "rows",
+            "BigDansing",
+            "NADEEF",
+            "PostgreSQL",
+            "SparkSQL",
+            "Shark",
+        ],
     );
     let cap = quadratic_cap();
     for n in sizes {
@@ -241,7 +312,14 @@ pub fn fig9a() -> Report {
 pub fn fig9b() -> Report {
     let mut r = Report::new(
         "Figure 9(b) — single-node detection, TaxB ϕ2 (inequality DC)",
-        &["rows", "BigDansing (OCJoin)", "NADEEF", "PostgreSQL", "SparkSQL", "Shark"],
+        &[
+            "rows",
+            "BigDansing (OCJoin)",
+            "NADEEF",
+            "PostgreSQL",
+            "SparkSQL",
+            "Shark",
+        ],
     );
     let cap = quadratic_cap();
     for n in [rows(1_000), rows(3_000), rows(6_000)] {
@@ -382,15 +460,30 @@ pub fn fig11b() -> Report {
     let datasets: Vec<(&str, Table, usize, Vec<usize>)> = vec![
         {
             let (t, _) = ncvoter::ncvoter(rows(5_000), SEED);
-            ("NCVoter", t, ncvoter::attr::NAME, vec![ncvoter::attr::NAME, ncvoter::attr::PHONE])
+            (
+                "NCVoter",
+                t,
+                ncvoter::attr::NAME,
+                vec![ncvoter::attr::NAME, ncvoter::attr::PHONE],
+            )
         },
         {
             let (t, _) = customer::customer1(rows(2_000), SEED);
-            ("customer1", t, customer::attr::NAME, vec![customer::attr::NAME, customer::attr::PHONE])
+            (
+                "customer1",
+                t,
+                customer::attr::NAME,
+                vec![customer::attr::NAME, customer::attr::PHONE],
+            )
         },
         {
             let (t, _) = customer::customer2(rows(2_000), SEED);
-            ("customer2", t, customer::attr::NAME, vec![customer::attr::NAME, customer::attr::PHONE])
+            (
+                "customer2",
+                t,
+                customer::attr::NAME,
+                vec![customer::attr::NAME, customer::attr::PHONE],
+            )
         },
     ];
     for (name, table, name_attr, merge) in datasets {
@@ -424,15 +517,13 @@ pub fn fig11c() -> Report {
     let cap = quadratic_cap();
     for n in [rows(2_000), rows(4_000), rows(8_000)] {
         let gt = tax::taxb(n, ERR, SEED);
-        let dc = DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", gt.dirty.schema())
-            .unwrap();
+        let dc = DcRule::parse(
+            "t1.salary > t2.salary & t1.rate < t2.rate",
+            gt.dirty.schema(),
+        )
+        .unwrap();
         let conds = dc.ordering_conditions();
-        let scoped: Vec<_> = gt
-            .dirty
-            .tuples()
-            .iter()
-            .flat_map(|t| dc.scope(t))
-            .collect();
+        let scoped: Vec<_> = gt.dirty.tuples().iter().flat_map(|t| dc.scope(t)).collect();
         let mk = || PDataset::from_vec(Engine::parallel(w), scoped.clone());
         let (oc_count, oc) = time(|| ocjoin(mk(), &conds, OcJoinConfig::default()).count());
         let uc = if n <= cap {
@@ -445,7 +536,13 @@ pub fn fig11c() -> Report {
         } else {
             Cell::Dnf
         };
-        r.row(vec![fmt_rows(n).into(), oc_count.into(), Cell::Secs(oc), uc, cp]);
+        r.row(vec![
+            fmt_rows(n).into(),
+            oc_count.into(),
+            Cell::Secs(oc),
+            uc,
+            cp,
+        ]);
     }
     r
 }
@@ -462,8 +559,8 @@ pub fn fig12a() -> Report {
         let gt = tax::taxa(n, ERR, SEED);
         let rule = dedup_rule(tax::attr::NAME, vec![tax::attr::NAME]);
         let exec = Executor::new(Engine::parallel(w));
-        let (full_out, full) = time(|| exec.detect(&gt.dirty, &[Arc::clone(&rule)]));
-        let (_, only) = time(|| exec.detect_only(&gt.dirty, Arc::clone(&rule)));
+        let (full_out, full) = time(|| exec.detect(&gt.dirty, &[Arc::clone(&rule)]).unwrap());
+        let (_, only) = time(|| exec.detect_only(&gt.dirty, Arc::clone(&rule)).unwrap());
         r.row(vec![
             fmt_rows(n).into(),
             full_out.violation_count().into(),
@@ -480,14 +577,19 @@ pub fn fig12a() -> Report {
 pub fn fig12b() -> Report {
     let mut r = Report::new(
         "Figure 12(b) — parallel vs serial repair by error rate (ϕ1, TaxA)",
-        &["error rate", "violations", "parallel repair", "serial repair"],
+        &[
+            "error rate",
+            "violations",
+            "parallel repair",
+            "serial repair",
+        ],
     );
     let n = rows(20_000);
     for pct in [0.01, 0.05, 0.10, 0.50] {
         let gt = tax::taxa(n, pct, SEED);
         let rules = vec![phi1(gt.dirty.schema())];
         let exec = Executor::new(Engine::parallel(workers()));
-        let detected = exec.detect(&gt.dirty, &rules);
+        let detected = exec.detect(&gt.dirty, &rules).unwrap();
         let (_, par) = time(|| {
             repair_parallel(
                 exec.engine(),
@@ -553,7 +655,12 @@ pub fn table4() -> Vec<Report> {
 
     let mut d = Report::new(
         "Table 4 (lower) — hypergraph repair on TaxB ϕD: mean |repair − truth| on rate",
-        &["system", "dirty distance", "repaired distance", "iterations"],
+        &[
+            "system",
+            "dirty distance",
+            "repaired distance",
+            "iterations",
+        ],
     );
     let gt = tax::taxb(rows(800), ERR, SEED);
     let rules = vec![phi2(gt.dirty.schema())];

@@ -12,7 +12,7 @@ use std::sync::Arc;
 /// BigDansing violation detection: returns `(violations, seconds)`.
 pub fn bd_detect(engine: Engine, table: &Table, rules: &[Arc<dyn Rule>]) -> (usize, f64) {
     let exec = Executor::new(engine);
-    let (out, secs) = time_best(|| exec.detect(table, rules));
+    let (out, secs) = time_best(|| exec.detect(table, rules).unwrap());
     (out.violation_count(), secs)
 }
 
@@ -96,7 +96,7 @@ pub fn bd_detect_with_strategy(
         strategy,
         use_genfix: false,
     };
-    let (out, secs) = time_best(|| exec.run_pipeline(exec.load(table), &pipeline));
+    let (out, secs) = time_best(|| exec.run_pipeline(exec.load(table), &pipeline).unwrap());
     (out.violation_count(), secs)
 }
 

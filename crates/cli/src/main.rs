@@ -66,7 +66,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         cfds: vec![],
         output: None,
         report: None,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
         repair: "eq".into(),
         max_iterations: 10,
     };
@@ -96,23 +98,23 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             other => positional.push(other.to_string()),
         }
     }
-    args.input = positional
-        .first()
-        .cloned()
-        .ok_or("missing input file")?;
+    args.input = positional.first().cloned().ok_or("missing input file")?;
     Ok(args)
 }
 
 fn build_system(args: &Args, table: &Table) -> Result<BigDansing, String> {
     let mut sys = BigDansing::parallel(args.workers);
     for spec in &args.fds {
-        sys.add_fd(spec, table.schema()).map_err(|e| e.to_string())?;
+        sys.add_fd(spec, table.schema())
+            .map_err(|e| e.to_string())?;
     }
     for spec in &args.dcs {
-        sys.add_dc(spec, table.schema()).map_err(|e| e.to_string())?;
+        sys.add_dc(spec, table.schema())
+            .map_err(|e| e.to_string())?;
     }
     for spec in &args.cfds {
-        sys.add_cfd(spec, table.schema()).map_err(|e| e.to_string())?;
+        sys.add_cfd(spec, table.schema())
+            .map_err(|e| e.to_string())?;
     }
     if sys.rules().is_empty() {
         return Err("no rules given (use --fd / --dc / --cfd)".into());
@@ -131,12 +133,22 @@ fn load(path: &str) -> Result<Table, String> {
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let table = load(&args.input)?;
-    eprintln!("loaded `{}`: {} rows × {} attributes", args.input, table.len(), table.schema().arity());
+    eprintln!(
+        "loaded `{}`: {} rows × {} attributes",
+        args.input,
+        table.len(),
+        table.schema().arity()
+    );
 
     match args.command.as_str() {
         "detect" => {
             let sys = build_system(&args, &table)?;
-            let out = sys.detect(&table);
+            let out = sys.detect(&table).map_err(|e| e.to_string())?;
+            if let Some(line) =
+                bigdansing::report::fault_summary(&sys.engine().metrics().snapshot())
+            {
+                eprintln!("{line}");
+            }
             eprintln!(
                 "{} violations, {} possible fixes",
                 out.violation_count(),
@@ -176,10 +188,15 @@ fn run() -> Result<(), String> {
             csv::write_file(&result.table, output).map_err(|e| e.to_string())?;
             eprintln!("wrote {output}");
             if let Some(stem) = &args.report {
-                let residue = sys.detect(&result.table);
+                let residue = sys.detect(&result.table).map_err(|e| e.to_string())?;
                 bigdansing::report::write_reports(&residue, Some(&result.table), stem)
                     .map_err(|e| e.to_string())?;
                 eprintln!("residual violations: {}", residue.violation_count());
+            }
+            if let Some(line) =
+                bigdansing::report::fault_summary(&sys.engine().metrics().snapshot())
+            {
+                eprintln!("{line}");
             }
         }
         "convert" => {

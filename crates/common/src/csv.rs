@@ -121,7 +121,10 @@ mod tests {
     fn split_handles_quotes_and_escapes() {
         assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(split_line(r#""a,b",c"#), vec!["a,b", "c"]);
-        assert_eq!(split_line(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(
+            split_line(r#""he said ""hi""",x"#),
+            vec![r#"he said "hi""#, "x"]
+        );
         assert_eq!(split_line(""), vec![""]);
         assert_eq!(split_line("a,,c"), vec!["a", "", "c"]);
     }
@@ -155,10 +158,7 @@ mod tests {
         let rendered = to_string(&t);
         let t2 = parse_str("D", &rendered, true, None).unwrap();
         assert_eq!(t.len(), t2.len());
-        assert_eq!(
-            t.tuple(0).unwrap().value(0),
-            t2.tuple(0).unwrap().value(0)
-        );
+        assert_eq!(t.tuple(0).unwrap().value(0), t2.tuple(0).unwrap().value(0));
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub enum Error {
     Io(String),
     /// A repair algorithm was asked to do something it does not support.
     Repair(String),
+    /// A dataflow task exhausted its retry budget. Identifies the
+    /// failing partition and how many attempts were made, with the last
+    /// failure cause stringified (panic payload or inner error).
+    Task {
+        /// Index of the partition whose task kept failing.
+        partition: usize,
+        /// Number of attempts made (the fault policy's bound).
+        attempts: u32,
+        /// The last attempt's failure, rendered as text.
+        cause: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -32,6 +43,14 @@ impl fmt::Display for Error {
             Error::Parse(m) => write!(f, "parse error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::Repair(m) => write!(f, "repair error: {m}"),
+            Error::Task {
+                partition,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "task error: partition {partition} failed after {attempts} attempt(s): {cause}"
+            ),
         }
     }
 }
@@ -54,6 +73,21 @@ mod tests {
         assert_eq!(e.to_string(), "rule parse error: bad arrow");
         let e = Error::InvalidPlan("no detect".into());
         assert!(e.to_string().contains("no detect"));
+    }
+
+    #[test]
+    fn task_error_displays_partition_and_attempts() {
+        let e = Error::Task {
+            partition: 7,
+            attempts: 3,
+            cause: "injected panic".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("partition 7"), "{s}");
+        assert!(s.contains("3 attempt"), "{s}");
+        assert!(s.contains("injected panic"), "{s}");
+        // stays Clone + Eq like every other variant
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub struct Metrics {
     pub partitions_joined: AtomicU64,
     /// Bytes written by the disk-backed (Hadoop-style) execution mode.
     pub bytes_spilled: AtomicU64,
+    /// Task attempts re-executed after a failure (panic or I/O error).
+    pub tasks_retried: AtomicU64,
+    /// Worker panics caught and isolated by the task runner.
+    pub panics_caught: AtomicU64,
+    /// Spill read/write attempts that failed (before any retry).
+    pub spill_failures: AtomicU64,
+    /// Checkpoints that degraded from disk-backed to in-memory because
+    /// the spill directory was unusable.
+    pub stages_degraded: AtomicU64,
 }
 
 impl Metrics {
@@ -57,6 +66,10 @@ impl Metrics {
             &self.partitions_pruned,
             &self.partitions_joined,
             &self.bytes_spilled,
+            &self.tasks_retried,
+            &self.panics_caught,
+            &self.spill_failures,
+            &self.stages_degraded,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -73,6 +86,10 @@ impl Metrics {
             partitions_pruned: Metrics::get(&self.partitions_pruned),
             partitions_joined: Metrics::get(&self.partitions_joined),
             bytes_spilled: Metrics::get(&self.bytes_spilled),
+            tasks_retried: Metrics::get(&self.tasks_retried),
+            panics_caught: Metrics::get(&self.panics_caught),
+            spill_failures: Metrics::get(&self.spill_failures),
+            stages_degraded: Metrics::get(&self.stages_degraded),
         }
     }
 }
@@ -96,6 +113,14 @@ pub struct MetricsSnapshot {
     pub partitions_joined: u64,
     /// See [`Metrics::bytes_spilled`].
     pub bytes_spilled: u64,
+    /// See [`Metrics::tasks_retried`].
+    pub tasks_retried: u64,
+    /// See [`Metrics::panics_caught`].
+    pub panics_caught: u64,
+    /// See [`Metrics::spill_failures`].
+    pub spill_failures: u64,
+    /// See [`Metrics::stages_degraded`].
+    pub stages_degraded: u64,
 }
 
 #[cfg(test)]

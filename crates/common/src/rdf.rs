@@ -120,7 +120,10 @@ mod tests {
         let t = parse_str("rdf", text).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.tuple(0).unwrap().value(OBJECT), &Value::str("MIT"));
-        assert_eq!(t.tuple(1).unwrap().value(PREDICATE), &Value::str("advised_by"));
+        assert_eq!(
+            t.tuple(1).unwrap().value(PREDICATE),
+            &Value::str("advised_by")
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn multiword_objects_join() {
         let t = parse_str("rdf", "s p New York City\n").unwrap();
-        assert_eq!(t.tuple(0).unwrap().value(OBJECT), &Value::str("New York City"));
+        assert_eq!(
+            t.tuple(0).unwrap().value(OBJECT),
+            &Value::str("New York City")
+        );
     }
 
     #[test]

@@ -71,7 +71,8 @@ impl Table {
 
     /// The current value of `cell`.
     pub fn cell_value(&self, cell: Cell) -> Option<&Value> {
-        self.tuple(cell.tuple).and_then(|t| t.get(cell.attr as usize))
+        self.tuple(cell.tuple)
+            .and_then(|t| t.get(cell.attr as usize))
     }
 
     /// Apply a set of cell assignments, returning the updated table.
@@ -184,7 +185,10 @@ mod tests {
     #[test]
     fn lookup_survives_non_dense_ids() {
         let schema = Schema::parse("a");
-        let tuples = vec![Tuple::new(10, vec![Value::Int(1)]), Tuple::new(3, vec![Value::Int(2)])];
+        let tuples = vec![
+            Tuple::new(10, vec![Value::Int(1)]),
+            Tuple::new(3, vec![Value::Int(2)]),
+        ];
         let t = Table::new("D", schema, tuples);
         assert_eq!(t.tuple(3).unwrap().value(0), &Value::Int(2));
         assert_eq!(t.tuple(10).unwrap().value(0), &Value::Int(1));

@@ -142,7 +142,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn tup() -> Tuple {
-        Tuple::new(7, vec![Value::str("Annie"), Value::Int(10001), Value::str("NY")])
+        Tuple::new(
+            7,
+            vec![Value::str("Annie"), Value::Int(10001), Value::str("NY")],
+        )
     }
 
     #[test]
@@ -159,7 +162,10 @@ mod tests {
         let t = tup();
         let p = t.project(&[1, 2, 9]);
         assert_eq!(p.id(), 7);
-        assert_eq!(p.values(), &[Value::Int(10001), Value::str("NY"), Value::Null]);
+        assert_eq!(
+            p.values(),
+            &[Value::Int(10001), Value::str("NY"), Value::Null]
+        );
     }
 
     #[test]

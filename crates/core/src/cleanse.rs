@@ -114,7 +114,7 @@ pub fn cleanse_loop(
         converged: false,
     };
     for _ in 0..options.max_iterations.max(1) {
-        let detected = executor.detect(&current, rules);
+        let detected = executor.detect(&current, rules)?;
         if detected.is_clean() {
             result.converged = true;
             break;
@@ -167,7 +167,7 @@ pub fn cleanse_loop(
         current = current.apply(&applicable)?;
     }
     if !result.converged {
-        result.converged = executor.detect(&current, rules).is_clean();
+        result.converged = executor.detect(&current, rules)?.is_clean();
     }
     result.table = current;
     Ok(result)
@@ -209,7 +209,7 @@ mod tests {
         assert_eq!(res.iterations, 1);
         assert_eq!(res.cells_changed, 1);
         assert!(res.repair_cost > 0.0);
-        assert!(exec.detect(&res.table, &rules).is_clean());
+        assert!(exec.detect(&res.table, &rules).unwrap().is_clean());
     }
 
     #[test]
@@ -233,7 +233,7 @@ mod tests {
             )
             .unwrap();
             assert!(res.converged, "strategy failed");
-            assert!(exec.detect(&res.table, &rules).is_clean());
+            assert!(exec.detect(&res.table, &rules).unwrap().is_clean());
         }
     }
 
@@ -264,7 +264,7 @@ mod tests {
         )
         .unwrap();
         assert!(res.converged, "DC repair did not converge: {res:?}");
-        assert!(exec.detect(&res.table, &rules).is_clean());
+        assert!(exec.detect(&res.table, &rules).unwrap().is_clean());
     }
 
     #[test]

@@ -28,14 +28,19 @@
 //! sys.add_fd("zipcode -> city", table.schema()).unwrap();
 //!
 //! // detection only
-//! let report = sys.detect(&table);
+//! let report = sys.detect(&table).unwrap();
 //! assert_eq!(report.violation_count(), 2);
 //!
 //! // full cleansing (detect ⇄ repair until clean)
 //! let result = sys.cleanse(&table, CleanseOptions::default()).unwrap();
 //! assert!(result.converged);
-//! assert!(sys.detect(&result.table).is_clean());
+//! assert!(sys.detect(&result.table).unwrap().is_clean());
 //! ```
+//!
+//! Stages run fault-tolerantly: worker panics and spill I/O errors are
+//! caught and retried under the engine's [`FaultPolicy`]; exhausted
+//! retries surface as a typed [`Error::Task`] instead of a crash. See
+//! [`Engine::builder`] for the retry/backoff/injection knobs.
 
 pub mod cleanse;
 pub mod report;
@@ -47,7 +52,9 @@ pub use system::BigDansing;
 // Re-export the workspace's main vocabulary so downstream users can
 // depend on `bigdansing` alone.
 pub use bigdansing_common::{csv, rdf, sim, Cell, Error, Result, Schema, Table, Tuple, Value};
-pub use bigdansing_dataflow::{Engine, ExecMode, PDataset};
+pub use bigdansing_dataflow::{
+    Engine, EngineBuilder, ExecMode, FaultInjector, FaultPolicy, PDataset, SpillFallback,
+};
 pub use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, Job};
 pub use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm};
 pub use bigdansing_rules::{

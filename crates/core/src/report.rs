@@ -5,6 +5,7 @@
 //! (§3.2). This module renders a [`DetectOutput`] as CSV for exactly
 //! that purpose (and for the CLI's `detect` command).
 
+use bigdansing_common::metrics::MetricsSnapshot;
 use bigdansing_common::{Result, Table};
 use bigdansing_plan::DetectOutput;
 use std::fmt::Write as _;
@@ -73,6 +74,26 @@ pub fn fixes_csv(output: &DetectOutput, table: Option<&Table>) -> String {
     out
 }
 
+/// Summarize the engine's fault-tolerance counters for a finished run.
+///
+/// Returns `None` when the run was fault-free (nothing worth reporting);
+/// otherwise a one-line summary of retries, caught panics, spill failures,
+/// and degraded stages, suitable for appending to the CLI's run report.
+pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
+    if m.tasks_retried == 0
+        && m.panics_caught == 0
+        && m.spill_failures == 0
+        && m.stages_degraded == 0
+    {
+        return None;
+    }
+    Some(format!(
+        "fault tolerance: {} task(s) retried, {} panic(s) caught, \
+         {} spill failure(s), {} stage(s) degraded to in-memory",
+        m.tasks_retried, m.panics_caught, m.spill_failures, m.stages_degraded
+    ))
+}
+
 /// Write both reports next to each other:
 /// `<stem>.violations.csv` and `<stem>.fixes.csv`.
 pub fn write_reports(
@@ -98,16 +119,10 @@ mod tests {
     use bigdansing_common::{csv, Schema};
 
     fn detect() -> (Table, DetectOutput) {
-        let table = csv::parse_str(
-            "t",
-            "zipcode,city\n1,LA\n1,SF\n",
-            true,
-            None,
-        )
-        .unwrap();
+        let table = csv::parse_str("t", "zipcode,city\n1,LA\n1,SF\n", true, None).unwrap();
         let mut sys = BigDansing::sequential();
         sys.add_fd("zipcode -> city", table.schema()).unwrap();
-        let out = sys.detect(&table);
+        let out = sys.detect(&table).unwrap();
         (table, out)
     }
 
@@ -126,7 +141,10 @@ mod tests {
         let (table, out) = detect();
         let rendered = fixes_csv(&out, Some(&table));
         assert!(rendered.contains("=,"), "equality op rendered");
-        assert!(rendered.contains("t1[city]"), "target cell rendered: {rendered}");
+        assert!(
+            rendered.contains("t1[city]"),
+            "target cell rendered: {rendered}"
+        );
     }
 
     #[test]
@@ -140,6 +158,25 @@ mod tests {
         assert!(v.lines().count() > 1);
         let f = std::fs::read_to_string(dir.join("run1.fixes.csv")).unwrap();
         assert!(f.lines().count() > 1);
+    }
+
+    #[test]
+    fn fault_summary_silent_when_fault_free() {
+        assert_eq!(fault_summary(&Default::default()), None);
+    }
+
+    #[test]
+    fn fault_summary_reports_nonzero_counters() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            tasks_retried: 3,
+            panics_caught: 2,
+            stages_degraded: 1,
+            ..Default::default()
+        };
+        let line = fault_summary(&snap).unwrap();
+        assert!(line.contains("3 task(s) retried"), "{line}");
+        assert!(line.contains("2 panic(s) caught"), "{line}");
+        assert!(line.contains("1 stage(s) degraded"), "{line}");
     }
 
     #[test]

@@ -84,8 +84,10 @@ impl BigDansing {
     }
 
     /// Run violation detection for every registered rule over `table`
-    /// (one shared scan).
-    pub fn detect(&self, table: &Table) -> DetectOutput {
+    /// (one shared scan). Stages run fault-tolerantly under the engine's
+    /// [`bigdansing_dataflow::FaultPolicy`]; a task that exhausts its
+    /// retry budget surfaces as [`Error::Task`](bigdansing_common::Error).
+    pub fn detect(&self, table: &Table) -> Result<DetectOutput> {
         self.executor.detect(table, &self.rules)
     }
 
@@ -104,9 +106,15 @@ impl BigDansing {
         let mut out = DetectOutput::default();
         for pipeline in &phys.pipelines {
             let table = tables.get(&pipeline.source).ok_or_else(|| {
-                Error::InvalidPlan(format!("job references unknown dataset `{}`", pipeline.source))
+                Error::InvalidPlan(format!(
+                    "job references unknown dataset `{}`",
+                    pipeline.source
+                ))
             })?;
-            out.extend(self.executor.run_pipeline(self.executor.load(table), pipeline));
+            out.extend(
+                self.executor
+                    .run_pipeline(self.executor.load(table), pipeline)?,
+            );
         }
         Ok(out)
     }
@@ -123,9 +131,24 @@ mod tests {
             "tax",
             schema,
             vec![
-                vec![Value::Int(90210), Value::str("LA"), Value::Int(100), Value::Int(10)],
-                vec![Value::Int(90210), Value::str("SF"), Value::Int(200), Value::Int(20)],
-                vec![Value::Int(90210), Value::str("LA"), Value::Int(300), Value::Int(30)],
+                vec![
+                    Value::Int(90210),
+                    Value::str("LA"),
+                    Value::Int(100),
+                    Value::Int(10),
+                ],
+                vec![
+                    Value::Int(90210),
+                    Value::str("SF"),
+                    Value::Int(200),
+                    Value::Int(20),
+                ],
+                vec![
+                    Value::Int(90210),
+                    Value::str("LA"),
+                    Value::Int(300),
+                    Value::Int(30),
+                ],
             ],
         )
     }
@@ -148,15 +171,14 @@ mod tests {
         let t = dirty_table();
         let mut sys = BigDansing::parallel(2);
         sys.add_fd("zipcode -> city", t.schema()).unwrap();
-        let out = sys.detect(&t);
+        let out = sys.detect(&t).unwrap();
         assert_eq!(out.violation_count(), 2); // (0,1) and (1,2)
     }
 
     #[test]
     fn run_job_executes_hand_authored_plans() {
         let t = dirty_table();
-        let rule: Arc<dyn Rule> =
-            Arc::new(FdRule::parse("zipcode -> city", t.schema()).unwrap());
+        let rule: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", t.schema()).unwrap());
         let mut job = Job::new("manual");
         job.add_input("tax", &["S"]);
         job.add_scope(&rule, "S");
@@ -182,12 +204,9 @@ mod tests {
         sys.add_fd("zipcode -> city", t.schema()).unwrap();
         let result = sys.cleanse(&t, crate::CleanseOptions::default()).unwrap();
         assert!(result.converged);
-        assert!(sys.detect(&result.table).is_clean());
+        assert!(sys.detect(&result.table).unwrap().is_clean());
         // majority LA wins; one cell changed
         assert_eq!(result.cells_changed, 1);
-        assert_eq!(
-            result.table.tuple(1).unwrap().value(1),
-            &Value::str("LA")
-        );
+        assert_eq!(result.table.tuple(1).unwrap().value(1), &Value::str("LA"));
     }
 }

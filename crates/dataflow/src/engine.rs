@@ -1,8 +1,12 @@
-//! The execution context: worker count, mode, metrics, spill directory.
+//! The execution context: worker count, mode, metrics, fault policy,
+//! spill directory.
 
+use crate::fault::{FaultInjector, FaultPolicy};
+use crate::pool::{self, TaskCtx};
+use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How a [`crate::PDataset`] executes its transformations.
@@ -23,49 +27,128 @@ struct EngineInner {
     metrics: Arc<Metrics>,
     spill_dir: PathBuf,
     spill_seq: AtomicU64,
+    /// Stage counter keying the fault injector's deterministic rolls;
+    /// bumped once per fault-tolerant pool run, from the driver thread.
+    stage_seq: AtomicU64,
+    policy: FaultPolicy,
+    injector: Option<FaultInjector>,
+    /// Set when a DiskBacked checkpoint demoted itself to in-memory.
+    degraded: AtomicBool,
+    /// Set when the engine actually created its spill directory, so
+    /// Drop only removes directories this engine made.
+    spill_dir_created: AtomicBool,
+}
+
+impl Drop for EngineInner {
+    fn drop(&mut self) {
+        // Best-effort cleanup of the temp spill dir when the last
+        // Engine handle goes away; leaks here were previously permanent.
+        if self.spill_dir_created.load(Ordering::Relaxed) {
+            let _ = std::fs::remove_dir_all(&self.spill_dir);
+        }
+    }
+}
+
+/// Configures an [`Engine`] before construction: worker count, fault
+/// policy, fault injection, and spill directory.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    mode: ExecMode,
+    workers: usize,
+    policy: FaultPolicy,
+    injector: Option<FaultInjector>,
+    spill_dir: Option<PathBuf>,
+}
+
+impl EngineBuilder {
+    /// Number of worker threads (clamped to at least 1; ignored by
+    /// `Sequential`).
+    pub fn workers(mut self, workers: usize) -> EngineBuilder {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Retry/backoff bounds for partition tasks and spill I/O.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> EngineBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Deterministic fault injection for tests and chaos runs.
+    pub fn fault_injector(mut self, injector: FaultInjector) -> EngineBuilder {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Override the checkpoint spill directory (default: a fresh
+    /// process-unique directory under the system temp dir).
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Construct the engine.
+    pub fn build(self) -> Engine {
+        let spill_dir = self.spill_dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "bigdansing-spill-{}-{}",
+                std::process::id(),
+                NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
+        Engine {
+            inner: Arc::new(EngineInner {
+                mode: self.mode,
+                workers: self.workers,
+                metrics: Metrics::new_shared(),
+                spill_dir,
+                spill_seq: AtomicU64::new(0),
+                stage_seq: AtomicU64::new(0),
+                policy: self.policy,
+                injector: self.injector,
+                degraded: AtomicBool::new(false),
+                spill_dir_created: AtomicBool::new(false),
+            }),
+        }
+    }
 }
 
 /// A cheaply clonable handle on the execution context. All datasets
-/// created from the same engine share its worker pool, metrics, and
-/// spill directory.
+/// created from the same engine share its worker pool, metrics, fault
+/// policy, and spill directory.
 #[derive(Clone)]
 pub struct Engine {
     inner: Arc<EngineInner>,
 }
 
 impl Engine {
-    fn build(mode: ExecMode, workers: usize) -> Engine {
-        let workers = workers.max(1);
-        let spill_dir = std::env::temp_dir().join(format!(
-            "bigdansing-spill-{}-{}",
-            std::process::id(),
-            NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed)
-        ));
-        Engine {
-            inner: Arc::new(EngineInner {
-                mode,
-                workers,
-                metrics: Metrics::new_shared(),
-                spill_dir,
-                spill_seq: AtomicU64::new(0),
-            }),
+    /// Start configuring an engine for `mode`.
+    pub fn builder(mode: ExecMode) -> EngineBuilder {
+        EngineBuilder {
+            mode,
+            workers: 1,
+            policy: FaultPolicy::default(),
+            injector: None,
+            spill_dir: None,
         }
     }
 
     /// A single-threaded engine.
     pub fn sequential() -> Engine {
-        Engine::build(ExecMode::Sequential, 1)
+        Engine::builder(ExecMode::Sequential).build()
     }
 
     /// A Spark-like in-memory engine with `workers` threads.
     pub fn parallel(workers: usize) -> Engine {
-        Engine::build(ExecMode::Parallel, workers)
+        Engine::builder(ExecMode::Parallel).workers(workers).build()
     }
 
     /// A Hadoop-like engine with `workers` threads whose checkpoints
     /// materialize through disk.
     pub fn disk_backed(workers: usize) -> Engine {
-        Engine::build(ExecMode::DiskBacked, workers)
+        Engine::builder(ExecMode::DiskBacked)
+            .workers(workers)
+            .build()
     }
 
     /// The execution mode.
@@ -92,15 +175,79 @@ impl Engine {
         &self.inner.metrics
     }
 
+    /// The retry/backoff policy tasks run under.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.inner.policy
+    }
+
+    /// The configured fault injector, if any.
+    pub fn fault_injector(&self) -> Option<FaultInjector> {
+        self.inner.injector
+    }
+
+    /// Whether any DiskBacked checkpoint on this engine demoted itself
+    /// to in-memory because the spill directory was unusable.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Record a checkpoint demotion (spill dir unusable → in-memory).
+    pub(crate) fn mark_degraded(&self) {
+        self.inner.degraded.store(true, Ordering::Relaxed);
+        Metrics::add(&self.inner.metrics.stages_degraded, 1);
+    }
+
     /// Directory used by [`crate::PDataset::checkpoint`] spills.
     pub fn spill_dir(&self) -> &PathBuf {
         &self.inner.spill_dir
+    }
+
+    /// Create the spill directory if needed, remembering that this
+    /// engine made it (so Drop can clean it up).
+    pub(crate) fn ensure_spill_dir(&self) -> std::io::Result<()> {
+        if !self.inner.spill_dir.is_dir() {
+            std::fs::create_dir_all(&self.inner.spill_dir)?;
+            self.inner.spill_dir_created.store(true, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// A fresh spill-file path.
     pub fn next_spill_path(&self) -> PathBuf {
         let id = self.inner.spill_seq.fetch_add(1, Ordering::Relaxed);
         self.inner.spill_dir.join(format!("stage-{id}.bin"))
+    }
+
+    /// A task context for one fault-tolerant stage, with a fresh stage
+    /// id. Called once per pool run from the driver thread, so stage
+    /// ids — and therefore injected faults — are deterministic.
+    pub(crate) fn task_ctx(&self) -> TaskCtx {
+        TaskCtx {
+            policy: self.inner.policy,
+            injector: self.inner.injector,
+            stage: self.inner.stage_seq.fetch_add(1, Ordering::Relaxed),
+            metrics: Arc::clone(&self.inner.metrics),
+        }
+    }
+
+    /// Run one fault-tolerant stage: `f` over every item, in parallel,
+    /// order-preserving, with per-task panic isolation, retries, and
+    /// fault injection per this engine's configuration. Items are
+    /// borrowed so failed attempts can be re-run against the same input.
+    pub fn run_stage<I, R, F>(&self, items: &[I], f: F) -> Result<Vec<R>>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(usize, &I) -> Result<R> + Sync,
+    {
+        let ctx = self.task_ctx();
+        pool::try_par_map_indexed(self.workers(), items, &ctx, f)
+    }
+
+    /// A fresh stage id for a non-pool stage (checkpoint spill phases),
+    /// keying the injector's deterministic rolls.
+    pub(crate) fn next_stage_id(&self) -> u64 {
+        self.inner.stage_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Split `data` into `nparts` round-robin-balanced partitions.
@@ -166,5 +313,61 @@ mod tests {
     fn spill_paths_are_unique() {
         let e = Engine::disk_backed(2);
         assert_ne!(e.next_spill_path(), e.next_spill_path());
+    }
+
+    #[test]
+    fn builder_carries_policy_and_injector() {
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(3)
+            .fault_policy(FaultPolicy::with_max_attempts(5))
+            .fault_injector(FaultInjector::seeded(9).with_task_panics(0.1))
+            .spill_dir("/tmp/bigdansing-test-spill-builder")
+            .build();
+        assert_eq!(e.workers(), 3);
+        assert_eq!(e.fault_policy().max_attempts, 5);
+        assert!(e.fault_injector().is_some());
+        assert_eq!(
+            e.spill_dir(),
+            &PathBuf::from("/tmp/bigdansing-test-spill-builder")
+        );
+        assert!(!e.is_degraded());
+    }
+
+    #[test]
+    fn run_stage_executes_and_preserves_order() {
+        let e = Engine::parallel(4);
+        let items: Vec<i64> = (0..50).collect();
+        let out = e.run_stage(&items, |_, x| Ok(x * 3)).unwrap();
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spill_dir_removed_when_last_handle_drops() {
+        let e = Engine::disk_backed(2);
+        let dir = e.spill_dir().clone();
+        e.ensure_spill_dir().unwrap();
+        std::fs::write(dir.join("stage-0.bin"), b"junk").unwrap();
+        assert!(dir.is_dir());
+        let clone = e.clone();
+        drop(e);
+        assert!(dir.is_dir(), "dir must survive while a handle is live");
+        drop(clone);
+        assert!(!dir.exists(), "last handle drop must remove the dir");
+    }
+
+    #[test]
+    fn drop_leaves_preexisting_dirs_alone() {
+        let dir =
+            std::env::temp_dir().join(format!("bigdansing-preexisting-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let e = Engine::builder(ExecMode::DiskBacked)
+                .workers(2)
+                .spill_dir(&dir)
+                .build();
+            e.ensure_spill_dir().unwrap();
+        }
+        assert!(dir.is_dir(), "engine must not delete a dir it didn't make");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,277 @@
+//! Fault-tolerance policy and deterministic fault injection.
+//!
+//! The platforms the paper targets treat task failure as routine: Spark
+//! re-executes failed tasks from lineage, Hadoop re-runs them from the
+//! materialized map output. This module gives the laptop-scale stand-in
+//! the same property. A [`FaultPolicy`] bounds how often a partition
+//! task (or a spill read/write) is retried and how long the engine backs
+//! off between attempts; a [`FaultInjector`] deterministically injects
+//! panics, I/O errors, and delays so tests can prove that recovery
+//! actually works — same seed, same faults, regardless of thread
+//! scheduling.
+
+use std::time::Duration;
+
+/// What a checkpoint does when the spill directory is unusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillFallback {
+    /// Demote the disk-backed checkpoint to an in-memory no-op and keep
+    /// going, counting the stage in `Metrics::stages_degraded`.
+    #[default]
+    Degrade,
+    /// Fail the stage with an I/O error.
+    FailFast,
+}
+
+/// Retry and backoff bounds for partition tasks and spill I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Attempts per task before the stage fails with `Error::Task`
+    /// (minimum 1 — the initial attempt counts).
+    pub max_attempts: u32,
+    /// Base backoff slept after a failed attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Behaviour when the spill directory cannot be created or written.
+    pub spill_fallback: SpillFallback,
+}
+
+impl Default for FaultPolicy {
+    /// Three attempts with a small exponential backoff, degrading
+    /// disk-backed checkpoints instead of crashing — the Spark-like
+    /// "tasks are retried a few times before the job fails" default.
+    fn default() -> Self {
+        FaultPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(2),
+            spill_fallback: SpillFallback::Degrade,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// No retries, no degradation: the first failure aborts the job.
+    pub fn fail_fast() -> FaultPolicy {
+        FaultPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            spill_fallback: SpillFallback::FailFast,
+        }
+    }
+
+    /// `attempts` per task, keeping the default backoff and fallback.
+    pub fn with_max_attempts(attempts: u32) -> FaultPolicy {
+        FaultPolicy {
+            max_attempts: attempts.max(1),
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based attempt that just
+    /// failed): `backoff · 2^(attempt−1)`, capped at 1 s.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(10);
+        self.backoff
+            .saturating_mul(factor)
+            .min(Duration::from_secs(1))
+    }
+}
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A partition task body (panic injection).
+    Task,
+    /// A checkpoint spill write (I/O error injection).
+    SpillWrite,
+    /// A checkpoint spill read-back (I/O error injection).
+    SpillRead,
+}
+
+/// Deterministic, seeded fault injector.
+///
+/// Every decision is a pure function of `(seed, site, stage, partition,
+/// attempt)`, so a given engine configuration produces the same faults
+/// on every run and on every thread interleaving. A retried attempt
+/// rolls fresh, so a site only exhausts its retries when all
+/// `max_attempts` rolls land under the fault probability — chance
+/// `p^max_attempts` per site; tests pin seeds where every site recovers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    seed: u64,
+    task_panic: f64,
+    spill_write_error: f64,
+    spill_read_error: f64,
+    delay: f64,
+    delay_for: Duration,
+}
+
+impl FaultInjector {
+    /// An injector that injects nothing (yet); chain `with_*` setters.
+    pub fn seeded(seed: u64) -> FaultInjector {
+        FaultInjector {
+            seed,
+            task_panic: 0.0,
+            spill_write_error: 0.0,
+            spill_read_error: 0.0,
+            delay: 0.0,
+            delay_for: Duration::ZERO,
+        }
+    }
+
+    /// Probability that a task attempt panics.
+    pub fn with_task_panics(mut self, p: f64) -> FaultInjector {
+        self.task_panic = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a spill write / read attempt fails with an I/O
+    /// error.
+    pub fn with_spill_errors(mut self, p: f64) -> FaultInjector {
+        self.spill_write_error = p.clamp(0.0, 1.0);
+        self.spill_read_error = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that an attempt is delayed by `for_each` first
+    /// (straggler simulation).
+    pub fn with_delays(mut self, p: f64, for_each: Duration) -> FaultInjector {
+        self.delay = p.clamp(0.0, 1.0);
+        self.delay_for = for_each;
+        self
+    }
+
+    /// A uniform draw in `[0, 1)` for one decision, keyed by every
+    /// coordinate that identifies the attempt plus a purpose salt.
+    fn roll(&self, salt: u64, site: FaultSite, stage: u64, partition: usize, attempt: u32) -> f64 {
+        let site_id = match site {
+            FaultSite::Task => 1u64,
+            FaultSite::SpillWrite => 2,
+            FaultSite::SpillRead => 3,
+        };
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(site_id.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(stage.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7))
+            .wrapping_add((partition as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        // splitmix64 finalizer
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Run the injections configured for `site` against one attempt:
+    /// possibly sleep, then possibly panic (Task) or return an I/O error
+    /// (SpillWrite / SpillRead).
+    pub(crate) fn inject(
+        &self,
+        site: FaultSite,
+        stage: u64,
+        partition: usize,
+        attempt: u32,
+    ) -> Result<(), std::io::Error> {
+        if self.delay > 0.0 && self.roll(11, site, stage, partition, attempt) < self.delay {
+            std::thread::sleep(self.delay_for);
+        }
+        match site {
+            FaultSite::Task => {
+                if self.task_panic > 0.0
+                    && self.roll(13, site, stage, partition, attempt) < self.task_panic
+                {
+                    panic!("injected panic: stage {stage} partition {partition} attempt {attempt}");
+                }
+            }
+            FaultSite::SpillWrite | FaultSite::SpillRead => {
+                let p = if site == FaultSite::SpillWrite {
+                    self.spill_write_error
+                } else {
+                    self.spill_read_error
+                };
+                if p > 0.0 && self.roll(17, site, stage, partition, attempt) < p {
+                    return Err(std::io::Error::other(format!(
+                        "injected spill fault: stage {stage} partition {partition} attempt {attempt}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_retries_with_backoff() {
+        let p = FaultPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.spill_fallback, SpillFallback::Degrade);
+        assert!(p.backoff_for(2) > p.backoff_for(1));
+        assert!(p.backoff_for(30) <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn fail_fast_policy_does_not_retry() {
+        let p = FaultPolicy::fail_fast();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.spill_fallback, SpillFallback::FailFast);
+        assert_eq!(p.backoff_for(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let a = FaultInjector::seeded(42).with_task_panics(0.5);
+        let b = FaultInjector::seeded(42).with_task_panics(0.5);
+        for stage in 0..4u64 {
+            for part in 0..16usize {
+                for attempt in 1..4u32 {
+                    assert_eq!(
+                        a.roll(13, FaultSite::Task, stage, part, attempt),
+                        b.roll(13, FaultSite::Task, stage, part, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_attempts_roll_differently() {
+        let inj = FaultInjector::seeded(7).with_task_panics(1.0);
+        let r1 = inj.roll(13, FaultSite::Task, 0, 0, 1);
+        let r2 = inj.roll(13, FaultSite::Task, 0, 0, 2);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let inj = FaultInjector::seeded(99).with_spill_errors(0.3);
+        let n = 10_000;
+        let failures = (0..n)
+            .filter(|i| inj.inject(FaultSite::SpillWrite, 0, *i, 1).is_err())
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn task_site_panics_when_probability_is_one() {
+        let inj = FaultInjector::seeded(1).with_task_panics(1.0);
+        let caught = std::panic::catch_unwind(|| {
+            let _ = inj.inject(FaultSite::Task, 0, 0, 1);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn zero_probability_injects_nothing() {
+        let inj = FaultInjector::seeded(5);
+        for part in 0..100 {
+            assert!(inj.inject(FaultSite::Task, 0, part, 1).is_ok());
+            assert!(inj.inject(FaultSite::SpillWrite, 0, part, 1).is_ok());
+            assert!(inj.inject(FaultSite::SpillRead, 0, part, 1).is_ok());
+        }
+    }
+}

@@ -6,6 +6,7 @@
 use crate::engine::Engine;
 use crate::pdataset::PDataset;
 use crate::pool::par_map_indexed;
+use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -64,12 +65,7 @@ impl<T: Send> PDataset<T> {
     }
 
     /// Reduce values per key with a binary fold.
-    pub fn reduce_by_key<K, V, KF, VF, RF>(
-        self,
-        key: KF,
-        value: VF,
-        reduce: RF,
-    ) -> PDataset<(K, V)>
+    pub fn reduce_by_key<K, V, KF, VF, RF>(self, key: KF, value: VF, reduce: RF) -> PDataset<(K, V)>
     where
         K: Hash + Eq + Send,
         V: Send,
@@ -135,10 +131,14 @@ impl<T: Send> PDataset<T> {
         let reducers = engine.default_partitions();
         let workers = engine.workers();
         let mapped_l = par_map_indexed(workers, self.into_partitions(), |_, part: Vec<T>| {
-            part.into_iter().map(|t| (key_left(&t), t)).collect::<Vec<_>>()
+            part.into_iter()
+                .map(|t| (key_left(&t), t))
+                .collect::<Vec<_>>()
         });
         let mapped_r = par_map_indexed(workers, other.into_partitions(), |_, part: Vec<U>| {
-            part.into_iter().map(|u| (key_right(&u), u)).collect::<Vec<_>>()
+            part.into_iter()
+                .map(|u| (key_right(&u), u))
+                .collect::<Vec<_>>()
         });
         let buckets_l = shuffle(&engine, mapped_l, reducers);
         let buckets_r = shuffle(&engine, mapped_r, reducers);
@@ -159,6 +159,78 @@ impl<T: Send> PDataset<T> {
                 .collect::<Vec<_>>()
         });
         PDataset::from_partitions(engine, partitions)
+    }
+}
+
+impl<T: Send + Sync + Clone> PDataset<T> {
+    /// Fault-tolerant [`Self::group_by_key`]: map and reduce stages run
+    /// under the engine's retry policy with panic isolation, and the
+    /// key extractor may fail per record. Records are cloned out of the
+    /// borrowed partitions so failed attempts can be re-run.
+    pub fn try_group_by_key<K, F>(self, key: F) -> Result<PDataset<(K, Vec<T>)>>
+    where
+        K: Hash + Eq + Send + Sync + Clone,
+        F: Fn(&T) -> Result<K> + Sync,
+    {
+        let engine = self.engine().clone();
+        let reducers = engine.default_partitions();
+        let mapped = engine.run_stage(self.partitions(), |_, part: &Vec<T>| {
+            part.iter().map(|t| Ok((key(t)?, t.clone()))).collect()
+        })?;
+        let buckets = shuffle(&engine, mapped, reducers);
+        let partitions = engine.run_stage(&buckets, |_, bucket: &Vec<(K, T)>| {
+            let mut groups: HashMap<K, Vec<T>> = HashMap::new();
+            for (k, t) in bucket {
+                groups.entry(k.clone()).or_default().push(t.clone());
+            }
+            Ok(groups.into_iter().collect::<Vec<_>>())
+        })?;
+        Ok(PDataset::from_partitions(engine, partitions))
+    }
+
+    /// Fault-tolerant [`Self::co_group`].
+    #[allow(clippy::type_complexity)]
+    pub fn try_co_group<U, K, FT, FU>(
+        self,
+        other: PDataset<U>,
+        key_left: FT,
+        key_right: FU,
+    ) -> Result<PDataset<(K, Vec<T>, Vec<U>)>>
+    where
+        U: Send + Sync + Clone,
+        K: Hash + Eq + Send + Sync + Clone,
+        FT: Fn(&T) -> Result<K> + Sync,
+        FU: Fn(&U) -> Result<K> + Sync,
+    {
+        let engine = self.engine().clone();
+        let reducers = engine.default_partitions();
+        let mapped_l = engine.run_stage(self.partitions(), |_, part: &Vec<T>| {
+            part.iter().map(|t| Ok((key_left(t)?, t.clone()))).collect()
+        })?;
+        let mapped_r = engine.run_stage(other.partitions(), |_, part: &Vec<U>| {
+            part.iter()
+                .map(|u| Ok((key_right(u)?, u.clone())))
+                .collect()
+        })?;
+        let buckets_l = shuffle(&engine, mapped_l, reducers);
+        let buckets_r = shuffle(&engine, mapped_r, reducers);
+        #[allow(clippy::type_complexity)]
+        let zipped: Vec<(Vec<(K, T)>, Vec<(K, U)>)> =
+            buckets_l.into_iter().zip(buckets_r).collect();
+        let partitions = engine.run_stage(&zipped, |_, (bl, br)| {
+            let mut groups: HashMap<K, (Vec<T>, Vec<U>)> = HashMap::new();
+            for (k, t) in bl {
+                groups.entry(k.clone()).or_default().0.push(t.clone());
+            }
+            for (k, u) in br {
+                groups.entry(k.clone()).or_default().1.push(u.clone());
+            }
+            Ok(groups
+                .into_iter()
+                .map(|(k, (l, r))| (k, l, r))
+                .collect::<Vec<_>>())
+        })?;
+        Ok(PDataset::from_partitions(engine, partitions))
     }
 }
 
@@ -193,9 +265,7 @@ mod tests {
         let e = Engine::parallel(4);
         let data: Vec<i64> = (0..1000).collect();
         let ds = PDataset::from_vec(e, data.clone());
-        let mut sums: Vec<(i64, i64)> = ds
-            .reduce_by_key(|x| x % 5, |x| x, |a, b| a + b)
-            .collect();
+        let mut sums: Vec<(i64, i64)> = ds.reduce_by_key(|x| x % 5, |x| x, |a, b| a + b).collect();
         sums.sort();
         let mut expect: HashMap<i64, i64> = HashMap::new();
         for x in data {
@@ -212,9 +282,8 @@ mod tests {
         let left = PDataset::from_vec(e.clone(), vec![(1i64, "a"), (1, "b"), (2, "c")]);
         let right = PDataset::from_vec(e, vec![(1i64, 10), (3, 30)]);
         #[allow(clippy::type_complexity)]
-        let mut out: Vec<(i64, Vec<(i64, &str)>, Vec<(i64, i32)>)> = left
-            .co_group(right, |l| l.0, |r| r.0)
-            .collect();
+        let mut out: Vec<(i64, Vec<(i64, &str)>, Vec<(i64, i32)>)> =
+            left.co_group(right, |l| l.0, |r| r.0).collect();
         out.sort_by_key(|(k, _, _)| *k);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].0, 1);
@@ -224,6 +293,83 @@ mod tests {
         assert!(out[1].2.is_empty());
         assert_eq!(out[2].0, 3);
         assert!(out[2].1.is_empty());
+    }
+
+    #[test]
+    fn try_group_by_key_matches_infallible() {
+        let e = Engine::parallel(4);
+        let data: Vec<i64> = (0..200).collect();
+        let norm = |mut g: Vec<(i64, Vec<i64>)>| {
+            for (_, v) in g.iter_mut() {
+                v.sort();
+            }
+            g.sort();
+            g
+        };
+        let a = norm(
+            PDataset::from_vec(e.clone(), data.clone())
+                .try_group_by_key(|x| Ok(x % 9))
+                .unwrap()
+                .collect(),
+        );
+        let b = norm(
+            PDataset::from_vec(e, data)
+                .group_by_key(|x| x % 9)
+                .collect(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_group_by_key_recovers_from_injected_panics() {
+        use crate::fault::{FaultInjector, FaultPolicy};
+        use crate::ExecMode;
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(4)
+            .fault_policy(FaultPolicy::with_max_attempts(6))
+            .fault_injector(FaultInjector::seeded(31).with_task_panics(0.3))
+            .build();
+        let data: Vec<i64> = (0..200).collect();
+        let mut groups: Vec<(i64, Vec<i64>)> = PDataset::from_vec(e.clone(), data)
+            .try_group_by_key(|x| Ok(x % 7))
+            .unwrap()
+            .collect();
+        groups.sort_by_key(|(k, _)| *k);
+        assert_eq!(groups.len(), 7);
+        assert_eq!(groups.iter().map(|(_, v)| v.len()).sum::<usize>(), 200);
+        assert!(Metrics::get(&e.metrics().panics_caught) > 0);
+    }
+
+    #[test]
+    fn try_co_group_matches_infallible() {
+        let e = Engine::parallel(3);
+        let l: Vec<(i64, i64)> = (0..60).map(|x| (x % 5, x)).collect();
+        let r: Vec<(i64, i64)> = (0..40).map(|x| (x % 7, x)).collect();
+        type Grouped = Vec<(i64, Vec<(i64, i64)>, Vec<(i64, i64)>)>;
+        let norm = |mut out: Grouped| {
+            for (_, a, b) in out.iter_mut() {
+                a.sort();
+                b.sort();
+            }
+            out.sort_by_key(|(k, _, _)| *k);
+            out
+        };
+        let a = norm(
+            PDataset::from_vec(e.clone(), l.clone())
+                .try_co_group(
+                    PDataset::from_vec(e.clone(), r.clone()),
+                    |x| Ok(x.0),
+                    |x| Ok(x.0),
+                )
+                .unwrap()
+                .collect(),
+        );
+        let b = norm(
+            PDataset::from_vec(e.clone(), l)
+                .co_group(PDataset::from_vec(e, r), |x| x.0, |x| x.0)
+                .collect(),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

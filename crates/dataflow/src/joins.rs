@@ -10,6 +10,7 @@
 use crate::engine::Engine;
 use crate::pdataset::PDataset;
 use crate::pool::par_map_indexed;
+use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
 
 impl<T: Send + Sync + Clone> PDataset<T> {
@@ -120,6 +121,74 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         }
         PDataset::from_partitions(engine, partitions)
     }
+
+    /// Fault-tolerant [`Self::self_cartesian`]: chunk-pair tasks run
+    /// under the engine's retry policy with panic isolation.
+    pub fn try_self_cartesian(self) -> Result<PDataset<(T, T)>> {
+        let engine = self.engine().clone();
+        let all: Vec<T> = self.collect();
+        let chunks = (engine.workers() * 2).max(1);
+        let parts = Engine::split(all, chunks);
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        for i in 0..parts.len() {
+            for j in i..parts.len() {
+                tasks.push((i, j));
+            }
+        }
+        let parts_ref = &parts;
+        let partitions = engine.run_stage(&tasks, |_, &(i, j)| {
+            let a = &parts_ref[i];
+            let b = &parts_ref[j];
+            let mut out = Vec::new();
+            if i == j {
+                for x in 0..a.len() {
+                    for y in (x + 1)..a.len() {
+                        out.push((a[x].clone(), a[y].clone()));
+                    }
+                }
+            } else {
+                out.reserve(a.len() * b.len());
+                for x in a {
+                    for y in b {
+                        out.push((x.clone(), y.clone()));
+                    }
+                }
+            }
+            Ok(out)
+        })?;
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        Metrics::add(&engine.metrics().pairs_generated, total as u64);
+        Ok(PDataset::from_partitions(engine, partitions))
+    }
+
+    /// Fault-tolerant [`Self::cartesian`].
+    pub fn try_cartesian<U: Send + Sync + Clone>(
+        self,
+        other: PDataset<U>,
+    ) -> Result<PDataset<(T, U)>> {
+        let engine = self.engine().clone();
+        let left: Vec<Vec<T>> = self.into_partitions();
+        let right: Vec<U> = other.collect();
+        let right_ref = &right;
+        let partitions = engine.run_stage(&left, |_, lp: &Vec<T>| {
+            let mut out = Vec::with_capacity(lp.len() * right_ref.len());
+            for a in lp {
+                for b in right_ref {
+                    out.push((a.clone(), b.clone()));
+                }
+            }
+            Ok(out)
+        })?;
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        Metrics::add(&engine.metrics().pairs_generated, total as u64);
+        Ok(PDataset::from_partitions(engine, partitions))
+    }
+
+    /// Fault-tolerant [`Self::self_cross_product`].
+    pub fn try_self_cross_product(self) -> Result<PDataset<(T, T)>> {
+        let dup = self.duplicate();
+        self.try_cartesian(dup)
+    }
 }
 
 #[cfg(test)]
@@ -134,10 +203,7 @@ mod tests {
         let ds = PDataset::from_vec(e, (0..n).collect());
         let pairs: Vec<(i64, i64)> = ds.self_cartesian().collect();
         assert_eq!(pairs.len() as i64, n * (n - 1) / 2);
-        let set: HashSet<(i64, i64)> = pairs
-            .iter()
-            .map(|(a, b)| (*a.min(b), *a.max(b)))
-            .collect();
+        let set: HashSet<(i64, i64)> = pairs.iter().map(|(a, b)| (*a.min(b), *a.max(b))).collect();
         assert_eq!(set.len(), pairs.len(), "duplicate unordered pair produced");
     }
 
@@ -166,6 +232,51 @@ mod tests {
         let e = Engine::sequential();
         let ds = PDataset::from_vec(e, (0..7i64).collect());
         assert_eq!(ds.self_cross_product().count(), 49);
+    }
+
+    #[test]
+    fn try_self_cartesian_matches_infallible_under_faults() {
+        use crate::fault::{FaultInjector, FaultPolicy};
+        use crate::ExecMode;
+        let data: Vec<i64> = (0..30).collect();
+        let norm = |mut v: Vec<(i64, i64)>| {
+            let mut v: Vec<(i64, i64)> = v.drain(..).map(|(a, b)| (a.min(b), a.max(b))).collect();
+            v.sort();
+            v
+        };
+        let plain = norm(
+            PDataset::from_vec(Engine::parallel(4), data.clone())
+                .self_cartesian()
+                .collect(),
+        );
+        let faulty_engine = Engine::builder(ExecMode::Parallel)
+            .workers(4)
+            .fault_policy(FaultPolicy::with_max_attempts(6))
+            .fault_injector(FaultInjector::seeded(13).with_task_panics(0.3))
+            .build();
+        let faulty = norm(
+            PDataset::from_vec(faulty_engine.clone(), data)
+                .try_self_cartesian()
+                .unwrap()
+                .collect(),
+        );
+        assert_eq!(plain, faulty);
+        assert!(Metrics::get(&faulty_engine.metrics().panics_caught) > 0);
+    }
+
+    #[test]
+    fn try_cartesian_matches_infallible() {
+        let e = Engine::parallel(3);
+        let mut a: Vec<(i64, i64)> = PDataset::from_vec(e.clone(), (0..12i64).collect())
+            .try_cartesian(PDataset::from_vec(e.clone(), (0..5i64).collect()))
+            .unwrap()
+            .collect();
+        a.sort();
+        let mut b: Vec<(i64, i64)> = PDataset::from_vec(e.clone(), (0..12i64).collect())
+            .cartesian(PDataset::from_vec(e, (0..5i64).collect()))
+            .collect();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

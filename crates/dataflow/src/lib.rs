@@ -22,12 +22,19 @@
 //! * `DiskBacked { workers }` — Hadoop-like: callers checkpoint datasets
 //!   at stage boundaries, which serializes every partition to disk and
 //!   reads it back ([`PDataset::checkpoint`]).
+//!
+//! Fault tolerance ([`fault`]): every `try_*` stage runs its partition
+//! tasks under panic isolation with bounded retries ([`FaultPolicy`]),
+//! spill I/O is retried and can degrade gracefully, and a deterministic
+//! [`FaultInjector`] lets tests prove recovery end-to-end.
 
 pub mod engine;
+pub mod fault;
 pub mod grouping;
 pub mod joins;
 pub mod pdataset;
 pub mod pool;
 
-pub use engine::{Engine, ExecMode};
+pub use engine::{Engine, EngineBuilder, ExecMode};
+pub use fault::{FaultInjector, FaultPolicy, SpillFallback};
 pub use pdataset::PDataset;

@@ -1,10 +1,13 @@
 //! The partitioned dataset and its element-wise transformations.
 
 use crate::engine::{Engine, ExecMode};
+use crate::fault::{FaultSite, SpillFallback};
 use crate::pool::par_map_indexed;
 use bigdansing_common::codec::{decode_batch, encode_batch, Codec};
+use bigdansing_common::error::{Error, Result};
 use bigdansing_common::metrics::Metrics;
 use std::fs;
+use std::path::PathBuf;
 
 /// A partitioned, engine-bound collection — the RDD stand-in.
 ///
@@ -12,9 +15,28 @@ use std::fs;
 /// the worker pool before the next starts), which matches the
 /// stage-barrier execution of the systems the paper targets closely
 /// enough for every experiment we reproduce.
+///
+/// Two API families coexist. The infallible combinators (`map`,
+/// `filter`, ...) run fail-fast with no retries — fine for trusted,
+/// pure closures. The `try_*` family borrows its inputs, so the engine
+/// can re-run a failed partition task (panic or error) under the
+/// configured [`crate::FaultPolicy`] without losing data; the job
+/// execution path uses these throughout.
 pub struct PDataset<T> {
     engine: Engine,
     partitions: Vec<Vec<T>>,
+}
+
+impl<T> std::fmt::Debug for PDataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PDataset({} partitions, {} records, {:?})",
+            self.partitions.len(),
+            self.partitions.iter().map(Vec::len).sum::<usize>(),
+            self.engine
+        )
+    }
 }
 
 impl<T: Send> PDataset<T> {
@@ -137,42 +159,225 @@ impl<T: Send> PDataset<T> {
     }
 }
 
-impl<T: Send + Codec> PDataset<T> {
+impl<T: Send + Sync> PDataset<T> {
+    /// Fault-tolerant [`Self::map_partitions`]: partitions are borrowed
+    /// so a failed attempt (panic or `Err`) can be re-run against the
+    /// same input, up to the engine's retry budget. A task that
+    /// exhausts its budget fails the stage with [`Error::Task`]; the
+    /// partitions that already succeeded are simply discarded —
+    /// partition-granular re-execution, like Spark retrying a lost task
+    /// from lineage instead of restarting the job.
+    pub fn try_map_partitions<R, F>(self, f: F) -> Result<PDataset<R>>
+    where
+        R: Send,
+        F: Fn(&[T]) -> Result<Vec<R>> + Sync,
+    {
+        let partitions = self.engine.run_stage(&self.partitions, |_, p| f(p))?;
+        Ok(PDataset {
+            engine: self.engine,
+            partitions,
+        })
+    }
+
+    /// Fault-tolerant element-wise map.
+    pub fn try_map<R, F>(self, f: F) -> Result<PDataset<R>>
+    where
+        R: Send,
+        F: Fn(&T) -> Result<R> + Sync,
+    {
+        self.try_map_partitions(|p| p.iter().map(&f).collect())
+    }
+
+    /// Fault-tolerant element-wise flat map.
+    pub fn try_flat_map<R, I, F>(self, f: F) -> Result<PDataset<R>>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(&T) -> Result<I> + Sync,
+    {
+        self.try_map_partitions(|p| {
+            let mut out = Vec::new();
+            for t in p {
+                out.extend(f(t)?);
+            }
+            Ok(out)
+        })
+    }
+}
+
+impl<T: Send + Sync + Clone> PDataset<T> {
+    /// Fault-tolerant filter (clones survivors out of the borrowed
+    /// partition).
+    pub fn try_filter<F>(self, pred: F) -> Result<PDataset<T>>
+    where
+        F: Fn(&T) -> Result<bool> + Sync,
+    {
+        self.try_map_partitions(|p| {
+            let mut out = Vec::new();
+            for t in p {
+                if pred(t)? {
+                    out.push(t.clone());
+                }
+            }
+            Ok(out)
+        })
+    }
+}
+
+/// One spill I/O operation under the engine's retry policy: inject a
+/// fault (if configured), run `op`, count failures, back off, retry.
+/// Exhaustion returns [`Error::Task`] naming the partition.
+fn spill_io<X>(
+    engine: &Engine,
+    site: FaultSite,
+    stage: u64,
+    partition: usize,
+    op: impl Fn() -> std::io::Result<X>,
+) -> Result<X> {
+    let policy = engine.fault_policy();
+    let metrics = engine.metrics().clone();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let res = match engine.fault_injector() {
+            Some(inj) => inj
+                .inject(site, stage, partition, attempt)
+                .and_then(|()| op()),
+            None => op(),
+        };
+        match res {
+            Ok(x) => return Ok(x),
+            Err(e) => {
+                Metrics::add(&metrics.spill_failures, 1);
+                if attempt >= policy.max_attempts.max(1) {
+                    return Err(Error::Task {
+                        partition,
+                        attempts: attempt,
+                        cause: format!("spill {site:?}: {e}"),
+                    });
+                }
+                Metrics::add(&metrics.tasks_retried, 1);
+                let backoff = policy.backoff_for(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send + Sync + Codec> PDataset<T> {
     /// Stage-boundary materialization.
     ///
     /// Under [`ExecMode::DiskBacked`] every partition is encoded with the
-    /// binary [`Codec`], written to the engine's spill directory, dropped,
-    /// and read back — reproducing the dominant cost difference between
+    /// binary [`Codec`], written to the engine's spill directory, and
+    /// read back — reproducing the dominant cost difference between
     /// BigDansing-Hadoop and BigDansing-Spark (Figures 10(a)/10(c)).
     /// Under the other modes this is a no-op.
-    pub fn checkpoint(self) -> PDataset<T> {
+    ///
+    /// Fault behaviour: every write and read is retried under the
+    /// engine's [`crate::FaultPolicy`]. The in-memory partition is only
+    /// dropped once its spill file has been read back successfully, so
+    /// an exhausted retry budget never loses data: with
+    /// [`SpillFallback::Degrade`] the stage demotes to in-memory (the
+    /// original partitions keep flowing, `stages_degraded` is bumped);
+    /// with [`SpillFallback::FailFast`] the error propagates.
+    pub fn checkpoint(self) -> Result<PDataset<T>> {
         if self.engine.mode() != ExecMode::DiskBacked {
-            return self;
+            return Ok(self);
         }
         let engine = self.engine.clone();
-        fs::create_dir_all(engine.spill_dir()).expect("create spill dir");
+        let policy = engine.fault_policy();
         let metrics = engine.metrics().clone();
-        let paths: Vec<std::path::PathBuf> =
-            (0..self.partitions.len()).map(|_| engine.next_spill_path()).collect();
+        if let Err(e) = engine.ensure_spill_dir() {
+            Metrics::add(&metrics.spill_failures, 1);
+            return match policy.spill_fallback {
+                SpillFallback::Degrade => {
+                    engine.mark_degraded();
+                    Ok(self)
+                }
+                SpillFallback::FailFast => Err(Error::Io(format!(
+                    "create spill dir {}: {e}",
+                    engine.spill_dir().display()
+                ))),
+            };
+        }
+        let paths: Vec<PathBuf> = (0..self.partitions.len())
+            .map(|_| engine.next_spill_path())
+            .collect();
         let workers = engine.workers();
-        let written = par_map_indexed(
-            workers,
-            self.partitions.into_iter().zip(paths).collect::<Vec<_>>(),
-            |_, (part, path)| {
-                let buf = encode_batch(&part);
-                fs::write(&path, &buf).expect("spill write");
-                (path, buf.len() as u64)
-            },
-        );
-        let bytes: u64 = written.iter().map(|(_, b)| *b).sum();
-        Metrics::add(&metrics.bytes_spilled, bytes);
-        let partitions = par_map_indexed(workers, written, |_, (path, _)| {
-            let buf = fs::read(&path).expect("spill read");
-            let part = decode_batch::<T>(&buf).expect("spill decode");
-            let _ = fs::remove_file(&path);
-            part
+
+        // Write phase: partitions are borrowed, so a failed write never
+        // loses the data it was spilling.
+        let write_stage = engine.next_stage_id();
+        let items: Vec<(&Vec<T>, &PathBuf)> = self.partitions.iter().zip(paths.iter()).collect();
+        let written = par_map_indexed(workers, items, |i, (part, path)| {
+            spill_io(&engine, FaultSite::SpillWrite, write_stage, i, || {
+                let buf = encode_batch(part);
+                fs::write(path, &buf)?;
+                Ok(buf.len() as u64)
+            })
         });
-        PDataset { engine, partitions }
+        let mut bytes = 0u64;
+        let mut write_failed = None;
+        for r in written {
+            match r {
+                Ok(b) => bytes += b,
+                Err(e) => {
+                    write_failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = write_failed {
+            for p in &paths {
+                let _ = fs::remove_file(p);
+            }
+            return match policy.spill_fallback {
+                SpillFallback::Degrade => {
+                    engine.mark_degraded();
+                    Ok(self)
+                }
+                SpillFallback::FailFast => Err(e),
+            };
+        }
+        Metrics::add(&metrics.bytes_spilled, bytes);
+
+        // Read phase: each original partition is dropped only after its
+        // spill file decodes, so exhaustion can still degrade safely.
+        let read_stage = engine.next_stage_id();
+        let items: Vec<(Vec<T>, PathBuf)> = self.partitions.into_iter().zip(paths).collect();
+        let read_back = par_map_indexed(workers, items, |i, (original, path)| {
+            let res = spill_io(&engine, FaultSite::SpillRead, read_stage, i, || {
+                let buf = fs::read(&path)?;
+                decode_batch::<T>(&buf).map_err(|e| {
+                    std::io::Error::other(format!("spill decode {}: {e}", path.display()))
+                })
+            });
+            let _ = fs::remove_file(&path);
+            match res {
+                Ok(part) => Ok(part),
+                Err(e) => Err((e, original)),
+            }
+        });
+        let mut partitions = Vec::with_capacity(read_back.len());
+        let mut degraded = false;
+        for r in read_back {
+            match r {
+                Ok(part) => partitions.push(part),
+                Err((e, original)) => match policy.spill_fallback {
+                    SpillFallback::Degrade => {
+                        degraded = true;
+                        partitions.push(original);
+                    }
+                    SpillFallback::FailFast => return Err(e),
+                },
+            }
+        }
+        if degraded {
+            engine.mark_degraded();
+        }
+        Ok(PDataset { engine, partitions })
     }
 }
 
@@ -189,6 +394,7 @@ impl<T: Send + Clone> PDataset<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultInjector, FaultPolicy};
 
     fn sorted(mut v: Vec<i64>) -> Vec<i64> {
         v.sort();
@@ -221,7 +427,10 @@ mod tests {
                 .filter(|x| x % 2 == 1)
                 .collect()
         };
-        assert_eq!(sorted(run(Engine::sequential())), sorted(run(Engine::parallel(8))));
+        assert_eq!(
+            sorted(run(Engine::sequential())),
+            sorted(run(Engine::parallel(8)))
+        );
     }
 
     #[test]
@@ -264,8 +473,11 @@ mod tests {
     fn checkpoint_noop_in_memory_modes() {
         let e = Engine::parallel(2);
         let ds = PDataset::from_vec(e.clone(), (0..20u64).collect());
-        let out = ds.checkpoint().collect();
-        assert_eq!(sorted(out.into_iter().map(|x| x as i64).collect()), (0..20).collect::<Vec<_>>());
+        let out = ds.checkpoint().unwrap().collect();
+        assert_eq!(
+            sorted(out.into_iter().map(|x| x as i64).collect()),
+            (0..20).collect::<Vec<_>>()
+        );
         assert_eq!(Metrics::get(&e.metrics().bytes_spilled), 0);
     }
 
@@ -273,7 +485,7 @@ mod tests {
     fn checkpoint_roundtrips_through_disk() {
         let e = Engine::disk_backed(2);
         let ds = PDataset::from_vec(e.clone(), (0..200u64).collect());
-        let out = ds.checkpoint().collect();
+        let out = ds.checkpoint().unwrap().collect();
         assert_eq!(out.len(), 200);
         let mut out = out;
         out.sort();
@@ -282,6 +494,136 @@ mod tests {
         // spill files are cleaned up after the read-back
         if let Ok(read) = std::fs::read_dir(e.spill_dir()) {
             assert_eq!(read.count(), 0);
+        }
+    }
+
+    #[test]
+    fn try_map_partitions_matches_infallible() {
+        let e = Engine::parallel(4);
+        let data: Vec<i64> = (0..300).collect();
+        let a = PDataset::from_vec(e.clone(), data.clone())
+            .try_map_partitions(|p| Ok(p.iter().map(|x| x + 1).collect()))
+            .unwrap()
+            .collect();
+        let b = PDataset::from_vec(e, data).map(|x| x + 1).collect();
+        assert_eq!(sorted(a), sorted(b));
+    }
+
+    #[test]
+    fn try_map_and_filter_and_flat_map() {
+        let e = Engine::parallel(3);
+        let out = PDataset::from_vec(e, (0..40i64).collect())
+            .try_map(|x| Ok(x * 2))
+            .unwrap()
+            .try_filter(|x| Ok(x % 4 == 0))
+            .unwrap()
+            .try_flat_map(|x| Ok(vec![*x, x + 1]))
+            .unwrap()
+            .collect();
+        let expect: Vec<i64> = (0..40)
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect();
+        assert_eq!(sorted(out), sorted(expect));
+    }
+
+    #[test]
+    fn try_map_propagates_task_error() {
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .fault_policy(FaultPolicy::fail_fast())
+            .build();
+        let err = PDataset::from_vec_with(e, (0..10i64).collect(), 4)
+            .try_map(|x| {
+                if *x == 7 {
+                    Err(Error::Parse("bad record".into()))
+                } else {
+                    Ok(*x)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Task { attempts: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn checkpoint_survives_injected_spill_faults() {
+        let e = Engine::builder(ExecMode::DiskBacked)
+            .workers(2)
+            .fault_policy(FaultPolicy::with_max_attempts(6))
+            .fault_injector(FaultInjector::seeded(77).with_spill_errors(0.3))
+            .build();
+        let ds = PDataset::from_vec(e.clone(), (0..500u64).collect());
+        let mut out = ds.checkpoint().unwrap().collect();
+        out.sort();
+        assert_eq!(out, (0..500).collect::<Vec<u64>>());
+        assert!(Metrics::get(&e.metrics().spill_failures) > 0);
+        assert!(!e.is_degraded(), "retries should recover without degrading");
+    }
+
+    #[test]
+    fn unwritable_spill_dir_degrades_to_memory() {
+        let e = Engine::builder(ExecMode::DiskBacked)
+            .workers(2)
+            .spill_dir("/proc/definitely-not-writable/spill")
+            .build();
+        let ds = PDataset::from_vec(e.clone(), (0..100u64).collect());
+        let mut out = ds.checkpoint().unwrap().collect();
+        out.sort();
+        assert_eq!(out, (0..100).collect::<Vec<u64>>());
+        assert!(e.is_degraded());
+        assert!(Metrics::get(&e.metrics().stages_degraded) >= 1);
+    }
+
+    #[test]
+    fn unwritable_spill_dir_fails_fast_when_asked() {
+        let e = Engine::builder(ExecMode::DiskBacked)
+            .workers(2)
+            .fault_policy(FaultPolicy::fail_fast())
+            .spill_dir("/proc/definitely-not-writable/spill")
+            .build();
+        let ds = PDataset::from_vec(e, (0..100u64).collect());
+        let err = ds.checkpoint().unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn spill_write_exhaustion_degrades_without_data_loss() {
+        // 100% write-fault probability: every attempt fails, the budget
+        // exhausts, and Degrade keeps the in-memory partitions flowing.
+        let e = Engine::builder(ExecMode::DiskBacked)
+            .workers(2)
+            .fault_policy(FaultPolicy::with_max_attempts(2))
+            .fault_injector(FaultInjector::seeded(5).with_spill_errors(1.0))
+            .build();
+        let ds = PDataset::from_vec(e.clone(), (0..100u64).collect());
+        let mut out = ds.checkpoint().unwrap().collect();
+        out.sort();
+        assert_eq!(out, (0..100).collect::<Vec<u64>>());
+        assert!(e.is_degraded());
+    }
+
+    #[test]
+    fn spill_exhaustion_fails_fast_with_task_error() {
+        let e = Engine::builder(ExecMode::DiskBacked)
+            .workers(2)
+            .fault_policy(FaultPolicy {
+                max_attempts: 2,
+                backoff: std::time::Duration::ZERO,
+                spill_fallback: SpillFallback::FailFast,
+            })
+            .fault_injector(FaultInjector::seeded(5).with_spill_errors(1.0))
+            .build();
+        let ds = PDataset::from_vec(e, (0..100u64).collect());
+        let err = ds.checkpoint().unwrap_err();
+        match err {
+            Error::Task {
+                attempts, cause, ..
+            } => {
+                assert_eq!(attempts, 2);
+                assert!(cause.contains("spill"), "{cause}");
+            }
+            other => panic!("expected Error::Task, got {other:?}"),
         }
     }
 }

@@ -1,12 +1,21 @@
 //! Scoped worker-thread execution.
 //!
-//! One helper drives everything: [`par_map_indexed`] fans a vector of
+//! Two helpers drive everything. [`par_map_indexed`] fans a vector of
 //! work items out to `workers` threads with dynamic (atomic-counter)
 //! scheduling, so skewed partitions — e.g. popular blocking keys — don't
-//! serialize a stage behind one thread.
+//! serialize a stage behind one thread. [`try_par_map_indexed`] is the
+//! fault-tolerant variant used by the job path: each task runs under
+//! `catch_unwind`, failed attempts are retried with backoff up to the
+//! engine's [`FaultPolicy`], and a task that exhausts its budget turns
+//! into a typed [`Error::Task`] instead of tearing down the process.
 
+use crate::fault::{FaultInjector, FaultPolicy, FaultSite};
+use bigdansing_common::error::Error;
+use bigdansing_common::metrics::Metrics;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Apply `f` to every item, in parallel across up to `workers` threads,
 /// preserving item order in the result.
@@ -22,7 +31,11 @@ where
 {
     let n = items.len();
     if workers <= 1 || n <= 1 {
-        return items.into_iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
     }
     let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -34,25 +47,178 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .take()
-                    .expect("pool: work item taken twice");
+                // The atomic counter hands each index to exactly one
+                // worker, so the slot is always populated here.
+                let Some(item) = slots[i].lock().take() else {
+                    continue;
+                };
                 let r = f(i, item);
                 *results[i].lock() = Some(r);
             });
         }
     });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("pool: missing result"))
-        .collect()
+    let out: Vec<R> = results.into_iter().flat_map(Mutex::into_inner).collect();
+    debug_assert_eq!(out.len(), n, "pool: missing result slot");
+    out
+}
+
+/// Per-stage execution context for the fault-tolerant task runner:
+/// which policy bounds retries, which injector (if any) perturbs
+/// attempts, the stage id that keys the injector's deterministic rolls,
+/// and where to report counters.
+pub(crate) struct TaskCtx {
+    pub(crate) policy: FaultPolicy,
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) stage: u64,
+    pub(crate) metrics: Arc<Metrics>,
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}
+
+/// Run one task to completion under the retry policy. Every attempt —
+/// including the injector's contribution — executes under
+/// `catch_unwind`, so a panicking partition is isolated to this task
+/// and surfaces as a retriable failure rather than an abort.
+fn run_task<I, R, F>(ctx: &TaskCtx, i: usize, item: &I, f: &F) -> Result<R, Error>
+where
+    F: Fn(usize, &I) -> Result<R, Error>,
+{
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inj) = &ctx.injector {
+                inj.inject(FaultSite::Task, ctx.stage, i, attempt)
+                    .map_err(|e| Error::Io(e.to_string()))?;
+            }
+            f(i, item)
+        }));
+        let cause = match outcome {
+            Ok(Ok(r)) => return Ok(r),
+            Ok(Err(e)) => e.to_string(),
+            Err(payload) => {
+                Metrics::add(&ctx.metrics.panics_caught, 1);
+                panic_message(payload)
+            }
+        };
+        if attempt >= ctx.policy.max_attempts.max(1) {
+            return Err(Error::Task {
+                partition: i,
+                attempts: attempt,
+                cause,
+            });
+        }
+        Metrics::add(&ctx.metrics.tasks_retried, 1);
+        let backoff = ctx.policy.backoff_for(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
+}
+
+/// Fault-tolerant variant of [`par_map_indexed`]: items are borrowed
+/// (so a failed attempt can be re-run against the same input), each
+/// task is retried per the context's policy with panic isolation, and
+/// result order matches item order. The first error — by partition
+/// index, deterministically — fails the stage; once any task exhausts
+/// its budget the remaining queue is abandoned.
+pub(crate) fn try_par_map_indexed<I, R, F>(
+    workers: usize,
+    items: &[I],
+    ctx: &TaskCtx,
+    f: F,
+) -> Result<Vec<R>, Error>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> Result<R, Error> + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| run_task(ctx, i, it, &f))
+            .collect();
+    }
+    let results: Vec<Mutex<Option<Result<R, Error>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                if aborted.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_task(ctx, i, &items[i], &f);
+                if r.is_err() {
+                    aborted.store(true, Ordering::Relaxed);
+                }
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut first_err: Option<Error> = None;
+    for slot in results {
+        match slot.into_inner() {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => {
+                first_err = Some(e);
+                break;
+            }
+            // A later-indexed task failed and aborted the queue before
+            // this slot ran; the error is found below.
+            None => {}
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if out.len() == n {
+        Ok(out)
+    } else {
+        // Unreachable by construction (a missing slot implies an error
+        // was recorded), but never panic in the fallible path.
+        Err(Error::Task {
+            partition: out.len(),
+            attempts: 0,
+            cause: "stage aborted without a recorded error".into(),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn quiet_ctx(max_attempts: u32) -> TaskCtx {
+        TaskCtx {
+            policy: FaultPolicy {
+                max_attempts,
+                backoff: Duration::ZERO,
+                spill_fallback: crate::fault::SpillFallback::Degrade,
+            },
+            injector: None,
+            stage: 0,
+            metrics: Metrics::new_shared(),
+        }
+    }
 
     #[test]
     fn preserves_order() {
@@ -99,5 +265,122 @@ mod tests {
             ids.lock().unwrap().insert(std::thread::current().id());
         });
         assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn try_variant_preserves_order() {
+        let items: Vec<i32> = (0..100).collect();
+        let ctx = quiet_ctx(1);
+        let out = try_par_map_indexed(4, &items, &ctx, |i, x| Ok((i, *x * 2))).unwrap();
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, (i as i32) * 2);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_and_retried() {
+        let attempts = AtomicU64::new(0);
+        let items = vec![(); 8];
+        let ctx = quiet_ctx(3);
+        let out = try_par_map_indexed(2, &items, &ctx, |i, _| {
+            // partition 5 panics on its first attempt only
+            if i == 5 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("boom once");
+            }
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(out, (0..8).collect::<Vec<usize>>());
+        assert_eq!(Metrics::get(&ctx.metrics.panics_caught), 1);
+        assert_eq!(Metrics::get(&ctx.metrics.tasks_retried), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_become_task_error() {
+        let items = vec![(); 4];
+        let ctx = quiet_ctx(2);
+        let err = try_par_map_indexed(2, &items, &ctx, |i, _| -> Result<(), Error> {
+            if i == 3 {
+                panic!("always fails");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            Error::Task {
+                partition,
+                attempts,
+                cause,
+            } => {
+                assert_eq!(partition, 3);
+                assert_eq!(attempts, 2);
+                assert!(cause.contains("always fails"), "{cause}");
+            }
+            other => panic!("expected Error::Task, got {other:?}"),
+        }
+        assert_eq!(Metrics::get(&ctx.metrics.panics_caught), 2);
+    }
+
+    #[test]
+    fn first_error_by_partition_index_wins() {
+        let items = vec![(); 16];
+        let ctx = quiet_ctx(1);
+        let err = try_par_map_indexed(4, &items, &ctx, |i, _| -> Result<(), Error> {
+            if i >= 2 {
+                Err(Error::Io(format!("part {i}")))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        // inline path is deterministic; parallel path reports the
+        // lowest-indexed recorded failure
+        assert!(matches!(err, Error::Task { partition, .. } if partition >= 2));
+    }
+
+    #[test]
+    fn inner_errors_count_attempts_without_panics() {
+        let items = vec![(); 1];
+        let ctx = quiet_ctx(3);
+        let err = try_par_map_indexed(1, &items, &ctx, |_, _| -> Result<(), Error> {
+            Err(Error::Io("disk on fire".into()))
+        })
+        .unwrap_err();
+        match err {
+            Error::Task {
+                attempts, cause, ..
+            } => {
+                assert_eq!(attempts, 3);
+                assert!(cause.contains("disk on fire"), "{cause}");
+            }
+            other => panic!("expected Error::Task, got {other:?}"),
+        }
+        assert_eq!(Metrics::get(&ctx.metrics.panics_caught), 0);
+        assert_eq!(Metrics::get(&ctx.metrics.tasks_retried), 2);
+    }
+
+    #[test]
+    fn injected_panics_recover_within_budget() {
+        // 30% panic probability with 5 attempts: each attempt rolls
+        // fresh, so every partition recovers deterministically.
+        let items: Vec<usize> = (0..32).collect();
+        let ctx = TaskCtx {
+            policy: FaultPolicy {
+                max_attempts: 5,
+                backoff: Duration::ZERO,
+                spill_fallback: crate::fault::SpillFallback::Degrade,
+            },
+            injector: Some(FaultInjector::seeded(1234).with_task_panics(0.3)),
+            stage: 7,
+            metrics: Metrics::new_shared(),
+        };
+        let out = try_par_map_indexed(4, &items, &ctx, |_, x| Ok(*x * 10)).unwrap();
+        assert_eq!(out, items.iter().map(|x| x * 10).collect::<Vec<_>>());
+        assert!(Metrics::get(&ctx.metrics.panics_caught) > 0);
+        assert_eq!(
+            Metrics::get(&ctx.metrics.panics_caught),
+            Metrics::get(&ctx.metrics.tasks_retried)
+        );
     }
 }

@@ -34,8 +34,12 @@ pub fn dedup_dataset(
 ) -> (Table, DupPairs) {
     let base = tpch::customers(base_rows, seed);
     let replicated = replicate_exact(&base, factor);
-    let (table, pairs) =
-        inject_duplicates(&replicated, &[attr::NAME, attr::PHONE], edit_rate, seed ^ 0xD);
+    let (table, pairs) = inject_duplicates(
+        &replicated,
+        &[attr::NAME, attr::PHONE],
+        edit_rate,
+        seed ^ 0xD,
+    );
     (
         Table::new(name, table.schema().clone(), table.tuples().to_vec()),
         pairs,

@@ -1,7 +1,7 @@
 //! Error injectors: the paper's corruption procedures.
 
-use crate::truth::GroundTruth;
 use crate::text;
+use crate::truth::GroundTruth;
 use bigdansing_common::{Cell, Table, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -164,7 +164,9 @@ mod tests {
         let gt = hai(500, RuleCombo::Phi6And7, 0.1, 2);
         assert!(gt.error_count() > 10);
         for c in &gt.errors {
-            assert!(RuleCombo::Phi6And7.covered_attrs().contains(&(c.attr as usize)));
+            assert!(RuleCombo::Phi6And7
+                .covered_attrs()
+                .contains(&(c.attr as usize)));
         }
     }
 

@@ -80,6 +80,9 @@ mod tests {
     #[test]
     fn state_is_nc() {
         let t = clean(50, 3);
-        assert!(t.tuples().iter().all(|t| t.value(attr::STATE) == &Value::str("NC")));
+        assert!(t
+            .tuples()
+            .iter()
+            .all(|t| t.value(attr::STATE) == &Value::str("NC")));
     }
 }

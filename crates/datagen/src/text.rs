@@ -5,8 +5,8 @@ use rand::Rng;
 
 /// First-name pool (deterministic order).
 pub const FIRST_NAMES: &[&str] = &[
-    "Annie", "Laure", "John", "Mark", "Robert", "Mary", "James", "Linda", "Carlos", "Aisha",
-    "Wei", "Fatima", "Igor", "Sofia", "Hiro", "Priya", "Omar", "Elena", "Noah", "Zara",
+    "Annie", "Laure", "John", "Mark", "Robert", "Mary", "James", "Linda", "Carlos", "Aisha", "Wei",
+    "Fatima", "Igor", "Sofia", "Hiro", "Priya", "Omar", "Elena", "Noah", "Zara",
 ];
 
 /// Last-name pool.
@@ -90,10 +90,10 @@ pub fn random_edit(rng: &mut StdRng, s: &str) -> String {
     let letter = (b'a' + rng.gen_range(0..26u8)) as char;
     let mut out = chars.clone();
     match rng.gen_range(0..3) {
-        0 => out[pos] = letter,               // substitute
-        1 => out.insert(pos, letter),         // insert
+        0 => out[pos] = letter,       // substitute
+        1 => out.insert(pos, letter), // insert
         _ => {
-            out.remove(pos);                  // delete
+            out.remove(pos); // delete
         }
     }
     let res: String = out.into_iter().collect();

@@ -25,4 +25,4 @@
 pub mod naive;
 pub mod ocjoin;
 
-pub use ocjoin::{ocjoin, OcJoinConfig};
+pub use ocjoin::{ocjoin, try_ocjoin, OcJoinConfig};

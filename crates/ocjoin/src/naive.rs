@@ -14,14 +14,12 @@ use bigdansing_rules::OrderCond;
 /// satisfying every condition — the *CrossProduct* physical operator.
 pub fn cross_join_filter(input: PDataset<Tuple>, conds: &[OrderCond]) -> PDataset<(Tuple, Tuple)> {
     let conds = conds.to_vec();
-    input
-        .self_cross_product()
-        .filter(move |(a, b)| {
-            a.id() != b.id()
-                && conds
-                    .iter()
-                    .all(|c| c.op.holds(a.value(c.left_attr), b.value(c.right_attr)))
-        })
+    input.self_cross_product().filter(move |(a, b)| {
+        a.id() != b.id()
+            && conds
+                .iter()
+                .all(|c| c.op.holds(a.value(c.left_attr), b.value(c.right_attr)))
+    })
 }
 
 /// The *UCrossProduct* variant: each unordered pair is materialized once
@@ -63,8 +61,16 @@ mod tests {
 
     fn conds() -> Vec<OrderCond> {
         vec![
-            OrderCond { left_attr: 0, op: Op::Gt, right_attr: 0 },
-            OrderCond { left_attr: 1, op: Op::Lt, right_attr: 1 },
+            OrderCond {
+                left_attr: 0,
+                op: Op::Gt,
+                right_attr: 0,
+            },
+            OrderCond {
+                left_attr: 1,
+                op: Op::Lt,
+                right_attr: 1,
+            },
         ]
     }
 
@@ -78,7 +84,8 @@ mod tests {
             .map(|i| tup(i, (i as i64 * 13) % 7, (i as i64 * 5) % 11))
             .collect();
         let e = Engine::parallel(2);
-        let a = ids(cross_join_filter(PDataset::from_vec(e.clone(), data.clone()), &conds()).collect());
+        let a =
+            ids(cross_join_filter(PDataset::from_vec(e.clone(), data.clone()), &conds()).collect());
         let b = ids(ucross_join_filter(PDataset::from_vec(e, data), &conds()).collect());
         assert_eq!(a, b);
     }

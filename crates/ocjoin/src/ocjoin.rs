@@ -1,5 +1,6 @@
 //! Algorithm 2: the OCJoin operator.
 
+use bigdansing_common::error::{Error, Result};
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Tuple, Value};
 use bigdansing_dataflow::pool::par_map_indexed;
@@ -112,8 +113,7 @@ fn join_pair(left: &Part, right: &Part, conds: &[OrderCond], out: &mut Vec<(Tupl
             if t1.id() == t2.id() {
                 continue;
             }
-            if primary.op == Op::Ne && t1.value(primary.left_attr) == t2.value(primary.right_attr)
-            {
+            if primary.op == Op::Ne && t1.value(primary.left_attr) == t2.value(primary.right_attr) {
                 continue;
             }
             for c in rest {
@@ -149,10 +149,8 @@ pub fn ocjoin(
     let primary = conds[0];
 
     // Partitioning phase: range partition on the primary left attribute.
-    let partitioned = input.range_partition_by(
-        |t: &Tuple| t.value(primary.left_attr).clone(),
-        nb_parts,
-    );
+    let partitioned =
+        input.range_partition_by(|t: &Tuple| t.value(primary.left_attr).clone(), nb_parts);
 
     // Sorting phase (parallel, local to each partition).
     let parts: Vec<Part> = par_map_indexed(workers, partitioned.into_partitions(), |_, p| {
@@ -189,6 +187,72 @@ pub fn ocjoin(
     PDataset::from_partitions(engine, partitions)
 }
 
+/// Fault-tolerant [`ocjoin`]: the sorting and joining phases run under
+/// the engine's retry policy with panic isolation (the partitioning and
+/// pruning phases are driver-side and cannot lose worker tasks). Empty
+/// `conds` is a typed error instead of a panic — the job path must
+/// never bring down the process.
+pub fn try_ocjoin(
+    input: PDataset<Tuple>,
+    conds: &[OrderCond],
+    config: OcJoinConfig,
+) -> Result<PDataset<(Tuple, Tuple)>> {
+    if conds.is_empty() {
+        return Err(Error::InvalidPlan(
+            "OCJoin needs at least one condition".into(),
+        ));
+    }
+    let engine = input.engine().clone();
+    let nb_parts = if config.nb_parts == 0 {
+        engine.default_partitions()
+    } else {
+        config.nb_parts
+    };
+    let primary = conds[0];
+
+    let partitioned =
+        input.range_partition_by(|t: &Tuple| t.value(primary.left_attr).clone(), nb_parts);
+
+    // Sorting phase: partitions are borrowed (tuples clone cheaply), so
+    // a panicking sort task re-runs against intact input.
+    let raw = partitioned.into_partitions();
+    let parts: Vec<Part> = engine
+        .run_stage(&raw, |_, p: &Vec<Tuple>| {
+            Ok(Part::build(
+                p.clone(),
+                primary.left_attr,
+                primary.right_attr,
+            ))
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    let mut pruned = 0u64;
+    for i in 0..parts.len() {
+        for j in 0..parts.len() {
+            if feasible(primary.op, &parts[i], &parts[j]) {
+                tasks.push((i, j));
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    Metrics::add(&engine.metrics().partitions_pruned, pruned);
+    Metrics::add(&engine.metrics().partitions_joined, tasks.len() as u64);
+
+    let parts_ref = &parts;
+    let partitions = engine.run_stage(&tasks, |_, &(i, j)| {
+        let mut out = Vec::new();
+        join_pair(&parts_ref[i], &parts_ref[j], conds, &mut out);
+        Ok(out)
+    })?;
+    let produced: usize = partitions.iter().map(Vec::len).sum();
+    Metrics::add(&engine.metrics().pairs_generated, produced as u64);
+    Ok(PDataset::from_partitions(engine, partitions))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,8 +268,16 @@ mod tests {
     fn phi2_conds() -> Vec<OrderCond> {
         // t1.salary > t2.salary & t1.rate < t2.rate (scoped attrs 0, 1)
         vec![
-            OrderCond { left_attr: 0, op: Op::Gt, right_attr: 0 },
-            OrderCond { left_attr: 1, op: Op::Lt, right_attr: 1 },
+            OrderCond {
+                left_attr: 0,
+                op: Op::Gt,
+                right_attr: 0,
+            },
+            OrderCond {
+                left_attr: 1,
+                op: Op::Lt,
+                right_attr: 1,
+            },
         ]
     }
 
@@ -223,7 +295,14 @@ mod tests {
         ];
         let e = Engine::parallel(4);
         let conds = phi2_conds();
-        let fast = pair_ids(ocjoin(PDataset::from_vec(e.clone(), data.clone()), &conds, OcJoinConfig::default()).collect());
+        let fast = pair_ids(
+            ocjoin(
+                PDataset::from_vec(e.clone(), data.clone()),
+                &conds,
+                OcJoinConfig::default(),
+            )
+            .collect(),
+        );
         let slow = pair_ids(cross_join_filter(PDataset::from_vec(e, data), &conds).collect());
         assert_eq!(fast, slow);
         assert!(fast.contains(&(2, 1)));
@@ -234,8 +313,16 @@ mod tests {
     fn single_condition_join() {
         let data: Vec<Tuple> = (0..50).map(|i| tup(i, i as i64, 0)).collect();
         let e = Engine::parallel(2);
-        let conds = vec![OrderCond { left_attr: 0, op: Op::Lt, right_attr: 0 }];
-        let out = ocjoin(PDataset::from_vec(e, data), &conds, OcJoinConfig { nb_parts: 5 });
+        let conds = vec![OrderCond {
+            left_attr: 0,
+            op: Op::Lt,
+            right_attr: 0,
+        }];
+        let out = ocjoin(
+            PDataset::from_vec(e, data),
+            &conds,
+            OcJoinConfig { nb_parts: 5 },
+        );
         // i < j pairs: 50*49/2
         assert_eq!(out.count(), 50 * 49 / 2);
     }
@@ -246,11 +333,18 @@ mod tests {
         let e = Engine::parallel(2);
         let _ = ocjoin(
             PDataset::from_vec(e.clone(), data),
-            &[OrderCond { left_attr: 0, op: Op::Gt, right_attr: 0 }],
+            &[OrderCond {
+                left_attr: 0,
+                op: Op::Gt,
+                right_attr: 0,
+            }],
             OcJoinConfig { nb_parts: 8 },
         )
         .count();
-        assert!(Metrics::get(&e.metrics().partitions_pruned) > 0, "no partition pair pruned");
+        assert!(
+            Metrics::get(&e.metrics().partitions_pruned) > 0,
+            "no partition pair pruned"
+        );
     }
 
     #[test]
@@ -259,7 +353,11 @@ mod tests {
         let e = Engine::sequential();
         let out = ocjoin(
             PDataset::from_vec(e, data),
-            &[OrderCond { left_attr: 0, op: Op::Ge, right_attr: 0 }],
+            &[OrderCond {
+                left_attr: 0,
+                op: Op::Ge,
+                right_attr: 0,
+            }],
             OcJoinConfig::default(),
         )
         .collect();
@@ -272,15 +370,80 @@ mod tests {
     fn empty_and_singleton_inputs() {
         let e = Engine::sequential();
         let conds = phi2_conds();
-        assert_eq!(ocjoin(PDataset::from_vec(e.clone(), vec![]), &conds, OcJoinConfig::default()).count(), 0);
-        assert_eq!(ocjoin(PDataset::from_vec(e, vec![tup(1, 1, 1)]), &conds, OcJoinConfig::default()).count(), 0);
+        assert_eq!(
+            ocjoin(
+                PDataset::from_vec(e.clone(), vec![]),
+                &conds,
+                OcJoinConfig::default()
+            )
+            .count(),
+            0
+        );
+        assert_eq!(
+            ocjoin(
+                PDataset::from_vec(e, vec![tup(1, 1, 1)]),
+                &conds,
+                OcJoinConfig::default()
+            )
+            .count(),
+            0
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one condition")]
     fn rejects_empty_conditions() {
         let e = Engine::sequential();
-        let _ = ocjoin(PDataset::from_vec(e, vec![tup(1, 1, 1)]), &[], OcJoinConfig::default());
+        let _ = ocjoin(
+            PDataset::from_vec(e, vec![tup(1, 1, 1)]),
+            &[],
+            OcJoinConfig::default(),
+        );
+    }
+
+    #[test]
+    fn try_ocjoin_rejects_empty_conditions_with_typed_error() {
+        let e = Engine::sequential();
+        let err = try_ocjoin(
+            PDataset::from_vec(e, vec![tup(1, 1, 1)]),
+            &[],
+            OcJoinConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn try_ocjoin_matches_ocjoin_under_injected_panics() {
+        use bigdansing_dataflow::{ExecMode, FaultInjector, FaultPolicy};
+        let data: Vec<Tuple> = (0..120)
+            .map(|i| tup(i, (i as i64 * 31) % 50, (i as i64 * 17) % 50))
+            .collect();
+        let conds = phi2_conds();
+        let plain = pair_ids(
+            ocjoin(
+                PDataset::from_vec(Engine::parallel(4), data.clone()),
+                &conds,
+                OcJoinConfig { nb_parts: 6 },
+            )
+            .collect(),
+        );
+        let faulty_engine = bigdansing_dataflow::Engine::builder(ExecMode::Parallel)
+            .workers(4)
+            .fault_policy(FaultPolicy::with_max_attempts(6))
+            .fault_injector(FaultInjector::seeded(42).with_task_panics(0.3))
+            .build();
+        let faulty = pair_ids(
+            try_ocjoin(
+                PDataset::from_vec(faulty_engine.clone(), data),
+                &conds,
+                OcJoinConfig { nb_parts: 6 },
+            )
+            .unwrap()
+            .collect(),
+        );
+        assert_eq!(plain, faulty);
+        assert!(Metrics::get(&faulty_engine.metrics().panics_caught) > 0);
     }
 
     proptest! {

@@ -104,12 +104,21 @@ mod tests {
     fn figure5_scope_and_block_are_merged() {
         let (plan, merged) = consolidate(figure5_plan());
         assert_eq!(merged, 2, "one Scope pair + one Block pair");
-        let scopes: Vec<&LogicalOp> =
-            plan.ops.iter().filter(|o| o.kind == OpKind::Scope).collect();
+        let scopes: Vec<&LogicalOp> = plan
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Scope)
+            .collect();
         assert_eq!(scopes.len(), 1);
-        assert_eq!(scopes[0].out_labels, vec!["T1".to_string(), "T2".to_string()]);
-        let blocks: Vec<&LogicalOp> =
-            plan.ops.iter().filter(|o| o.kind == OpKind::Block).collect();
+        assert_eq!(
+            scopes[0].out_labels,
+            vec!["T1".to_string(), "T2".to_string()]
+        );
+        let blocks: Vec<&LogicalOp> = plan
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Block)
+            .collect();
         assert_eq!(blocks.len(), 1);
         // Detect and GenFix are untouched
         assert_eq!(plan.detects().len(), 1);

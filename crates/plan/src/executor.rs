@@ -6,10 +6,11 @@
 //! Hadoop-like [`bigdansing_dataflow::ExecMode::DiskBacked`] engine.
 
 use crate::physical::{IterateStrategy, RulePipeline};
+use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Table, Tuple};
 use bigdansing_dataflow::{Engine, PDataset};
-use bigdansing_ocjoin::{ocjoin, OcJoinConfig};
+use bigdansing_ocjoin::{try_ocjoin, OcJoinConfig};
 use bigdansing_rules::{DetectUnit, Fix, Rule, RuleExt, Violation};
 use std::sync::Arc;
 
@@ -86,18 +87,27 @@ impl Executor {
     /// possible fixes inside the same partition pass; candidates are
     /// never materialized as a whole. Metrics (`pairs_generated`,
     /// `detect_calls`) are kept via per-partition batched atomics.
+    ///
+    /// Every stage runs fault-tolerantly: partition tasks execute under
+    /// panic isolation and are retried per the engine's
+    /// [`bigdansing_dataflow::FaultPolicy`]; a task that exhausts its
+    /// budget surfaces as `Error::Task` naming the partition.
     fn iterate_and_detect(
         &self,
         scoped: PDataset<Tuple>,
         rule: &Arc<dyn Rule>,
         strategy: &IterateStrategy,
         use_genfix: bool,
-    ) -> PDataset<(Violation, Vec<Fix>)> {
+    ) -> Result<PDataset<(Violation, Vec<Fix>)>> {
         let metrics = self.engine.metrics().clone();
         let finish = move |r: &Arc<dyn Rule>, vs: Vec<Violation>| -> Vec<(Violation, Vec<Fix>)> {
             vs.into_iter()
                 .map(|v| {
-                    let fixes = if use_genfix { r.gen_fix(&v) } else { Vec::new() };
+                    let fixes = if use_genfix {
+                        r.gen_fix(&v)
+                    } else {
+                        Vec::new()
+                    };
                     (v, fixes)
                 })
                 .collect()
@@ -105,27 +115,27 @@ impl Executor {
         match strategy {
             IterateStrategy::SingleUnits => {
                 let r = Arc::clone(rule);
-                scoped.map_partitions(move |part| {
+                scoped.try_map_partitions(move |part| {
                     Metrics::add(&metrics.detect_calls, part.len() as u64);
                     let vs = part
-                        .into_iter()
-                        .flat_map(|t| r.detect(&DetectUnit::Single(t)))
+                        .iter()
+                        .flat_map(|t| r.detect(&DetectUnit::Single(t.clone())))
                         .collect();
-                    finish(&r, vs)
+                    Ok(finish(&r, vs))
                 })
             }
             IterateStrategy::BlockList => {
                 let r = Arc::clone(rule);
                 let rb = Arc::clone(rule);
                 scoped
-                    .group_by_key(move |t| rb.block(t).unwrap_or_default())
-                    .map_partitions(move |groups| {
+                    .try_group_by_key(move |t| Ok(rb.block(t).unwrap_or_default()))?
+                    .try_map_partitions(move |groups| {
                         Metrics::add(&metrics.detect_calls, groups.len() as u64);
                         let vs = groups
-                            .into_iter()
-                            .flat_map(|(_, block)| r.detect(&DetectUnit::List(block)))
+                            .iter()
+                            .flat_map(|(_, block)| r.detect(&DetectUnit::List(block.clone())))
                             .collect();
-                        finish(&r, vs)
+                        Ok(finish(&r, vs))
                     })
             }
             IterateStrategy::BlockPairs { ordered } => {
@@ -133,8 +143,8 @@ impl Executor {
                 let rd = Arc::clone(rule);
                 let ordered = *ordered;
                 scoped
-                    .group_by_key(move |t| rb.block(t).unwrap_or_default())
-                    .map_partitions(move |groups| {
+                    .try_group_by_key(move |t| Ok(rb.block(t).unwrap_or_default()))?
+                    .try_map_partitions(move |groups| {
                         let mut vs = Vec::new();
                         let mut pairs = 0u64;
                         for (_, block) in groups {
@@ -151,98 +161,111 @@ impl Executor {
                         }
                         Metrics::add(&metrics.pairs_generated, pairs);
                         Metrics::add(&metrics.detect_calls, pairs);
-                        finish(&rd, vs)
+                        Ok(finish(&rd, vs))
                     })
             }
             IterateStrategy::UCrossProduct => {
                 let rd = Arc::clone(rule);
-                scoped.self_cartesian().map_partitions(move |part| {
-                    Metrics::add(&metrics.detect_calls, part.len() as u64);
-                    let vs = part
-                        .into_iter()
-                        .flat_map(|(a, b)| rd.detect_pair(&a, &b))
-                        .collect();
-                    finish(&rd, vs)
-                })
+                scoped
+                    .try_self_cartesian()?
+                    .try_map_partitions(move |part| {
+                        Metrics::add(&metrics.detect_calls, part.len() as u64);
+                        let vs = part
+                            .iter()
+                            .flat_map(|(a, b)| rd.detect_pair(a, b))
+                            .collect();
+                        Ok(finish(&rd, vs))
+                    })
             }
             IterateStrategy::CrossProduct => {
                 let rd = Arc::clone(rule);
-                scoped.self_cross_product().map_partitions(move |part| {
-                    Metrics::add(&metrics.detect_calls, part.len() as u64);
-                    let vs = part
-                        .into_iter()
-                        .filter(|(a, b)| a.id() != b.id())
-                        .flat_map(|(a, b)| rd.detect_pair(&a, &b))
-                        .collect();
-                    finish(&rd, vs)
-                })
+                scoped
+                    .try_self_cross_product()?
+                    .try_map_partitions(move |part| {
+                        Metrics::add(&metrics.detect_calls, part.len() as u64);
+                        let vs = part
+                            .iter()
+                            .filter(|(a, b)| a.id() != b.id())
+                            .flat_map(|(a, b)| rd.detect_pair(a, b))
+                            .collect();
+                        Ok(finish(&rd, vs))
+                    })
             }
             IterateStrategy::OcJoin(conds) => {
                 let rd = Arc::clone(rule);
-                ocjoin(scoped, conds, OcJoinConfig::default()).map_partitions(move |part| {
-                    Metrics::add(&metrics.detect_calls, part.len() as u64);
-                    let vs = part
-                        .into_iter()
-                        .flat_map(|(a, b)| rd.detect_pair(&a, &b))
-                        .collect();
-                    finish(&rd, vs)
-                })
+                try_ocjoin(scoped, conds, OcJoinConfig::default())?.try_map_partitions(
+                    move |part| {
+                        Metrics::add(&metrics.detect_calls, part.len() as u64);
+                        let vs = part
+                            .iter()
+                            .flat_map(|(a, b)| rd.detect_pair(a, b))
+                            .collect();
+                        Ok(finish(&rd, vs))
+                    },
+                )
             }
         }
     }
 
     /// Run one pipeline over an already-loaded dataset.
-    pub fn run_pipeline(&self, data: PDataset<Tuple>, pipeline: &RulePipeline) -> DetectOutput {
+    pub fn run_pipeline(
+        &self,
+        data: PDataset<Tuple>,
+        pipeline: &RulePipeline,
+    ) -> Result<DetectOutput> {
         let rule = Arc::clone(&pipeline.rule);
         let metrics = self.engine.metrics().clone();
 
         // PScope
         let scoped = if pipeline.use_scope {
             let r = Arc::clone(&rule);
-            data.flat_map(move |t| r.scope(&t)).checkpoint()
+            data.try_flat_map(move |t| Ok(r.scope(t)))?.checkpoint()?
         } else {
             data
         };
 
         // PBlock / PIterate / PDetect / PGenFix (fused stage, as in Spark)
         let detected = self
-            .iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)
-            .checkpoint()
+            .iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)?
+            .checkpoint()?
             .collect();
         Metrics::add(&metrics.violations, detected.len() as u64);
-        DetectOutput { detected }
+        Ok(DetectOutput { detected })
     }
 
     /// Detect with a **shared scan**: the table is loaded once and every
-    /// Detect with a **shared scan**: the table is loaded once and every
     /// rule's pipeline runs over the same in-memory dataset — the
     /// execution-layer counterpart of plan consolidation.
-    pub fn detect(&self, table: &Table, rules: &[Arc<dyn Rule>]) -> DetectOutput {
+    pub fn detect(&self, table: &Table, rules: &[Arc<dyn Rule>]) -> Result<DetectOutput> {
         let data = self.load(table);
         let mut out = DetectOutput::default();
         for rule in rules {
             let pipeline = crate::physical::pipeline_for_rule(Arc::clone(rule), table.name());
-            out.extend(self.run_pipeline(data.duplicate(), &pipeline));
+            out.extend(self.run_pipeline(data.duplicate(), &pipeline)?);
         }
-        out
+        Ok(out)
     }
 
     /// Detect reloading the table for every rule — the unconsolidated
     /// baseline used by the shared-scan ablation.
-    pub fn detect_unconsolidated(&self, table: &Table, rules: &[Arc<dyn Rule>]) -> DetectOutput {
+    pub fn detect_unconsolidated(
+        &self,
+        table: &Table,
+        rules: &[Arc<dyn Rule>],
+    ) -> Result<DetectOutput> {
         let mut out = DetectOutput::default();
         for rule in rules {
             let data = self.load(table);
             let pipeline = crate::physical::pipeline_for_rule(Arc::clone(rule), table.name());
-            out.extend(self.run_pipeline(data, &pipeline));
+            out.extend(self.run_pipeline(data, &pipeline)?);
         }
-        out
+        Ok(out)
     }
 
     /// The Figure 12(a) ablation: run a rule through Detect only — no
     /// Scope, no Block, candidates from a UCrossProduct over the whole
     /// dataset. Only meaningful for rules with an identity Scope.
-    pub fn detect_only(&self, table: &Table, rule: Arc<dyn Rule>) -> DetectOutput {
+    pub fn detect_only(&self, table: &Table, rule: Arc<dyn Rule>) -> Result<DetectOutput> {
         let pipeline = RulePipeline {
             rule,
             source: table.name().to_string(),
@@ -261,42 +284,50 @@ impl Executor {
         rule: Arc<dyn Rule>,
         left: &Table,
         right: &Table,
-    ) -> DetectOutput {
+    ) -> Result<DetectOutput> {
         let metrics = self.engine.metrics().clone();
         let rl = Arc::clone(&rule);
         let rr = Arc::clone(&rule);
-        let left_ds = self.load(left).flat_map(move |t| rl.scope(&t)).checkpoint();
+        let left_ds = self
+            .load(left)
+            .try_flat_map(move |t| Ok(rl.scope(t)))?
+            .checkpoint()?;
         let rr2 = Arc::clone(&rule);
-        let right_ds = self.load(right).flat_map(move |t| rr2.scope(&t)).checkpoint();
+        let right_ds = self
+            .load(right)
+            .try_flat_map(move |t| Ok(rr2.scope(t)))?
+            .checkpoint()?;
         let kl = Arc::clone(&rule);
         let kr = Arc::clone(&rule);
         let pairs = left_ds
-            .co_group(
+            .try_co_group(
                 right_ds,
-                move |t| kl.block(t).unwrap_or_default(),
-                move |t| kr.block(t).unwrap_or_default(),
-            )
-            .flat_map(|(_, ls, rs)| {
+                move |t| Ok(kl.block(t).unwrap_or_default()),
+                move |t| Ok(kr.block(t).unwrap_or_default()),
+            )?
+            .try_flat_map(|(_, ls, rs)| {
                 let mut out = Vec::with_capacity(ls.len() * rs.len());
-                for a in &ls {
-                    for b in &rs {
+                for a in ls {
+                    for b in rs {
                         out.push(DetectUnit::Pair(a.clone(), b.clone()));
                     }
                 }
-                out
-            });
+                Ok(out)
+            })?;
         Metrics::add(&metrics.pairs_generated, pairs.count() as u64);
         Metrics::add(&metrics.detect_calls, pairs.count() as u64);
-        let violations_ds = pairs.flat_map(move |u| rr.detect(&u)).checkpoint();
+        let violations_ds = pairs
+            .try_flat_map(move |u| Ok(rr.detect(u)))?
+            .checkpoint()?;
         Metrics::add(&metrics.violations, violations_ds.count() as u64);
         let rg = Arc::clone(&rule);
         let detected = violations_ds
-            .map(move |v| {
-                let fixes = rg.gen_fix(&v);
-                (v, fixes)
-            })
+            .try_map(move |v| {
+                let fixes = rg.gen_fix(v);
+                Ok((v.clone(), fixes))
+            })?
             .collect();
-        DetectOutput { detected }
+        Ok(DetectOutput { detected })
     }
 }
 
@@ -347,7 +378,7 @@ mod tests {
         // Example 1: (t2, t4) and (t4, t6) violate φF — ids 1, 3, 5 here.
         let table = example1();
         let exec = Executor::new(Engine::parallel(4));
-        let out = exec.detect(&table, &[fd_rule()]);
+        let out = exec.detect(&table, &[fd_rule()]).unwrap();
         assert_eq!(
             violating_id_sets(&out),
             HashSet::from([vec![1, 3], vec![3, 5]])
@@ -363,7 +394,7 @@ mod tests {
             DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", table.schema()).unwrap(),
         );
         let exec = Executor::new(Engine::parallel(4));
-        let out = exec.detect(&table, &[dc]);
+        let out = exec.detect(&table, &[dc]).unwrap();
         assert_eq!(
             violating_id_sets(&out),
             HashSet::from([vec![0, 1], vec![1, 4]])
@@ -374,10 +405,21 @@ mod tests {
     fn all_engines_agree_on_violations() {
         let table = example1();
         let rules = vec![fd_rule()];
-        let seq = violating_id_sets(&Executor::new(Engine::sequential()).detect(&table, &rules));
-        let par = violating_id_sets(&Executor::new(Engine::parallel(8)).detect(&table, &rules));
-        let disk =
-            violating_id_sets(&Executor::new(Engine::disk_backed(4)).detect(&table, &rules));
+        let seq = violating_id_sets(
+            &Executor::new(Engine::sequential())
+                .detect(&table, &rules)
+                .unwrap(),
+        );
+        let par = violating_id_sets(
+            &Executor::new(Engine::parallel(8))
+                .detect(&table, &rules)
+                .unwrap(),
+        );
+        let disk = violating_id_sets(
+            &Executor::new(Engine::disk_backed(4))
+                .detect(&table, &rules)
+                .unwrap(),
+        );
         assert_eq!(seq, par);
         assert_eq!(seq, disk);
     }
@@ -386,7 +428,7 @@ mod tests {
     fn disk_backed_mode_actually_spills() {
         let table = example1();
         let exec = Executor::new(Engine::disk_backed(2));
-        let _ = exec.detect(&table, &[fd_rule()]);
+        let _ = exec.detect(&table, &[fd_rule()]).unwrap();
         assert!(Metrics::get(&exec.engine().metrics().bytes_spilled) > 0);
     }
 
@@ -395,10 +437,10 @@ mod tests {
         let table = example1();
         let rules: Vec<Arc<dyn Rule>> = vec![fd_rule(), fd_rule()];
         let exec = Executor::new(Engine::sequential());
-        let _ = exec.detect(&table, &rules);
+        let _ = exec.detect(&table, &rules).unwrap();
         let shared = Metrics::get(&exec.engine().metrics().tuples_scanned);
         exec.engine().metrics().reset();
-        let _ = exec.detect_unconsolidated(&table, &rules);
+        let _ = exec.detect_unconsolidated(&table, &rules).unwrap();
         let unshared = Metrics::get(&exec.engine().metrics().tuples_scanned);
         assert_eq!(shared, table.len() as u64);
         assert_eq!(unshared, 2 * table.len() as u64);
@@ -409,10 +451,10 @@ mod tests {
         let table = example1();
         let dedup: Arc<dyn Rule> = Arc::new(DedupRule::new("udf:dedup", 0, 0.8));
         let exec = Executor::new(Engine::sequential());
-        let full = exec.detect(&table, &[Arc::clone(&dedup)]);
+        let full = exec.detect(&table, &[Arc::clone(&dedup)]).unwrap();
         let blocked_pairs = Metrics::get(&exec.engine().metrics().pairs_generated);
         exec.engine().metrics().reset();
-        let only = exec.detect_only(&table, dedup);
+        let only = exec.detect_only(&table, dedup).unwrap();
         let all_pairs = Metrics::get(&exec.engine().metrics().pairs_generated);
         assert!(blocked_pairs < all_pairs, "{blocked_pairs} !< {all_pairs}");
         assert_eq!(
@@ -434,14 +476,11 @@ mod tests {
         let right = Table::new(
             "R",
             schema.clone(),
-            vec![Tuple::new(
-                100,
-                vec![Value::Int(90210), Value::str("SF")],
-            )],
+            vec![Tuple::new(100, vec![Value::Int(90210), Value::str("SF")])],
         );
         let fd: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", &schema).unwrap());
         let exec = Executor::new(Engine::parallel(2));
-        let out = exec.detect_two_tables(fd, &left, &right);
+        let out = exec.detect_two_tables(fd, &left, &right).unwrap();
         assert_eq!(out.violation_count(), 1);
         assert_eq!(out.violations()[0].tuple_ids(), vec![0, 100]);
     }
@@ -452,7 +491,7 @@ mod tests {
         assert!(a.is_clean());
         let table = example1();
         let exec = Executor::new(Engine::sequential());
-        let b = exec.detect(&table, &[fd_rule()]);
+        let b = exec.detect(&table, &[fd_rule()]).unwrap();
         a.extend(b.clone());
         a.extend(b.clone());
         assert_eq!(a.violation_count(), 2 * b.violation_count());

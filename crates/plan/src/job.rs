@@ -196,7 +196,9 @@ mod tests {
         assert_eq!(plan.ops.len(), 5);
         assert_eq!(plan.detects().len(), 1);
         assert_eq!(
-            plan.sources_of_op(plan.detects()[0]).into_iter().collect::<Vec<_>>(),
+            plan.sources_of_op(plan.detects()[0])
+                .into_iter()
+                .collect::<Vec<_>>(),
             vec!["D1".to_string()]
         );
     }
@@ -209,7 +211,13 @@ mod tests {
         let kinds: Vec<OpKind> = plan.ops.iter().map(|o| o.kind).collect();
         assert_eq!(
             kinds,
-            vec![OpKind::Scope, OpKind::Block, OpKind::Iterate, OpKind::Detect, OpKind::GenFix]
+            vec![
+                OpKind::Scope,
+                OpKind::Block,
+                OpKind::Iterate,
+                OpKind::Detect,
+                OpKind::GenFix
+            ]
         );
     }
 

@@ -128,7 +128,10 @@ impl LogicalPlan {
 
     /// The Detect operators, in plan order.
     pub fn detects(&self) -> Vec<&LogicalOp> {
-        self.ops.iter().filter(|o| o.kind == OpKind::Detect).collect()
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Detect)
+            .collect()
     }
 
     /// Find the plan's operator of `kind` for `rule` (by rule name),
@@ -216,10 +219,7 @@ mod tests {
     fn source_tracing_walks_the_dag() {
         let p = simple_plan();
         let detect = p.detects()[0];
-        assert_eq!(
-            p.sources_of_op(detect),
-            BTreeSet::from(["D".to_string()])
-        );
+        assert_eq!(p.sources_of_op(detect), BTreeSet::from(["D".to_string()]));
         assert_eq!(p.sources_of_label("F"), BTreeSet::from(["D".to_string()]));
         assert!(p.sources_of_label("ZZ").is_empty());
     }

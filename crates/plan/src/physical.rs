@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn constant_cfd_is_single_units() {
-        let cfd =
-            CfdRule::parse("zipcode -> city | zipcode=90210, city=LA", &schema()).unwrap();
+        let cfd = CfdRule::parse("zipcode -> city | zipcode=90210, city=LA", &schema()).unwrap();
         assert_eq!(choose_strategy(&cfd), IterateStrategy::SingleUnits);
     }
 

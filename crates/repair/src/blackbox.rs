@@ -102,7 +102,10 @@ mod tests {
         let mut v = Violation::new("fd");
         v.add_cell(ca, Value::str(va));
         v.add_cell(cb, Value::str(vb));
-        (v, vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))])
+        (
+            v,
+            vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))],
+        )
     }
 
     #[test]
@@ -129,8 +132,12 @@ mod tests {
             fd_detected(100, "X", 101, "Y", 1),
         ];
         let engine = Engine::parallel(2);
-        let assign =
-            repair_parallel(&engine, &detected, &EquivalenceClassRepair, RepairOptions::default());
+        let assign = repair_parallel(
+            &engine,
+            &detected,
+            &EquivalenceClassRepair,
+            RepairOptions::default(),
+        );
         // each pair ties → smaller value wins → one change per component
         assert_eq!(assign.len(), 2);
         assert_eq!(assign[&Cell::new(2, 0)], Value::str("A"));
@@ -160,8 +167,12 @@ mod tests {
     #[test]
     fn empty_input_is_a_noop() {
         let engine = Engine::sequential();
-        let assign =
-            repair_parallel(&engine, &[], &EquivalenceClassRepair, RepairOptions::default());
+        let assign = repair_parallel(
+            &engine,
+            &[],
+            &EquivalenceClassRepair,
+            RepairOptions::default(),
+        );
         assert!(assign.is_empty());
     }
 }

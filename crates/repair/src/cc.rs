@@ -119,11 +119,18 @@ pub fn components_bsp(engine: &Engine, edges: &[Vec<u64>]) -> Vec<u64> {
         // superstep part 1: edges adopt the min label of their members
         let nl = &node_label;
         let de = &dense_edges;
-        let new_edges: Vec<Vec<u64>> = par_map_indexed(workers, edge_chunks.clone(), |_, (lo, hi)| {
-            (lo..hi)
-                .map(|e| de[e].iter().map(|&n| nl[n as usize]).min().unwrap_or(u64::MAX))
-                .collect()
-        });
+        let new_edges: Vec<Vec<u64>> =
+            par_map_indexed(workers, edge_chunks.clone(), |_, (lo, hi)| {
+                (lo..hi)
+                    .map(|e| {
+                        de[e]
+                            .iter()
+                            .map(|&n| nl[n as usize])
+                            .min()
+                            .unwrap_or(u64::MAX)
+                    })
+                    .collect()
+            });
         for ((lo, _), labels) in edge_chunks.iter().zip(new_edges) {
             edge_label[*lo..*lo + labels.len()].copy_from_slice(&labels);
         }
@@ -131,18 +138,19 @@ pub fn components_bsp(engine: &Engine, edges: &[Vec<u64>]) -> Vec<u64> {
         let el = &edge_label;
         let inc = &incidence;
         let nl = &node_label;
-        let new_nodes: Vec<Vec<u64>> = par_map_indexed(workers, node_chunks.clone(), |_, (lo, hi)| {
-            (lo..hi)
-                .map(|n| {
-                    inc[n]
-                        .iter()
-                        .map(|&e| el[e as usize])
-                        .min()
-                        .unwrap_or(u64::MAX)
-                        .min(nl[n])
-                })
-                .collect()
-        });
+        let new_nodes: Vec<Vec<u64>> =
+            par_map_indexed(workers, node_chunks.clone(), |_, (lo, hi)| {
+                (lo..hi)
+                    .map(|n| {
+                        inc[n]
+                            .iter()
+                            .map(|&e| el[e as usize])
+                            .min()
+                            .unwrap_or(u64::MAX)
+                            .min(nl[n])
+                    })
+                    .collect()
+            });
         let mut changed = false;
         for ((lo, _), labels) in node_chunks.iter().zip(new_nodes) {
             for (i, l) in labels.into_iter().enumerate() {

@@ -74,14 +74,9 @@ pub fn repair_distributed_equivalence(engine: &Engine, detected: &[Detected]) ->
         .iter()
         .map(|c| ((class_of[c], observed[c].clone()), 1u64))
         .collect();
-    records.extend(
-        consts
-            .iter()
-            .map(|(c, k)| ((class_of[c], k.clone()), 1u64)),
-    );
-    let counted: PDataset<((u64, Value), u64)> =
-        PDataset::from_vec(engine.clone(), records)
-            .reduce_by_key(|(k, _)| k.clone(), |(_, n)| n, |a, b| a + b);
+    records.extend(consts.iter().map(|(c, k)| ((class_of[c], k.clone()), 1u64)));
+    let counted: PDataset<((u64, Value), u64)> = PDataset::from_vec(engine.clone(), records)
+        .reduce_by_key(|(k, _)| k.clone(), |(_, n)| n, |a, b| a + b);
 
     // -- map-reduce round 2: ⟨ccid, (value, count)⟩ → max-frequency -----
     let targets: Vec<(u64, (Value, u64))> = counted
@@ -133,7 +128,10 @@ mod tests {
         let mut v = Violation::new("fd");
         v.add_cell(ca, Value::str(va));
         v.add_cell(cb, Value::str(vb));
-        (v, vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))])
+        (
+            v,
+            vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))],
+        )
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub(crate) fn build_classes(detected: &[Detected]) -> Classes {
             if fix.op != Op::Eq {
                 continue; // the equivalence-class algorithm handles = fixes
             }
-            observed.entry(fix.left).or_insert_with(|| fix.left_value.clone());
+            observed
+                .entry(fix.left)
+                .or_insert_with(|| fix.left_value.clone());
             match &fix.rhs {
                 FixRhs::Cell(rc, rv) => {
                     observed.entry(*rc).or_insert_with(|| rv.clone());
@@ -203,7 +205,12 @@ mod tests {
         v.add_cell(sc(11), Value::str("CA2"));
         d.push((
             v,
-            vec![Fix::assign_cell(sc(10), Value::str("CA"), sc(11), Value::str("CA2"))],
+            vec![Fix::assign_cell(
+                sc(10),
+                Value::str("CA"),
+                sc(11),
+                Value::str("CA2"),
+            )],
         ));
         let assign = EquivalenceClassRepair.repair(&d);
         assert_eq!(assign.len(), 2);

@@ -173,10 +173,20 @@ mod tests {
 
     #[test]
     fn above_below_are_strict() {
-        for v in [Value::Int(0), Value::Float(-3.5), Value::str("ab"), Value::Null] {
+        for v in [
+            Value::Int(0),
+            Value::Float(-3.5),
+            Value::str("ab"),
+            Value::Null,
+        ] {
             assert!(value_above(&v) > v, "{v:?}");
         }
-        for v in [Value::Int(0), Value::Float(-3.5), Value::str("ab"), Value::str("")] {
+        for v in [
+            Value::Int(0),
+            Value::Float(-3.5),
+            Value::str("ab"),
+            Value::str(""),
+        ] {
             assert!(value_below(&v) < v, "{v:?}");
         }
         // Null is the order minimum: below(Null) saturates

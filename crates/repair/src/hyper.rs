@@ -65,7 +65,10 @@ impl Constraint {
 /// unresolved violation, plus each cell's violation degree.
 /// Per-cell constraint lists (tagged with their violation index) and
 /// per-cell violation degrees.
-type Gathered = (HashMap<Cell, Vec<(usize, Constraint)>>, HashMap<Cell, usize>);
+type Gathered = (
+    HashMap<Cell, Vec<(usize, Constraint)>>,
+    HashMap<Cell, usize>,
+);
 
 fn gather(component: &[Detected], unresolved: &[usize], assign: &Assignment) -> Gathered {
     let mut constraints: HashMap<Cell, Vec<(usize, Constraint)>> = HashMap::new();
@@ -169,7 +172,10 @@ fn best_value(
     // Interior candidates: with contradictory bounds (typical when some
     // bounds come from *other dirty cells*) the optimum sits strictly
     // between the extremes, so sample the constraint targets themselves.
-    let mut targets: Vec<Value> = constraints.iter().map(|(_, c)| c.target(assign).clone()).collect();
+    let mut targets: Vec<Value> = constraints
+        .iter()
+        .map(|(_, c)| c.target(assign).clone())
+        .collect();
     targets.sort();
     targets.dedup();
     const MAX_SAMPLES: usize = 32;
@@ -251,7 +257,9 @@ impl RepairAlgorithm for HypergraphRepair {
             let mut covered: std::collections::HashSet<usize> = Default::default();
             let mut changed = false;
             for cell in order {
-                let Some(cs) = constraints.get(&cell) else { continue };
+                let Some(cs) = constraints.get(&cell) else {
+                    continue;
+                };
                 let pending: Vec<(usize, Constraint)> = cs
                     .iter()
                     .filter(|(vi, _)| !covered.contains(vi))
@@ -305,8 +313,18 @@ mod tests {
         v.add_cell(rate(t1), Value::Int(r1));
         v.add_cell(rate(t2), Value::Int(r2));
         let fixes = vec![
-            Fix::compare(sal(t1), Value::Int(s1), Op::Le, FixRhs::Cell(sal(t2), Value::Int(s2))),
-            Fix::compare(rate(t1), Value::Int(r1), Op::Ge, FixRhs::Cell(rate(t2), Value::Int(r2))),
+            Fix::compare(
+                sal(t1),
+                Value::Int(s1),
+                Op::Le,
+                FixRhs::Cell(sal(t2), Value::Int(s2)),
+            ),
+            Fix::compare(
+                rate(t1),
+                Value::Int(r1),
+                Op::Ge,
+                FixRhs::Cell(rate(t2), Value::Int(r2)),
+            ),
         ];
         (v, fixes)
     }
@@ -353,8 +371,7 @@ mod tests {
         }
         assert!(dets
             .iter()
-            .all(|d| d.1.iter().any(|f| fix_holds(f, &assign))
-                || violation_resolved(d, &assign)));
+            .all(|d| d.1.iter().any(|f| fix_holds(f, &assign)) || violation_resolved(d, &assign)));
     }
 
     #[test]
@@ -386,14 +403,31 @@ mod tests {
         let a = Assignment::new();
         let mut cs = Vec::new();
         for (i, v) in [15, 16, 17, 18, 19, 80].iter().enumerate() {
-            cs.push((i, Constraint { op: Op::Ge, cell: None, value: Value::Int(*v) }));
+            cs.push((
+                i,
+                Constraint {
+                    op: Op::Ge,
+                    cell: None,
+                    value: Value::Int(*v),
+                },
+            ));
         }
         for (i, v) in [21, 22, 23, 3].iter().enumerate() {
-            cs.push((10 + i, Constraint { op: Op::Le, cell: None, value: Value::Int(*v) }));
+            cs.push((
+                10 + i,
+                Constraint {
+                    op: Op::Le,
+                    cell: None,
+                    value: Value::Int(*v),
+                },
+            ));
         }
         let v = best_value(&Value::Int(2), &cs, &a);
         let sat = cs.iter().filter(|(_, c)| c.holds(&v, &a)).count();
-        assert_eq!(sat, 8, "best candidate satisfies 8/10, got {v:?} with {sat}");
+        assert_eq!(
+            sat, 8,
+            "best candidate satisfies 8/10, got {v:?} with {sat}"
+        );
         assert!(v >= Value::Int(19) && v <= Value::Int(21), "{v:?}");
     }
 
@@ -402,16 +436,44 @@ mod tests {
         // c must be >= 10 and <= 20; current 5 → clamp to 10
         let a = Assignment::new();
         let cs = vec![
-            (0, Constraint { op: Op::Ge, cell: None, value: Value::Int(10) }),
-            (1, Constraint { op: Op::Le, cell: None, value: Value::Int(20) }),
+            (
+                0,
+                Constraint {
+                    op: Op::Ge,
+                    cell: None,
+                    value: Value::Int(10),
+                },
+            ),
+            (
+                1,
+                Constraint {
+                    op: Op::Le,
+                    cell: None,
+                    value: Value::Int(20),
+                },
+            ),
         ];
         assert_eq!(best_value(&Value::Int(5), &cs, &a), Value::Int(10));
         // current inside the interval → unchanged
         assert_eq!(best_value(&Value::Int(15), &cs, &a), Value::Int(15));
         // infeasible bounds → best-scoring candidate still returned
         let cs = vec![
-            (0, Constraint { op: Op::Ge, cell: None, value: Value::Int(20) }),
-            (1, Constraint { op: Op::Le, cell: None, value: Value::Int(10) }),
+            (
+                0,
+                Constraint {
+                    op: Op::Ge,
+                    cell: None,
+                    value: Value::Int(20),
+                },
+            ),
+            (
+                1,
+                Constraint {
+                    op: Op::Le,
+                    cell: None,
+                    value: Value::Int(10),
+                },
+            ),
         ];
         let v = best_value(&Value::Int(15), &cs, &a);
         let sat = cs.iter().filter(|(_, c)| c.holds(&v, &a)).count();

@@ -95,7 +95,12 @@ mod tests {
     fn fix_only_cells_join_the_edge() {
         let mut v = Violation::new("r");
         v.add_cell(Cell::new(1, 0), Value::Int(0));
-        let fix = Fix::assign_cell(Cell::new(1, 0), Value::Int(0), Cell::new(9, 4), Value::Int(1));
+        let fix = Fix::assign_cell(
+            Cell::new(1, 0),
+            Value::Int(0),
+            Cell::new(9, 4),
+            Value::Int(1),
+        );
         let g = Hypergraph::build(&[(v, vec![fix])]);
         assert!(g.edges[0].cells.contains(&Cell::new(9, 4)));
         assert_eq!(g.nodes().len(), 2);

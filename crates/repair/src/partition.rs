@@ -167,7 +167,10 @@ mod tests {
         let mut v = Violation::new("fd");
         v.add_cell(ca, Value::str(va));
         v.add_cell(cb, Value::str(vb));
-        (v, vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))])
+        (
+            v,
+            vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))],
+        )
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
         let assign = repair_partitioned(
             &EquivalenceClassRepair,
             &comp,
-            PartitionConfig { k: 3, max_iterations: 8 },
+            PartitionConfig {
+                k: 3,
+                max_iterations: 8,
+            },
         );
         for d in &comp {
             assert!(violation_resolved(d, &assign), "unresolved {:?}", d.0);
@@ -234,13 +240,19 @@ mod tests {
         let a1 = repair_partitioned(
             &HypergraphRepair::default(),
             &comp,
-            PartitionConfig { k: 2, max_iterations: 4 },
+            PartitionConfig {
+                k: 2,
+                max_iterations: 4,
+            },
         );
         // run again: deterministic
         let a2 = repair_partitioned(
             &HypergraphRepair::default(),
             &comp,
-            PartitionConfig { k: 2, max_iterations: 4 },
+            PartitionConfig {
+                k: 2,
+                max_iterations: 4,
+            },
         );
         assert_eq!(a1, a2);
         for d in &comp {
@@ -255,7 +267,10 @@ mod tests {
         let part = repair_partitioned(
             &EquivalenceClassRepair,
             &comp,
-            PartitionConfig { k: 1, max_iterations: 2 },
+            PartitionConfig {
+                k: 1,
+                max_iterations: 2,
+            },
         );
         assert_eq!(direct, part);
     }

@@ -57,7 +57,10 @@ impl CfdRule {
         let mut lhs_patterns: Vec<Pattern> = fd
             .lhs()
             .iter()
-            .map(|&attr| Pattern { attr, constant: None })
+            .map(|&attr| Pattern {
+                attr,
+                constant: None,
+            })
             .collect();
         let mut rhs_pattern = None;
         for entry in pat_part.split(',') {
@@ -105,9 +108,10 @@ impl CfdRule {
 
     /// Does a scoped tuple match every LHS constant pattern?
     fn matches_lhs(&self, t: &Tuple) -> bool {
-        self.lhs_patterns.iter().enumerate().all(|(i, p)| {
-            p.constant.as_ref().is_none_or(|c| t.value(i) == c)
-        })
+        self.lhs_patterns
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.constant.as_ref().is_none_or(|c| t.value(i) == c))
     }
 
     /// True when the RHS pattern is a constant (single-tuple semantics).

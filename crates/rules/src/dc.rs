@@ -104,7 +104,10 @@ impl DcRule {
     /// `&`, `&&` and `and` all separate predicates; constants may be
     /// 'single-quoted', "double-quoted", or numeric literals.
     pub fn parse(spec: &str, schema: &Schema) -> Result<DcRule> {
-        let norm = spec.replace("&&", "&").replace(" and ", " & ").replace(" AND ", " & ");
+        let norm = spec
+            .replace("&&", "&")
+            .replace(" and ", " & ")
+            .replace(" AND ", " & ");
         let mut predicates = Vec::new();
         for raw in norm.split('&') {
             let raw = raw.trim();
@@ -156,7 +159,9 @@ impl DcRule {
                 .normalize());
             }
         }
-        Err(Error::RuleParse(format!("predicate `{raw}`: no comparison operator")))
+        Err(Error::RuleParse(format!(
+            "predicate `{raw}`: no comparison operator"
+        )))
     }
 
     fn parse_operand(raw: &str, schema: &Schema) -> Result<Operand> {
@@ -289,7 +294,10 @@ impl Rule for DcRule {
             return Vec::new();
         }
         for p in &self.predicates {
-            if !p.op.holds(self.eval(&p.left, a, b), self.eval(&p.right, a, b)) {
+            if !p
+                .op
+                .holds(self.eval(&p.left, a, b), self.eval(&p.right, a, b))
+            {
                 return Vec::new();
             }
         }
@@ -300,10 +308,16 @@ impl Rule for DcRule {
             for o in [&p.left, &p.right] {
                 match o {
                     Operand::T1(attr) => {
-                        v.add_cell(Cell::new(a.id(), *attr), a.value(self.scoped(*attr)).clone());
+                        v.add_cell(
+                            Cell::new(a.id(), *attr),
+                            a.value(self.scoped(*attr)).clone(),
+                        );
                     }
                     Operand::T2(attr) => {
-                        v.add_cell(Cell::new(b.id(), *attr), b.value(self.scoped(*attr)).clone());
+                        v.add_cell(
+                            Cell::new(b.id(), *attr),
+                            b.value(self.scoped(*attr)).clone(),
+                        );
                     }
                     Operand::Const(_) => {}
                 }
@@ -384,8 +398,22 @@ mod tests {
         let oc = dc.ordering_conditions();
         assert_eq!(oc.len(), 2);
         // scoped attrs are [salary(4), rate(5)] -> positions [0, 1]
-        assert_eq!(oc[0], OrderCond { left_attr: 0, op: Op::Gt, right_attr: 0 });
-        assert_eq!(oc[1], OrderCond { left_attr: 1, op: Op::Lt, right_attr: 1 });
+        assert_eq!(
+            oc[0],
+            OrderCond {
+                left_attr: 0,
+                op: Op::Gt,
+                right_attr: 0
+            }
+        );
+        assert_eq!(
+            oc[1],
+            OrderCond {
+                left_attr: 1,
+                op: Op::Lt,
+                right_attr: 1
+            }
+        );
     }
 
     #[test]
@@ -449,8 +477,28 @@ mod tests {
         assert!(dc.symmetric());
         assert!(dc.ordering_conditions().is_empty());
         let s = |t: &Tuple| dc.scope(t).remove(0);
-        let a = s(&Tuple::new(1, vec![Value::str("x"), Value::Int(1), Value::str("LA"), Value::str("CA"), Value::Int(0), Value::Int(0)]));
-        let b = s(&Tuple::new(2, vec![Value::str("y"), Value::Int(2), Value::str("LA"), Value::str("WA"), Value::Int(0), Value::Int(0)]));
+        let a = s(&Tuple::new(
+            1,
+            vec![
+                Value::str("x"),
+                Value::Int(1),
+                Value::str("LA"),
+                Value::str("CA"),
+                Value::Int(0),
+                Value::Int(0),
+            ],
+        ));
+        let b = s(&Tuple::new(
+            2,
+            vec![
+                Value::str("y"),
+                Value::Int(2),
+                Value::str("LA"),
+                Value::str("WA"),
+                Value::Int(0),
+                Value::Int(0),
+            ],
+        ));
         assert_eq!(dc.block(&a), Some(vec![Value::str("LA")]));
         assert_eq!(dc.detect_pair(&a, &b).len(), 1);
     }
@@ -460,8 +508,28 @@ mod tests {
         let dc = DcRule::parse("t1.state = 'XX'", &schema()).unwrap();
         assert_eq!(dc.unit_kind(), UnitKind::Single);
         let s = |t: &Tuple| dc.scope(t).remove(0);
-        let bad = s(&Tuple::new(1, vec![Value::str("x"), Value::Int(1), Value::str("LA"), Value::str("XX"), Value::Int(0), Value::Int(0)]));
-        let ok = s(&Tuple::new(2, vec![Value::str("y"), Value::Int(2), Value::str("LA"), Value::str("CA"), Value::Int(0), Value::Int(0)]));
+        let bad = s(&Tuple::new(
+            1,
+            vec![
+                Value::str("x"),
+                Value::Int(1),
+                Value::str("LA"),
+                Value::str("XX"),
+                Value::Int(0),
+                Value::Int(0),
+            ],
+        ));
+        let ok = s(&Tuple::new(
+            2,
+            vec![
+                Value::str("y"),
+                Value::Int(2),
+                Value::str("LA"),
+                Value::str("CA"),
+                Value::Int(0),
+                Value::Int(0),
+            ],
+        ));
         let vs = dc.detect(&DetectUnit::Single(bad));
         assert_eq!(vs.len(), 1);
         let fixes = dc.gen_fix(&vs[0]);
@@ -475,6 +543,9 @@ mod tests {
     fn numeric_constant_operands_parse() {
         let dc = DcRule::parse("t1.salary > 1000 & t1.rate <= 3.5", &schema()).unwrap();
         assert_eq!(dc.predicates().len(), 2);
-        assert!(matches!(dc.predicates()[0].right, Operand::Const(Value::Int(1000))));
+        assert!(matches!(
+            dc.predicates()[0].right,
+            Operand::Const(Value::Int(1000))
+        ));
     }
 }

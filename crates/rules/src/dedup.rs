@@ -189,13 +189,18 @@ mod tests {
     #[test]
     fn dissimilar_names_pass() {
         let r = DedupRule::new("udf:dedup", 0, 0.8);
-        assert!(r.detect_pair(&t(1, "Robert", "LA"), &t(2, "Xavier", "LA")).is_empty());
+        assert!(r
+            .detect_pair(&t(1, "Robert", "LA"), &t(2, "Xavier", "LA"))
+            .is_empty());
     }
 
     #[test]
     fn blocking_key_is_lowercase_prefix() {
         let r = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(3);
-        assert_eq!(r.block(&t(1, "Robert", "LA")), Some(vec![Value::str("rob")]));
+        assert_eq!(
+            r.block(&t(1, "Robert", "LA")),
+            Some(vec![Value::str("rob")])
+        );
         let r0 = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(0);
         assert_eq!(r0.block(&t(1, "Robert", "LA")), None);
     }

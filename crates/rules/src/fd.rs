@@ -32,9 +32,15 @@ impl FdRule {
             .split_once("->")
             .ok_or_else(|| Error::RuleParse(format!("FD `{spec}`: missing `->`")))?;
         let parse_side = |side: &str| -> Result<Vec<usize>> {
-            let names: Vec<&str> = side.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let names: Vec<&str> = side
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
             if names.is_empty() {
-                return Err(Error::RuleParse(format!("FD `{spec}`: empty attribute list")));
+                return Err(Error::RuleParse(format!(
+                    "FD `{spec}`: empty attribute list"
+                )));
             }
             names.iter().map(|n| schema.index_of(n)).collect()
         };
@@ -137,8 +143,14 @@ impl Rule for FdRule {
         let mut v = Violation::new(self.name.clone());
         // include the (agreeing) LHS cells so LHS repairs stay possible
         for (i, &src) in self.lhs.iter().enumerate() {
-            v.add_cell(bigdansing_common::Cell::new(a.id(), src), a.value(i).clone());
-            v.add_cell(bigdansing_common::Cell::new(b.id(), src), b.value(i).clone());
+            v.add_cell(
+                bigdansing_common::Cell::new(a.id(), src),
+                a.value(i).clone(),
+            );
+            v.add_cell(
+                bigdansing_common::Cell::new(b.id(), src),
+                b.value(i).clone(),
+            );
         }
         for (tid, src, val) in cells {
             v.add_cell(bigdansing_common::Cell::new(tid, src), val);

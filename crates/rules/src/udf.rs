@@ -64,10 +64,7 @@ impl UdfRuleBuilder {
     }
 
     /// Provide a Block operator.
-    pub fn block(
-        mut self,
-        f: impl Fn(&Tuple) -> Option<BlockKey> + Send + Sync + 'static,
-    ) -> Self {
+    pub fn block(mut self, f: impl Fn(&Tuple) -> Option<BlockKey> + Send + Sync + 'static) -> Self {
         self.inner.block = Some(Arc::new(f));
         self
     }

@@ -275,7 +275,12 @@ mod tests {
 
     #[test]
     fn fix_constructors_and_cells() {
-        let f = Fix::assign_cell(Cell::new(2, 1), Value::str("LA"), Cell::new(4, 1), Value::str("SF"));
+        let f = Fix::assign_cell(
+            Cell::new(2, 1),
+            Value::str("LA"),
+            Cell::new(4, 1),
+            Value::str("SF"),
+        );
         assert_eq!(f.op, Op::Eq);
         assert_eq!(f.cells().len(), 2);
         let g = Fix::assign_const(Cell::new(2, 1), Value::str("LA"), Value::str("SF"));
@@ -302,8 +307,18 @@ mod tests {
     #[test]
     fn fix_codec_roundtrip_both_rhs() {
         for f in [
-            Fix::assign_cell(Cell::new(2, 1), Value::str("a"), Cell::new(4, 1), Value::str("b")),
-            Fix::compare(Cell::new(7, 0), Value::Int(1), Op::Ge, FixRhs::Const(Value::Float(2.5))),
+            Fix::assign_cell(
+                Cell::new(2, 1),
+                Value::str("a"),
+                Cell::new(4, 1),
+                Value::str("b"),
+            ),
+            Fix::compare(
+                Cell::new(7, 0),
+                Value::Int(1),
+                Op::Ge,
+                FixRhs::Const(Value::Float(2.5)),
+            ),
         ] {
             let mut buf = Vec::new();
             f.encode(&mut buf);

@@ -141,10 +141,7 @@ pub fn read_projected(path: impl AsRef<Path>, attrs: Option<&[usize]>) -> Result
 }
 
 /// As [`read_projected`], also reporting decoded column bytes.
-pub fn read_with_stats(
-    path: impl AsRef<Path>,
-    attrs: Option<&[usize]>,
-) -> Result<(Table, u64)> {
+pub fn read_with_stats(path: impl AsRef<Path>, attrs: Option<&[usize]>) -> Result<(Table, u64)> {
     let path = path.as_ref();
     let bytes = fs::read(path)?;
     let h = read_header(&bytes)?;
@@ -226,7 +223,10 @@ mod tests {
         write_table(&t, &p).unwrap();
         let (_, all) = read_with_stats(&p, None).unwrap();
         let (projected, some) = read_with_stats(&p, Some(&[0])).unwrap();
-        assert!(some < all, "projection must decode fewer bytes: {some} vs {all}");
+        assert!(
+            some < all,
+            "projection must decode fewer bytes: {some} vs {all}"
+        );
         assert_eq!(projected.tuple(0).unwrap().value(0), &Value::Int(90210));
         assert_eq!(projected.tuple(0).unwrap().value(1), &Value::Null);
         // positions preserved: attribute 2 still addressable

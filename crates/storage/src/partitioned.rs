@@ -100,8 +100,7 @@ impl PartitionedStore {
                 let mut out = Vec::new();
                 let mut pairs = 0u64;
                 for block in part {
-                    let scoped: Vec<Tuple> =
-                        block.iter().flat_map(|t| r.scope(t)).collect();
+                    let scoped: Vec<Tuple> = block.iter().flat_map(|t| r.scope(t)).collect();
                     for i in 0..scoped.len() {
                         let j0 = if symmetric { i + 1 } else { 0 };
                         for j in j0..scoped.len() {
@@ -184,7 +183,7 @@ mod tests {
         );
         // regular executor path
         let exec = Executor::new(Engine::parallel(2));
-        let normal = exec.detect(&t, &[Arc::clone(&rule)]);
+        let normal = exec.detect(&t, &[Arc::clone(&rule)]).unwrap();
         let key = |vs: &[(Violation, Vec<Fix>)]| -> BTreeSet<Vec<u64>> {
             vs.iter().map(|(v, _)| v.tuple_ids()).collect()
         };

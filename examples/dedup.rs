@@ -32,7 +32,7 @@ fn main() {
         s
     };
 
-    let report = sys.detect(&table);
+    let report = sys.detect(&table).unwrap();
     let metrics = sys.engine().metrics().snapshot();
     println!(
         "blocked detection: {} duplicate pairs found, {} candidate pairs compared",
@@ -62,7 +62,7 @@ fn main() {
     // duplicates, but a full UCrossProduct of candidates — the Figure
     // 12(a) ablation
     sys.engine().metrics().reset();
-    let only = sys.executor().detect_only(&table, rule);
+    let only = sys.executor().detect_only(&table, rule).unwrap();
     let all_pairs = Metrics::get(&sys.engine().metrics().pairs_generated);
     println!(
         "detect-only: {} pairs found, {} candidates compared ({}x more work)",

@@ -14,9 +14,8 @@ use std::sync::Arc;
 fn main() {
     let schema = Schema::parse("name,zipcode,city,state,salary,rate");
     let fd: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", &schema).unwrap());
-    let dc: Arc<dyn Rule> = Arc::new(
-        DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", &schema).unwrap(),
-    );
+    let dc: Arc<dyn Rule> =
+        Arc::new(DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", &schema).unwrap());
 
     // -- a hand-written job, mirroring Listing 3 of the paper ----------
     let mut job = Job::new("Example Job");
@@ -62,7 +61,7 @@ fn main() {
     .unwrap();
     let exec = Executor::new(Engine::sequential());
     for pipeline in &physical::translate(plan).unwrap().pipelines {
-        let out = exec.run_pipeline(exec.load(&table), pipeline);
+        let out = exec.run_pipeline(exec.load(&table), pipeline).unwrap();
         println!(
             "executed {} → {} violation(s)",
             pipeline.rule.name(),

@@ -40,7 +40,7 @@ fn main() {
         .unwrap();
 
     // -- detection: the paper's violations fall out -------------------
-    let report = sys.detect(&table);
+    let report = sys.detect(&table).unwrap();
     println!("\ndetected {} violations:", report.violation_count());
     for (v, fixes) in &report.detected {
         println!("  {v:?}");
@@ -62,6 +62,9 @@ fn main() {
         result.iterations, result.cells_changed, result.repair_cost
     );
     print!("{}", csv::to_string(&result.table));
-    assert!(sys.detect(&result.table).is_clean(), "table must end clean");
+    assert!(
+        sys.detect(&result.table).unwrap().is_clean(),
+        "table must end clean"
+    );
     println!("\nno violations remain ✓");
 }

@@ -96,7 +96,7 @@ fn main() {
 
     let mut sys = BigDansing::parallel(2);
     sys.add_rule(rule);
-    let report = sys.detect(&view);
+    let report = sys.detect(&view).unwrap();
     println!("violations: {}", report.violation_count());
     for (v, fixes) in &report.detected {
         println!("  {v:?}");
@@ -112,5 +112,5 @@ fn main() {
         .expect("cleanse runs");
     println!("\nrepaired student view:");
     print!("{}", bigdansing_common::csv::to_string(&result.table));
-    assert!(sys.detect(&result.table).is_clean());
+    assert!(sys.detect(&result.table).unwrap().is_clean());
 }

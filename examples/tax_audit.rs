@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example tax_audit`
 
-use bigdansing::{
-    BigDansing, CleanseOptions, HypergraphRepair, IterateStrategy, RepairStrategy,
-};
+use bigdansing::{BigDansing, CleanseOptions, HypergraphRepair, IterateStrategy, RepairStrategy};
 use bigdansing_datagen::tax;
 use bigdansing_plan::physical::choose_strategy;
 use bigdansing_rules::DcRule;
@@ -43,7 +41,7 @@ fn main() {
     let mut sys = BigDansing::parallel(4);
     sys.add_rule(Arc::new(dc));
 
-    let report = sys.detect(&gt.dirty);
+    let report = sys.detect(&gt.dirty).unwrap();
     let m = sys.engine().metrics().snapshot();
     println!(
         "detected {} violating pairs; OCJoin pruned {} of {} partition pairs",
@@ -66,8 +64,6 @@ fn main() {
         "repair: {} iterations, {} cells changed; mean |rate − truth| {:.2} → {:.2}",
         result.iterations, result.cells_changed, before, after
     );
-    let remaining = sys.detect(&result.table).violation_count();
-    println!(
-        "remaining violations: {remaining} (0 = converged; >0 = unfixable residue per §2.2)"
-    );
+    let remaining = sys.detect(&result.table).unwrap().violation_count();
+    println!("remaining violations: {remaining} (0 = converged; >0 = unfixable residue per §2.2)");
 }

@@ -11,11 +11,14 @@ fn taxa_phi1_cleanses_clean() {
     let gt = tax::taxa(2_000, 0.10, 1);
     let mut sys = BigDansing::parallel(2);
     sys.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
-    let before = sys.detect(&gt.dirty);
-    assert!(before.violation_count() > 0, "errors must trigger violations");
+    let before = sys.detect(&gt.dirty).unwrap();
+    assert!(
+        before.violation_count() > 0,
+        "errors must trigger violations"
+    );
     let res = sys.cleanse(&gt.dirty, CleanseOptions::default()).unwrap();
     assert!(res.converged);
-    assert!(sys.detect(&res.table).is_clean());
+    assert!(sys.detect(&res.table).unwrap().is_clean());
     assert!(res.cells_changed > 0);
 }
 
@@ -23,10 +26,11 @@ fn taxa_phi1_cleanses_clean() {
 fn tpch_phi3_cleanses_clean() {
     let gt = tpch::tpch(2_000, 0.10, 2);
     let mut sys = BigDansing::parallel(2);
-    sys.add_fd("o_custkey -> c_address", gt.dirty.schema()).unwrap();
+    sys.add_fd("o_custkey -> c_address", gt.dirty.schema())
+        .unwrap();
     let res = sys.cleanse(&gt.dirty, CleanseOptions::default()).unwrap();
     assert!(res.converged);
-    assert!(sys.detect(&res.table).is_clean());
+    assert!(sys.detect(&res.table).unwrap().is_clean());
 }
 
 #[test]
@@ -40,9 +44,9 @@ fn hai_multi_rule_combo_cleanses() {
     let res = sys.cleanse(&gt.dirty, CleanseOptions::default()).unwrap();
     // multiple interacting FDs may need several iterations (Table 4)
     assert!(res.iterations >= 1);
-    let remaining = sys.detect(&res.table).violation_count();
+    let remaining = sys.detect(&res.table).unwrap().violation_count();
     assert!(
-        remaining * 10 <= sys.detect(&gt.dirty).violation_count().max(1),
+        remaining * 10 <= sys.detect(&gt.dirty).unwrap().violation_count().max(1),
         "at least 90% of violations resolved, {remaining} remain"
     );
 }
@@ -51,9 +55,12 @@ fn hai_multi_rule_combo_cleanses() {
 fn taxb_phi2_converges_with_hypergraph_repair() {
     let gt = tax::taxb(800, 0.10, 4);
     let mut sys = BigDansing::parallel(2);
-    sys.add_dc("t1.salary > t2.salary & t1.rate < t2.rate", gt.dirty.schema())
-        .unwrap();
-    let before = sys.detect(&gt.dirty).violation_count();
+    sys.add_dc(
+        "t1.salary > t2.salary & t1.rate < t2.rate",
+        gt.dirty.schema(),
+    )
+    .unwrap();
+    let before = sys.detect(&gt.dirty).unwrap().violation_count();
     assert!(before > 0);
     let res = sys
         .cleanse(
@@ -65,7 +72,7 @@ fn taxb_phi2_converges_with_hypergraph_repair() {
             },
         )
         .unwrap();
-    let after = sys.detect(&res.table).violation_count();
+    let after = sys.detect(&res.table).unwrap().violation_count();
     assert!(
         after * 100 <= before,
         "DC violations should drop ≥100×: {before} → {after}"
@@ -84,7 +91,7 @@ fn dedup_merges_injected_duplicates() {
     );
     let mut sys = BigDansing::parallel(2);
     sys.add_rule(rule);
-    let out = sys.detect(&table);
+    let out = sys.detect(&table).unwrap();
     // most injected fuzzy pairs are found (blocking can miss prefix edits)
     let found: std::collections::HashSet<Vec<u64>> =
         out.detected.iter().map(|(v, _)| v.tuple_ids()).collect();
@@ -128,8 +135,10 @@ fn multiple_rule_classes_in_one_system() {
     let mut sys = BigDansing::parallel(2);
     sys.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
     sys.add_fd("zipcode -> state", gt.dirty.schema()).unwrap();
-    sys.add_rule(Arc::new(FdRule::parse("zipcode -> city, state", gt.dirty.schema()).unwrap()));
-    let out = sys.detect(&gt.dirty);
+    sys.add_rule(Arc::new(
+        FdRule::parse("zipcode -> city, state", gt.dirty.schema()).unwrap(),
+    ));
+    let out = sys.detect(&gt.dirty).unwrap();
     assert!(out.violation_count() > 0);
     // rule names distinguish the sources
     let names: std::collections::HashSet<&str> =

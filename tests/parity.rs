@@ -4,8 +4,9 @@
 
 use bigdansing::{BigDansing, CleanseOptions, RepairStrategy};
 use bigdansing_baselines::{dedup_violations, nadeef, shark, sparksql, sqlengine};
-use bigdansing_common::{Cell, Table};
-use bigdansing_dataflow::Engine;
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Cell, Error, Table};
+use bigdansing_dataflow::{Engine, ExecMode, FaultInjector, FaultPolicy};
 use bigdansing_datagen::{tax, tpch};
 use bigdansing_plan::{Executor, IterateStrategy, RulePipeline};
 use bigdansing_repair::EquivalenceClassRepair;
@@ -40,7 +41,11 @@ fn phi1_data() -> (Table, Arc<dyn Rule>) {
 fn phi2_data() -> (Table, Arc<dyn Rule>) {
     let gt = tax::taxb(300, 0.10, 12);
     let rule: Arc<dyn Rule> = Arc::new(
-        DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", gt.dirty.schema()).unwrap(),
+        DcRule::parse(
+            "t1.salary > t2.salary & t1.rate < t2.rate",
+            gt.dirty.schema(),
+        )
+        .unwrap(),
     );
     (gt.dirty, rule)
 }
@@ -50,7 +55,7 @@ fn engines_agree_on_violation_sets() {
     for (table, rule) in [phi1_data(), phi2_data()] {
         let run = |e: Engine| {
             let exec = Executor::new(e);
-            let out = exec.detect(&table, &[Arc::clone(&rule)]);
+            let out = exec.detect(&table, &[Arc::clone(&rule)]).unwrap();
             keys(out.detected.iter().map(|(v, _)| v).collect())
         };
         let seq = run(Engine::sequential());
@@ -61,12 +66,99 @@ fn engines_agree_on_violation_sets() {
     }
 }
 
+/// An engine with a deterministic fault injector: every partition task has
+/// a chance of panicking and every spill read/write a chance of failing,
+/// all keyed off a fixed seed so runs are reproducible.
+fn faulty_engine(mode: ExecMode, seed: u64) -> Engine {
+    Engine::builder(mode)
+        .workers(3)
+        .fault_policy(FaultPolicy::with_max_attempts(6))
+        .fault_injector(
+            FaultInjector::seeded(seed)
+                .with_task_panics(0.15)
+                .with_spill_errors(0.15),
+        )
+        .build()
+}
+
+#[test]
+fn engines_agree_on_violations_under_injected_faults() {
+    // Acceptance: with seeded injected panics and spill I/O errors, the
+    // Parallel and DiskBacked runs complete and match the fault-free
+    // Sequential oracle exactly, with nonzero retry/panic counters.
+    for (table, rule) in [phi1_data(), phi2_data()] {
+        let oracle = {
+            let exec = Executor::new(Engine::sequential());
+            let out = exec.detect(&table, &[Arc::clone(&rule)]).unwrap();
+            keys(out.detected.iter().map(|(v, _)| v).collect())
+        };
+        for mode in [ExecMode::Parallel, ExecMode::DiskBacked] {
+            let engine = faulty_engine(mode, 0xB16D);
+            let exec = Executor::new(engine);
+            let out = exec.detect(&table, &[Arc::clone(&rule)]).unwrap();
+            let got = keys(out.detected.iter().map(|(v, _)| v).collect());
+            assert_eq!(oracle, got, "{} under {mode:?} faults", rule.name());
+            let m = exec.engine().metrics();
+            assert!(
+                Metrics::get(&m.panics_caught) > 0,
+                "{mode:?}: no panics were injected — injector not wired in"
+            );
+            assert!(
+                Metrics::get(&m.tasks_retried) > 0,
+                "{mode:?}: faults occurred but nothing was retried"
+            );
+        }
+    }
+}
+
+#[test]
+fn repairs_agree_under_injected_faults() {
+    // The full detect ⇄ repair loop must also be fault-transparent: the
+    // repaired table from a faulty engine matches the fault-free one.
+    let gt = tax::taxa(400, 0.10, 16);
+    let run = |engine: Engine| {
+        let mut sys = BigDansing::on_engine(engine);
+        sys.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
+        sys.cleanse(&gt.dirty, CleanseOptions::default())
+            .unwrap()
+            .table
+    };
+    let oracle = run(Engine::sequential());
+    let parallel = run(faulty_engine(ExecMode::Parallel, 0xFA157));
+    let disk = run(faulty_engine(ExecMode::DiskBacked, 0xFA157));
+    assert_eq!(oracle.diff_cells(&parallel), 0, "parallel repair diverged");
+    assert_eq!(oracle.diff_cells(&disk), 0, "disk-backed repair diverged");
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_task_error() {
+    // Acceptance: when every attempt fails, the job returns Error::Task
+    // naming the failing partition — it must not propagate a panic.
+    let (table, rule) = phi1_data();
+    let engine = Engine::builder(ExecMode::Parallel)
+        .workers(2)
+        .fault_policy(FaultPolicy::with_max_attempts(2))
+        .fault_injector(FaultInjector::seeded(7).with_task_panics(1.0))
+        .build();
+    let exec = Executor::new(engine);
+    match exec.detect(&table, &[Arc::clone(&rule)]) {
+        Err(Error::Task {
+            attempts, cause, ..
+        }) => {
+            assert_eq!(attempts, 2);
+            assert!(cause.contains("injected panic"), "cause: {cause}");
+        }
+        other => panic!("expected Error::Task, got {other:?}"),
+    }
+}
+
 #[test]
 fn bigdansing_matches_every_baseline_on_fd() {
     let (table, rule) = phi1_data();
     let exec = Executor::new(Engine::parallel(2));
     let bd = keys(
         exec.detect(&table, &[Arc::clone(&rule)])
+            .unwrap()
             .detected
             .iter()
             .map(|(v, _)| v)
@@ -93,6 +185,7 @@ fn bigdansing_matches_every_baseline_on_inequality_dc() {
     let exec = Executor::new(Engine::parallel(2));
     let bd = keys(
         exec.detect(&table, &[Arc::clone(&rule)])
+            .unwrap()
             .detected
             .iter()
             .map(|(v, _)| v)
@@ -124,7 +217,7 @@ fn ocjoin_pipeline_matches_cross_product_pipeline() {
             strategy,
             use_genfix: false,
         };
-        let out = exec.run_pipeline(exec.load(&table), &p);
+        let out = exec.run_pipeline(exec.load(&table), &p).unwrap();
         keys(out.detected.iter().map(|(v, _)| v).collect())
     };
     let oc = run(IterateStrategy::OcJoin(conds));
@@ -138,20 +231,25 @@ fn blocked_and_detect_only_find_the_same_fd_violations() {
     // FD scope is not identity, so build an identity-scope rule via a
     // pre-projected table
     let gt = tax::taxa(400, 0.10, 13);
-    let rule: Arc<dyn Rule> =
-        Arc::new(FdRule::from_indices("fd:zip->city", vec![0], vec![1]));
+    let rule: Arc<dyn Rule> = Arc::new(FdRule::from_indices("fd:zip->city", vec![0], vec![1]));
     let projected = Table::from_rows(
         "p",
         bigdansing_common::Schema::parse("zipcode,city"),
         gt.dirty
             .tuples()
             .iter()
-            .map(|t| vec![t.value(tax::attr::ZIPCODE).clone(), t.value(tax::attr::CITY).clone()])
+            .map(|t| {
+                vec![
+                    t.value(tax::attr::ZIPCODE).clone(),
+                    t.value(tax::attr::CITY).clone(),
+                ]
+            })
             .collect(),
     );
     let exec = Executor::new(Engine::parallel(2));
     let blocked = keys(
         exec.detect(&projected, &[Arc::clone(&rule)])
+            .unwrap()
             .detected
             .iter()
             .map(|(v, _)| v)
@@ -159,6 +257,7 @@ fn blocked_and_detect_only_find_the_same_fd_violations() {
     );
     let only = keys(
         exec.detect_only(&projected, rule)
+            .unwrap()
             .detected
             .iter()
             .map(|(v, _)| v)
@@ -172,7 +271,8 @@ fn distributed_and_serial_equivalence_class_repair_identically() {
     let gt = tpch::tpch(800, 0.10, 14);
     let run = |strategy: RepairStrategy| {
         let mut sys = BigDansing::parallel(2);
-        sys.add_fd("o_custkey -> c_address", gt.dirty.schema()).unwrap();
+        sys.add_fd("o_custkey -> c_address", gt.dirty.schema())
+            .unwrap();
         sys.cleanse(
             &gt.dirty,
             CleanseOptions {
@@ -184,8 +284,12 @@ fn distributed_and_serial_equivalence_class_repair_identically() {
         .table
     };
     let a = run(RepairStrategy::DistributedEquivalence);
-    let b = run(RepairStrategy::SerialBlackBox(Arc::new(EquivalenceClassRepair)));
-    let c = run(RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair)));
+    let b = run(RepairStrategy::SerialBlackBox(Arc::new(
+        EquivalenceClassRepair,
+    )));
+    let c = run(RepairStrategy::ParallelBlackBox(Arc::new(
+        EquivalenceClassRepair,
+    )));
     assert_eq!(a.diff_cells(&b), 0, "distributed vs serial");
     assert_eq!(a.diff_cells(&c), 0, "distributed vs per-CC parallel");
 }
@@ -198,8 +302,8 @@ fn shared_scan_and_unconsolidated_detection_agree() {
         Arc::new(FdRule::parse("zipcode -> state", gt.dirty.schema()).unwrap()),
     ];
     let exec = Executor::new(Engine::parallel(2));
-    let shared = exec.detect(&gt.dirty, &rules);
-    let separate = exec.detect_unconsolidated(&gt.dirty, &rules);
+    let shared = exec.detect(&gt.dirty, &rules).unwrap();
+    let separate = exec.detect_unconsolidated(&gt.dirty, &rules).unwrap();
     assert_eq!(
         keys(shared.detected.iter().map(|(v, _)| v).collect()),
         keys(separate.detected.iter().map(|(v, _)| v).collect())

@@ -31,7 +31,7 @@ proptest! {
         let res = sys.cleanse(&table, CleanseOptions::default()).unwrap();
         // terminated within the budget, and convergence is truthful
         prop_assert!(res.iterations <= 10);
-        let clean = sys.detect(&res.table).is_clean();
+        let clean = sys.detect(&res.table).unwrap().is_clean();
         prop_assert_eq!(res.converged, clean);
         // an FD with equality fixes is always repairable
         prop_assert!(clean, "FD cleansing must converge");
@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn engine_parity_on_random_data(table in arb_table(50), workers in 1usize..5) {
         let rule: Arc<dyn Rule> = Arc::new(FdRule::parse("a -> b", table.schema()).unwrap());
-        let count = |e: Engine| Executor::new(e).detect(&table, &[Arc::clone(&rule)]).violation_count();
+        let count = |e: Engine| Executor::new(e).detect(&table, &[Arc::clone(&rule)]).unwrap().violation_count();
         let seq = count(Engine::sequential());
         prop_assert_eq!(seq, count(Engine::parallel(workers)));
         prop_assert_eq!(seq, count(Engine::disk_backed(workers)));

@@ -28,8 +28,11 @@ fn cleanse_hai(combo: hai::RuleCombo, strategy: RepairStrategy, seed: u64) -> (f
 
 #[test]
 fn hai_phi6_equivalence_class_quality() {
-    let (precision, recall, iters) =
-        cleanse_hai(hai::RuleCombo::Phi6, RepairStrategy::DistributedEquivalence, 21);
+    let (precision, recall, iters) = cleanse_hai(
+        hai::RuleCombo::Phi6,
+        RepairStrategy::DistributedEquivalence,
+        21,
+    );
     // blocks have ~6 rows at 10% errors: the majority value is almost
     // always the clean one (paper reports 0.90+/0.84+ on real HAI)
     assert!(precision > 0.9, "precision {precision}");
@@ -40,8 +43,7 @@ fn hai_phi6_equivalence_class_quality() {
 #[test]
 fn hai_rule_combinations_keep_quality() {
     for combo in [hai::RuleCombo::Phi6And7, hai::RuleCombo::Phi6To8] {
-        let (precision, recall, _) =
-            cleanse_hai(combo, RepairStrategy::DistributedEquivalence, 22);
+        let (precision, recall, _) = cleanse_hai(combo, RepairStrategy::DistributedEquivalence, 22);
         assert!(precision > 0.8, "{combo:?}: precision {precision}");
         assert!(recall > 0.6, "{combo:?}: recall {recall}");
     }
@@ -53,9 +55,7 @@ fn distributed_matches_centralized_quality_exactly() {
         let (p1, r1, i1) = cleanse_hai(combo, RepairStrategy::DistributedEquivalence, 23);
         let (p2, r2, i2) = cleanse_hai(
             combo,
-            RepairStrategy::SerialBlackBox(Arc::new(
-                bigdansing_repair::EquivalenceClassRepair,
-            )),
+            RepairStrategy::SerialBlackBox(Arc::new(bigdansing_repair::EquivalenceClassRepair)),
             23,
         );
         assert_eq!((p1, r1, i1), (p2, r2, i2), "{combo:?}");
@@ -86,5 +86,8 @@ fn repair_cost_tracks_cell_changes() {
     sys.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
     let res = sys.cleanse(&gt.dirty, CleanseOptions::default()).unwrap();
     assert!(res.repair_cost > 0.0);
-    assert!(res.repair_cost <= res.cells_changed as f64, "distance ≤ 1 per cell");
+    assert!(
+        res.repair_cost <= res.cells_changed as f64,
+        "distance ≤ 1 per cell"
+    );
 }

@@ -28,8 +28,8 @@ fn columnar_roundtrip_preserves_detection_results() {
     let mut sys_b = BigDansing::parallel(2);
     sys_b.add_fd("zipcode -> city", loaded.schema()).unwrap();
     assert_eq!(
-        sys_a.detect(&gt.dirty).violation_count(),
-        sys_b.detect(&loaded).violation_count()
+        sys_a.detect(&gt.dirty).unwrap().violation_count(),
+        sys_b.detect(&loaded).unwrap().violation_count()
     );
 }
 
@@ -42,16 +42,19 @@ fn projected_load_still_serves_the_scoped_rule() {
     let (projected, bytes) =
         layout::read_with_stats(&path, Some(&[tax::attr::ZIPCODE, tax::attr::CITY])).unwrap();
     let (_, all_bytes) = layout::read_with_stats(&path, None).unwrap();
-    assert!(bytes < all_bytes / 2, "2 of 6 columns decoded: {bytes} vs {all_bytes}");
+    assert!(
+        bytes < all_bytes / 2,
+        "2 of 6 columns decoded: {bytes} vs {all_bytes}"
+    );
 
     let mut sys = BigDansing::parallel(2);
     sys.add_fd("zipcode -> city", projected.schema()).unwrap();
     let full = {
         let mut s = BigDansing::parallel(2);
         s.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
-        s.detect(&gt.dirty).violation_count()
+        s.detect(&gt.dirty).unwrap().violation_count()
     };
-    assert_eq!(sys.detect(&projected).violation_count(), full);
+    assert_eq!(sys.detect(&projected).unwrap().violation_count(), full);
 }
 
 #[test]
@@ -72,7 +75,11 @@ fn replicated_store_serves_multiple_rules_without_shuffles() {
         assert_eq!(Metrics::get(&engine.metrics().records_shuffled), 0);
         let mut sys = BigDansing::parallel(2);
         sys.add_rule(Arc::clone(&rule));
-        assert_eq!(pushed.len(), sys.detect(&gt.dirty).violation_count(), "{spec}");
+        assert_eq!(
+            pushed.len(),
+            sys.detect(&gt.dirty).unwrap().violation_count(),
+            "{spec}"
+        );
     }
 }
 
@@ -81,7 +88,7 @@ fn detect_reports_round_trip_to_disk() {
     let gt = tax::taxa(300, 0.10, 44);
     let mut sys = BigDansing::parallel(2);
     sys.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
-    let out = sys.detect(&gt.dirty);
+    let out = sys.detect(&gt.dirty).unwrap();
     let stem = tmp("audit");
     report::write_reports(&out, Some(&gt.dirty), &stem).unwrap();
     let v = std::fs::read_to_string(tmp("audit.violations.csv")).unwrap();
@@ -100,5 +107,8 @@ fn partitioned_store_keeps_singleton_blocks() {
     let rule: Arc<dyn Rule> =
         Arc::new(FdRule::parse("zipcode -> city", gt.dirty.schema()).unwrap());
     let engine = Engine::sequential();
-    assert!(store.detect_pushdown(&engine, &rule).is_empty(), "clean data");
+    assert!(
+        store.detect_pushdown(&engine, &rule).is_empty(),
+        "clean data"
+    );
 }
