@@ -12,11 +12,13 @@
 //! CFD `"a -> b | a=1, b=_"`.
 
 use bigdansing::{
-    csv, BigDansing, CleanseOptions, EquivalenceClassRepair, HypergraphRepair, RepairStrategy,
+    csv, BigDansing, CleanseOptions, Engine, EquivalenceClassRepair, ExecMode, HypergraphRepair,
+    MemoryBudget, Quarantine, RepairStrategy,
 };
 use bigdansing_common::Table;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[global_allocator]
 static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
@@ -41,6 +43,12 @@ OPTIONS:
   --workers N            worker threads (default: all cores)
   --repair eq|hyper      repair algorithm (default: eq)
   --max-iterations N     detect/repair rounds (default: 10)
+  --deadline-ms N        cancel the job after N ms of wall-clock time
+  --memory-budget-mb N   soft memory budget for checkpointed data; the
+                         coldest datasets spill to disk past it (hard
+                         ceiling: 4x the budget cancels the job)
+  --lenient              quarantine malformed CSV rows instead of
+                         aborting the load (reported after the run)
 ";
 
 struct Args {
@@ -54,6 +62,9 @@ struct Args {
     workers: usize,
     repair: String,
     max_iterations: usize,
+    deadline_ms: Option<u64>,
+    memory_budget_mb: Option<u64>,
+    lenient: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -71,6 +82,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             .unwrap_or(2),
         repair: "eq".into(),
         max_iterations: 10,
+        deadline_ms: None,
+        memory_budget_mb: None,
+        lenient: false,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -94,6 +108,21 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--max-iterations needs an integer")?
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer")?,
+                )
+            }
+            "--memory-budget-mb" => {
+                args.memory_budget_mb = Some(
+                    value("--memory-budget-mb")?
+                        .parse()
+                        .map_err(|_| "--memory-budget-mb needs an integer")?,
+                )
+            }
+            "--lenient" => args.lenient = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -103,7 +132,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
 }
 
 fn build_system(args: &Args, table: &Table) -> Result<BigDansing, String> {
-    let mut sys = BigDansing::parallel(args.workers);
+    let mut builder = Engine::builder(ExecMode::Parallel).workers(args.workers);
+    if let Some(mb) = args.memory_budget_mb {
+        builder = builder.memory_budget(MemoryBudget::soft(mb.saturating_mul(1024 * 1024)));
+    }
+    let mut sys = BigDansing::on_engine(builder.build());
+    if let Some(ms) = args.deadline_ms {
+        sys = sys.with_deadline(Duration::from_millis(ms));
+    }
     for spec in &args.fds {
         sys.add_fd(spec, table.schema())
             .map_err(|e| e.to_string())?;
@@ -122,17 +158,25 @@ fn build_system(args: &Args, table: &Table) -> Result<BigDansing, String> {
     Ok(sys)
 }
 
-fn load(path: &str) -> Result<Table, String> {
+fn load(path: &str, lenient: bool) -> Result<(Table, Option<Quarantine>), String> {
     if path.ends_with(".bdcol") {
-        bigdansing_storage::layout::read_table(path).map_err(|e| e.to_string())
+        let table = bigdansing_storage::layout::read_table(path).map_err(|e| e.to_string())?;
+        Ok((table, None))
+    } else if lenient {
+        let (table, q) = csv::read_file_lenient(path, true, None).map_err(|e| e.to_string())?;
+        Ok((table, Some(q)))
     } else {
-        csv::read_file(path, true, None).map_err(|e| e.to_string())
+        let table = csv::read_file(path, true, None).map_err(|e| e.to_string())?;
+        Ok((table, None))
     }
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
-    let table = load(&args.input)?;
+    let (table, quarantine) = load(&args.input, args.lenient)?;
+    if let Some(q) = quarantine.as_ref().filter(|q| !q.is_empty()) {
+        eprintln!("{}", q.summary());
+    }
     eprintln!(
         "loaded `{}`: {} rows × {} attributes",
         args.input,
@@ -143,6 +187,9 @@ fn run() -> Result<(), String> {
     match args.command.as_str() {
         "detect" => {
             let sys = build_system(&args, &table)?;
+            if let Some(q) = &quarantine {
+                q.record(sys.engine().metrics());
+            }
             let out = sys.detect(&table).map_err(|e| e.to_string())?;
             if let Some(line) =
                 bigdansing::report::fault_summary(&sys.engine().metrics().snapshot())
@@ -165,6 +212,9 @@ fn run() -> Result<(), String> {
         }
         "clean" => {
             let sys = build_system(&args, &table)?;
+            if let Some(q) = &quarantine {
+                q.record(sys.engine().metrics());
+            }
             let output = args.output.as_deref().ok_or("clean needs --output")?;
             let strategy = match args.repair.as_str() {
                 "eq" => RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair)),

@@ -18,7 +18,7 @@ pub trait Codec: Sized {
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     if buf.len() < n {
-        return Err(Error::Io(format!(
+        return Err(Error::Parse(format!(
             "codec underrun: wanted {n} bytes, had {}",
             buf.len()
         )));
@@ -28,13 +28,21 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     Ok(head)
 }
 
+/// Read exactly eight bytes without panicking on truncated input, so a
+/// corrupt spill file surfaces as a recoverable `Error::Parse` instead
+/// of a process abort.
+fn take8(buf: &mut &[u8]) -> Result<[u8; 8]> {
+    let b = take(buf, 8)?;
+    b.try_into()
+        .map_err(|_| Error::Parse("codec underrun: short 8-byte field".into()))
+}
+
 impl Codec for u64 {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
-        let b = take(buf, 8)?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        Ok(u64::from_le_bytes(take8(buf)?))
     }
 }
 
@@ -43,8 +51,7 @@ impl Codec for i64 {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
-        let b = take(buf, 8)?;
-        Ok(i64::from_le_bytes(b.try_into().unwrap()))
+        Ok(i64::from_le_bytes(take8(buf)?))
     }
 }
 
@@ -53,8 +60,7 @@ impl Codec for f64 {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
-        let b = take(buf, 8)?;
-        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+        Ok(f64::from_le_bytes(take8(buf)?))
     }
 }
 
@@ -66,7 +72,7 @@ impl Codec for String {
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         let len = u64::decode(buf)? as usize;
         let b = take(buf, len)?;
-        String::from_utf8(b.to_vec()).map_err(|e| Error::Io(format!("codec: bad utf8: {e}")))
+        String::from_utf8(b.to_vec()).map_err(|e| Error::Parse(format!("codec: bad utf8: {e}")))
     }
 }
 
@@ -95,7 +101,7 @@ impl Codec for Value {
             1 => Value::Int(i64::decode(buf)?),
             2 => Value::Float(f64::decode(buf)?),
             3 => Value::str(String::decode(buf)?),
-            t => return Err(Error::Io(format!("codec: bad Value tag {t}"))),
+            t => return Err(Error::Parse(format!("codec: bad Value tag {t}"))),
         })
     }
 }
@@ -217,14 +223,31 @@ mod tests {
         let mut buf = Vec::new();
         Value::str("abcdef").encode(&mut buf);
         let mut short = &buf[..buf.len() - 2];
-        assert!(Value::decode(&mut short).is_err());
-        assert!(u64::decode(&mut &b"123"[..]).is_err());
+        assert!(matches!(Value::decode(&mut short), Err(Error::Parse(_))));
+        assert!(matches!(
+            u64::decode(&mut &b"123"[..]),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(i64::decode(&mut &b"x"[..]), Err(Error::Parse(_))));
+        assert!(matches!(f64::decode(&mut &b""[..]), Err(Error::Parse(_))));
     }
 
     #[test]
     fn bad_tag_errors() {
         let buf = [9u8];
-        assert!(Value::decode(&mut &buf[..]).is_err());
+        assert!(matches!(Value::decode(&mut &buf[..]), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn truncated_batch_is_a_parse_error_not_a_panic() {
+        let items: Vec<u64> = (0..16).collect();
+        let buf = encode_batch(&items);
+        for cut in [0, 1, 7, buf.len() - 3, buf.len() - 1] {
+            assert!(matches!(
+                decode_batch::<u64>(&buf[..cut]),
+                Err(Error::Parse(_))
+            ));
+        }
     }
 
     fn arb_value() -> impl Strategy<Value = Value> {

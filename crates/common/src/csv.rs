@@ -5,6 +5,7 @@
 //! parser: comma-separated, double-quote quoting with `""` escapes, no
 //! external dependencies.
 
+use crate::quarantine::Quarantine;
 use crate::{Error, Result, Schema, Table, Tuple, TupleId, Value};
 use std::fs;
 use std::path::Path;
@@ -45,9 +46,16 @@ fn quote(field: &str) -> String {
     }
 }
 
-/// Parse CSV text into a [`Table`]. When `header` is true the first line
-/// supplies the schema; otherwise `schema` must be provided.
-pub fn parse_str(name: &str, text: &str, header: bool, schema: Option<Schema>) -> Result<Table> {
+/// Shared parse loop: `strict` fails fast on the first ragged row,
+/// lenient mode quarantines it (1-based data-line number) and keeps
+/// loading.
+fn parse_inner(
+    name: &str,
+    text: &str,
+    header: bool,
+    schema: Option<Schema>,
+    strict: bool,
+) -> Result<(Table, Quarantine)> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let schema = if header {
         let head = lines
@@ -57,33 +65,68 @@ pub fn parse_str(name: &str, text: &str, header: bool, schema: Option<Schema>) -
     } else {
         schema.ok_or_else(|| Error::Parse("headerless CSV needs an explicit schema".into()))?
     };
+    let mut quarantine = Quarantine::new(name);
     let mut tuples = Vec::new();
     for (i, line) in lines.enumerate() {
         let fields = split_line(line);
         if fields.len() != schema.arity() {
-            return Err(Error::Parse(format!(
-                "line {}: expected {} fields, found {}",
-                i + 1,
-                schema.arity(),
-                fields.len()
-            )));
+            let reason = format!("expected {} fields, found {}", schema.arity(), fields.len());
+            if strict {
+                return Err(Error::Parse(format!("line {}: {reason}", i + 1)));
+            }
+            quarantine.push(i + 1, reason);
+            continue;
         }
         let values = fields.iter().map(|f| Value::parse_lossy(f)).collect();
-        tuples.push(Tuple::new(i as TupleId, values));
+        tuples.push(Tuple::new(tuples.len() as TupleId, values));
     }
-    Ok(Table::new(name, schema, tuples))
+    Ok((Table::new(name, schema, tuples), quarantine))
 }
 
-/// Read a CSV file from disk.
+/// Parse CSV text into a [`Table`]. When `header` is true the first line
+/// supplies the schema; otherwise `schema` must be provided. Fails fast
+/// on the first malformed row; see [`parse_str_lenient`] to quarantine
+/// malformed rows instead.
+pub fn parse_str(name: &str, text: &str, header: bool, schema: Option<Schema>) -> Result<Table> {
+    parse_inner(name, text, header, schema, true).map(|(t, _)| t)
+}
+
+/// Like [`parse_str`], but malformed rows are diverted into a
+/// [`Quarantine`] report instead of aborting the load. Structural
+/// errors (empty input, missing schema) still fail.
+pub fn parse_str_lenient(
+    name: &str,
+    text: &str,
+    header: bool,
+    schema: Option<Schema>,
+) -> Result<(Table, Quarantine)> {
+    parse_inner(name, text, header, schema, false)
+}
+
+/// Read a CSV file from disk (fail-fast on malformed rows).
 pub fn read_file(path: impl AsRef<Path>, header: bool, schema: Option<Schema>) -> Result<Table> {
-    let path = path.as_ref();
+    let (text, name) = read_to_parts(path.as_ref())?;
+    parse_str(&name, &text, header, schema)
+}
+
+/// Read a CSV file from disk, quarantining malformed rows.
+pub fn read_file_lenient(
+    path: impl AsRef<Path>,
+    header: bool,
+    schema: Option<Schema>,
+) -> Result<(Table, Quarantine)> {
+    let (text, name) = read_to_parts(path.as_ref())?;
+    parse_str_lenient(&name, &text, header, schema)
+}
+
+fn read_to_parts(path: &Path) -> Result<(String, String)> {
     let text = fs::read_to_string(path)?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("table")
         .to_string();
-    parse_str(&name, &text, header, schema)
+    Ok((text, name))
 }
 
 /// Render a table as CSV text (with a header line).
@@ -142,6 +185,26 @@ mod tests {
     fn parse_rejects_ragged_rows() {
         let err = parse_str("D", "a,b\n1,2\n3\n", true, None).unwrap_err();
         assert!(matches!(err, Error::Parse(_)));
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_ragged_rows() {
+        let (t, q) = parse_str_lenient("D", "a,b\n1,2\n3\n4,5,6\n7,8\n", true, None).unwrap();
+        assert_eq!(t.len(), 2);
+        // Tuple ids stay dense despite the skipped rows.
+        assert_eq!(t.tuple(1).unwrap().value(0), &Value::Int(7));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.entries()[0], (2, "expected 2 fields, found 1".into()));
+        assert_eq!(q.entries()[1], (3, "expected 2 fields, found 3".into()));
+    }
+
+    #[test]
+    fn lenient_parse_still_fails_on_structural_errors() {
+        assert!(parse_str_lenient("D", "", true, None).is_err());
+        assert!(parse_str_lenient("D", "1,2\n", false, None).is_err());
+        let (t, q) = parse_str_lenient("D", "a,b\n1,2\n", true, None).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -5,6 +5,27 @@ use std::fmt;
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Why a job's cancellation token was tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// An explicit external cancellation (operator, API caller).
+    User,
+    /// The job's wall-clock deadline elapsed before it finished.
+    DeadlineExceeded,
+    /// The job exceeded the hard ceiling of its memory budget.
+    MemoryExceeded,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::User => write!(f, "cancelled by user"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            CancelReason::MemoryExceeded => write!(f, "memory budget exceeded"),
+        }
+    }
+}
+
 /// The error type for BigDansing operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -32,6 +53,24 @@ pub enum Error {
         /// The last attempt's failure, rendered as text.
         cause: String,
     },
+    /// A job was cancelled cooperatively between partition tasks —
+    /// explicitly, by a deadline watchdog, or by the memory-budget hard
+    /// ceiling. The job's spill files are cleaned up before this
+    /// surfaces.
+    Cancelled {
+        /// Name of the cancelled job.
+        job: String,
+        /// Why the job's token was tripped.
+        reason: CancelReason,
+    },
+    /// A job was refused admission because the concurrent-job gate was
+    /// full and its queue (if any) had no room.
+    Rejected {
+        /// Name of the rejected job.
+        job: String,
+        /// The gate's concurrent-job limit at rejection time.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -50,6 +89,13 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "task error: partition {partition} failed after {attempts} attempt(s): {cause}"
+            ),
+            Error::Cancelled { job, reason } => {
+                write!(f, "job `{job}` cancelled: {reason}")
+            }
+            Error::Rejected { job, limit } => write!(
+                f,
+                "job `{job}` rejected: already running {limit} concurrent job(s)"
             ),
         }
     }
@@ -88,6 +134,34 @@ mod tests {
         assert!(s.contains("injected panic"), "{s}");
         // stays Clone + Eq like every other variant
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn cancelled_error_displays_job_and_reason() {
+        let e = Error::Cancelled {
+            job: "detect-3".into(),
+            reason: CancelReason::DeadlineExceeded,
+        };
+        let s = e.to_string();
+        assert!(s.contains("detect-3"), "{s}");
+        assert!(s.contains("deadline exceeded"), "{s}");
+        assert_eq!(e.clone(), e);
+        let m = Error::Cancelled {
+            job: "j".into(),
+            reason: CancelReason::MemoryExceeded,
+        };
+        assert!(m.to_string().contains("memory budget exceeded"));
+    }
+
+    #[test]
+    fn rejected_error_displays_limit() {
+        let e = Error::Rejected {
+            job: "cleanse-0".into(),
+            limit: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cleanse-0"), "{s}");
+        assert!(s.contains('2'), "{s}");
     }
 
     #[test]

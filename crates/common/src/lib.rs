@@ -20,12 +20,15 @@
 //! * [`sim`] — similarity functions (Levenshtein) used by dedup rules,
 //! * [`metrics`] — lightweight counters used to validate experiment shape,
 //! * [`codec`] — the binary row codec used by the disk-backed execution
-//!   mode that simulates Hadoop-style per-stage materialization.
+//!   mode that simulates Hadoop-style per-stage materialization,
+//! * [`quarantine`] — reports of malformed input rows set aside by the
+//!   lenient parse modes instead of aborting the load.
 
 pub mod codec;
 pub mod csv;
 pub mod error;
 pub mod metrics;
+pub mod quarantine;
 pub mod rdf;
 pub mod schema;
 pub mod sim;
@@ -33,7 +36,8 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use error::{Error, Result};
+pub use error::{CancelReason, Error, Result};
+pub use quarantine::Quarantine;
 pub use schema::Schema;
 pub use table::Table;
 pub use tuple::{Cell, Tuple, TupleId};

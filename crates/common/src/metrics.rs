@@ -37,6 +37,21 @@ pub struct Metrics {
     /// Checkpoints that degraded from disk-backed to in-memory because
     /// the spill directory was unusable.
     pub stages_degraded: AtomicU64,
+    /// Jobs cancelled cooperatively (user, deadline, or memory ceiling).
+    pub jobs_cancelled: AtomicU64,
+    /// Deadline watchdog firings that actually tripped a job's token.
+    pub deadline_trips: AtomicU64,
+    /// Encoded bytes registered in the engine's memory ledger.
+    pub bytes_tracked: AtomicU64,
+    /// Checkpointed datasets evicted to disk by memory-budget pressure.
+    pub pressure_spills: AtomicU64,
+    /// Jobs that waited in the admission queue before starting.
+    pub jobs_queued: AtomicU64,
+    /// Jobs refused admission by the concurrent-job gate.
+    pub jobs_rejected: AtomicU64,
+    /// Malformed input rows diverted to a quarantine report by the
+    /// lenient parsers instead of aborting the load.
+    pub rows_quarantined: AtomicU64,
 }
 
 impl Metrics {
@@ -70,6 +85,13 @@ impl Metrics {
             &self.panics_caught,
             &self.spill_failures,
             &self.stages_degraded,
+            &self.jobs_cancelled,
+            &self.deadline_trips,
+            &self.bytes_tracked,
+            &self.pressure_spills,
+            &self.jobs_queued,
+            &self.jobs_rejected,
+            &self.rows_quarantined,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -90,6 +112,13 @@ impl Metrics {
             panics_caught: Metrics::get(&self.panics_caught),
             spill_failures: Metrics::get(&self.spill_failures),
             stages_degraded: Metrics::get(&self.stages_degraded),
+            jobs_cancelled: Metrics::get(&self.jobs_cancelled),
+            deadline_trips: Metrics::get(&self.deadline_trips),
+            bytes_tracked: Metrics::get(&self.bytes_tracked),
+            pressure_spills: Metrics::get(&self.pressure_spills),
+            jobs_queued: Metrics::get(&self.jobs_queued),
+            jobs_rejected: Metrics::get(&self.jobs_rejected),
+            rows_quarantined: Metrics::get(&self.rows_quarantined),
         }
     }
 }
@@ -121,6 +150,20 @@ pub struct MetricsSnapshot {
     pub spill_failures: u64,
     /// See [`Metrics::stages_degraded`].
     pub stages_degraded: u64,
+    /// See [`Metrics::jobs_cancelled`].
+    pub jobs_cancelled: u64,
+    /// See [`Metrics::deadline_trips`].
+    pub deadline_trips: u64,
+    /// See [`Metrics::bytes_tracked`].
+    pub bytes_tracked: u64,
+    /// See [`Metrics::pressure_spills`].
+    pub pressure_spills: u64,
+    /// See [`Metrics::jobs_queued`].
+    pub jobs_queued: u64,
+    /// See [`Metrics::jobs_rejected`].
+    pub jobs_rejected: u64,
+    /// See [`Metrics::rows_quarantined`].
+    pub rows_quarantined: u64,
 }
 
 #[cfg(test)]

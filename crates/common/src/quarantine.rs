@@ -1,0 +1,102 @@
+//! Quarantine reports for malformed input rows.
+//!
+//! The paper's parsers assume clean, well-formed input; real feeds are
+//! not. In lenient mode the CSV and RDF parsers divert rows they cannot
+//! parse into a [`Quarantine`] report — `(line_no, reason)` pairs —
+//! instead of aborting the whole load, so one ragged row does not take
+//! down a cleansing job. The strict (fail-fast) behaviour remains the
+//! default.
+
+use crate::metrics::Metrics;
+
+/// Malformed rows set aside by a lenient parse, with the line number
+/// and the reason each row was refused.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    source: String,
+    entries: Vec<(usize, String)>,
+}
+
+impl Quarantine {
+    /// An empty quarantine for rows from `source`.
+    pub fn new(source: impl Into<String>) -> Quarantine {
+        Quarantine {
+            source: source.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one malformed row (1-based data-line number + reason).
+    pub fn push(&mut self, line: usize, reason: impl Into<String>) {
+        self.entries.push((line, reason.into()));
+    }
+
+    /// The input the quarantined rows came from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The `(line_no, reason)` pairs, in input order.
+    pub fn entries(&self) -> &[(usize, String)] {
+        &self.entries
+    }
+
+    /// Number of quarantined rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every row parsed cleanly.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add this report's row count to `Metrics::rows_quarantined`.
+    pub fn record(&self, metrics: &Metrics) {
+        if !self.entries.is_empty() {
+            Metrics::add(&metrics.rows_quarantined, self.entries.len() as u64);
+        }
+    }
+
+    /// One-line human-readable summary, e.g. for CLI diagnostics.
+    pub fn summary(&self) -> String {
+        match self.entries.first() {
+            None => format!("no rows quarantined from `{}`", self.source),
+            Some((line, reason)) => format!(
+                "quarantined {} malformed row(s) from `{}` (first: line {line}: {reason})",
+                self.entries.len(),
+                self.source
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_entries_in_order() {
+        let mut q = Quarantine::new("feed.csv");
+        assert!(q.is_empty());
+        q.push(3, "expected 4 fields, found 2");
+        q.push(9, "expected 4 fields, found 5");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.entries()[0].0, 3);
+        assert_eq!(q.source(), "feed.csv");
+        let s = q.summary();
+        assert!(s.contains("2 malformed row(s)"), "{s}");
+        assert!(s.contains("line 3"), "{s}");
+    }
+
+    #[test]
+    fn records_into_metrics() {
+        let m = Metrics::new_shared();
+        let mut q = Quarantine::new("t");
+        q.record(&m);
+        assert_eq!(Metrics::get(&m.rows_quarantined), 0);
+        q.push(1, "bad");
+        q.record(&m);
+        assert_eq!(Metrics::get(&m.rows_quarantined), 1);
+    }
+}

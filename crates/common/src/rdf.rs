@@ -5,6 +5,7 @@
 //! object. We model a triple store as a 3-attribute [`Table`] so every
 //! logical operator works on it unchanged.
 
+use crate::quarantine::Quarantine;
 use crate::{Error, Result, Schema, Table, Tuple, TupleId, Value};
 
 /// Attribute index of the subject in a triple-table schema.
@@ -64,10 +65,10 @@ pub fn to_table(name: &str, triples: &[Triple]) -> Table {
     Table::new(name, triple_schema(), tuples)
 }
 
-/// Parse a whitespace-separated line-oriented triple format
-/// (`subject predicate object`, one per line; `#` comments allowed).
-/// This is the minimal N-Triples-like parser the examples use.
-pub fn parse_str(name: &str, text: &str) -> Result<Table> {
+/// Shared parse loop: `strict` fails fast on the first malformed line,
+/// lenient mode quarantines it (1-based line number) and keeps going.
+fn parse_inner(name: &str, text: &str, strict: bool) -> Result<(Table, Quarantine)> {
+    let mut quarantine = Quarantine::new(name);
     let mut triples = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -76,23 +77,38 @@ pub fn parse_str(name: &str, text: &str) -> Result<Table> {
         }
         let line = line.strip_suffix('.').map(str::trim).unwrap_or(line);
         let mut parts = line.split_whitespace();
-        match (parts.next(), parts.next()) {
+        let reason = match (parts.next(), parts.next()) {
             (Some(s), Some(p)) => {
                 let o: Vec<&str> = parts.collect();
                 if o.is_empty() {
-                    return Err(Error::Parse(format!("line {}: missing object", lineno + 1)));
+                    "missing object".to_string()
+                } else {
+                    triples.push(Triple::new(s, p, o.join(" ")));
+                    continue;
                 }
-                triples.push(Triple::new(s, p, o.join(" ")));
             }
-            _ => {
-                return Err(Error::Parse(format!(
-                    "line {}: expected `subject predicate object`",
-                    lineno + 1
-                )))
-            }
+            _ => "expected `subject predicate object`".to_string(),
+        };
+        if strict {
+            return Err(Error::Parse(format!("line {}: {reason}", lineno + 1)));
         }
+        quarantine.push(lineno + 1, reason);
     }
-    Ok(to_table(name, &triples))
+    Ok((to_table(name, &triples), quarantine))
+}
+
+/// Parse a whitespace-separated line-oriented triple format
+/// (`subject predicate object`, one per line; `#` comments allowed).
+/// This is the minimal N-Triples-like parser the examples use. Fails
+/// fast on the first malformed line; see [`parse_str_lenient`].
+pub fn parse_str(name: &str, text: &str) -> Result<Table> {
+    parse_inner(name, text, true).map(|(t, _)| t)
+}
+
+/// Like [`parse_str`], but malformed lines are diverted into a
+/// [`Quarantine`] report instead of aborting the load.
+pub fn parse_str_lenient(name: &str, text: &str) -> Result<(Table, Quarantine)> {
+    parse_inner(name, text, false)
 }
 
 /// Extract the triples back from a triple table.
@@ -130,6 +146,18 @@ mod tests {
     fn parse_rejects_short_lines() {
         assert!(parse_str("rdf", "onlysubject\n").is_err());
         assert!(parse_str("rdf", "s p\n").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_short_lines() {
+        let text = "# hdr\ns1 p1 o1\nonlysubject\ns2 p2\ns3 p3 o3 .\n";
+        let (t, q) = parse_str_lenient("rdf", text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tuple(1).unwrap().value(OBJECT), &Value::str("o3"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.entries()[0].0, 3);
+        assert!(q.entries()[0].1.contains("subject predicate object"));
+        assert_eq!(q.entries()[1], (4, "missing object".into()));
     }
 
     #[test]

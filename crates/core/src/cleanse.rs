@@ -114,6 +114,9 @@ pub fn cleanse_loop(
         converged: false,
     };
     for _ in 0..options.max_iterations.max(1) {
+        // a deadline/cancellation that trips mid-repair is honoured at
+        // the next iteration boundary
+        executor.engine().check_cancelled()?;
         let detected = executor.detect(&current, rules)?;
         if detected.is_clean() {
             result.converged = true;

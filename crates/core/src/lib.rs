@@ -41,19 +41,29 @@
 //! caught and retried under the engine's [`FaultPolicy`]; exhausted
 //! retries surface as a typed [`Error::Task`] instead of a crash. See
 //! [`Engine::builder`] for the retry/backoff/injection knobs.
+//!
+//! Jobs run under **resource governance**: an optional
+//! [`AdmissionControl`] gate bounds concurrent jobs (queue-or-reject), a
+//! per-job or engine-wide wall-clock deadline cancels runaway jobs
+//! cooperatively ([`Error::Cancelled`] with the job's spill files
+//! removed), and a [`MemoryBudget`] evicts the coldest checkpointed
+//! datasets to disk under pressure instead of growing without bound.
 
 pub mod cleanse;
 pub mod report;
 pub mod system;
 
 pub use cleanse::{CleanseOptions, CleanseResult, RepairStrategy};
-pub use system::BigDansing;
+pub use system::{AdmissionControl, AdmissionPermit, AdmissionPolicy, BigDansing};
 
 // Re-export the workspace's main vocabulary so downstream users can
 // depend on `bigdansing` alone.
-pub use bigdansing_common::{csv, rdf, sim, Cell, Error, Result, Schema, Table, Tuple, Value};
+pub use bigdansing_common::{
+    csv, rdf, sim, CancelReason, Cell, Error, Quarantine, Result, Schema, Table, Tuple, Value,
+};
 pub use bigdansing_dataflow::{
-    Engine, EngineBuilder, ExecMode, FaultInjector, FaultPolicy, PDataset, SpillFallback,
+    CancellationToken, Engine, EngineBuilder, ExecMode, FaultInjector, FaultPolicy, JobGuard,
+    MemoryBudget, PDataset, SpillFallback,
 };
 pub use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, Job};
 pub use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm};

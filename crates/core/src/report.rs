@@ -74,24 +74,51 @@ pub fn fixes_csv(output: &DetectOutput, table: Option<&Table>) -> String {
     out
 }
 
-/// Summarize the engine's fault-tolerance counters for a finished run.
+/// Summarize the engine's fault-tolerance and resource-governance
+/// counters for a finished run.
 ///
-/// Returns `None` when the run was fault-free (nothing worth reporting);
-/// otherwise a one-line summary of retries, caught panics, spill failures,
-/// and degraded stages, suitable for appending to the CLI's run report.
+/// Returns `None` when the run was fault-free and nothing was governed
+/// (nothing worth reporting); otherwise up to three lines — faults
+/// (retries, caught panics, spill failures, degraded stages), governance
+/// (cancelled jobs, deadline trips, pressure spills, queued/rejected
+/// jobs), and input quarantine — suitable for appending to the CLI's
+/// run report.
 pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
-    if m.tasks_retried == 0
-        && m.panics_caught == 0
-        && m.spill_failures == 0
-        && m.stages_degraded == 0
+    let mut lines: Vec<String> = Vec::new();
+    if m.tasks_retried != 0
+        || m.panics_caught != 0
+        || m.spill_failures != 0
+        || m.stages_degraded != 0
     {
-        return None;
+        lines.push(format!(
+            "fault tolerance: {} task(s) retried, {} panic(s) caught, \
+             {} spill failure(s), {} stage(s) degraded to in-memory",
+            m.tasks_retried, m.panics_caught, m.spill_failures, m.stages_degraded
+        ));
     }
-    Some(format!(
-        "fault tolerance: {} task(s) retried, {} panic(s) caught, \
-         {} spill failure(s), {} stage(s) degraded to in-memory",
-        m.tasks_retried, m.panics_caught, m.spill_failures, m.stages_degraded
-    ))
+    if m.jobs_cancelled != 0
+        || m.deadline_trips != 0
+        || m.pressure_spills != 0
+        || m.jobs_queued != 0
+        || m.jobs_rejected != 0
+    {
+        lines.push(format!(
+            "governance: {} job(s) cancelled, {} deadline trip(s), \
+             {} pressure spill(s), {} job(s) queued, {} job(s) rejected",
+            m.jobs_cancelled, m.deadline_trips, m.pressure_spills, m.jobs_queued, m.jobs_rejected
+        ));
+    }
+    if m.rows_quarantined != 0 {
+        lines.push(format!(
+            "quarantine: {} malformed input row(s) set aside",
+            m.rows_quarantined
+        ));
+    }
+    if lines.is_empty() {
+        None
+    } else {
+        Some(lines.join("\n"))
+    }
 }
 
 /// Write both reports next to each other:
@@ -177,6 +204,28 @@ mod tests {
         assert!(line.contains("3 task(s) retried"), "{line}");
         assert!(line.contains("2 panic(s) caught"), "{line}");
         assert!(line.contains("1 stage(s) degraded"), "{line}");
+    }
+
+    #[test]
+    fn fault_summary_reports_governance_counters() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            jobs_cancelled: 1,
+            deadline_trips: 1,
+            pressure_spills: 4,
+            jobs_rejected: 2,
+            rows_quarantined: 7,
+            ..Default::default()
+        };
+        let line = fault_summary(&snap).unwrap();
+        assert!(line.contains("1 job(s) cancelled"), "{line}");
+        assert!(line.contains("1 deadline trip(s)"), "{line}");
+        assert!(line.contains("4 pressure spill(s)"), "{line}");
+        assert!(line.contains("2 job(s) rejected"), "{line}");
+        assert!(line.contains("7 malformed input row(s)"), "{line}");
+        assert!(
+            !line.contains("fault tolerance"),
+            "no fault line without fault counters: {line}"
+        );
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! spill directory.
 
 use crate::fault::{FaultInjector, FaultPolicy};
+use crate::govern::{CancellationToken, MemoryBudget, Spillable, Watchdog};
 use crate::pool::{self, TaskCtx};
-use bigdansing_common::error::Result;
+use bigdansing_common::error::{CancelReason, Error, Result};
 use bigdansing_common::metrics::Metrics;
+use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// How a [`crate::PDataset`] executes its transformations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +40,19 @@ struct EngineInner {
     /// Set when the engine actually created its spill directory, so
     /// Drop only removes directories this engine made.
     spill_dir_created: AtomicBool,
+    /// Memory-budget policy; `None` disables the ledger entirely.
+    budget: Option<MemoryBudget>,
+    /// Default wall-clock deadline applied to every job begun on this
+    /// engine (overridable per job).
+    deadline: Option<Duration>,
+    /// The token of the job currently running on this engine; replaced
+    /// by [`Engine::begin_job`], reset when its guard drops.
+    current: Mutex<CancellationToken>,
+    /// Weak registry of budget-tracked datasets; pruned on enforcement.
+    ledger: Mutex<Vec<Weak<dyn Spillable>>>,
+    /// Logical clock ordering ledger accesses, for coldest-first
+    /// eviction.
+    ledger_clock: AtomicU64,
 }
 
 impl Drop for EngineInner {
@@ -58,6 +74,8 @@ pub struct EngineBuilder {
     policy: FaultPolicy,
     injector: Option<FaultInjector>,
     spill_dir: Option<PathBuf>,
+    budget: Option<MemoryBudget>,
+    deadline: Option<Duration>,
 }
 
 impl EngineBuilder {
@@ -87,6 +105,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Bound the resident bytes of checkpointed datasets. Past the soft
+    /// limit the coldest datasets are evicted to disk; a dataset whose
+    /// estimate alone exceeds the hard ceiling cancels its job with
+    /// [`CancelReason::MemoryExceeded`].
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> EngineBuilder {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Default wall-clock deadline for every job begun on this engine;
+    /// a watchdog trips the job's token with
+    /// [`CancelReason::DeadlineExceeded`] when it elapses.
+    pub fn deadline(mut self, deadline: Duration) -> EngineBuilder {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Construct the engine.
     pub fn build(self) -> Engine {
         let spill_dir = self.spill_dir.unwrap_or_else(|| {
@@ -108,6 +143,11 @@ impl EngineBuilder {
                 injector: self.injector,
                 degraded: AtomicBool::new(false),
                 spill_dir_created: AtomicBool::new(false),
+                budget: self.budget,
+                deadline: self.deadline,
+                current: Mutex::new(CancellationToken::new("ad-hoc")),
+                ledger: Mutex::new(Vec::new()),
+                ledger_clock: AtomicU64::new(0),
             }),
         }
     }
@@ -130,6 +170,8 @@ impl Engine {
             policy: FaultPolicy::default(),
             injector: None,
             spill_dir: None,
+            budget: None,
+            deadline: None,
         }
     }
 
@@ -227,6 +269,7 @@ impl Engine {
             injector: self.inner.injector,
             stage: self.inner.stage_seq.fetch_add(1, Ordering::Relaxed),
             metrics: Arc::clone(&self.inner.metrics),
+            cancel: self.cancellation_token(),
         }
     }
 
@@ -250,6 +293,129 @@ impl Engine {
         self.inner.stage_seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The memory budget configured on this engine, if any.
+    pub fn memory_budget(&self) -> Option<MemoryBudget> {
+        self.inner.budget
+    }
+
+    /// The default per-job deadline configured on this engine, if any.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.inner.deadline
+    }
+
+    /// The cancellation token of the job currently running on this
+    /// engine (a live "ad-hoc" token when no job guard is active).
+    pub fn cancellation_token(&self) -> CancellationToken {
+        self.inner.current.lock().clone()
+    }
+
+    /// Trip the current job's token. Returns `true` if this call
+    /// performed the cancellation.
+    pub fn cancel_job(&self, reason: CancelReason) -> bool {
+        self.cancellation_token().cancel(reason)
+    }
+
+    /// `Ok(())` while the current job is live, `Error::Cancelled` once
+    /// its token trips — checked at every stage boundary.
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.cancellation_token().check()
+    }
+
+    /// Begin a governed job: install a fresh token as this engine's
+    /// current job and arm a deadline watchdog (`deadline` overrides the
+    /// engine default; `None` falls back to it). The returned guard must
+    /// wrap the job's result via [`JobGuard::complete`]; dropping it
+    /// disarms the watchdog and restores an ad-hoc token.
+    ///
+    /// One engine hosts one governed job at a time — concurrent jobs
+    /// need one engine each (see `AdmissionControl` in the core crate).
+    pub fn begin_job(&self, name: &str, deadline: Option<Duration>) -> JobGuard {
+        let token = CancellationToken::new(name);
+        *self.inner.current.lock() = token.clone();
+        let watchdog = deadline
+            .or(self.inner.deadline)
+            .map(|d| Watchdog::arm(token.clone(), d, Arc::clone(&self.inner.metrics)));
+        JobGuard {
+            engine: self.clone(),
+            token,
+            watchdog,
+        }
+    }
+
+    /// Best-effort removal of every file in the spill directory — the
+    /// guaranteed-cleanup path for cancelled jobs. (Tracked datasets
+    /// also remove their own spill files when dropped.)
+    pub fn remove_spill_files(&self) {
+        if let Ok(entries) = std::fs::read_dir(&self.inner.spill_dir) {
+            for entry in entries.flatten() {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Advance the ledger clock; tracked datasets stamp accesses with
+    /// it so eviction can find the coldest entry.
+    pub(crate) fn ledger_tick(&self) -> u64 {
+        self.inner.ledger_clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a checkpointed dataset (estimated at `bytes`) in the
+    /// memory ledger, then enforce the budget: cancel the job if the
+    /// dataset alone exceeds the hard ceiling, otherwise evict the
+    /// coldest entries until resident bytes fall under the soft limit.
+    pub(crate) fn track(&self, slot: Arc<dyn Spillable>, bytes: u64) -> Result<()> {
+        let Some(budget) = self.inner.budget else {
+            return Ok(());
+        };
+        Metrics::add(&self.inner.metrics.bytes_tracked, bytes);
+        if bytes > budget.hard_bytes {
+            self.cancel_job(CancelReason::MemoryExceeded);
+            return self.check_cancelled();
+        }
+        self.inner.ledger.lock().push(Arc::downgrade(&slot));
+        self.enforce_budget(budget);
+        Ok(())
+    }
+
+    /// Spill coldest-first until resident tracked bytes are within the
+    /// soft limit. Spill failures are counted, never fatal: the data
+    /// simply stays resident.
+    fn enforce_budget(&self, budget: MemoryBudget) {
+        loop {
+            let entries: Vec<Arc<dyn Spillable>> = {
+                let mut ledger = self.inner.ledger.lock();
+                ledger.retain(|w| w.strong_count() > 0);
+                ledger.iter().filter_map(Weak::upgrade).collect()
+            };
+            let resident: u64 = entries.iter().map(|e| e.resident_bytes()).sum();
+            if resident <= budget.soft_bytes {
+                return;
+            }
+            let Some(coldest) = entries
+                .iter()
+                .filter(|e| e.resident_bytes() > 0)
+                .min_by_key(|e| e.last_touch())
+            else {
+                return;
+            };
+            if self.ensure_spill_dir().is_err() {
+                Metrics::add(&self.inner.metrics.spill_failures, 1);
+                return;
+            }
+            match coldest.spill(self.next_spill_path()) {
+                Ok(written) if written > 0 => {
+                    Metrics::add(&self.inner.metrics.pressure_spills, 1);
+                    Metrics::add(&self.inner.metrics.bytes_spilled, written);
+                }
+                Ok(_) => return,
+                Err(_) => {
+                    Metrics::add(&self.inner.metrics.spill_failures, 1);
+                    return;
+                }
+            }
+        }
+    }
+
     /// Split `data` into `nparts` round-robin-balanced partitions.
     pub(crate) fn split<T>(data: Vec<T>, nparts: usize) -> Vec<Vec<T>> {
         let nparts = nparts.max(1);
@@ -263,6 +429,48 @@ impl Engine {
             parts.push(it.by_ref().take(take).collect());
         }
         parts
+    }
+}
+
+/// RAII handle on one governed job, returned by [`Engine::begin_job`].
+///
+/// Wrap the job's result in [`JobGuard::complete`] so a cancelled
+/// outcome is counted and the job's spill files are removed. Dropping
+/// the guard (even on an early return) disarms the deadline watchdog
+/// and restores the engine's ad-hoc token.
+#[derive(Debug)]
+pub struct JobGuard {
+    engine: Engine,
+    token: CancellationToken,
+    watchdog: Option<Watchdog>,
+}
+
+impl JobGuard {
+    /// The cancellation token governing this job.
+    pub fn token(&self) -> &CancellationToken {
+        &self.token
+    }
+
+    /// Finish the job: disarm the watchdog, and if `result` is
+    /// `Error::Cancelled`, count the cancellation and remove the job's
+    /// spill files before passing the result through.
+    pub fn complete<R>(mut self, result: Result<R>) -> Result<R> {
+        self.watchdog = None;
+        if let Err(Error::Cancelled { .. }) = &result {
+            Metrics::add(&self.engine.metrics().jobs_cancelled, 1);
+            self.engine.remove_spill_files();
+        }
+        result
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.watchdog = None;
+        let mut current = self.engine.inner.current.lock();
+        if current.same_as(&self.token) {
+            *current = CancellationToken::new("ad-hoc");
+        }
     }
 }
 
@@ -353,6 +561,110 @@ mod tests {
         assert!(dir.is_dir(), "dir must survive while a handle is live");
         drop(clone);
         assert!(!dir.exists(), "last handle drop must remove the dir");
+    }
+
+    #[test]
+    fn begin_job_installs_and_clears_the_token() {
+        let e = Engine::parallel(2);
+        assert_eq!(e.cancellation_token().job(), "ad-hoc");
+        let guard = e.begin_job("detect-0", None);
+        assert_eq!(e.cancellation_token().job(), "detect-0");
+        assert!(e.check_cancelled().is_ok());
+        let out = guard.complete(Ok(7));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(e.cancellation_token().job(), "ad-hoc");
+    }
+
+    #[test]
+    fn cancelled_job_counts_and_cleans_spill_files() {
+        let e = Engine::disk_backed(2);
+        e.ensure_spill_dir().unwrap();
+        std::fs::write(e.next_spill_path(), b"junk").unwrap();
+        let guard = e.begin_job("doomed", None);
+        assert!(e.cancel_job(CancelReason::User));
+        let err = guard.complete::<()>(e.check_cancelled()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Cancelled {
+                reason: CancelReason::User,
+                ..
+            }
+        ));
+        assert_eq!(Metrics::get(&e.metrics().jobs_cancelled), 1);
+        let leftover = std::fs::read_dir(e.spill_dir()).unwrap().count();
+        assert_eq!(leftover, 0, "spill files must be removed on cancel");
+    }
+
+    #[test]
+    fn deadline_watchdog_trips_a_slow_job() {
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .deadline(Duration::from_millis(10))
+            .build();
+        let guard = e.begin_job("slow", None);
+        std::thread::sleep(Duration::from_millis(60));
+        let err = guard.complete::<()>(e.check_cancelled()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Cancelled {
+                reason: CancelReason::DeadlineExceeded,
+                ..
+            }
+        ));
+        assert_eq!(Metrics::get(&e.metrics().deadline_trips), 1);
+        assert_eq!(Metrics::get(&e.metrics().jobs_cancelled), 1);
+    }
+
+    #[test]
+    fn per_job_deadline_overrides_engine_default() {
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(1)
+            .deadline(Duration::from_millis(5))
+            .build();
+        // A generous per-job override keeps a fast job alive.
+        let guard = e.begin_job("fast", Some(Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(guard.complete(e.check_cancelled()).is_ok());
+    }
+
+    #[test]
+    fn hard_ceiling_cancels_instead_of_growing() {
+        use crate::govern::TrackedSlot;
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(1)
+            .memory_budget(MemoryBudget::new(64, 128))
+            .build();
+        let guard = e.begin_job("hog", None);
+        let slot = TrackedSlot::create(vec![(0..1000u64).collect()], e.ledger_tick());
+        let bytes = slot.bytes();
+        assert!(bytes > 128);
+        let err = guard.complete::<()>(e.track(slot, bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Cancelled {
+                reason: CancelReason::MemoryExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn soft_budget_spills_coldest_entry() {
+        use crate::govern::TrackedSlot;
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(1)
+            .memory_budget(MemoryBudget::new(64, 1 << 30))
+            .build();
+        let cold = TrackedSlot::create(vec![(0..64u64).collect()], e.ledger_tick());
+        let cold_dyn: Arc<dyn Spillable> = cold.clone();
+        e.track(cold_dyn, cold.bytes()).unwrap();
+        let hot = TrackedSlot::create(vec![(0..64u64).collect()], e.ledger_tick());
+        let hot_dyn: Arc<dyn Spillable> = hot.clone();
+        e.track(hot_dyn, hot.bytes()).unwrap();
+        assert!(Metrics::get(&e.metrics().pressure_spills) > 0);
+        assert_eq!(cold.resident_bytes(), 0, "coldest entry must spill first");
+        // Spilled data faults back in intact.
+        assert_eq!(cold.take().unwrap(), vec![(0..64u64).collect::<Vec<_>>()]);
     }
 
     #[test]

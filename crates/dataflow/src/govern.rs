@@ -1,0 +1,448 @@
+//! Resource governance: cooperative cancellation, deadline watchdogs,
+//! and memory budgets with spill-under-pressure.
+//!
+//! The platforms the paper targets keep jobs inside a resource envelope
+//! for free — Spark's memory manager spills shuffle state under
+//! pressure and kills executors past their allotment, YARN admits jobs
+//! against a cluster budget. This module gives the laptop-scale engine
+//! the same discipline: a [`CancellationToken`] threaded through every
+//! fallible stage so jobs abort cooperatively *between* partition
+//! tasks, a [`Watchdog`] that trips the token when a wall-clock
+//! deadline elapses, and a [`MemoryBudget`] enforced by an engine-wide
+//! ledger of checkpointed datasets whose coldest entries are evicted to
+//! disk when the soft limit is exceeded.
+
+use bigdansing_common::codec::{decode_batch, encode_batch, Codec};
+use bigdansing_common::error::{CancelReason, Error, Result};
+use bigdansing_common::metrics::Metrics;
+use parking_lot::Mutex;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+const LIVE: u8 = 0;
+
+fn reason_code(reason: CancelReason) -> u8 {
+    match reason {
+        CancelReason::User => 1,
+        CancelReason::DeadlineExceeded => 2,
+        CancelReason::MemoryExceeded => 3,
+    }
+}
+
+fn code_reason(code: u8) -> Option<CancelReason> {
+    match code {
+        1 => Some(CancelReason::User),
+        2 => Some(CancelReason::DeadlineExceeded),
+        3 => Some(CancelReason::MemoryExceeded),
+        _ => None,
+    }
+}
+
+/// Cooperative cancellation signal shared by every task of one job.
+///
+/// Cancellation is checked between partition tasks and between retry
+/// attempts — a running task body is never interrupted, so partial
+/// state is impossible. The first [`cancel`](CancellationToken::cancel)
+/// wins; later calls are no-ops.
+#[derive(Clone, Debug)]
+pub struct CancellationToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    job: String,
+    state: AtomicU8,
+}
+
+impl CancellationToken {
+    /// A live token for the named job.
+    pub fn new(job: impl Into<String>) -> CancellationToken {
+        CancellationToken {
+            inner: Arc::new(TokenInner {
+                job: job.into(),
+                state: AtomicU8::new(LIVE),
+            }),
+        }
+    }
+
+    /// The job this token governs.
+    pub fn job(&self) -> &str {
+        &self.inner.job
+    }
+
+    /// Trip the token. Returns `true` if this call performed the
+    /// cancellation, `false` if the token was already tripped (the
+    /// first reason sticks).
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.inner
+            .state
+            .compare_exchange(
+                LIVE,
+                reason_code(reason),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// Why the token was tripped, if it was.
+    pub fn reason(&self) -> Option<CancelReason> {
+        code_reason(self.inner.state.load(Ordering::Acquire))
+    }
+
+    /// `Ok(())` while live, `Error::Cancelled { job, reason }` once
+    /// tripped — the check every stage boundary performs.
+    pub fn check(&self) -> Result<()> {
+        match self.reason() {
+            None => Ok(()),
+            Some(reason) => Err(Error::Cancelled {
+                job: self.inner.job.clone(),
+                reason,
+            }),
+        }
+    }
+
+    pub(crate) fn same_as(&self, other: &CancellationToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Background thread that trips a job's token with
+/// [`CancelReason::DeadlineExceeded`] when the wall-clock deadline
+/// elapses. Dropping the watchdog disarms it and joins the thread.
+#[derive(Debug)]
+pub(crate) struct Watchdog {
+    shared: Arc<(StdMutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    pub(crate) fn arm(
+        token: CancellationToken,
+        deadline: Duration,
+        metrics: Arc<Metrics>,
+    ) -> Watchdog {
+        let shared = Arc::new((StdMutex::new(false), Condvar::new()));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*thread_shared;
+            let deadline_at = Instant::now() + deadline;
+            let mut disarmed = lock.lock().unwrap_or_else(|p| p.into_inner());
+            while !*disarmed {
+                let now = Instant::now();
+                if now >= deadline_at {
+                    if token.cancel(CancelReason::DeadlineExceeded) {
+                        Metrics::add(&metrics.deadline_trips, 1);
+                    }
+                    return;
+                }
+                disarmed = cv
+                    .wait_timeout(disarmed, deadline_at - now)
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0;
+            }
+        });
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.shared;
+        {
+            let mut disarmed = lock.lock().unwrap_or_else(|p| p.into_inner());
+            *disarmed = true;
+        }
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Byte limits applied to the engine's ledger of checkpointed datasets.
+///
+/// Past `soft_bytes` of resident tracked data the engine evicts the
+/// coldest datasets to disk (spill-under-pressure). A single dataset
+/// whose estimate alone exceeds `hard_bytes` cancels its job with
+/// [`CancelReason::MemoryExceeded`] instead of risking the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Resident-byte threshold that triggers pressure spilling.
+    pub soft_bytes: u64,
+    /// Per-dataset ceiling past which the job is cancelled.
+    pub hard_bytes: u64,
+}
+
+impl MemoryBudget {
+    /// A budget with an explicit soft and hard limit (the hard limit is
+    /// clamped to at least the soft limit).
+    pub fn new(soft_bytes: u64, hard_bytes: u64) -> MemoryBudget {
+        MemoryBudget {
+            soft_bytes,
+            hard_bytes: hard_bytes.max(soft_bytes),
+        }
+    }
+
+    /// A budget with the conventional 4× headroom between the spill
+    /// threshold and the kill ceiling.
+    pub fn soft(soft_bytes: u64) -> MemoryBudget {
+        MemoryBudget::new(soft_bytes, soft_bytes.saturating_mul(4))
+    }
+}
+
+/// A ledger entry the engine can evict to disk, erased over the
+/// element type so one ledger holds datasets of every record type.
+pub(crate) trait Spillable: Send + Sync {
+    /// Estimated encoded bytes currently held in memory (0 once
+    /// spilled or consumed).
+    fn resident_bytes(&self) -> u64;
+    /// Ledger clock value of the last access — the eviction ordering.
+    fn last_touch(&self) -> u64;
+    /// Encode to `path` and drop the in-memory partitions. Returns the
+    /// bytes written (0 if there was nothing resident to spill).
+    fn spill(&self, path: PathBuf) -> Result<u64>;
+}
+
+/// Where a tracked dataset's partitions currently live.
+enum SlotState<T> {
+    Mem(Vec<Vec<T>>),
+    Spilled(PathBuf),
+    Taken,
+}
+
+/// One checkpointed dataset registered in the engine's memory ledger.
+/// Encode/decode are captured as plain fn pointers at construction so
+/// consumers that lack a `Codec` bound can still fault the data back in.
+pub(crate) struct TrackedSlot<T> {
+    nparts: usize,
+    records: usize,
+    bytes: u64,
+    touch: AtomicU64,
+    resident: AtomicU64,
+    encode: fn(&[Vec<T>]) -> Vec<u8>,
+    decode: fn(&[u8]) -> Result<Vec<Vec<T>>>,
+    state: Mutex<SlotState<T>>,
+}
+
+impl<T: Codec + Send> TrackedSlot<T> {
+    /// Wrap `parts`, estimating bytes from the codec's encoded sizes.
+    pub(crate) fn create(parts: Vec<Vec<T>>, tick: u64) -> Arc<TrackedSlot<T>> {
+        let mut bytes = 0u64;
+        for part in &parts {
+            bytes += encode_batch(part).len() as u64;
+        }
+        Arc::new(TrackedSlot {
+            nparts: parts.len(),
+            records: parts.iter().map(Vec::len).sum(),
+            bytes,
+            touch: AtomicU64::new(tick),
+            resident: AtomicU64::new(bytes),
+            encode: encode_batch::<Vec<T>>,
+            decode: decode_batch::<Vec<T>>,
+            state: Mutex::new(SlotState::Mem(parts)),
+        })
+    }
+}
+
+impl<T> TrackedSlot<T> {
+    pub(crate) fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    pub(crate) fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Estimated encoded size of the whole dataset.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub(crate) fn touch(&self, tick: u64) {
+        self.touch.store(tick, Ordering::Relaxed);
+    }
+}
+
+impl<T: Send> TrackedSlot<T> {
+    /// Consume the partitions, faulting them back in from disk (and
+    /// removing the spill file) if they were evicted.
+    pub(crate) fn take(&self) -> Result<Vec<Vec<T>>> {
+        let mut state = self.state.lock();
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Mem(parts) => {
+                self.resident.store(0, Ordering::Relaxed);
+                Ok(parts)
+            }
+            SlotState::Spilled(path) => {
+                let buf = fs::read(&path).map_err(|e| {
+                    Error::Io(format!("read pressure spill {}: {e}", path.display()))
+                })?;
+                let _ = fs::remove_file(&path);
+                (self.decode)(&buf)
+            }
+            SlotState::Taken => Err(Error::InvalidPlan("tracked dataset consumed twice".into())),
+        }
+    }
+
+    /// Copy the partitions without consuming the slot; a spilled slot
+    /// is read back but stays on disk.
+    pub(crate) fn clone_parts(&self) -> Result<Vec<Vec<T>>>
+    where
+        T: Clone,
+    {
+        let state = self.state.lock();
+        match &*state {
+            SlotState::Mem(parts) => Ok(parts.clone()),
+            SlotState::Spilled(path) => {
+                let buf = fs::read(path).map_err(|e| {
+                    Error::Io(format!("read pressure spill {}: {e}", path.display()))
+                })?;
+                (self.decode)(&buf)
+            }
+            SlotState::Taken => Err(Error::InvalidPlan("tracked dataset consumed twice".into())),
+        }
+    }
+}
+
+impl<T: Send> Spillable for TrackedSlot<T> {
+    fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    fn last_touch(&self) -> u64 {
+        self.touch.load(Ordering::Relaxed)
+    }
+
+    fn spill(&self, path: PathBuf) -> Result<u64> {
+        let mut state = self.state.lock();
+        let SlotState::Mem(parts) = &*state else {
+            return Ok(0);
+        };
+        let buf = (self.encode)(parts);
+        fs::write(&path, &buf)
+            .map_err(|e| Error::Io(format!("pressure spill {}: {e}", path.display())))?;
+        let written = buf.len() as u64;
+        *state = SlotState::Spilled(path);
+        self.resident.store(0, Ordering::Relaxed);
+        Ok(written)
+    }
+}
+
+impl<T> Drop for TrackedSlot<T> {
+    /// A cancelled or abandoned job drops its datasets without
+    /// consuming them; remove the spill file so nothing is orphaned.
+    fn drop(&mut self) {
+        if let SlotState::Spilled(path) = &*self.state.lock() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_first_cancel_wins() {
+        let t = CancellationToken::new("job-1");
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.cancel(CancelReason::DeadlineExceeded));
+        assert!(!t.cancel(CancelReason::User), "second cancel must lose");
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        match t.check() {
+            Err(Error::Cancelled { job, reason }) => {
+                assert_eq!(job, "job-1");
+                assert_eq!(reason, CancelReason::DeadlineExceeded);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_clones_share_state() {
+        let t = CancellationToken::new("j");
+        let c = t.clone();
+        t.cancel(CancelReason::User);
+        assert!(c.is_cancelled());
+        assert_eq!(c.reason(), Some(CancelReason::User));
+    }
+
+    #[test]
+    fn watchdog_trips_after_deadline() {
+        let t = CancellationToken::new("slow");
+        let m = Metrics::new_shared();
+        let w = Watchdog::arm(t.clone(), Duration::from_millis(10), Arc::clone(&m));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        assert_eq!(Metrics::get(&m.deadline_trips), 1);
+        drop(w);
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_trips() {
+        let t = CancellationToken::new("fast");
+        let m = Metrics::new_shared();
+        let w = Watchdog::arm(t.clone(), Duration::from_millis(50), Arc::clone(&m));
+        drop(w); // job finished well before the deadline
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!t.is_cancelled());
+        assert_eq!(Metrics::get(&m.deadline_trips), 0);
+    }
+
+    #[test]
+    fn budget_clamps_hard_to_soft() {
+        let b = MemoryBudget::new(100, 10);
+        assert_eq!(b.hard_bytes, 100);
+        let b = MemoryBudget::soft(8);
+        assert_eq!(b.hard_bytes, 32);
+    }
+
+    #[test]
+    fn tracked_slot_spills_and_faults_back_in() {
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![4, 5]];
+        let slot = TrackedSlot::create(parts.clone(), 0);
+        assert_eq!(slot.nparts(), 2);
+        assert_eq!(slot.records(), 5);
+        assert!(slot.resident_bytes() > 0);
+        let dir = std::env::temp_dir().join("bigdansing-govern-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slot-roundtrip.bin");
+        let written = slot.spill(path.clone()).unwrap();
+        assert!(written > 0);
+        assert_eq!(slot.resident_bytes(), 0);
+        assert!(path.exists());
+        // Second spill is a no-op.
+        assert_eq!(slot.spill(dir.join("slot-other.bin")).unwrap(), 0);
+        assert_eq!(slot.clone_parts().unwrap(), parts);
+        assert!(path.exists(), "clone_parts must leave the spill file");
+        assert_eq!(slot.take().unwrap(), parts);
+        assert!(!path.exists(), "take must remove the spill file");
+        assert!(slot.take().is_err(), "double consume is an error");
+    }
+
+    #[test]
+    fn dropping_a_spilled_slot_removes_its_file() {
+        let slot = TrackedSlot::create(vec![vec![9u64; 16]], 0);
+        let dir = std::env::temp_dir().join("bigdansing-govern-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slot-dropped.bin");
+        slot.spill(path.clone()).unwrap();
+        assert!(path.exists());
+        drop(slot);
+        assert!(!path.exists(), "orphaned spill file after drop");
+    }
+}

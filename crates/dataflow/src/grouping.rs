@@ -172,9 +172,9 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         K: Hash + Eq + Send + Sync + Clone,
         F: Fn(&T) -> Result<K> + Sync,
     {
-        let engine = self.engine().clone();
+        let (engine, parts) = self.take_parts()?;
         let reducers = engine.default_partitions();
-        let mapped = engine.run_stage(self.partitions(), |_, part: &Vec<T>| {
+        let mapped = engine.run_stage(&parts, |_, part: &Vec<T>| {
             part.iter().map(|t| Ok((key(t)?, t.clone()))).collect()
         })?;
         let buckets = shuffle(&engine, mapped, reducers);
@@ -202,12 +202,13 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         FT: Fn(&T) -> Result<K> + Sync,
         FU: Fn(&U) -> Result<K> + Sync,
     {
-        let engine = self.engine().clone();
+        let (engine, parts) = self.take_parts()?;
+        let (_, other_parts) = other.take_parts()?;
         let reducers = engine.default_partitions();
-        let mapped_l = engine.run_stage(self.partitions(), |_, part: &Vec<T>| {
+        let mapped_l = engine.run_stage(&parts, |_, part: &Vec<T>| {
             part.iter().map(|t| Ok((key_left(t)?, t.clone()))).collect()
         })?;
-        let mapped_r = engine.run_stage(other.partitions(), |_, part: &Vec<U>| {
+        let mapped_r = engine.run_stage(&other_parts, |_, part: &Vec<U>| {
             part.iter()
                 .map(|u| Ok((key_right(u)?, u.clone())))
                 .collect()

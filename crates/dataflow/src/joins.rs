@@ -126,7 +126,7 @@ impl<T: Send + Sync + Clone> PDataset<T> {
     /// under the engine's retry policy with panic isolation.
     pub fn try_self_cartesian(self) -> Result<PDataset<(T, T)>> {
         let engine = self.engine().clone();
-        let all: Vec<T> = self.collect();
+        let all: Vec<T> = self.try_collect()?;
         let chunks = (engine.workers() * 2).max(1);
         let parts = Engine::split(all, chunks);
         let mut tasks: Vec<(usize, usize)> = Vec::new();
@@ -166,9 +166,8 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         self,
         other: PDataset<U>,
     ) -> Result<PDataset<(T, U)>> {
-        let engine = self.engine().clone();
-        let left: Vec<Vec<T>> = self.into_partitions();
-        let right: Vec<U> = other.collect();
+        let (engine, left) = self.take_parts()?;
+        let right: Vec<U> = other.try_collect()?;
         let right_ref = &right;
         let partitions = engine.run_stage(&left, |_, lp: &Vec<T>| {
             let mut out = Vec::with_capacity(lp.len() * right_ref.len());
@@ -186,7 +185,7 @@ impl<T: Send + Sync + Clone> PDataset<T> {
 
     /// Fault-tolerant [`Self::self_cross_product`].
     pub fn try_self_cross_product(self) -> Result<PDataset<(T, T)>> {
-        let dup = self.duplicate();
+        let dup = self.try_duplicate()?;
         self.try_cartesian(dup)
     }
 }

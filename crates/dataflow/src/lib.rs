@@ -27,14 +27,25 @@
 //! tasks under panic isolation with bounded retries ([`FaultPolicy`]),
 //! spill I/O is retried and can degrade gracefully, and a deterministic
 //! [`FaultInjector`] lets tests prove recovery end-to-end.
+//!
+//! Resource governance ([`govern`]): jobs opened with
+//! [`Engine::begin_job`] carry a [`CancellationToken`] checked between
+//! partition tasks and spill attempts, an optional wall-clock deadline
+//! enforced by a watchdog thread, and an optional [`MemoryBudget`] under
+//! which checkpointed datasets are byte-accounted and evicted to disk
+//! when the soft limit is exceeded (spill-under-pressure).
 
 pub mod engine;
 pub mod fault;
+pub mod govern;
 pub mod grouping;
 pub mod joins;
 pub mod pdataset;
 pub mod pool;
 
-pub use engine::{Engine, EngineBuilder, ExecMode};
+pub use engine::{Engine, EngineBuilder, ExecMode, JobGuard};
 pub use fault::{FaultInjector, FaultPolicy, SpillFallback};
+pub use govern::{CancellationToken, MemoryBudget};
 pub use pdataset::PDataset;
+
+pub use bigdansing_common::error::CancelReason;

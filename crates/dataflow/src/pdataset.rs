@@ -2,12 +2,21 @@
 
 use crate::engine::{Engine, ExecMode};
 use crate::fault::{FaultSite, SpillFallback};
+use crate::govern::TrackedSlot;
 use crate::pool::par_map_indexed;
 use bigdansing_common::codec::{decode_batch, encode_batch, Codec};
 use bigdansing_common::error::{Error, Result};
 use bigdansing_common::metrics::Metrics;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where a dataset's partitions live: directly in memory, or in a
+/// budget-tracked slot the engine may evict to disk under pressure.
+enum Store<T> {
+    Mem(Vec<Vec<T>>),
+    Tracked(Arc<TrackedSlot<T>>),
+}
 
 /// A partitioned, engine-bound collection — the RDD stand-in.
 ///
@@ -22,27 +31,46 @@ use std::path::PathBuf;
 /// can re-run a failed partition task (panic or error) under the
 /// configured [`crate::FaultPolicy`] without losing data; the job
 /// execution path uses these throughout.
+///
+/// When the engine carries a [`crate::MemoryBudget`], checkpointed
+/// datasets are registered in its memory ledger and may be evicted to
+/// disk (spill-under-pressure). The `try_*` family faults evicted
+/// partitions back in with typed errors; the infallible family only
+/// ever sees such datasets on baseline paths, where they do not occur.
 pub struct PDataset<T> {
     engine: Engine,
-    partitions: Vec<Vec<T>>,
+    store: Store<T>,
 }
 
 impl<T> std::fmt::Debug for PDataset<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (nparts, records, kind) = match &self.store {
+            Store::Mem(parts) => (
+                parts.len(),
+                parts.iter().map(Vec::len).sum::<usize>(),
+                "mem",
+            ),
+            Store::Tracked(slot) => (slot.nparts(), slot.records(), "tracked"),
+        };
         write!(
             f,
-            "PDataset({} partitions, {} records, {:?})",
-            self.partitions.len(),
-            self.partitions.iter().map(Vec::len).sum::<usize>(),
+            "PDataset({nparts} partitions, {records} records, {kind}, {:?})",
             self.engine
         )
     }
 }
 
 impl<T: Send> PDataset<T> {
+    fn mem(engine: Engine, partitions: Vec<Vec<T>>) -> Self {
+        PDataset {
+            engine,
+            store: Store::Mem(partitions),
+        }
+    }
+
     /// Create a dataset from partitions produced elsewhere.
     pub fn from_partitions(engine: Engine, partitions: Vec<Vec<T>>) -> Self {
-        PDataset { engine, partitions }
+        PDataset::mem(engine, partitions)
     }
 
     /// Distribute `data` over the engine's default partition count.
@@ -54,7 +82,7 @@ impl<T: Send> PDataset<T> {
     /// Distribute `data` over `nparts` partitions.
     pub fn from_vec_with(engine: Engine, data: Vec<T>, nparts: usize) -> Self {
         let partitions = Engine::split(data, nparts);
-        PDataset { engine, partitions }
+        PDataset::mem(engine, partitions)
     }
 
     /// The owning engine.
@@ -64,27 +92,80 @@ impl<T: Send> PDataset<T> {
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        match &self.store {
+            Store::Mem(parts) => parts.len(),
+            Store::Tracked(slot) => slot.nparts(),
+        }
     }
 
-    /// Borrow the raw partitions.
+    /// Borrow the raw partitions. Only valid for in-memory datasets;
+    /// a budget-tracked dataset (whose partitions may live on disk)
+    /// must be consumed through the `try_*` family instead.
     pub fn partitions(&self) -> &[Vec<T>] {
-        &self.partitions
+        match &self.store {
+            Store::Mem(parts) => parts,
+            Store::Tracked(_) => {
+                panic!("partitions(): budget-tracked dataset; use the try_* combinators")
+            }
+        }
     }
 
-    /// Consume the dataset into its partitions.
+    /// Consume the dataset into its partitions, reading evicted data
+    /// back from disk. Panics if a pressure-spill file cannot be read —
+    /// fallible callers use [`Self::take_parts`] via the `try_*` family.
     pub fn into_partitions(self) -> Vec<Vec<T>> {
-        self.partitions
+        match self.store {
+            Store::Mem(parts) => parts,
+            Store::Tracked(slot) => slot.take().expect("read back a pressure-spilled dataset"),
+        }
+    }
+
+    /// Consume the dataset into `(engine, partitions)` with typed
+    /// errors, faulting evicted partitions back in from disk. The entry
+    /// point every fallible consumer goes through.
+    pub(crate) fn take_parts(self) -> Result<(Engine, Vec<Vec<T>>)> {
+        match self.store {
+            Store::Mem(parts) => Ok((self.engine, parts)),
+            Store::Tracked(slot) => {
+                self.engine.check_cancelled()?;
+                slot.touch(self.engine.ledger_tick());
+                let parts = slot.take()?;
+                Ok((self.engine, parts))
+            }
+        }
+    }
+
+    /// Fallible [`Self::into_partitions`] for datasets that may have
+    /// been evicted under memory pressure.
+    pub fn try_into_partitions(self) -> Result<Vec<Vec<T>>> {
+        self.take_parts().map(|(_, parts)| parts)
+    }
+
+    /// Fault any evicted partitions back into memory, returning an
+    /// equivalent in-memory dataset.
+    pub fn try_materialize(self) -> Result<PDataset<T>> {
+        let (engine, parts) = self.take_parts()?;
+        Ok(PDataset::mem(engine, parts))
     }
 
     /// Total number of records.
     pub fn count(&self) -> usize {
-        self.partitions.iter().map(Vec::len).sum()
+        match &self.store {
+            Store::Mem(parts) => parts.iter().map(Vec::len).sum(),
+            Store::Tracked(slot) => slot.records(),
+        }
     }
 
     /// Gather every record on the "driver".
     pub fn collect(self) -> Vec<T> {
-        self.partitions.into_iter().flatten().collect()
+        self.into_partitions().into_iter().flatten().collect()
+    }
+
+    /// Fallible [`Self::collect`] for datasets that may have been
+    /// evicted under memory pressure.
+    pub fn try_collect(self) -> Result<Vec<T>> {
+        let (_, parts) = self.take_parts()?;
+        Ok(parts.into_iter().flatten().collect())
     }
 
     /// Run `f` over whole partitions — the workhorse every other
@@ -94,12 +175,10 @@ impl<T: Send> PDataset<T> {
         R: Send,
         F: Fn(Vec<T>) -> Vec<R> + Sync,
     {
-        let workers = self.engine.workers();
-        let partitions = par_map_indexed(workers, self.partitions, |_, p| f(p));
-        PDataset {
-            engine: self.engine,
-            partitions,
-        }
+        let engine = self.engine.clone();
+        let workers = engine.workers();
+        let partitions = par_map_indexed(workers, self.into_partitions(), |_, p| f(p));
+        PDataset::mem(engine, partitions)
     }
 
     /// Element-wise map.
@@ -130,20 +209,20 @@ impl<T: Send> PDataset<T> {
     }
 
     /// Concatenate two datasets (must share an engine).
-    pub fn union(mut self, other: PDataset<T>) -> PDataset<T> {
-        self.partitions.extend(other.partitions);
-        self
+    pub fn union(self, other: PDataset<T>) -> PDataset<T> {
+        let engine = self.engine.clone();
+        let mut partitions = self.into_partitions();
+        partitions.extend(other.into_partitions());
+        PDataset::mem(engine, partitions)
     }
 
     /// Rebalance into `nparts` partitions (a full shuffle).
     pub fn repartition(self, nparts: usize) -> PDataset<T> {
-        let metrics = self.engine.metrics().clone();
-        let all: Vec<T> = self.partitions.into_iter().flatten().collect();
+        let engine = self.engine.clone();
+        let metrics = engine.metrics().clone();
+        let all: Vec<T> = self.collect();
         Metrics::add(&metrics.records_shuffled, all.len() as u64);
-        PDataset {
-            partitions: Engine::split(all, nparts),
-            engine: self.engine,
-        }
+        PDataset::mem(engine, Engine::split(all, nparts))
     }
 
     /// Sort each partition in place by a key (no global order).
@@ -172,11 +251,9 @@ impl<T: Send + Sync> PDataset<T> {
         R: Send,
         F: Fn(&[T]) -> Result<Vec<R>> + Sync,
     {
-        let partitions = self.engine.run_stage(&self.partitions, |_, p| f(p))?;
-        Ok(PDataset {
-            engine: self.engine,
-            partitions,
-        })
+        let (engine, parts) = self.take_parts()?;
+        let partitions = engine.run_stage(&parts, |_, p: &Vec<T>| f(p))?;
+        Ok(PDataset::mem(engine, partitions))
     }
 
     /// Fault-tolerant element-wise map.
@@ -226,7 +303,8 @@ impl<T: Send + Sync + Clone> PDataset<T> {
 
 /// One spill I/O operation under the engine's retry policy: inject a
 /// fault (if configured), run `op`, count failures, back off, retry.
-/// Exhaustion returns [`Error::Task`] naming the partition.
+/// Exhaustion returns [`Error::Task`] naming the partition. A tripped
+/// cancellation token preempts the next attempt with `Error::Cancelled`.
 fn spill_io<X>(
     engine: &Engine,
     site: FaultSite,
@@ -238,6 +316,7 @@ fn spill_io<X>(
     let metrics = engine.metrics().clone();
     let mut attempt = 0u32;
     loop {
+        engine.check_cancelled()?;
         attempt += 1;
         let res = match engine.fault_injector() {
             Some(inj) => inj
@@ -266,14 +345,20 @@ fn spill_io<X>(
     }
 }
 
-impl<T: Send + Sync + Codec> PDataset<T> {
+impl<T: Send + Sync + Codec + 'static> PDataset<T> {
     /// Stage-boundary materialization.
     ///
     /// Under [`ExecMode::DiskBacked`] every partition is encoded with the
     /// binary [`Codec`], written to the engine's spill directory, and
     /// read back — reproducing the dominant cost difference between
     /// BigDansing-Hadoop and BigDansing-Spark (Figures 10(a)/10(c)).
-    /// Under the other modes this is a no-op.
+    /// Under the other modes the round-trip is skipped.
+    ///
+    /// When the engine carries a [`crate::MemoryBudget`], the result is
+    /// additionally registered in the engine's memory ledger (with a
+    /// byte estimate from the codec's encoded sizes), which may evict
+    /// the coldest checkpointed datasets to disk — or cancel the job if
+    /// this dataset alone exceeds the hard ceiling.
     ///
     /// Fault behaviour: every write and read is retried under the
     /// engine's [`crate::FaultPolicy`]. The in-memory partition is only
@@ -282,11 +367,30 @@ impl<T: Send + Sync + Codec> PDataset<T> {
     /// [`SpillFallback::Degrade`] the stage demotes to in-memory (the
     /// original partitions keep flowing, `stages_degraded` is bumped);
     /// with [`SpillFallback::FailFast`] the error propagates.
+    /// Cancellation is never degraded — it always propagates.
     pub fn checkpoint(self) -> Result<PDataset<T>> {
-        if self.engine.mode() != ExecMode::DiskBacked {
-            return Ok(self);
-        }
         let engine = self.engine.clone();
+        engine.check_cancelled()?;
+        let (_, parts) = self.take_parts()?;
+        let parts = if engine.mode() == ExecMode::DiskBacked {
+            Self::disk_roundtrip(&engine, parts)?
+        } else {
+            parts
+        };
+        if engine.memory_budget().is_none() {
+            return Ok(PDataset::mem(engine, parts));
+        }
+        let slot = TrackedSlot::create(parts, engine.ledger_tick());
+        let bytes = slot.bytes();
+        engine.track(slot.clone(), bytes)?;
+        Ok(PDataset {
+            engine,
+            store: Store::Tracked(slot),
+        })
+    }
+
+    /// The DiskBacked write-then-read-back phase of [`Self::checkpoint`].
+    fn disk_roundtrip(engine: &Engine, parts: Vec<Vec<T>>) -> Result<Vec<Vec<T>>> {
         let policy = engine.fault_policy();
         let metrics = engine.metrics().clone();
         if let Err(e) = engine.ensure_spill_dir() {
@@ -294,7 +398,7 @@ impl<T: Send + Sync + Codec> PDataset<T> {
             return match policy.spill_fallback {
                 SpillFallback::Degrade => {
                     engine.mark_degraded();
-                    Ok(self)
+                    Ok(parts)
                 }
                 SpillFallback::FailFast => Err(Error::Io(format!(
                     "create spill dir {}: {e}",
@@ -302,17 +406,15 @@ impl<T: Send + Sync + Codec> PDataset<T> {
                 ))),
             };
         }
-        let paths: Vec<PathBuf> = (0..self.partitions.len())
-            .map(|_| engine.next_spill_path())
-            .collect();
+        let paths: Vec<PathBuf> = (0..parts.len()).map(|_| engine.next_spill_path()).collect();
         let workers = engine.workers();
 
         // Write phase: partitions are borrowed, so a failed write never
         // loses the data it was spilling.
         let write_stage = engine.next_stage_id();
-        let items: Vec<(&Vec<T>, &PathBuf)> = self.partitions.iter().zip(paths.iter()).collect();
+        let items: Vec<(&Vec<T>, &PathBuf)> = parts.iter().zip(paths.iter()).collect();
         let written = par_map_indexed(workers, items, |i, (part, path)| {
-            spill_io(&engine, FaultSite::SpillWrite, write_stage, i, || {
+            spill_io(engine, FaultSite::SpillWrite, write_stage, i, || {
                 let buf = encode_batch(part);
                 fs::write(path, &buf)?;
                 Ok(buf.len() as u64)
@@ -333,10 +435,13 @@ impl<T: Send + Sync + Codec> PDataset<T> {
             for p in &paths {
                 let _ = fs::remove_file(p);
             }
+            if matches!(e, Error::Cancelled { .. }) {
+                return Err(e);
+            }
             return match policy.spill_fallback {
                 SpillFallback::Degrade => {
                     engine.mark_degraded();
-                    Ok(self)
+                    Ok(parts)
                 }
                 SpillFallback::FailFast => Err(e),
             };
@@ -346,9 +451,9 @@ impl<T: Send + Sync + Codec> PDataset<T> {
         // Read phase: each original partition is dropped only after its
         // spill file decodes, so exhaustion can still degrade safely.
         let read_stage = engine.next_stage_id();
-        let items: Vec<(Vec<T>, PathBuf)> = self.partitions.into_iter().zip(paths).collect();
+        let items: Vec<(Vec<T>, PathBuf)> = parts.into_iter().zip(paths).collect();
         let read_back = par_map_indexed(workers, items, |i, (original, path)| {
-            let res = spill_io(&engine, FaultSite::SpillRead, read_stage, i, || {
+            let res = spill_io(engine, FaultSite::SpillRead, read_stage, i, || {
                 let buf = fs::read(&path)?;
                 decode_batch::<T>(&buf).map_err(|e| {
                     std::io::Error::other(format!("spill decode {}: {e}", path.display()))
@@ -365,29 +470,53 @@ impl<T: Send + Sync + Codec> PDataset<T> {
         for r in read_back {
             match r {
                 Ok(part) => partitions.push(part),
-                Err((e, original)) => match policy.spill_fallback {
-                    SpillFallback::Degrade => {
-                        degraded = true;
-                        partitions.push(original);
+                Err((e, original)) => {
+                    if matches!(e, Error::Cancelled { .. }) {
+                        return Err(e);
                     }
-                    SpillFallback::FailFast => return Err(e),
-                },
+                    match policy.spill_fallback {
+                        SpillFallback::Degrade => {
+                            degraded = true;
+                            partitions.push(original);
+                        }
+                        SpillFallback::FailFast => return Err(e),
+                    }
+                }
             }
         }
         if degraded {
             engine.mark_degraded();
         }
-        Ok(PDataset { engine, partitions })
+        Ok(partitions)
     }
 }
 
 impl<T: Send + Clone> PDataset<T> {
     /// A shallow copy sharing the same engine (clones the records).
+    /// Panics if an evicted dataset cannot be read back; fallible
+    /// callers use [`Self::try_duplicate`].
     pub fn duplicate(&self) -> PDataset<T> {
-        PDataset {
-            engine: self.engine.clone(),
-            partitions: self.partitions.clone(),
-        }
+        let partitions = match &self.store {
+            Store::Mem(parts) => parts.clone(),
+            Store::Tracked(slot) => slot
+                .clone_parts()
+                .expect("read back a pressure-spilled dataset"),
+        };
+        PDataset::mem(self.engine.clone(), partitions)
+    }
+
+    /// Fallible [`Self::duplicate`]: an evicted dataset is read back
+    /// from disk (the spill file and slot are left intact).
+    pub fn try_duplicate(&self) -> Result<PDataset<T>> {
+        let partitions = match &self.store {
+            Store::Mem(parts) => parts.clone(),
+            Store::Tracked(slot) => {
+                self.engine.check_cancelled()?;
+                slot.touch(self.engine.ledger_tick());
+                slot.clone_parts()?
+            }
+        };
+        Ok(PDataset::mem(self.engine.clone(), partitions))
     }
 }
 
@@ -395,6 +524,7 @@ impl<T: Send + Clone> PDataset<T> {
 mod tests {
     use super::*;
     use crate::fault::{FaultInjector, FaultPolicy};
+    use crate::govern::MemoryBudget;
 
     fn sorted(mut v: Vec<i64>) -> Vec<i64> {
         v.sort();
@@ -495,6 +625,59 @@ mod tests {
         if let Ok(read) = std::fs::read_dir(e.spill_dir()) {
             assert_eq!(read.count(), 0);
         }
+    }
+
+    #[test]
+    fn budget_checkpoint_tracks_and_spills_under_pressure() {
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .memory_budget(MemoryBudget::new(64, 1 << 30))
+            .build();
+        let ds = PDataset::from_vec(e.clone(), (0..500u64).collect());
+        let cp = ds.checkpoint().unwrap();
+        // Well past the 64-byte soft limit: the dataset was evicted.
+        assert!(Metrics::get(&e.metrics().pressure_spills) > 0);
+        assert!(Metrics::get(&e.metrics().bytes_tracked) > 0);
+        assert_eq!(cp.count(), 500, "count must work on an evicted dataset");
+        // try_* consumers fault the data back in.
+        let mut out = cp.try_map(|x| Ok(*x)).unwrap().try_collect().unwrap();
+        out.sort();
+        assert_eq!(out, (0..500).collect::<Vec<u64>>());
+        // The spill file was consumed and removed.
+        if let Ok(read) = std::fs::read_dir(e.spill_dir()) {
+            assert_eq!(read.count(), 0);
+        }
+    }
+
+    #[test]
+    fn budget_checkpoint_duplicate_faults_in_without_consuming() {
+        let e = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .memory_budget(MemoryBudget::new(64, 1 << 30))
+            .build();
+        let cp = PDataset::from_vec(e.clone(), (0..100u64).collect())
+            .checkpoint()
+            .unwrap();
+        let dup = cp.try_duplicate().unwrap();
+        assert_eq!(dup.count(), 100);
+        let mut a = dup.collect();
+        a.sort();
+        assert_eq!(a, (0..100).collect::<Vec<u64>>());
+        let mut b = cp.try_collect().unwrap();
+        b.sort();
+        assert_eq!(b, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn unbudgeted_checkpoint_stays_in_memory() {
+        let e = Engine::parallel(2);
+        let cp = PDataset::from_vec(e.clone(), (0..50u64).collect())
+            .checkpoint()
+            .unwrap();
+        // partitions() only works on in-memory datasets — this must not
+        // panic without a budget configured.
+        assert_eq!(cp.partitions().iter().map(Vec::len).sum::<usize>(), 50);
+        assert_eq!(Metrics::get(&e.metrics().bytes_tracked), 0);
     }
 
     #[test]
@@ -625,5 +808,17 @@ mod tests {
             }
             other => panic!("expected Error::Task, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cancellation_is_never_degraded_by_checkpoint() {
+        use bigdansing_common::error::CancelReason;
+        let e = Engine::disk_backed(2);
+        let guard = e.begin_job("cancelled-checkpoint", None);
+        e.cancel_job(CancelReason::User);
+        let ds = PDataset::from_vec(e.clone(), (0..100u64).collect());
+        let err = ds.checkpoint().unwrap_err();
+        assert!(matches!(err, Error::Cancelled { .. }), "{err:?}");
+        drop(guard);
     }
 }

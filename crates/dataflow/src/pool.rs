@@ -10,6 +10,7 @@
 //! into a typed [`Error::Task`] instead of tearing down the process.
 
 use crate::fault::{FaultInjector, FaultPolicy, FaultSite};
+use crate::govern::CancellationToken;
 use bigdansing_common::error::Error;
 use bigdansing_common::metrics::Metrics;
 use parking_lot::Mutex;
@@ -71,6 +72,9 @@ pub(crate) struct TaskCtx {
     pub(crate) injector: Option<FaultInjector>,
     pub(crate) stage: u64,
     pub(crate) metrics: Arc<Metrics>,
+    /// The running job's cancellation token, checked between partition
+    /// tasks and between retry attempts — never mid-task.
+    pub(crate) cancel: CancellationToken,
 }
 
 /// Extract a human-readable message from a panic payload.
@@ -94,6 +98,9 @@ where
 {
     let mut attempt = 0u32;
     loop {
+        // Cooperative cancellation point: a tripped token surfaces as
+        // Error::Cancelled directly (not a retriable task failure).
+        ctx.cancel.check()?;
         attempt += 1;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(inj) = &ctx.injector {
@@ -104,6 +111,7 @@ where
         }));
         let cause = match outcome {
             Ok(Ok(r)) => return Ok(r),
+            Ok(Err(e @ Error::Cancelled { .. })) => return Err(e),
             Ok(Err(e)) => e.to_string(),
             Err(payload) => {
                 Metrics::add(&ctx.metrics.panics_caught, 1);
@@ -156,7 +164,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers.min(n) {
             s.spawn(|| loop {
-                if aborted.load(Ordering::Relaxed) {
+                if aborted.load(Ordering::Relaxed) || ctx.cancel.is_cancelled() {
                     break;
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -171,6 +179,9 @@ where
             });
         }
     });
+    // Cancellation dominates any per-task outcome: a tripped token
+    // means the stage was abandoned, not that a partition failed.
+    ctx.cancel.check()?;
     let mut out = Vec::with_capacity(n);
     let mut first_err: Option<Error> = None;
     for slot in results {
@@ -217,6 +228,7 @@ mod tests {
             injector: None,
             stage: 0,
             metrics: Metrics::new_shared(),
+            cancel: CancellationToken::new("test"),
         }
     }
 
@@ -361,6 +373,29 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_preempts_the_stage_with_a_typed_error() {
+        use bigdansing_common::error::CancelReason;
+        let items = vec![(); 64];
+        let ctx = quiet_ctx(3);
+        ctx.cancel.cancel(CancelReason::User);
+        for workers in [1, 4] {
+            let err = try_par_map_indexed(workers, &items, &ctx, |i, _| Ok(i)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::Cancelled {
+                        reason: CancelReason::User,
+                        ..
+                    }
+                ),
+                "workers={workers}: {err:?}"
+            );
+        }
+        // No retries are burned on a cancelled job.
+        assert_eq!(Metrics::get(&ctx.metrics.tasks_retried), 0);
+    }
+
+    #[test]
     fn injected_panics_recover_within_budget() {
         // 30% panic probability with 5 attempts: each attempt rolls
         // fresh, so every partition recovers deterministically.
@@ -374,6 +409,7 @@ mod tests {
             injector: Some(FaultInjector::seeded(1234).with_task_panics(0.3)),
             stage: 7,
             metrics: Metrics::new_shared(),
+            cancel: CancellationToken::new("test"),
         };
         let out = try_par_map_indexed(4, &items, &ctx, |_, x| Ok(*x * 10)).unwrap();
         assert_eq!(out, items.iter().map(|x| x * 10).collect::<Vec<_>>());

@@ -210,8 +210,11 @@ pub fn try_ocjoin(
     };
     let primary = conds[0];
 
-    let partitioned =
-        input.range_partition_by(|t: &Tuple| t.value(primary.left_attr).clone(), nb_parts);
+    // A budget-tracked input may have been evicted to disk; fault it
+    // back in with typed errors before the infallible shuffle.
+    let partitioned = input
+        .try_materialize()?
+        .range_partition_by(|t: &Tuple| t.value(primary.left_attr).clone(), nb_parts);
 
     // Sorting phase: partitions are borrowed (tuples clone cheaply), so
     // a panicking sort task re-runs against intact input.

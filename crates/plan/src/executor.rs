@@ -213,6 +213,7 @@ impl Executor {
         data: PDataset<Tuple>,
         pipeline: &RulePipeline,
     ) -> Result<DetectOutput> {
+        self.engine.check_cancelled()?;
         let rule = Arc::clone(&pipeline.rule);
         let metrics = self.engine.metrics().clone();
 
@@ -228,7 +229,7 @@ impl Executor {
         let detected = self
             .iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)?
             .checkpoint()?
-            .collect();
+            .try_collect()?;
         Metrics::add(&metrics.violations, detected.len() as u64);
         Ok(DetectOutput { detected })
     }
@@ -240,8 +241,9 @@ impl Executor {
         let data = self.load(table);
         let mut out = DetectOutput::default();
         for rule in rules {
+            self.engine.check_cancelled()?;
             let pipeline = crate::physical::pipeline_for_rule(Arc::clone(rule), table.name());
-            out.extend(self.run_pipeline(data.duplicate(), &pipeline)?);
+            out.extend(self.run_pipeline(data.try_duplicate()?, &pipeline)?);
         }
         Ok(out)
     }
@@ -255,6 +257,7 @@ impl Executor {
     ) -> Result<DetectOutput> {
         let mut out = DetectOutput::default();
         for rule in rules {
+            self.engine.check_cancelled()?;
             let data = self.load(table);
             let pipeline = crate::physical::pipeline_for_rule(Arc::clone(rule), table.name());
             out.extend(self.run_pipeline(data, &pipeline)?);
@@ -285,6 +288,7 @@ impl Executor {
         left: &Table,
         right: &Table,
     ) -> Result<DetectOutput> {
+        self.engine.check_cancelled()?;
         let metrics = self.engine.metrics().clone();
         let rl = Arc::clone(&rule);
         let rr = Arc::clone(&rule);
@@ -326,7 +330,7 @@ impl Executor {
                 let fixes = rg.gen_fix(v);
                 Ok((v.clone(), fixes))
             })?
-            .collect();
+            .try_collect()?;
         Ok(DetectOutput { detected })
     }
 }

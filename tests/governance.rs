@@ -1,0 +1,233 @@
+//! Resource-governance acceptance tests: cooperative cancellation,
+//! wall-clock deadlines, memory budgets, and admission control, wired
+//! end to end through the `BigDansing` façade.
+//!
+//! Timing-dependent tests are made deterministic with the seeded
+//! [`FaultInjector`]'s delay injection: when *every* task sleeps a fixed
+//! duration, a stage over P partitions on W workers takes at least
+//! `P / W × delay` — so deadlines and cancellation points can be placed
+//! with arithmetic instead of luck.
+
+use bigdansing::{
+    AdmissionControl, BigDansing, CancelReason, CleanseOptions, Engine, Error, ExecMode,
+    FaultInjector, MemoryBudget,
+};
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Cell, Table};
+use bigdansing_datagen::tax;
+use bigdansing_plan::Executor;
+use bigdansing_rules::{DcRule, FdRule, Rule, Violation};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+type VKey = BTreeSet<(Cell, String)>;
+
+fn keys(vs: Vec<&Violation>) -> BTreeSet<VKey> {
+    vs.into_iter()
+        .map(|v| {
+            v.cells()
+                .iter()
+                .map(|(c, val)| (*c, val.to_string()))
+                .collect()
+        })
+        .collect()
+}
+
+fn taxa_fd() -> (Table, Arc<dyn Rule>) {
+    let gt = tax::taxa(600, 0.10, 11);
+    let rule: Arc<dyn Rule> =
+        Arc::new(FdRule::parse("zipcode -> city", gt.dirty.schema()).unwrap());
+    (gt.dirty, rule)
+}
+
+fn sequential_oracle(table: &Table, rule: &Arc<dyn Rule>) -> BTreeSet<VKey> {
+    let exec = Executor::new(Engine::sequential());
+    let out = exec.detect(table, &[Arc::clone(rule)]).unwrap();
+    keys(out.detected.iter().map(|(v, _)| v).collect())
+}
+
+fn spill_dir_is_empty(e: &Engine) -> bool {
+    match std::fs::read_dir(e.spill_dir()) {
+        Ok(rd) => rd.count() == 0,
+        Err(_) => true, // never created, or already removed
+    }
+}
+
+/// The headline acceptance test: a job with a 50 ms deadline on a
+/// delay-injected engine is cancelled with `DeadlineExceeded` and its
+/// spill files removed, while a sibling job admitted through the same
+/// gate completes identical to the Sequential oracle.
+#[test]
+fn deadline_trips_doomed_job_while_admitted_sibling_matches_oracle() {
+    let (table, rule) = taxa_fd();
+    let oracle = sequential_oracle(&table, &rule);
+    let adm = AdmissionControl::queue(1, 4);
+
+    // Every task sleeps 20 ms: 8 default partitions on 2 workers means
+    // the first stage alone takes ≥ 80 ms, well past the 50 ms deadline.
+    let doomed_engine = Engine::builder(ExecMode::DiskBacked)
+        .workers(2)
+        .fault_injector(FaultInjector::seeded(9).with_delays(1.0, Duration::from_millis(20)))
+        .build();
+    let mut doomed_sys = BigDansing::on_engine(doomed_engine.clone())
+        .with_deadline(Duration::from_millis(50))
+        .with_admission(adm.clone());
+    doomed_sys
+        .add_fd("zipcode -> city", table.schema())
+        .unwrap();
+    let doomed_table = table.clone();
+    let doomed = std::thread::spawn(move || doomed_sys.detect(&doomed_table).map(|_| ()));
+
+    let mut sibling = BigDansing::parallel(2).with_admission(adm);
+    sibling.add_fd("zipcode -> city", table.schema()).unwrap();
+    let sib_out = sibling.detect(&table).unwrap();
+    assert_eq!(
+        oracle,
+        keys(sib_out.detected.iter().map(|(v, _)| v).collect()),
+        "sibling job diverged from the Sequential oracle"
+    );
+
+    let err = doomed.join().unwrap().unwrap_err();
+    match err {
+        Error::Cancelled { reason, .. } => assert_eq!(reason, CancelReason::DeadlineExceeded),
+        other => panic!("expected Error::Cancelled, got {other:?}"),
+    }
+    let m = doomed_engine.metrics();
+    assert!(Metrics::get(&m.deadline_trips) >= 1, "watchdog never fired");
+    assert!(Metrics::get(&m.jobs_cancelled) >= 1);
+    assert!(
+        spill_dir_is_empty(&doomed_engine),
+        "cancelled job left orphan spill files in {}",
+        doomed_engine.spill_dir().display()
+    );
+}
+
+/// User-initiated cancellation mid-OCJoin: the token tripped from
+/// another thread surfaces as a typed `Error::Cancelled` and the job's
+/// spill files are cleaned up.
+#[test]
+fn user_cancellation_mid_ocjoin_leaves_no_orphan_spill_files() {
+    let gt = tax::taxb(300, 0.10, 12);
+    let rule: Arc<dyn Rule> = Arc::new(
+        DcRule::parse(
+            "t1.salary > t2.salary & t1.rate < t2.rate",
+            gt.dirty.schema(),
+        )
+        .unwrap(),
+    );
+    // Every task sleeps 50 ms ⇒ the scope stage alone takes ≥ 200 ms;
+    // a cancel at 60 ms is guaranteed to land mid-job.
+    let engine = Engine::builder(ExecMode::DiskBacked)
+        .workers(2)
+        .fault_injector(FaultInjector::seeded(21).with_delays(1.0, Duration::from_millis(50)))
+        .build();
+    let guard = engine.begin_job("ocjoin-cancel", None);
+    let token = guard.token().clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(60));
+        token.cancel(CancelReason::User)
+    });
+    let exec = Executor::new(engine.clone());
+    let result = guard.complete(exec.detect(&gt.dirty, &[rule]));
+    assert!(canceller.join().unwrap(), "cancel arrived after completion");
+    match result.unwrap_err() {
+        Error::Cancelled { job, reason } => {
+            assert_eq!(job, "ocjoin-cancel");
+            assert_eq!(reason, CancelReason::User);
+        }
+        other => panic!("expected Error::Cancelled, got {other:?}"),
+    }
+    assert_eq!(Metrics::get(&engine.metrics().jobs_cancelled), 1);
+    assert!(
+        spill_dir_is_empty(&engine),
+        "cancelled job left orphan spill files in {}",
+        engine.spill_dir().display()
+    );
+}
+
+/// A deadline that trips inside the detect ⇄ repair loop is
+/// deterministic under seeded delay injection: two identical runs
+/// produce the same typed error and the same trip count.
+#[test]
+fn deadline_trip_during_repair_is_deterministic() {
+    let gt = tax::taxa(300, 0.20, 17);
+    let run = || {
+        let engine = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .fault_injector(FaultInjector::seeded(5).with_delays(1.0, Duration::from_millis(10)))
+            .build();
+        let metrics = engine.metrics().clone();
+        let mut sys = BigDansing::on_engine(engine).with_deadline(Duration::from_millis(120));
+        sys.add_fd("zipcode -> city", gt.dirty.schema()).unwrap();
+        let err = sys
+            .cleanse(&gt.dirty, CleanseOptions::default())
+            .unwrap_err();
+        let reason = match err {
+            Error::Cancelled { reason, .. } => reason,
+            other => panic!("expected Error::Cancelled, got {other:?}"),
+        };
+        (reason, Metrics::get(&metrics.deadline_trips))
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, (CancelReason::DeadlineExceeded, 1));
+    assert_eq!(first, second, "deadline trip was not deterministic");
+}
+
+/// A single dataset past the hard memory ceiling cancels the offending
+/// job with `MemoryExceeded` instead of aborting the process or growing
+/// without bound.
+#[test]
+fn hard_memory_ceiling_cancels_the_job_with_memory_exceeded() {
+    let (table, _) = taxa_fd();
+    let engine = Engine::builder(ExecMode::Parallel)
+        .workers(2)
+        .memory_budget(MemoryBudget::new(16, 64))
+        .build();
+    let mut sys = BigDansing::on_engine(engine.clone());
+    sys.add_fd("zipcode -> city", table.schema()).unwrap();
+    match sys.detect(&table).unwrap_err() {
+        Error::Cancelled { reason, .. } => assert_eq!(reason, CancelReason::MemoryExceeded),
+        other => panic!("expected Error::Cancelled, got {other:?}"),
+    }
+    assert_eq!(Metrics::get(&engine.metrics().jobs_cancelled), 1);
+}
+
+/// Two systems sharing one reject-on-full gate: while the first system's
+/// job holds the single slot, the second system's job is rejected with a
+/// typed error, and the first still completes.
+#[test]
+fn shared_admission_gate_rejects_overflow_across_systems() {
+    let (table, _) = taxa_fd();
+    let adm = AdmissionControl::reject(1);
+
+    let slow_engine = Engine::builder(ExecMode::Parallel)
+        .workers(2)
+        .fault_injector(FaultInjector::seeded(3).with_delays(1.0, Duration::from_millis(20)))
+        .build();
+    let mut slow = BigDansing::on_engine(slow_engine.clone()).with_admission(adm.clone());
+    slow.add_fd("zipcode -> city", table.schema()).unwrap();
+    let slow_table = table.clone();
+    let slow_job =
+        std::thread::spawn(move || slow.detect(&slow_table).map(|o| o.violation_count()));
+
+    // `tuples_scanned` is bumped by the load *inside* the governed job,
+    // i.e. strictly after admission — once it is nonzero the slot is
+    // held, and ≥ 160 ms of injected delays remain.
+    while Metrics::get(&slow_engine.metrics().tuples_scanned) == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let fast_engine = Engine::parallel(2);
+    let mut fast = BigDansing::on_engine(fast_engine.clone()).with_admission(adm);
+    fast.add_fd("zipcode -> city", table.schema()).unwrap();
+    match fast.detect(&table).unwrap_err() {
+        Error::Rejected { limit, .. } => assert_eq!(limit, 1),
+        other => panic!("expected Error::Rejected, got {other:?}"),
+    }
+    assert_eq!(Metrics::get(&fast_engine.metrics().jobs_rejected), 1);
+
+    let count = slow_job.join().unwrap().unwrap();
+    assert!(count > 0, "slow job should have found violations");
+}

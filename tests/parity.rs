@@ -6,7 +6,7 @@ use bigdansing::{BigDansing, CleanseOptions, RepairStrategy};
 use bigdansing_baselines::{dedup_violations, nadeef, shark, sparksql, sqlengine};
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Cell, Error, Table};
-use bigdansing_dataflow::{Engine, ExecMode, FaultInjector, FaultPolicy};
+use bigdansing_dataflow::{Engine, ExecMode, FaultInjector, FaultPolicy, MemoryBudget};
 use bigdansing_datagen::{tax, tpch};
 use bigdansing_plan::{Executor, IterateStrategy, RulePipeline};
 use bigdansing_repair::EquivalenceClassRepair;
@@ -109,6 +109,39 @@ fn engines_agree_on_violations_under_injected_faults() {
             );
         }
     }
+}
+
+#[test]
+fn pressure_spill_under_memory_budget_matches_unbudgeted_run() {
+    // Acceptance: a MemoryBudget far below the working set forces
+    // checkpointed datasets to evict to disk (pressure_spills > 0), and
+    // the violation set still matches the unbudgeted Sequential oracle.
+    let (table, rule) = phi1_data();
+    let oracle = {
+        let exec = Executor::new(Engine::sequential());
+        let out = exec.detect(&table, &[Arc::clone(&rule)]).unwrap();
+        keys(out.detected.iter().map(|(v, _)| v).collect())
+    };
+    let engine = Engine::builder(ExecMode::Parallel)
+        .workers(2)
+        .memory_budget(MemoryBudget::new(4 * 1024, 64 * 1024 * 1024))
+        .build();
+    let exec = Executor::new(engine);
+    let out = exec.detect(&table, &[Arc::clone(&rule)]).unwrap();
+    assert_eq!(
+        oracle,
+        keys(out.detected.iter().map(|(v, _)| v).collect()),
+        "budgeted run diverged from the oracle"
+    );
+    let m = exec.engine().metrics();
+    assert!(
+        Metrics::get(&m.bytes_tracked) > 4 * 1024,
+        "working set never exceeded the budget — test proves nothing"
+    );
+    assert!(
+        Metrics::get(&m.pressure_spills) > 0,
+        "budget below the working set but nothing was evicted"
+    );
 }
 
 #[test]
