@@ -49,6 +49,9 @@ OPTIONS:
                          ceiling: 4x the budget cancels the job)
   --lenient              quarantine malformed CSV rows instead of
                          aborting the load (reported after the run)
+  --explain              print the fused stage graph after the run:
+                         every physical pass, its kind, and the
+                         logical operators fused into it
 ";
 
 struct Args {
@@ -65,6 +68,7 @@ struct Args {
     deadline_ms: Option<u64>,
     memory_budget_mb: Option<u64>,
     lenient: bool,
+    explain: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -85,6 +89,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         deadline_ms: None,
         memory_budget_mb: None,
         lenient: false,
+        explain: false,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -123,6 +128,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 )
             }
             "--lenient" => args.lenient = true,
+            "--explain" => args.explain = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -171,6 +177,15 @@ fn load(path: &str, lenient: bool) -> Result<(Table, Option<Quarantine>), String
     }
 }
 
+/// Print the fused stage graph (`--explain`): the per-pass trace from
+/// the engine, then the one-line fusion summary derived from metrics.
+fn explain(engine: &Engine) {
+    eprintln!("{}", engine.explain());
+    if let Some(line) = bigdansing::report::plan_summary(&engine.metrics().snapshot()) {
+        eprintln!("{line}");
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let (table, quarantine) = load(&args.input, args.lenient)?;
@@ -191,6 +206,9 @@ fn run() -> Result<(), String> {
                 q.record(sys.engine().metrics());
             }
             let out = sys.detect(&table).map_err(|e| e.to_string())?;
+            if args.explain {
+                explain(sys.engine());
+            }
             if let Some(line) =
                 bigdansing::report::fault_summary(&sys.engine().metrics().snapshot())
             {
@@ -242,6 +260,9 @@ fn run() -> Result<(), String> {
                 bigdansing::report::write_reports(&residue, Some(&result.table), stem)
                     .map_err(|e| e.to_string())?;
                 eprintln!("residual violations: {}", residue.violation_count());
+            }
+            if args.explain {
+                explain(sys.engine());
             }
             if let Some(line) =
                 bigdansing::report::fault_summary(&sys.engine().metrics().snapshot())

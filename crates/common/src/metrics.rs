@@ -52,6 +52,12 @@ pub struct Metrics {
     /// Malformed input rows diverted to a quarantine report by the
     /// lenient parsers instead of aborting the load.
     pub rows_quarantined: AtomicU64,
+    /// Physical passes over partitioned data executed by the fused
+    /// stage-graph path (shuffle map/merge/reduce and narrow passes).
+    pub passes_executed: AtomicU64,
+    /// Logical operators that fused into an already-open physical pass
+    /// instead of running as their own pass.
+    pub stages_fused: AtomicU64,
 }
 
 impl Metrics {
@@ -92,6 +98,8 @@ impl Metrics {
             &self.jobs_queued,
             &self.jobs_rejected,
             &self.rows_quarantined,
+            &self.passes_executed,
+            &self.stages_fused,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -119,6 +127,8 @@ impl Metrics {
             jobs_queued: Metrics::get(&self.jobs_queued),
             jobs_rejected: Metrics::get(&self.jobs_rejected),
             rows_quarantined: Metrics::get(&self.rows_quarantined),
+            passes_executed: Metrics::get(&self.passes_executed),
+            stages_fused: Metrics::get(&self.stages_fused),
         }
     }
 }
@@ -164,6 +174,10 @@ pub struct MetricsSnapshot {
     pub jobs_rejected: u64,
     /// See [`Metrics::rows_quarantined`].
     pub rows_quarantined: u64,
+    /// See [`Metrics::passes_executed`].
+    pub passes_executed: u64,
+    /// See [`Metrics::stages_fused`].
+    pub stages_fused: u64,
 }
 
 #[cfg(test)]

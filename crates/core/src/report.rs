@@ -121,6 +121,28 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
     }
 }
 
+/// Summarize stage-graph execution for a finished run: how many
+/// physical passes ran and how many logical stages were fused away
+/// into them (plus shuffle volume when a wide boundary ran).
+///
+/// Returns `None` when no fused passes were recorded (e.g. a run built
+/// entirely from the eager combinators).
+pub fn plan_summary(m: &MetricsSnapshot) -> Option<String> {
+    if m.passes_executed == 0 {
+        return None;
+    }
+    let logical = m.passes_executed + m.stages_fused;
+    let mut line = format!(
+        "stage graph: {} logical stage(s) ran as {} physical pass(es) \
+         ({} fused away)",
+        logical, m.passes_executed, m.stages_fused
+    );
+    if m.records_shuffled != 0 {
+        let _ = write!(line, ", {} record(s) shuffled", m.records_shuffled);
+    }
+    Some(line)
+}
+
 /// Write both reports next to each other:
 /// `<stem>.violations.csv` and `<stem>.fixes.csv`.
 pub fn write_reports(
@@ -226,6 +248,26 @@ mod tests {
             !line.contains("fault tolerance"),
             "no fault line without fault counters: {line}"
         );
+    }
+
+    #[test]
+    fn plan_summary_silent_without_fused_passes() {
+        assert_eq!(plan_summary(&Default::default()), None);
+    }
+
+    #[test]
+    fn plan_summary_counts_logical_stages_and_shuffles() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            passes_executed: 3,
+            stages_fused: 4,
+            records_shuffled: 12,
+            ..Default::default()
+        };
+        let line = plan_summary(&snap).unwrap();
+        assert!(line.contains("7 logical stage(s)"), "{line}");
+        assert!(line.contains("3 physical pass(es)"), "{line}");
+        assert!(line.contains("4 fused away"), "{line}");
+        assert!(line.contains("12 record(s) shuffled"), "{line}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::fault::{FaultInjector, FaultPolicy};
 use crate::govern::{CancellationToken, MemoryBudget, Spillable, Watchdog};
 use crate::pool::{self, TaskCtx};
+use crate::stage::{render_plan, PassKind, PassRecord};
 use bigdansing_common::error::{CancelReason, Error, Result};
 use bigdansing_common::metrics::Metrics;
 use parking_lot::Mutex;
@@ -53,6 +54,9 @@ struct EngineInner {
     /// Logical clock ordering ledger accesses, for coldest-first
     /// eviction.
     ledger_clock: AtomicU64,
+    /// Trace of physical passes executed by the fused stage-graph path,
+    /// rendered by [`Engine::explain`].
+    plan_trace: Mutex<Vec<PassRecord>>,
 }
 
 impl Drop for EngineInner {
@@ -148,6 +152,7 @@ impl EngineBuilder {
                 current: Mutex::new(CancellationToken::new("ad-hoc")),
                 ledger: Mutex::new(Vec::new()),
                 ledger_clock: AtomicU64::new(0),
+                plan_trace: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -414,6 +419,43 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// Record one physical pass executed by the fused stage-graph path:
+    /// appends to the plan trace, bumps `passes_executed`, and counts
+    /// every logical operator beyond the first as fused
+    /// (`stages_fused`). An eager engine would have run each of `ops`
+    /// as its own pass; the difference is the observable win.
+    pub fn record_pass(&self, kind: PassKind, ops: Vec<String>, partitions: usize) {
+        Metrics::add(&self.inner.metrics.passes_executed, 1);
+        Metrics::add(
+            &self.inner.metrics.stages_fused,
+            ops.len().saturating_sub(1) as u64,
+        );
+        self.inner.plan_trace.lock().push(PassRecord {
+            kind,
+            ops,
+            partitions,
+        });
+    }
+
+    /// Snapshot of the physical passes recorded so far (in execution
+    /// order).
+    pub fn stage_plan(&self) -> Vec<PassRecord> {
+        self.inner.plan_trace.lock().clone()
+    }
+
+    /// Human-readable dump of the stage graph: which logical operators
+    /// fused into which physical passes. Surfaced by the CLI's
+    /// `--explain` flag.
+    pub fn explain(&self) -> String {
+        render_plan(&self.stage_plan())
+    }
+
+    /// Forget the recorded pass trace (metrics are left alone). Useful
+    /// between jobs sharing one engine.
+    pub fn clear_stage_plan(&self) {
+        self.inner.plan_trace.lock().clear();
     }
 
     /// Split `data` into `nparts` round-robin-balanced partitions.

@@ -10,6 +10,7 @@
 use crate::engine::Engine;
 use crate::pdataset::PDataset;
 use crate::pool::par_map_indexed;
+use crate::stage::PassKind;
 use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
 
@@ -158,6 +159,11 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         })?;
         let total: usize = partitions.iter().map(Vec::len).sum();
         Metrics::add(&engine.metrics().pairs_generated, total as u64);
+        engine.record_pass(
+            PassKind::Join,
+            vec!["self-cartesian".into()],
+            partitions.len(),
+        );
         Ok(PDataset::from_partitions(engine, partitions))
     }
 
@@ -180,6 +186,7 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         })?;
         let total: usize = partitions.iter().map(Vec::len).sum();
         Metrics::add(&engine.metrics().pairs_generated, total as u64);
+        engine.record_pass(PassKind::Join, vec!["cartesian".into()], partitions.len());
         Ok(PDataset::from_partitions(engine, partitions))
     }
 

@@ -28,6 +28,14 @@
 //! spill I/O is retried and can degrade gracefully, and a deterministic
 //! [`FaultInjector`] lets tests prove recovery end-to-end.
 //!
+//! Lazy fused execution ([`stage`]): [`Stage`] wraps a dataset in a
+//! stage-graph IR where narrow transforms accumulate into one fused
+//! per-partition closure, forced as a single physical pass at wide
+//! boundaries (shuffle, co-group, checkpoint, collect). The shuffle
+//! behind `group_by_key`/`co_group` runs map-side bucketing and the
+//! reducer-side merge in parallel. [`Engine::explain`] renders which
+//! logical operators fused into which physical passes.
+//!
 //! Resource governance ([`govern`]): jobs opened with
 //! [`Engine::begin_job`] carry a [`CancellationToken`] checked between
 //! partition tasks and spill attempts, an optional wall-clock deadline
@@ -42,10 +50,13 @@ pub mod grouping;
 pub mod joins;
 pub mod pdataset;
 pub mod pool;
+pub mod stage;
 
 pub use engine::{Engine, EngineBuilder, ExecMode, JobGuard};
 pub use fault::{FaultInjector, FaultPolicy, SpillFallback};
 pub use govern::{CancellationToken, MemoryBudget};
+pub use grouping::StableHasher;
 pub use pdataset::PDataset;
+pub use stage::{PassKind, PassRecord, Stage};
 
 pub use bigdansing_common::error::CancelReason;

@@ -282,6 +282,14 @@ impl<T: Send + Sync> PDataset<T> {
     }
 }
 
+impl<T: Send + Sync + Clone + 'static> PDataset<T> {
+    /// Enter the lazy stage-graph API: subsequent narrow transforms
+    /// fuse into one physical pass per partition. See [`crate::Stage`].
+    pub fn stage(self) -> crate::stage::Stage<T, T> {
+        crate::stage::Stage::over(self)
+    }
+}
+
 impl<T: Send + Sync + Clone> PDataset<T> {
     /// Fault-tolerant filter (clones survivors out of the borrowed
     /// partition).

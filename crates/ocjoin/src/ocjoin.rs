@@ -4,7 +4,7 @@ use bigdansing_common::error::{Error, Result};
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Tuple, Value};
 use bigdansing_dataflow::pool::par_map_indexed;
-use bigdansing_dataflow::PDataset;
+use bigdansing_dataflow::{PDataset, PassKind};
 use bigdansing_rules::ops::Op;
 use bigdansing_rules::OrderCond;
 
@@ -219,6 +219,11 @@ pub fn try_ocjoin(
     // Sorting phase: partitions are borrowed (tuples clone cheaply), so
     // a panicking sort task re-runs against intact input.
     let raw = partitioned.into_partitions();
+    engine.record_pass(
+        PassKind::ShuffleMap,
+        vec!["ocjoin.range-partition".into()],
+        raw.len(),
+    );
     let parts: Vec<Part> = engine
         .run_stage(&raw, |_, p: &Vec<Tuple>| {
             Ok(Part::build(
@@ -230,6 +235,7 @@ pub fn try_ocjoin(
         .into_iter()
         .flatten()
         .collect();
+    engine.record_pass(PassKind::Join, vec!["ocjoin.sort".into()], raw.len());
 
     let mut tasks: Vec<(usize, usize)> = Vec::new();
     let mut pruned = 0u64;
@@ -253,6 +259,11 @@ pub fn try_ocjoin(
     })?;
     let produced: usize = partitions.iter().map(Vec::len).sum();
     Metrics::add(&engine.metrics().pairs_generated, produced as u64);
+    engine.record_pass(
+        PassKind::Join,
+        vec!["ocjoin.merge-join".into()],
+        partitions.len(),
+    );
     Ok(PDataset::from_partitions(engine, partitions))
 }
 

@@ -1,15 +1,21 @@
-//! The execution layer: physical pipelines → dataflow stages
+//! The execution layer: physical pipelines → fused dataflow stages
 //! (Appendix G of the paper, modulo the Spark→threads substitution).
 //!
-//! Every stage boundary calls [`PDataset::checkpoint`], which is a no-op
-//! on the in-memory engines and a full disk round-trip on the
+//! Pipelines are built against the lazy [`Stage`] API, so narrow
+//! operators fuse: Scope flows straight into the shuffle-map side of
+//! Block, and the reducer-side group construction fuses with
+//! Iterate→Detect→GenFix into one pass per partition. The only
+//! remaining materialization is the final [`PDataset::checkpoint`] —
+//! a no-op on the in-memory engines and a full disk round-trip on the
 //! Hadoop-like [`bigdansing_dataflow::ExecMode::DiskBacked`] engine.
+//! [`Engine::explain`] shows which logical operators landed in which
+//! physical passes.
 
 use crate::physical::{IterateStrategy, RulePipeline};
 use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Table, Tuple};
-use bigdansing_dataflow::{Engine, PDataset};
+use bigdansing_dataflow::{Engine, ExecMode, PDataset, PassKind, Stage};
 use bigdansing_ocjoin::{try_ocjoin, OcJoinConfig};
 use bigdansing_rules::{DetectUnit, Fix, Rule, RuleExt, Violation};
 use std::sync::Arc;
@@ -35,9 +41,9 @@ impl DetectOutput {
         self.detected.is_empty()
     }
 
-    /// The violations alone.
-    pub fn violations(&self) -> Vec<&Violation> {
-        self.detected.iter().map(|(v, _)| v).collect()
+    /// The violations alone (borrowed, no intermediate allocation).
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.detected.iter().map(|(v, _)| v)
     }
 
     /// Number of violations.
@@ -45,9 +51,10 @@ impl DetectOutput {
         self.detected.len()
     }
 
-    /// All possible fixes, flattened.
-    pub fn all_fixes(&self) -> Vec<&Fix> {
-        self.detected.iter().flat_map(|(_, fs)| fs).collect()
+    /// All possible fixes, flattened (borrowed, no intermediate
+    /// allocation).
+    pub fn all_fixes(&self) -> impl Iterator<Item = &Fix> {
+        self.detected.iter().flat_map(|(_, fs)| fs.iter())
     }
 
     /// Number of possible fixes.
@@ -81,20 +88,22 @@ impl Executor {
         PDataset::from_vec(self.engine.clone(), table.tuples().to_vec())
     }
 
-    /// Run Iterate, Detect, and GenFix fused in one stage (as Spark does
-    /// when maps follow a shuffle): candidate units are generated,
-    /// tested, and — when a GenFix is present — annotated with their
-    /// possible fixes inside the same partition pass; candidates are
-    /// never materialized as a whole. Metrics (`pairs_generated`,
+    /// Run Iterate, Detect, and GenFix fused into the pending stage:
+    /// candidate units are generated, tested, and — when a GenFix is
+    /// present — annotated with their possible fixes inside the same
+    /// physical pass as whatever narrow work precedes them (Scope, the
+    /// reducer-side group build of Block); candidates are never
+    /// materialized as a whole. Metrics (`pairs_generated`,
     /// `detect_calls`) are kept via per-partition batched atomics.
     ///
-    /// Every stage runs fault-tolerantly: partition tasks execute under
-    /// panic isolation and are retried per the engine's
-    /// [`bigdansing_dataflow::FaultPolicy`]; a task that exhausts its
-    /// budget surfaces as `Error::Task` naming the partition.
+    /// Every forced pass runs fault-tolerantly: partition tasks execute
+    /// under panic isolation and are retried per the engine's
+    /// [`bigdansing_dataflow::FaultPolicy`] — a retry re-runs the whole
+    /// fused pass for that partition. A task that exhausts its budget
+    /// surfaces as `Error::Task` naming the partition.
     fn iterate_and_detect(
         &self,
-        scoped: PDataset<Tuple>,
+        scoped: Stage<Tuple, Tuple>,
         rule: &Arc<dyn Rule>,
         strategy: &IterateStrategy,
         use_genfix: bool,
@@ -112,24 +121,28 @@ impl Executor {
                 })
                 .collect()
         };
+        let detect_op = format!("iterate+detect+genfix({})", rule.name());
+        let block_op = format!("block({})", rule.name());
         match strategy {
             IterateStrategy::SingleUnits => {
                 let r = Arc::clone(rule);
-                scoped.try_map_partitions(move |part| {
-                    Metrics::add(&metrics.detect_calls, part.len() as u64);
-                    let vs = part
-                        .iter()
-                        .flat_map(|t| r.detect(&DetectUnit::Single(t.clone())))
-                        .collect();
-                    Ok(finish(&r, vs))
-                })
+                scoped
+                    .map_parts(detect_op, move |part: Vec<Tuple>| {
+                        Metrics::add(&metrics.detect_calls, part.len() as u64);
+                        let vs = part
+                            .iter()
+                            .flat_map(|t| r.detect(&DetectUnit::Single(t.clone())))
+                            .collect();
+                        Ok(finish(&r, vs))
+                    })
+                    .run()
             }
             IterateStrategy::BlockList => {
                 let r = Arc::clone(rule);
                 let rb = Arc::clone(rule);
                 scoped
-                    .try_group_by_key(move |t| Ok(rb.block(t).unwrap_or_default()))?
-                    .try_map_partitions(move |groups| {
+                    .group_by_key(&block_op, move |t| Ok(rb.block(t).unwrap_or_default()))?
+                    .map_parts(detect_op, move |groups| {
                         Metrics::add(&metrics.detect_calls, groups.len() as u64);
                         let vs = groups
                             .iter()
@@ -137,14 +150,15 @@ impl Executor {
                             .collect();
                         Ok(finish(&r, vs))
                     })
+                    .run()
             }
             IterateStrategy::BlockPairs { ordered } => {
                 let rb = Arc::clone(rule);
                 let rd = Arc::clone(rule);
                 let ordered = *ordered;
                 scoped
-                    .try_group_by_key(move |t| Ok(rb.block(t).unwrap_or_default()))?
-                    .try_map_partitions(move |groups| {
+                    .group_by_key(&block_op, move |t| Ok(rb.block(t).unwrap_or_default()))?
+                    .map_parts(detect_op, move |groups| {
                         let mut vs = Vec::new();
                         let mut pairs = 0u64;
                         for (_, block) in groups {
@@ -163,12 +177,15 @@ impl Executor {
                         Metrics::add(&metrics.detect_calls, pairs);
                         Ok(finish(&rd, vs))
                     })
+                    .run()
             }
             IterateStrategy::UCrossProduct => {
                 let rd = Arc::clone(rule);
                 scoped
+                    .into_dataset()?
                     .try_self_cartesian()?
-                    .try_map_partitions(move |part| {
+                    .stage()
+                    .map_parts(detect_op, move |part: Vec<(Tuple, Tuple)>| {
                         Metrics::add(&metrics.detect_calls, part.len() as u64);
                         let vs = part
                             .iter()
@@ -176,12 +193,15 @@ impl Executor {
                             .collect();
                         Ok(finish(&rd, vs))
                     })
+                    .run()
             }
             IterateStrategy::CrossProduct => {
                 let rd = Arc::clone(rule);
                 scoped
+                    .into_dataset()?
                     .try_self_cross_product()?
-                    .try_map_partitions(move |part| {
+                    .stage()
+                    .map_parts(detect_op, move |part: Vec<(Tuple, Tuple)>| {
                         Metrics::add(&metrics.detect_calls, part.len() as u64);
                         let vs = part
                             .iter()
@@ -190,24 +210,28 @@ impl Executor {
                             .collect();
                         Ok(finish(&rd, vs))
                     })
+                    .run()
             }
             IterateStrategy::OcJoin(conds) => {
                 let rd = Arc::clone(rule);
-                try_ocjoin(scoped, conds, OcJoinConfig::default())?.try_map_partitions(
-                    move |part| {
+                try_ocjoin(scoped.into_dataset()?, conds, OcJoinConfig::default())?
+                    .stage()
+                    .map_parts(detect_op, move |part: Vec<(Tuple, Tuple)>| {
                         Metrics::add(&metrics.detect_calls, part.len() as u64);
                         let vs = part
                             .iter()
                             .flat_map(|(a, b)| rd.detect_pair(a, b))
                             .collect();
                         Ok(finish(&rd, vs))
-                    },
-                )
+                    })
+                    .run()
             }
         }
     }
 
-    /// Run one pipeline over an already-loaded dataset.
+    /// Run one pipeline over an already-loaded dataset, built lazily so
+    /// Scope fuses into the shuffle-map (or detect) pass instead of
+    /// running as its own materialized stage.
     pub fn run_pipeline(
         &self,
         data: PDataset<Tuple>,
@@ -217,19 +241,29 @@ impl Executor {
         let rule = Arc::clone(&pipeline.rule);
         let metrics = self.engine.metrics().clone();
 
-        // PScope
+        // PScope: queued as a narrow op — no pass of its own.
         let scoped = if pipeline.use_scope {
             let r = Arc::clone(&rule);
-            data.try_flat_map(move |t| Ok(r.scope(t)))?.checkpoint()?
+            data.stage()
+                .flat_map(format!("scope({})", rule.name()), move |t: Tuple| {
+                    Ok(r.scope(&t))
+                })
         } else {
-            data
+            data.stage()
         };
 
-        // PBlock / PIterate / PDetect / PGenFix (fused stage, as in Spark)
-        let detected = self
-            .iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)?
-            .checkpoint()?
-            .try_collect()?;
+        // PBlock / PIterate / PDetect / PGenFix (fused), then the final
+        // stage-boundary materialization.
+        let detected_ds =
+            self.iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)?;
+        let nparts = detected_ds.num_partitions();
+        let materializes =
+            self.engine.mode() == ExecMode::DiskBacked || self.engine.memory_budget().is_some();
+        let detected = detected_ds.checkpoint()?.try_collect()?;
+        if materializes {
+            self.engine
+                .record_pass(PassKind::Checkpoint, Vec::new(), nparts);
+        }
         Metrics::add(&metrics.violations, detected.len() as u64);
         Ok(DetectOutput { detected })
     }
@@ -290,47 +324,64 @@ impl Executor {
     ) -> Result<DetectOutput> {
         self.engine.check_cancelled()?;
         let metrics = self.engine.metrics().clone();
+        let inner = metrics.clone();
         let rl = Arc::clone(&rule);
         let rr = Arc::clone(&rule);
-        let left_ds = self
+        // Scope fuses into each side's shuffle-map pass.
+        let left_stage = self
             .load(left)
-            .try_flat_map(move |t| Ok(rl.scope(t)))?
-            .checkpoint()?;
-        let rr2 = Arc::clone(&rule);
-        let right_ds = self
+            .stage()
+            .flat_map(format!("scope({})/left", rule.name()), move |t: Tuple| {
+                Ok(rl.scope(&t))
+            });
+        let right_stage = self
             .load(right)
-            .try_flat_map(move |t| Ok(rr2.scope(t)))?
-            .checkpoint()?;
+            .stage()
+            .flat_map(format!("scope({})/right", rule.name()), move |t: Tuple| {
+                Ok(rr.scope(&t))
+            });
         let kl = Arc::clone(&rule);
         let kr = Arc::clone(&rule);
-        let pairs = left_ds
-            .try_co_group(
-                right_ds,
+        let rd = Arc::clone(&rule);
+        let coblock_op = format!("coblock({})", rule.name());
+        let detect_op = format!("iterate+detect+genfix({})", rule.name());
+        // Pair enumeration, Detect, and GenFix all run inside the
+        // reducer pass — candidate pairs are never materialized.
+        let detected_ds = left_stage
+            .co_group(
+                right_stage,
+                &coblock_op,
                 move |t| Ok(kl.block(t).unwrap_or_default()),
                 move |t| Ok(kr.block(t).unwrap_or_default()),
             )?
-            .try_flat_map(|(_, ls, rs)| {
-                let mut out = Vec::with_capacity(ls.len() * rs.len());
-                for a in ls {
-                    for b in rs {
-                        out.push(DetectUnit::Pair(a.clone(), b.clone()));
+            .map_parts(detect_op, move |groups| {
+                let mut out = Vec::new();
+                let mut pairs = 0u64;
+                for (_, ls, rs) in &groups {
+                    for a in ls {
+                        for b in rs {
+                            pairs += 1;
+                            for v in rd.detect(&DetectUnit::Pair(a.clone(), b.clone())) {
+                                let fixes = rd.gen_fix(&v);
+                                out.push((v, fixes));
+                            }
+                        }
                     }
                 }
+                Metrics::add(&inner.pairs_generated, pairs);
+                Metrics::add(&inner.detect_calls, pairs);
                 Ok(out)
-            })?;
-        Metrics::add(&metrics.pairs_generated, pairs.count() as u64);
-        Metrics::add(&metrics.detect_calls, pairs.count() as u64);
-        let violations_ds = pairs
-            .try_flat_map(move |u| Ok(rr.detect(u)))?
-            .checkpoint()?;
-        Metrics::add(&metrics.violations, violations_ds.count() as u64);
-        let rg = Arc::clone(&rule);
-        let detected = violations_ds
-            .try_map(move |v| {
-                let fixes = rg.gen_fix(v);
-                Ok((v.clone(), fixes))
-            })?
-            .try_collect()?;
+            })
+            .run()?;
+        let nparts = detected_ds.num_partitions();
+        let materializes =
+            self.engine.mode() == ExecMode::DiskBacked || self.engine.memory_budget().is_some();
+        let detected = detected_ds.checkpoint()?.try_collect()?;
+        if materializes {
+            self.engine
+                .record_pass(PassKind::Checkpoint, Vec::new(), nparts);
+        }
+        Metrics::add(&metrics.violations, detected.len() as u64);
         Ok(DetectOutput { detected })
     }
 }
@@ -374,7 +425,7 @@ mod tests {
     }
 
     fn violating_id_sets(out: &DetectOutput) -> HashSet<Vec<u64>> {
-        out.violations().iter().map(|v| v.tuple_ids()).collect()
+        out.violations().map(|v| v.tuple_ids()).collect()
     }
 
     #[test]
@@ -486,7 +537,7 @@ mod tests {
         let exec = Executor::new(Engine::parallel(2));
         let out = exec.detect_two_tables(fd, &left, &right).unwrap();
         assert_eq!(out.violation_count(), 1);
-        assert_eq!(out.violations()[0].tuple_ids(), vec![0, 100]);
+        assert_eq!(out.violations().next().unwrap().tuple_ids(), vec![0, 100]);
     }
 
     #[test]

@@ -5,12 +5,12 @@
 use bigdansing::{BigDansing, CleanseOptions, RepairStrategy};
 use bigdansing_baselines::{dedup_violations, nadeef, shark, sparksql, sqlengine};
 use bigdansing_common::metrics::Metrics;
-use bigdansing_common::{Cell, Error, Table};
+use bigdansing_common::{Cell, Error, Schema, Table, Value};
 use bigdansing_dataflow::{Engine, ExecMode, FaultInjector, FaultPolicy, MemoryBudget};
 use bigdansing_datagen::{tax, tpch};
-use bigdansing_plan::{Executor, IterateStrategy, RulePipeline};
+use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, RulePipeline};
 use bigdansing_repair::EquivalenceClassRepair;
-use bigdansing_rules::{DcRule, FdRule, Rule, Violation};
+use bigdansing_rules::{CfdRule, DcRule, DedupRule, FdRule, Rule, Violation};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -116,6 +116,9 @@ fn pressure_spill_under_memory_budget_matches_unbudgeted_run() {
     // Acceptance: a MemoryBudget far below the working set forces
     // checkpointed datasets to evict to disk (pressure_spills > 0), and
     // the violation set still matches the unbudgeted Sequential oracle.
+    // Fused pipelines checkpoint only the detected output (intermediate
+    // stages fuse away instead of materializing), so the budget is
+    // sized against that one dataset.
     let (table, rule) = phi1_data();
     let oracle = {
         let exec = Executor::new(Engine::sequential());
@@ -124,7 +127,7 @@ fn pressure_spill_under_memory_budget_matches_unbudgeted_run() {
     };
     let engine = Engine::builder(ExecMode::Parallel)
         .workers(2)
-        .memory_budget(MemoryBudget::new(4 * 1024, 64 * 1024 * 1024))
+        .memory_budget(MemoryBudget::new(512, 64 * 1024 * 1024))
         .build();
     let exec = Executor::new(engine);
     let out = exec.detect(&table, &[Arc::clone(&rule)]).unwrap();
@@ -135,7 +138,7 @@ fn pressure_spill_under_memory_budget_matches_unbudgeted_run() {
     );
     let m = exec.engine().metrics();
     assert!(
-        Metrics::get(&m.bytes_tracked) > 4 * 1024,
+        Metrics::get(&m.bytes_tracked) > 512,
         "working set never exceeded the budget — test proves nothing"
     );
     assert!(
@@ -325,6 +328,166 @@ fn distributed_and_serial_equivalence_class_repair_identically() {
     )));
     assert_eq!(a.diff_cells(&b), 0, "distributed vs serial");
     assert_eq!(a.diff_cells(&c), 0, "distributed vs per-CC parallel");
+}
+
+// --------------------------------------------------------------------
+// Stage-graph fusion parity: the executor now builds every pipeline on
+// the lazy Stage API, so Scope/Block/Iterate/Detect/GenFix fuse into
+// few physical passes. Each pipeline shape must produce byte-identical
+// violations *and* fixes under fused Parallel/DiskBacked execution —
+// including with injected faults and a tight memory budget — compared
+// to the Sequential oracle.
+
+/// The full detected output (violations with their generated fixes),
+/// order-normalized so engines with different partition interleavings
+/// compare byte-for-byte.
+fn full_signature(out: &DetectOutput) -> BTreeSet<String> {
+    out.detected
+        .iter()
+        .map(|(v, fixes)| format!("{v:?}|{fixes:?}"))
+        .collect()
+}
+
+/// A table where the constant CFD `zipcode=90210 → city=LA` applies:
+/// every third 90210 row carries SF and violates it.
+fn cfd_shape() -> (Table, Arc<dyn Rule>) {
+    let rows = (0..240)
+        .map(|i| match i % 3 {
+            0 => vec![Value::Int(90210), Value::str("LA")],
+            1 => vec![Value::Int(90210), Value::str("SF")],
+            _ => vec![Value::Int(10001), Value::str("NY")],
+        })
+        .collect();
+    let table = Table::from_rows("cfd", Schema::parse("zipcode,city"), rows);
+    let rule: Arc<dyn Rule> = Arc::new(
+        CfdRule::parse("zipcode -> city | zipcode=90210, city=LA", table.schema()).unwrap(),
+    );
+    (table, rule)
+}
+
+/// One instance of every physical pipeline shape the translator emits:
+/// FD → blocked pairs, constant CFD → single units, inequality DC →
+/// OCJoin, unblocked dedup → UCrossProduct.
+fn shape_suite() -> Vec<(&'static str, Table, Arc<dyn Rule>)> {
+    let fd = tax::taxa(300, 0.10, 21);
+    let fd_rule: Arc<dyn Rule> =
+        Arc::new(FdRule::parse("zipcode -> city", fd.dirty.schema()).unwrap());
+    let (cfd_table, cfd_rule) = cfd_shape();
+    let dc = tax::taxb(120, 0.10, 22);
+    let dc_rule: Arc<dyn Rule> = Arc::new(
+        DcRule::parse(
+            "t1.salary > t2.salary & t1.rate < t2.rate",
+            dc.dirty.schema(),
+        )
+        .unwrap(),
+    );
+    let dd = tax::taxa(80, 0.10, 23);
+    let dd_rule: Arc<dyn Rule> =
+        Arc::new(DedupRule::new("udf:dedup", tax::attr::CITY, 0.5).with_block_prefix(0));
+    vec![
+        ("fd/block-pairs", fd.dirty, fd_rule),
+        ("cfd/single-units", cfd_table, cfd_rule),
+        ("dc/ocjoin", dc.dirty, dc_rule),
+        ("dedup/ucross", dd.dirty, dd_rule),
+    ]
+}
+
+fn detect_signature(engine: Engine, table: &Table, rule: &Arc<dyn Rule>) -> BTreeSet<String> {
+    let exec = Executor::new(engine);
+    full_signature(&exec.detect(table, &[Arc::clone(rule)]).unwrap())
+}
+
+#[test]
+fn fused_shapes_match_sequential_oracle() {
+    for (shape, table, rule) in shape_suite() {
+        let oracle = detect_signature(Engine::sequential(), &table, &rule);
+        assert!(!oracle.is_empty(), "{shape}: oracle found nothing");
+        for engine in [
+            Engine::parallel(2),
+            Engine::parallel(5),
+            Engine::disk_backed(2),
+        ] {
+            assert_eq!(
+                oracle,
+                detect_signature(engine, &table, &rule),
+                "{shape}: fused run diverged from the Sequential oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_shapes_match_oracle_under_injected_faults() {
+    // A retried partition re-runs its whole fused chain; the output must
+    // not change. Panic probability is per task, so assert injection
+    // fired across the suite rather than per shape.
+    let mut panics = 0;
+    for (shape, table, rule) in shape_suite() {
+        let oracle = detect_signature(Engine::sequential(), &table, &rule);
+        let engine = faulty_engine(ExecMode::Parallel, 0xF0_5ED);
+        let exec = Executor::new(engine);
+        let got = full_signature(&exec.detect(&table, &[Arc::clone(&rule)]).unwrap());
+        assert_eq!(oracle, got, "{shape}: diverged under injected faults");
+        panics += Metrics::get(&exec.engine().metrics().panics_caught);
+    }
+    assert!(panics > 0, "no panics injected — injector not wired in");
+}
+
+#[test]
+fn fused_shapes_match_oracle_under_memory_budget() {
+    // A budget far below the working set evicts checkpointed partitions
+    // mid-run; re-reading them through the fused pipeline must be exact.
+    let mut spills = 0;
+    for (shape, table, rule) in shape_suite() {
+        let oracle = detect_signature(Engine::sequential(), &table, &rule);
+        let engine = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .memory_budget(MemoryBudget::new(4 * 1024, 64 * 1024 * 1024))
+            .build();
+        let exec = Executor::new(engine);
+        let got = full_signature(&exec.detect(&table, &[Arc::clone(&rule)]).unwrap());
+        assert_eq!(oracle, got, "{shape}: diverged under a memory budget");
+        spills += Metrics::get(&exec.engine().metrics().pressure_spills);
+    }
+    assert!(
+        spills > 0,
+        "budget below the working set but nothing spilled"
+    );
+}
+
+#[test]
+fn fd_pipeline_runs_strictly_fewer_passes_than_stages() {
+    // Acceptance: a Scope→Block→Iterate→Detect FD pipeline fuses into
+    // fewer physical passes than it has logical stages, and the pass
+    // counters prove it.
+    let (table, rule) = phi1_data();
+    let exec = Executor::new(Engine::parallel(2));
+    exec.detect(&table, &[rule]).unwrap();
+    let m = exec.engine().metrics().snapshot();
+    assert!(m.passes_executed > 0, "no passes recorded");
+    assert!(m.stages_fused > 0, "nothing fused");
+    let logical_stages = m.passes_executed + m.stages_fused;
+    assert!(
+        m.passes_executed < logical_stages,
+        "{} passes for {} logical stages — fusion did nothing",
+        m.passes_executed,
+        logical_stages
+    );
+}
+
+#[test]
+fn explain_renders_the_fd_stage_graph() {
+    let (table, rule) = phi1_data();
+    let exec = Executor::new(Engine::parallel(2));
+    exec.detect(&table, &[rule]).unwrap();
+    let plan = exec.engine().explain();
+    assert!(plan.contains("stage graph:"), "{plan}");
+    assert!(plan.contains("shuffle-map"), "{plan}");
+    assert!(plan.contains("scope(fd:zipcode->city)"), "{plan}");
+    assert!(
+        plan.contains("iterate+detect+genfix(fd:zipcode->city)"),
+        "{plan}"
+    );
 }
 
 #[test]
