@@ -27,9 +27,11 @@ fn run(name: &str) -> Option<Vec<Report>> {
         "fig12b" => vec![experiments::fig12b()],
         "table4" => experiments::table4(),
         "ablations" => bigdansing_bench::ablations::all(),
+        "incremental" => vec![bigdansing_bench::incremental::report()],
         "all" => {
             let mut r = experiments::all();
             r.extend(bigdansing_bench::ablations::all());
+            r.push(bigdansing_bench::incremental::report());
             r
         }
         _ => return None,
@@ -38,7 +40,8 @@ fn run(name: &str) -> Option<Vec<Report>> {
 
 const USAGE: &str = "usage: paper_experiments <experiment>...
 experiments: inventory fig8a fig8b fig9a fig9b fig9c fig10a fig10b fig10c
-             fig11a fig11b fig11c fig12a fig12b table4 ablations all
+             fig11a fig11b fig11c fig12a fig12b table4 ablations
+             incremental all
 env:         BIGDANSING_SCALE=<f64>   row-count multiplier (default 1)
              BIGDANSING_QUAD_CAP=<n>  DNF threshold for quadratic baselines";
 

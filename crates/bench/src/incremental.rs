@@ -1,0 +1,229 @@
+//! The incremental-cleansing benchmark: a 1% delta against a wide tax
+//! table, session apply vs. full recompute.
+//!
+//! This is the workload the incremental subsystem exists for — a large,
+//! mostly-clean table receiving a trickle of changes. The table uses a
+//! wide zipcode domain (~5 rows per `zipcode → city` block) so dirty
+//! blocks stay small; the delta garbles `city` on ~1% of rows at a
+//! stride co-prime with the zip cycle, so each dirty block holds one
+//! garbled row plus four clean partners — fresh FD violations the
+//! session must detect, retract, and repair by touching only the
+//! dirtied blocks. The outcome (wall-clock for both paths, tuples
+//! reprocessed) is written to `BENCH_incremental.json` to seed the
+//! repo's perf trajectory.
+
+use crate::{rows, time, Report};
+use bigdansing::{BigDansing, CleanseOptions, DeltaBatch};
+use bigdansing_common::{Schema, Table, Value};
+use std::fmt::Write as _;
+
+/// Keep ~5 rows per zipcode block at any table size (20k zips at the
+/// default 100k-row scale).
+fn zip_spread(n: usize) -> usize {
+    (n / 5).max(1)
+}
+
+/// Deterministic tax-like table: `zipcode → city` holds, zips cycle
+/// through a wide domain so blocks stay small.
+fn wide_tax_table(n: usize) -> Table {
+    let spread = zip_spread(n);
+    let tuples = (0..n)
+        .map(|i| {
+            let zip = 10_000 + (i * 7919) % spread; // co-prime stride
+            let salary = 10_000 + ((i as i64) * 6_364_136_223) % 240_000;
+            vec![
+                Value::str(format!("p{i}")),
+                Value::Int(zip as i64),
+                Value::str(format!("city{zip}")),
+                Value::str(format!("st{}", zip % 50)),
+                Value::Int(salary.abs()),
+                Value::Float(5.0 + (salary.abs() as f64) / 10_000.0),
+            ]
+        })
+        .collect();
+    Table::from_rows(
+        "tax_wide",
+        Schema::parse("name,zipcode,city,state,salary,rate"),
+        tuples,
+    )
+}
+
+/// A ~1% update delta: every 101st row gets a garbled city, violating
+/// `zipcode → city` inside its block. The 101 stride is co-prime with
+/// the zip cycle, so dirty rows scatter across distinct blocks whose
+/// other members stay clean (the representative incremental workload);
+/// a stride sharing a factor with the cycle would instead concentrate
+/// whole blocks of garbled rows.
+fn one_percent_delta(table: &Table) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    for t in table.tuples().iter().step_by(101) {
+        let mut values: Vec<Value> = (0..t.arity()).map(|a| t.value(a).clone()).collect();
+        values[2] = Value::str(format!("garbled{}", t.id()));
+        batch = batch.update(t.id(), values);
+    }
+    batch
+}
+
+/// Measured outcome of one incremental-vs-recompute run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Base-table rows.
+    pub rows: usize,
+    /// Operations in the delta batch.
+    pub delta_ops: usize,
+    /// Wall-clock of `Session::apply` on the open session.
+    pub incremental_secs: f64,
+    /// Wall-clock of a from-scratch cleanse of the materialized table.
+    pub full_secs: f64,
+    /// Distinct tuples the session re-detected over.
+    pub tuples_reprocessed: u64,
+    /// Violations the session retracted (the updated rows' stale ones).
+    pub violations_retracted: u64,
+    /// Both paths converged and agree on the remaining-violation count.
+    pub parity: bool,
+}
+
+impl Outcome {
+    /// `full_secs / incremental_secs`.
+    pub fn speedup(&self) -> f64 {
+        self.full_secs / self.incremental_secs.max(1e-9)
+    }
+
+    /// Fraction of the table the session re-detected over.
+    pub fn reprocessed_fraction(&self) -> f64 {
+        self.tuples_reprocessed as f64 / self.rows.max(1) as f64
+    }
+
+    /// Hand-rolled JSON (the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"bench\": \"incremental\",");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"delta_ops\": {},", self.delta_ops);
+        let _ = writeln!(s, "  \"incremental_secs\": {:.6},", self.incremental_secs);
+        let _ = writeln!(s, "  \"full_recompute_secs\": {:.6},", self.full_secs);
+        let _ = writeln!(s, "  \"speedup\": {:.2},", self.speedup());
+        let _ = writeln!(s, "  \"tuples_reprocessed\": {},", self.tuples_reprocessed);
+        let _ = writeln!(
+            s,
+            "  \"reprocessed_fraction\": {:.4},",
+            self.reprocessed_fraction()
+        );
+        let _ = writeln!(
+            s,
+            "  \"violations_retracted\": {},",
+            self.violations_retracted
+        );
+        let _ = writeln!(s, "  \"parity\": {}", self.parity);
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Run the benchmark at `n` rows: open a session on the base, time one
+/// 1% delta apply, then time the oracle (materialize + full cleanse)
+/// and cross-check the results.
+pub fn run(n: usize) -> Outcome {
+    let base = wide_tax_table(n);
+    let mut sys = BigDansing::parallel(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    );
+    sys.add_fd("zipcode -> city", base.schema()).unwrap();
+
+    let batch = one_percent_delta(&base);
+    let delta_ops = batch.len();
+    let materialized =
+        bigdansing::apply_batch_to_table(&base, &batch).expect("delta applies cleanly");
+
+    let mut session = sys
+        .open_session(&base, CleanseOptions::default())
+        .expect("session opens");
+    let (report, incremental_secs) = time(|| sys.apply_delta(&mut session, batch).unwrap());
+
+    let (oracle, full_secs) = time(|| sys.cleanse(&materialized, CleanseOptions::default()));
+    let oracle = oracle.expect("full recompute succeeds");
+
+    let parity = report.converged == oracle.converged
+        && session.table().diff_cells(&oracle.table) == 0
+        && report.violations_remaining == sys.detect(&oracle.table).unwrap().violation_count();
+
+    Outcome {
+        rows: n,
+        delta_ops,
+        incremental_secs,
+        full_secs,
+        tuples_reprocessed: report.tuples_reprocessed,
+        violations_retracted: report.violations_retracted,
+        parity,
+    }
+}
+
+/// Run at the scaled default (100k rows), write `BENCH_incremental.json`
+/// into the current directory, and render the report table.
+pub fn report() -> Report {
+    let out = run(rows(100_000));
+    let path = "BENCH_incremental.json";
+    match std::fs::write(path, out.to_json()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let mut r = Report::new(
+        "Incremental cleansing — 1% delta vs full recompute",
+        &[
+            "rows",
+            "delta ops",
+            "incremental",
+            "full recompute",
+            "speedup",
+            "reprocessed",
+            "fraction",
+            "parity",
+        ],
+    );
+    r.row(vec![
+        out.rows.into(),
+        out.delta_ops.into(),
+        crate::report::Cell::Secs(out.incremental_secs),
+        crate::report::Cell::Secs(out.full_secs),
+        crate::report::Cell::Ratio(out.speedup()),
+        out.tuples_reprocessed.into(),
+        crate::report::Cell::Ratio(out.reprocessed_fraction()),
+        format!("{}", out.parity).into(),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_run_wins_and_agrees() {
+        let out = run(4_000);
+        assert!(out.parity, "incremental and full recompute must agree");
+        assert_eq!(out.delta_ops, 40);
+        assert!(
+            out.violations_retracted > 0 || out.tuples_reprocessed > out.delta_ops as u64,
+            "dirty blocks must pull in clean partners"
+        );
+        assert!(
+            out.reprocessed_fraction() < 0.10,
+            "expected <10% reprocessed, got {:.3}",
+            out.reprocessed_fraction()
+        );
+        let json = out.to_json();
+        assert!(json.contains("\"tuples_reprocessed\""));
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn wide_table_is_fd_clean() {
+        let t = wide_tax_table(1_000);
+        let mut sys = BigDansing::sequential();
+        sys.add_fd("zipcode -> city", t.schema()).unwrap();
+        assert!(sys.detect(&t).unwrap().is_clean());
+    }
+}

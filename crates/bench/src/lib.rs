@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod incremental;
 pub mod report;
 pub mod runners;
 

@@ -4,6 +4,7 @@
 //! bigdansing detect  <input.csv> --fd "zipcode -> city" [--report out]
 //! bigdansing clean   <input.csv> --fd "..." [--dc "..."] [--cfd "..."]
 //!                    -o clean.csv [--workers N] [--repair eq|hyper]
+//! bigdansing delta   <base.csv> <delta.csv>... --fd "..." -o clean.csv
 //! bigdansing convert <input.csv> -o table.bdcol     # columnar layout
 //! ```
 //!
@@ -12,8 +13,8 @@
 //! CFD `"a -> b | a=1, b=_"`.
 
 use bigdansing::{
-    csv, BigDansing, CleanseOptions, Engine, EquivalenceClassRepair, ExecMode, HypergraphRepair,
-    MemoryBudget, Quarantine, RepairStrategy,
+    csv, BigDansing, CleanseOptions, DeltaBatch, Engine, EquivalenceClassRepair, ExecMode,
+    HypergraphRepair, MemoryBudget, Quarantine, RepairStrategy,
 };
 use bigdansing_common::Table;
 use std::process::ExitCode;
@@ -30,6 +31,11 @@ USAGE:
   bigdansing detect  <input.csv> [RULES] [--report STEM] [--workers N]
   bigdansing clean   <input.csv> [RULES] -o <clean.csv> [--workers N]
                      [--repair eq|hyper] [--max-iterations N]
+  bigdansing delta   <base.csv> <delta.csv>... [RULES] [-o <clean.csv>]
+                     [--repair eq|hyper] [--max-iterations N]
+                     incremental cleansing: each delta CSV holds
+                     `op,id,<cols...>` rows (op = insert|update|delete);
+                     batches apply in order over a persistent session
   bigdansing convert <input.csv> -o <table.bdcol>
 
 RULES (repeatable):
@@ -57,6 +63,7 @@ OPTIONS:
 struct Args {
     command: String,
     input: String,
+    deltas: Vec<String>,
     fds: Vec<String>,
     dcs: Vec<String>,
     cfds: Vec<String>,
@@ -76,6 +83,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         command,
         input: String::new(),
+        deltas: vec![],
         fds: vec![],
         dcs: vec![],
         cfds: vec![],
@@ -134,6 +142,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     args.input = positional.first().cloned().ok_or("missing input file")?;
+    args.deltas = positional[1..].to_vec();
     Ok(args)
 }
 
@@ -162,6 +171,18 @@ fn build_system(args: &Args, table: &Table) -> Result<BigDansing, String> {
         return Err("no rules given (use --fd / --dc / --cfd)".into());
     }
     Ok(sys)
+}
+
+fn parse_strategy(name: &str) -> Result<RepairStrategy, String> {
+    match name {
+        "eq" => Ok(RepairStrategy::ParallelBlackBox(Arc::new(
+            EquivalenceClassRepair,
+        ))),
+        "hyper" => Ok(RepairStrategy::ParallelBlackBox(Arc::new(
+            HypergraphRepair::default(),
+        ))),
+        other => Err(format!("unknown repair algorithm `{other}`")),
+    }
 }
 
 fn load(path: &str, lenient: bool) -> Result<(Table, Option<Quarantine>), String> {
@@ -234,11 +255,7 @@ fn run() -> Result<(), String> {
                 q.record(sys.engine().metrics());
             }
             let output = args.output.as_deref().ok_or("clean needs --output")?;
-            let strategy = match args.repair.as_str() {
-                "eq" => RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair)),
-                "hyper" => RepairStrategy::ParallelBlackBox(Arc::new(HypergraphRepair::default())),
-                other => return Err(format!("unknown repair algorithm `{other}`")),
-            };
+            let strategy = parse_strategy(&args.repair)?;
             let result = sys
                 .cleanse(
                     &table,
@@ -260,6 +277,61 @@ fn run() -> Result<(), String> {
                 bigdansing::report::write_reports(&residue, Some(&result.table), stem)
                     .map_err(|e| e.to_string())?;
                 eprintln!("residual violations: {}", residue.violation_count());
+            }
+            if args.explain {
+                explain(sys.engine());
+            }
+            if let Some(line) =
+                bigdansing::report::fault_summary(&sys.engine().metrics().snapshot())
+            {
+                eprintln!("{line}");
+            }
+        }
+        "delta" => {
+            if args.deltas.is_empty() {
+                return Err("delta needs at least one delta CSV after the base table".into());
+            }
+            let sys = build_system(&args, &table)?;
+            if let Some(q) = &quarantine {
+                q.record(sys.engine().metrics());
+            }
+            let options = CleanseOptions {
+                strategy: parse_strategy(&args.repair)?,
+                max_iterations: args.max_iterations,
+                ..Default::default()
+            };
+            let mut session = sys
+                .open_session(&table, options)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "session open: {} pre-existing violation(s)",
+                session.violation_count()
+            );
+            for path in &args.deltas {
+                let batch =
+                    DeltaBatch::read_file(path, table.schema()).map_err(|e| e.to_string())?;
+                let ops = batch.len();
+                let report = sys
+                    .apply_delta(&mut session, batch)
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "applied `{path}` ({ops} op(s)): {} tuple(s) reprocessed, \
+                     {} dirty block(s), +{}/-{} violation(s), \
+                     {} component(s) re-repaired, {} cell(s) changed, \
+                     {} remaining, converged: {}",
+                    report.tuples_reprocessed,
+                    report.blocks_dirty,
+                    report.violations_added,
+                    report.violations_retracted,
+                    report.components_rerepaired,
+                    report.cells_changed,
+                    report.violations_remaining,
+                    report.converged
+                );
+            }
+            if let Some(output) = args.output.as_deref() {
+                csv::write_file(session.table(), output).map_err(|e| e.to_string())?;
+                eprintln!("wrote {output}");
             }
             if args.explain {
                 explain(sys.engine());

@@ -58,6 +58,16 @@ pub struct Metrics {
     /// Logical operators that fused into an already-open physical pass
     /// instead of running as their own pass.
     pub stages_fused: AtomicU64,
+    /// Tuples touched by incremental delta detection (delta tuples plus
+    /// the base tuples probed as candidate partners).
+    pub tuples_reprocessed: AtomicU64,
+    /// Distinct (rule, blocking-key) blocks marked dirty by a delta batch.
+    pub blocks_dirty: AtomicU64,
+    /// Stored violations retracted because a contributing row was
+    /// deleted or updated.
+    pub violations_retracted: AtomicU64,
+    /// Violation-graph connected components re-repaired incrementally.
+    pub components_rerepaired: AtomicU64,
 }
 
 impl Metrics {
@@ -100,6 +110,10 @@ impl Metrics {
             &self.rows_quarantined,
             &self.passes_executed,
             &self.stages_fused,
+            &self.tuples_reprocessed,
+            &self.blocks_dirty,
+            &self.violations_retracted,
+            &self.components_rerepaired,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -129,6 +143,10 @@ impl Metrics {
             rows_quarantined: Metrics::get(&self.rows_quarantined),
             passes_executed: Metrics::get(&self.passes_executed),
             stages_fused: Metrics::get(&self.stages_fused),
+            tuples_reprocessed: Metrics::get(&self.tuples_reprocessed),
+            blocks_dirty: Metrics::get(&self.blocks_dirty),
+            violations_retracted: Metrics::get(&self.violations_retracted),
+            components_rerepaired: Metrics::get(&self.components_rerepaired),
         }
     }
 }
@@ -178,6 +196,14 @@ pub struct MetricsSnapshot {
     pub passes_executed: u64,
     /// See [`Metrics::stages_fused`].
     pub stages_fused: u64,
+    /// See [`Metrics::tuples_reprocessed`].
+    pub tuples_reprocessed: u64,
+    /// See [`Metrics::blocks_dirty`].
+    pub blocks_dirty: u64,
+    /// See [`Metrics::violations_retracted`].
+    pub violations_retracted: u64,
+    /// See [`Metrics::components_rerepaired`].
+    pub components_rerepaired: u64,
 }
 
 #[cfg(test)]

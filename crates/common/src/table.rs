@@ -117,6 +117,75 @@ impl Table {
         Ok(Table::new(self.name.clone(), self.schema.clone(), tuples))
     }
 
+    /// Replace the tuple at `position` in place. The caller is
+    /// responsible for keeping ids unique; panics if `position` is out
+    /// of range.
+    pub fn set_at(&mut self, position: usize, tuple: Tuple) {
+        self.tuples[position] = tuple;
+    }
+
+    /// Append a tuple at the end. The caller is responsible for keeping
+    /// ids unique.
+    pub fn push(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// In-place counterpart of [`Table::apply`] for callers that
+    /// maintain a `tuple id → position` index: mutates only the
+    /// targeted rows instead of rebuilding the whole tuple vector.
+    /// Every assignment is validated before anything is touched, so an
+    /// error leaves the table unchanged (the same all-or-nothing
+    /// behavior as `apply`).
+    pub fn apply_at(
+        &mut self,
+        assignments: &HashMap<Cell, Value>,
+        positions: &HashMap<TupleId, usize>,
+    ) -> Result<()> {
+        let mut by_tuple: HashMap<TupleId, Vec<(usize, &Value)>> = HashMap::new();
+        for (cell, v) in assignments {
+            by_tuple
+                .entry(cell.tuple)
+                .or_default()
+                .push((cell.attr as usize, v));
+        }
+        let mut missing = 0usize;
+        for (&id, edits) in &by_tuple {
+            let target = positions
+                .get(&id)
+                .and_then(|&p| self.tuples.get(p))
+                .filter(|t| t.id() == id);
+            match target {
+                Some(t) => {
+                    for (attr, _) in edits {
+                        if *attr >= t.arity() {
+                            return Err(Error::Repair(format!(
+                                "fix targets attribute {attr} of arity-{} tuple {}",
+                                t.arity(),
+                                id
+                            )));
+                        }
+                    }
+                }
+                None => missing += 1,
+            }
+        }
+        if missing > 0 {
+            return Err(Error::Repair(format!(
+                "{missing} fixes target tuples missing from `{}`",
+                self.name
+            )));
+        }
+        for (id, edits) in by_tuple {
+            let p = positions[&id];
+            let mut values = self.tuples[p].values().to_vec();
+            for (attr, v) in edits {
+                values[attr] = v.clone();
+            }
+            self.tuples[p] = Tuple::new(id, values);
+        }
+        Ok(())
+    }
+
     /// Count cells that differ from `other` (same ids assumed) — used by
     /// the repair-quality experiments.
     pub fn diff_cells(&self, other: &Table) -> usize {
@@ -180,6 +249,59 @@ mod tests {
         let mut fixes = HashMap::new();
         fixes.insert(Cell::new(0, 9), Value::Null);
         assert!(t.apply(&fixes).is_err());
+    }
+
+    #[test]
+    fn apply_at_matches_apply() {
+        let t = sample();
+        let positions: HashMap<TupleId, usize> = t
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(i, tu)| (tu.id(), i))
+            .collect();
+        let mut fixes = HashMap::new();
+        fixes.insert(Cell::new(1, 1), Value::str("LA"));
+        fixes.insert(Cell::new(2, 0), Value::Int(60602));
+        let rebuilt = t.apply(&fixes).unwrap();
+        let mut in_place = t.clone();
+        in_place.apply_at(&fixes, &positions).unwrap();
+        assert_eq!(rebuilt.diff_cells(&in_place), 0);
+    }
+
+    #[test]
+    fn apply_at_rejects_bad_targets_without_mutating() {
+        let t = sample();
+        let positions: HashMap<TupleId, usize> = t
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(i, tu)| (tu.id(), i))
+            .collect();
+        let mut bad = HashMap::new();
+        bad.insert(Cell::new(0, 0), Value::Int(1));
+        bad.insert(Cell::new(77, 0), Value::Null);
+        let mut scratch = t.clone();
+        assert!(scratch.apply_at(&bad, &positions).is_err());
+        assert_eq!(
+            t.diff_cells(&scratch),
+            0,
+            "error must leave table unchanged"
+        );
+        let mut bad = HashMap::new();
+        bad.insert(Cell::new(0, 9), Value::Null);
+        assert!(scratch.apply_at(&bad, &positions).is_err());
+        assert_eq!(t.diff_cells(&scratch), 0);
+    }
+
+    #[test]
+    fn set_at_and_push_edit_in_place() {
+        let mut t = sample();
+        t.set_at(1, Tuple::new(1, vec![Value::Int(90210), Value::str("LA")]));
+        t.push(Tuple::new(9, vec![Value::Int(11111), Value::str("SJ")]));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.tuple(1).unwrap().value(1), &Value::str("LA"));
+        assert_eq!(t.tuple(9).unwrap().value(1), &Value::str("SJ"));
     }
 
     #[test]

@@ -9,43 +9,15 @@
 
 use bigdansing_common::{Cell, Error, Result, Table, Value};
 use bigdansing_plan::Executor;
-use bigdansing_repair::dist_equivalence::repair_distributed_equivalence;
-use bigdansing_repair::{
-    blackbox::RepairOptions, repair_parallel, repair_serial, Assignment, EquivalenceClassRepair,
-    RepairAlgorithm,
-};
+use bigdansing_repair::{blackbox::RepairOptions, run_repair, Assignment};
 use bigdansing_rules::Rule;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// How repairs are computed each iteration.
-#[derive(Clone)]
-pub enum RepairStrategy {
-    /// §5.1: run a centralized algorithm per connected component, in
-    /// parallel (the default, with the equivalence-class algorithm).
-    ParallelBlackBox(Arc<dyn RepairAlgorithm>),
-    /// The centralized baseline: one instance over all violations.
-    SerialBlackBox(Arc<dyn RepairAlgorithm>),
-    /// §5.2: the natively distributed equivalence-class algorithm
-    /// (two map-reduce rounds).
-    DistributedEquivalence,
-}
-
-impl Default for RepairStrategy {
-    fn default() -> Self {
-        RepairStrategy::ParallelBlackBox(Arc::new(EquivalenceClassRepair))
-    }
-}
-
-impl std::fmt::Debug for RepairStrategy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RepairStrategy::ParallelBlackBox(a) => write!(f, "ParallelBlackBox({})", a.name()),
-            RepairStrategy::SerialBlackBox(a) => write!(f, "SerialBlackBox({})", a.name()),
-            RepairStrategy::DistributedEquivalence => write!(f, "DistributedEquivalence"),
-        }
-    }
-}
+// Strategy selection lives in the repair crate so the incremental
+// session (which cannot depend on this crate) shares the exact same
+// dispatch; re-exported here for source compatibility.
+pub use bigdansing_repair::RepairStrategy;
 
 /// Options for [`cleanse_loop`].
 #[derive(Debug, Clone)]
@@ -125,20 +97,12 @@ pub fn cleanse_loop(
         result.iterations += 1;
         result.total_violations += detected.violation_count();
 
-        let assignment: Assignment = match &options.strategy {
-            RepairStrategy::ParallelBlackBox(algo) => repair_parallel(
-                executor.engine(),
-                &detected.detected,
-                algo.as_ref(),
-                options.repair_options,
-            ),
-            RepairStrategy::SerialBlackBox(algo) => {
-                repair_serial(&detected.detected, algo.as_ref())
-            }
-            RepairStrategy::DistributedEquivalence => {
-                repair_distributed_equivalence(executor.engine(), &detected.detected)
-            }
-        };
+        let assignment: Assignment = run_repair(
+            executor.engine(),
+            &detected.detected,
+            &options.strategy,
+            options.repair_options,
+        );
 
         // apply, honoring frozen cells and counting changes
         let mut applicable: HashMap<Cell, Value> = HashMap::new();
@@ -181,7 +145,7 @@ mod tests {
     use super::*;
     use bigdansing_common::Schema;
     use bigdansing_dataflow::Engine;
-    use bigdansing_repair::HypergraphRepair;
+    use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair};
     use bigdansing_rules::{DcRule, FdRule};
 
     fn fd_table() -> Table {

@@ -48,6 +48,13 @@
 //! cooperatively ([`Error::Cancelled`] with the job's spill files
 //! removed), and a [`MemoryBudget`] evicts the coldest checkpointed
 //! datasets to disk under pressure instead of growing without bound.
+//!
+//! For evolving tables, an **incremental cleansing** subsystem keeps a
+//! [`Session`] whose persistent block index and violation store let a
+//! [`DeltaBatch`] of inserts/updates/deletes be cleansed by reprocessing
+//! only the dirtied blocks — with violation retraction and scoped
+//! re-repair — instead of recomputing from scratch. See
+//! [`BigDansing::open_session`] / [`BigDansing::apply_delta`].
 
 pub mod cleanse;
 pub mod report;
@@ -61,6 +68,10 @@ pub use system::{AdmissionControl, AdmissionPermit, AdmissionPolicy, BigDansing}
 pub use bigdansing_common::{
     csv, rdf, sim, CancelReason, Cell, Error, Quarantine, Result, Schema, Table, Tuple, Value,
 };
+pub use bigdansing_incremental::{
+    apply_batch_to_table, DeltaBatch, DeltaOp, DeltaReport, Session, SessionOptions,
+};
+
 pub use bigdansing_dataflow::{
     CancellationToken, Engine, EngineBuilder, ExecMode, FaultInjector, FaultPolicy, JobGuard,
     MemoryBudget, PDataset, SpillFallback,

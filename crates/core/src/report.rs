@@ -78,11 +78,12 @@ pub fn fixes_csv(output: &DetectOutput, table: Option<&Table>) -> String {
 /// counters for a finished run.
 ///
 /// Returns `None` when the run was fault-free and nothing was governed
-/// (nothing worth reporting); otherwise up to three lines — faults
+/// (nothing worth reporting); otherwise up to four lines — faults
 /// (retries, caught panics, spill failures, degraded stages), governance
 /// (cancelled jobs, deadline trips, pressure spills, queued/rejected
-/// jobs), and input quarantine — suitable for appending to the CLI's
-/// run report.
+/// jobs), input quarantine, and incremental-cleansing work (tuples
+/// reprocessed, dirty blocks, retracted violations, re-repaired
+/// components) — suitable for appending to the CLI's run report.
 pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
     let mut lines: Vec<String> = Vec::new();
     if m.tasks_retried != 0
@@ -112,6 +113,17 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
         lines.push(format!(
             "quarantine: {} malformed input row(s) set aside",
             m.rows_quarantined
+        ));
+    }
+    if m.tuples_reprocessed != 0
+        || m.blocks_dirty != 0
+        || m.violations_retracted != 0
+        || m.components_rerepaired != 0
+    {
+        lines.push(format!(
+            "incremental: {} tuple(s) reprocessed across {} dirty block(s), \
+             {} violation(s) retracted, {} component(s) re-repaired",
+            m.tuples_reprocessed, m.blocks_dirty, m.violations_retracted, m.components_rerepaired
         ));
     }
     if lines.is_empty() {
@@ -247,6 +259,26 @@ mod tests {
         assert!(
             !line.contains("fault tolerance"),
             "no fault line without fault counters: {line}"
+        );
+    }
+
+    #[test]
+    fn fault_summary_reports_incremental_counters() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            tuples_reprocessed: 42,
+            blocks_dirty: 6,
+            violations_retracted: 3,
+            components_rerepaired: 2,
+            ..Default::default()
+        };
+        let line = fault_summary(&snap).unwrap();
+        assert!(line.contains("42 tuple(s) reprocessed"), "{line}");
+        assert!(line.contains("6 dirty block(s)"), "{line}");
+        assert!(line.contains("3 violation(s) retracted"), "{line}");
+        assert!(line.contains("2 component(s) re-repaired"), "{line}");
+        assert!(
+            !line.contains("governance"),
+            "no governance line without governance counters: {line}"
         );
     }
 

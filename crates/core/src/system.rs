@@ -6,6 +6,7 @@ use crate::cleanse::{cleanse_loop, CleanseOptions, CleanseResult};
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Error, Result, Schema, Table};
 use bigdansing_dataflow::Engine;
+use bigdansing_incremental::{DeltaBatch, DeltaReport, Session, SessionOptions};
 use bigdansing_plan::{physical, DetectOutput, Executor, Job};
 use bigdansing_rules::{CfdRule, DcRule, FdRule, Rule};
 use std::collections::HashMap;
@@ -276,6 +277,34 @@ impl BigDansing {
         self.governed("cleanse", || {
             cleanse_loop(&self.executor, &self.rules, table, options)
         })
+    }
+
+    /// Open an incremental cleansing [`Session`] over `table` with the
+    /// registered rules. The session keeps a persistent block index and
+    /// violation store so later [`Self::apply_delta`] calls reprocess
+    /// only the blocks a batch dirties. Opening runs the initial full
+    /// detect as a governed job (admission, deadline, cancellation).
+    pub fn open_session(&self, table: &Table, options: CleanseOptions) -> Result<Session> {
+        self.governed("session-open", || {
+            Session::new(
+                self.executor.clone(),
+                self.rules.clone(),
+                table,
+                SessionOptions {
+                    max_iterations: options.max_iterations,
+                    max_changes_per_cell: options.max_changes_per_cell,
+                    strategy: options.strategy,
+                    repair_options: options.repair_options,
+                },
+            )
+        })
+    }
+
+    /// Apply one [`DeltaBatch`] to an open session: incremental detect
+    /// over the dirtied blocks, violation retraction, and scoped
+    /// re-repair. Governed like [`Self::detect`].
+    pub fn apply_delta(&self, session: &mut Session, batch: DeltaBatch) -> Result<DeltaReport> {
+        self.governed("delta", || session.apply(batch))
     }
 
     /// Execute a hand-authored [`Job`] (Appendix A): validate it into a

@@ -337,6 +337,11 @@ impl Engine {
     pub fn begin_job(&self, name: &str, deadline: Option<Duration>) -> JobGuard {
         let token = CancellationToken::new(name);
         *self.inner.current.lock() = token.clone();
+        // The pass trace describes one job; start it afresh here so
+        // reads (`explain` / `plan_trace` / `stage_plan`) can stay
+        // non-destructive and be called any number of times after the
+        // job without losing the record.
+        self.clear_stage_plan();
         let watchdog = deadline
             .or(self.inner.deadline)
             .map(|d| Watchdog::arm(token.clone(), d, Arc::clone(&self.inner.metrics)));
@@ -443,6 +448,14 @@ impl Engine {
     /// order).
     pub fn stage_plan(&self) -> Vec<PassRecord> {
         self.inner.plan_trace.lock().clone()
+    }
+
+    /// Non-destructive alias for [`Engine::stage_plan`]: the recorded
+    /// pass trace of the current (or most recent) job. Reading it —
+    /// like calling [`Engine::explain`] — never clears the trace; the
+    /// trace resets when the next job begins.
+    pub fn plan_trace(&self) -> Vec<PassRecord> {
+        self.stage_plan()
     }
 
     /// Human-readable dump of the stage graph: which logical operators
@@ -615,6 +628,22 @@ mod tests {
         let out = guard.complete(Ok(7));
         assert_eq!(out.unwrap(), 7);
         assert_eq!(e.cancellation_token().job(), "ad-hoc");
+    }
+
+    #[test]
+    fn explain_is_non_destructive_and_resets_at_job_start() {
+        let e = Engine::parallel(2);
+        e.record_pass(PassKind::Narrow, vec!["scope".into(), "iterate".into()], 2);
+        // reads never consume the trace: explain twice, plan_trace, explain
+        let first = e.explain();
+        assert_eq!(e.explain(), first, "second explain must see the same plan");
+        assert_eq!(e.plan_trace().len(), 1);
+        assert_eq!(e.explain(), first, "explain after plan_trace still intact");
+        assert_eq!(e.stage_plan().len(), 1);
+        // a new job starts a fresh trace
+        let guard = e.begin_job("next", None);
+        assert!(e.plan_trace().is_empty(), "begin_job resets the trace");
+        guard.complete(Ok(())).unwrap();
     }
 
     #[test]

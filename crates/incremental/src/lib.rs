@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # bigdansing-incremental
+//!
+//! Incremental cleansing: cleanse *deltas* instead of full tables.
+//!
+//! The paper's pipelines are batch jobs — every detection pass rescans,
+//! re-blocks, and re-joins the entire input even when only a handful of
+//! tuples changed since the last run. This crate keeps a cleansing
+//! [`Session`] alive across delta batches:
+//!
+//! * a **persistent block index** per rule (blocking-key → scoped
+//!   tuples, or the partitioned sorted lists of
+//!   [`bigdansing_ocjoin::OcIndex`] for inequality rules) survives
+//!   between batches, so candidate generation touches only the blocks a
+//!   delta dirties;
+//! * a **violation store** records, for every live violation, the data
+//!   units that produced it, so violations whose contributing rows were
+//!   deleted or updated are *retracted* instead of recomputed;
+//! * detection runs over `delta×base ∪ delta×delta` candidate units
+//!   through the engine's lazy Stage API, so fused passes, fault
+//!   retries, memory budgets, and cancellation all apply;
+//! * re-repair is scoped: when a batch adds and retracts nothing and the
+//!   previous repair ended stably, the repair loop is skipped outright,
+//!   and the `components_rerepaired` metric tracks how many connected
+//!   components of the violation graph the delta actually touched.
+//!
+//! Correctness is defined relative to an oracle: after every
+//! [`Session::apply`], the session's table and violation store must
+//! equal what a from-scratch `cleanse_loop` over the materialized table
+//! would produce. The test suite enforces this for FDs, CFDs, DCs with
+//! inequalities, and dedup UDF rules.
+
+pub mod delta;
+pub mod session;
+
+pub use delta::{apply_batch_to_table, DeltaBatch, DeltaOp};
+pub use session::{DeltaReport, Session, SessionOptions};

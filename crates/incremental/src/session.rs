@@ -1,0 +1,1124 @@
+//! The incremental cleansing [`Session`]: delta-driven detection over
+//! persistent per-rule indexes, violation retraction, and a repair loop
+//! that mirrors the batch `cleanse_loop` exactly.
+//!
+//! # Oracle equivalence
+//!
+//! The session maintains one invariant: **after every index update, the
+//! violation store equals a full `Executor::detect` over the current
+//! table, as a multiset**. The argument, per iterate strategy:
+//!
+//! * block membership order equals global table order (the engine's
+//!   `group_by_key` concatenates map-side buckets in partition order),
+//!   so orienting unordered candidate pairs by a persistent per-tuple
+//!   sequence number reproduces the batch enumeration byte for byte;
+//! * when a tuple changes, every violation whose generating unit
+//!   involved it is retracted and exactly the units that involve its
+//!   new version (`delta×resident ∪ delta×delta`, within the dirtied
+//!   blocks) are re-detected — units among untouched residents are
+//!   unchanged by construction;
+//! * inequality rules probe the persistent [`OcIndex`] from both sides,
+//!   which yields precisely the delta-involving subset of the batch
+//!   OCJoin's ordered pairs.
+//!
+//! The repair phase then replays the batch loop: full-store repair per
+//! round with a fresh per-cell change counter, the same frozen/no-op
+//! filters, and the changed cells of each round fed back through the
+//! incremental detection path. The one *scoped* shortcut — skipping
+//! repair entirely when a batch adds and retracts nothing and the
+//! previous loop ended stably (every surviving fix filtered as a no-op)
+//! — is sound because repair input depends only on the stored
+//! violations, which are untouched, so the batch loop would break on an
+//! empty applicable set in its first round too.
+
+use crate::delta::{apply_batch_to_table, DeltaBatch, DeltaOp};
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Cell, Error, Result, Table, Tuple, TupleId, Value};
+use bigdansing_dataflow::{Engine, PDataset};
+use bigdansing_ocjoin::{try_ocjoin, OcIndex, OcJoinConfig};
+use bigdansing_plan::physical::choose_strategy;
+use bigdansing_plan::{Executor, IterateStrategy};
+use bigdansing_repair::blackbox::RepairOptions;
+use bigdansing_repair::cc::UnionFind;
+use bigdansing_repair::{run_repair, Detected, RepairStrategy};
+use bigdansing_rules::{BlockKey, DetectUnit, Fix, Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Options governing a [`Session`]'s repair loop — the same knobs as the
+/// batch cleanse loop, so a session and a from-scratch run are
+/// comparable.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Maximum detect ⇄ repair iterations per applied batch.
+    pub max_iterations: usize,
+    /// Per-cell freeze threshold (reset for every batch, like a fresh
+    /// batch run).
+    pub max_changes_per_cell: usize,
+    /// Repair strategy.
+    pub strategy: RepairStrategy,
+    /// Options forwarded to the parallel black-box driver.
+    pub repair_options: RepairOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            max_iterations: 10,
+            max_changes_per_cell: 3,
+            strategy: RepairStrategy::default(),
+            repair_options: RepairOptions::default(),
+        }
+    }
+}
+
+/// What one [`Session::apply`] did.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaReport {
+    /// Inserts in the batch.
+    pub inserted: usize,
+    /// Updates in the batch.
+    pub updated: usize,
+    /// Deletes in the batch.
+    pub deleted: usize,
+    /// Distinct tuples that participated in re-detected units (delta
+    /// tuples, their block partners, and repair-touched tuples).
+    pub tuples_reprocessed: u64,
+    /// Distinct `(rule, block key)` pairs dirtied by the batch.
+    pub blocks_dirty: u64,
+    /// Violations newly added to the store.
+    pub violations_added: u64,
+    /// Violations retracted because a contributing row was deleted,
+    /// updated, or re-blocked.
+    pub violations_retracted: u64,
+    /// Connected components of the violation graph touched by added or
+    /// retracted violations (the scope of re-repair).
+    pub components_rerepaired: u64,
+    /// Repair iterations executed.
+    pub iterations: usize,
+    /// Violations seen across all repair iterations.
+    pub total_violations: usize,
+    /// Distinct cell updates applied by repair.
+    pub cells_changed: usize,
+    /// Cells frozen by the termination rule.
+    pub frozen_cells: usize,
+    /// Σ distance(old, new) over applied updates.
+    pub repair_cost: f64,
+    /// Violations still live after the apply.
+    pub violations_remaining: usize,
+    /// True when the table ended violation-free.
+    pub converged: bool,
+    /// True when the scoped-re-repair shortcut skipped the repair loop
+    /// (no violations added or retracted, previous loop ended stably).
+    pub repair_skipped: bool,
+}
+
+/// How a rule's candidate units are generated incrementally — the
+/// session-side mirror of [`IterateStrategy`].
+#[derive(Debug, Clone)]
+enum Kind {
+    /// One unit per scoped tuple.
+    Single,
+    /// Pairs within blocks. `keyed`: use the rule's Block operator
+    /// (otherwise everything shares one global block). `ordered`: emit
+    /// both orientations. `distinct_ids`: skip same-id pairs (the
+    /// CrossProduct diagonal filter).
+    Blocked {
+        keyed: bool,
+        ordered: bool,
+        distinct_ids: bool,
+    },
+    /// Whole blocks as units.
+    List,
+    /// Inequality joins through the persistent [`OcIndex`].
+    Ordered,
+}
+
+fn kind_of(strategy: &IterateStrategy) -> Kind {
+    match strategy {
+        IterateStrategy::SingleUnits => Kind::Single,
+        IterateStrategy::BlockPairs { ordered } => Kind::Blocked {
+            keyed: true,
+            ordered: *ordered,
+            distinct_ids: false,
+        },
+        IterateStrategy::BlockList => Kind::List,
+        IterateStrategy::UCrossProduct => Kind::Blocked {
+            keyed: false,
+            ordered: false,
+            distinct_ids: false,
+        },
+        IterateStrategy::CrossProduct => Kind::Blocked {
+            keyed: false,
+            ordered: true,
+            distinct_ids: true,
+        },
+        IterateStrategy::OcJoin(_) => Kind::Ordered,
+    }
+}
+
+/// One scoped tuple resident in a block, with its enumeration position:
+/// `seq` is the owning tuple's table-order sequence number, `rep` the
+/// index among that tuple's Scope outputs.
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    rep: u32,
+    tuple: Tuple,
+}
+
+impl Entry {
+    fn pos(&self) -> (u64, u32) {
+        (self.seq, self.rep)
+    }
+}
+
+/// Per-rule persistent state: the scoped tuples by source id and the
+/// rule's candidate-generation index.
+struct RuleState {
+    rule: Arc<dyn Rule>,
+    kind: Kind,
+    /// Scope outputs per source tuple (`rep` order).
+    scoped: HashMap<TupleId, Vec<(u32, Tuple)>>,
+    /// Block index (blocking key → members in table order). Used by
+    /// `Blocked` (key `[]` when unkeyed) and `List`.
+    blocks: HashMap<BlockKey, Vec<Entry>>,
+    /// The inequality index, built lazily on first ingest.
+    oc: Option<OcIndex>,
+}
+
+/// Where a stored violation came from: the tuple ids of the unit that
+/// produced it, or — for list rules — the whole block.
+#[derive(Debug, Clone)]
+enum Provenance {
+    Tuples(Vec<TupleId>),
+    Block(BlockKey),
+}
+
+struct Stored {
+    rule: usize,
+    violation: Violation,
+    fixes: Vec<Fix>,
+    prov: Provenance,
+}
+
+/// The violation store: live violations with provenance indexes for
+/// retraction by tuple and by block.
+#[derive(Default)]
+struct Store {
+    items: BTreeMap<u64, Stored>,
+    next: u64,
+    by_tuple: HashMap<TupleId, BTreeSet<u64>>,
+    by_block: HashMap<(usize, BlockKey), BTreeSet<u64>>,
+}
+
+impl Store {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn add(&mut self, rule: usize, violation: Violation, fixes: Vec<Fix>, prov: Provenance) {
+        let id = self.next;
+        self.next += 1;
+        match &prov {
+            Provenance::Tuples(ids) => {
+                for t in ids {
+                    self.by_tuple.entry(*t).or_default().insert(id);
+                }
+            }
+            Provenance::Block(key) => {
+                self.by_block
+                    .entry((rule, key.clone()))
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        self.items.insert(
+            id,
+            Stored {
+                rule,
+                violation,
+                fixes,
+                prov,
+            },
+        );
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Stored> {
+        let stored = self.items.remove(&id)?;
+        match &stored.prov {
+            Provenance::Tuples(ids) => {
+                for t in ids {
+                    if let Some(set) = self.by_tuple.get_mut(t) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            self.by_tuple.remove(t);
+                        }
+                    }
+                }
+            }
+            Provenance::Block(key) => {
+                let k = (stored.rule, key.clone());
+                if let Some(set) = self.by_block.get_mut(&k) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.by_block.remove(&k);
+                    }
+                }
+            }
+        }
+        Some(stored)
+    }
+
+    /// Retract every violation whose generating unit involved a dirty
+    /// tuple. Returns the removed items.
+    fn retract_tuples(&mut self, dirty: &BTreeSet<TupleId>) -> Vec<Stored> {
+        let mut ids: BTreeSet<u64> = BTreeSet::new();
+        for t in dirty {
+            if let Some(set) = self.by_tuple.get(t) {
+                ids.extend(set.iter().copied());
+            }
+        }
+        ids.into_iter().filter_map(|id| self.remove(id)).collect()
+    }
+
+    /// Retract every violation attributed to `(rule, key)`.
+    fn retract_block(&mut self, rule: usize, key: &BlockKey) -> Vec<Stored> {
+        let ids: Vec<u64> = self
+            .by_block
+            .get(&(rule, key.clone()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        ids.into_iter().filter_map(|id| self.remove(id)).collect()
+    }
+
+    /// The `(violation, fixes)` snapshot handed to repair, in insertion
+    /// order (repair strategies used here are order-independent).
+    fn detected(&self) -> Vec<Detected> {
+        self.items
+            .values()
+            .map(|s| (s.violation.clone(), s.fixes.clone()))
+            .collect()
+    }
+}
+
+/// Per-apply bookkeeping feeding the new metrics.
+#[derive(Default)]
+struct ApplyStats {
+    reprocessed: BTreeSet<TupleId>,
+    blocks: BTreeSet<(usize, BlockKey)>,
+    added: u64,
+    retracted: u64,
+    /// Tuple ids of violations added or retracted (component markers).
+    markers: BTreeSet<TupleId>,
+}
+
+impl ApplyStats {
+    fn mark_stored(&mut self, s: &Stored) {
+        self.markers.extend(s.violation.tuple_ids());
+        if let Provenance::Tuples(ids) = &s.prov {
+            self.markers.extend(ids.iter().copied());
+        }
+    }
+}
+
+/// A long-lived incremental cleansing session over one base table.
+pub struct Session {
+    executor: Executor,
+    rules: Vec<Arc<dyn Rule>>,
+    options: SessionOptions,
+    table: Table,
+    /// Table-order sequence number per live tuple: base tuples keep
+    /// their position, inserts get fresh increasing numbers (they append
+    /// at the end), updates keep theirs, deletes drop theirs. Relative
+    /// order always matches the materialized table.
+    seqs: HashMap<TupleId, u64>,
+    /// Current index of each live tuple in [`Session::table`] — lets
+    /// delta-free-of-delete batches and repair rounds mutate the table
+    /// in place instead of rebuilding its O(n) tuple vector. Rebuilt
+    /// after deletes (positions shift).
+    pos: HashMap<TupleId, usize>,
+    next_seq: u64,
+    states: Vec<RuleState>,
+    store: Store,
+    /// True when the last repair loop ended stably: violation-free, or
+    /// with every surviving fix filtered as a no-op (never by the freeze
+    /// counter or the iteration cap). Gates the skip-repair shortcut.
+    stable: bool,
+    applies: u64,
+}
+
+impl Session {
+    /// Open a session over `table`: builds the per-rule indexes and the
+    /// initial violation store (a full detect's worth of violations,
+    /// with provenance). The base table is *not* repaired — the first
+    /// [`Session::apply`] cleanses pre-existing violations together with
+    /// the batch's.
+    pub fn new(
+        executor: Executor,
+        rules: Vec<Arc<dyn Rule>>,
+        table: &Table,
+        options: SessionOptions,
+    ) -> Result<Session> {
+        if rules.is_empty() {
+            return Err(Error::Repair("no rules registered".into()));
+        }
+        let mut seqs = HashMap::with_capacity(table.len());
+        let mut pos = HashMap::with_capacity(table.len());
+        for (i, t) in table.tuples().iter().enumerate() {
+            if seqs.insert(t.id(), i as u64).is_some() {
+                return Err(Error::Repair(format!(
+                    "duplicate tuple id {} in base table",
+                    t.id()
+                )));
+            }
+            pos.insert(t.id(), i);
+        }
+        let states = rules
+            .iter()
+            .map(|r| RuleState {
+                rule: Arc::clone(r),
+                kind: kind_of(&choose_strategy(r.as_ref())),
+                scoped: HashMap::new(),
+                blocks: HashMap::new(),
+                oc: None,
+            })
+            .collect();
+        let mut session = Session {
+            executor,
+            rules,
+            options,
+            table: table.clone(),
+            next_seq: table.len() as u64,
+            seqs,
+            pos,
+            states,
+            store: Store::default(),
+            stable: false,
+            applies: 0,
+        };
+        let dirty: BTreeSet<TupleId> = table.tuples().iter().map(Tuple::id).collect();
+        let fresh: HashMap<TupleId, Tuple> =
+            table.tuples().iter().map(|t| (t.id(), t.clone())).collect();
+        let mut stats = ApplyStats::default();
+        session.redetect(&dirty, &fresh, &mut stats)?;
+        Ok(session)
+    }
+
+    /// The session's current (repaired-so-far) table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The registered rules.
+    pub fn rules(&self) -> &[Arc<dyn Rule>] {
+        &self.rules
+    }
+
+    /// The executor driving detection stages.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Live violations with their fixes — always equal to a full detect
+    /// over [`Session::table`].
+    pub fn detected(&self) -> Vec<Detected> {
+        self.store.detected()
+    }
+
+    /// Number of live violations.
+    pub fn violation_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the current table has no violations.
+    pub fn is_clean(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of batches applied so far.
+    pub fn applies(&self) -> u64 {
+        self.applies
+    }
+
+    /// Apply one delta batch: materialize it, re-detect only the dirty
+    /// candidate units, retract violations whose contributing rows
+    /// changed, and re-repair — mirroring a from-scratch cleanse over
+    /// the materialized table.
+    pub fn apply(&mut self, batch: DeltaBatch) -> Result<DeltaReport> {
+        let engine = self.executor.engine().clone();
+        engine.check_cancelled()?;
+
+        // Materialize. A malformed batch must not corrupt the session,
+        // so nothing mutates until the whole batch validates:
+        // delete-free batches (the common trickle) are checked up front
+        // and then edit the table in place through the position index,
+        // while batches with deletes compact through the from-scratch
+        // oracle and rebuild that index (positions shift).
+        if batch.ops.iter().any(|op| matches!(op, DeltaOp::Delete(_))) {
+            self.table = apply_batch_to_table(&self.table, &batch)?;
+            self.pos = self
+                .table
+                .tuples()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.id(), i))
+                .collect();
+        } else {
+            self.validate_delete_free(&batch)?;
+            for op in &batch.ops {
+                match op {
+                    DeltaOp::Insert(t) => {
+                        self.pos.insert(t.id(), self.table.len());
+                        self.table.push(t.clone());
+                    }
+                    DeltaOp::Update(t) => self.table.set_at(self.pos[&t.id()], t.clone()),
+                    DeltaOp::Delete(_) => unreachable!("delete-free path"),
+                }
+            }
+        }
+        let mut report = DeltaReport::default();
+        let mut touched: BTreeSet<TupleId> = BTreeSet::new();
+        for op in &batch.ops {
+            touched.insert(op.id());
+            match op {
+                DeltaOp::Insert(t) => {
+                    report.inserted += 1;
+                    self.seqs.insert(t.id(), self.next_seq);
+                    self.next_seq += 1;
+                }
+                DeltaOp::Update(_) => report.updated += 1,
+                DeltaOp::Delete(id) => {
+                    report.deleted += 1;
+                    self.seqs.remove(id);
+                }
+            }
+        }
+        let fresh = self.snapshot(&touched);
+
+        // Delta-driven detection + retraction.
+        let mut stats = ApplyStats::default();
+        self.redetect(&touched, &fresh, &mut stats)?;
+        report.components_rerepaired = self.touched_components(&stats);
+
+        // Scoped re-repair: when the batch left the store untouched and
+        // the previous loop ended stably, a batch loop's first round
+        // would filter every fix as a no-op and break — skip it.
+        let skip = stats.added == 0 && stats.retracted == 0 && self.stable;
+        report.repair_skipped = skip;
+        if skip {
+            report.converged = self.store.is_empty();
+        } else {
+            self.repair_loop(&engine, &mut report, &mut stats)?;
+        }
+
+        report.tuples_reprocessed = stats.reprocessed.len() as u64;
+        report.blocks_dirty = stats.blocks.len() as u64;
+        report.violations_added = stats.added;
+        report.violations_retracted = stats.retracted;
+        report.violations_remaining = self.store.len();
+        let m = engine.metrics();
+        Metrics::add(&m.tuples_reprocessed, report.tuples_reprocessed);
+        Metrics::add(&m.blocks_dirty, report.blocks_dirty);
+        Metrics::add(&m.violations_retracted, report.violations_retracted);
+        Metrics::add(&m.components_rerepaired, report.components_rerepaired);
+        self.applies += 1;
+        Ok(report)
+    }
+
+    /// Check a delete-free batch against the live id set without
+    /// mutating anything, replaying [`apply_batch_to_table`]'s op-order
+    /// semantics (an update may target an id inserted earlier in the
+    /// same batch, but not one inserted later).
+    fn validate_delete_free(&self, batch: &DeltaBatch) -> Result<()> {
+        let mut added: HashSet<TupleId> = HashSet::new();
+        for op in &batch.ops {
+            match op {
+                DeltaOp::Insert(t) => {
+                    if self.pos.contains_key(&t.id()) || !added.insert(t.id()) {
+                        return Err(Error::Parse(format!(
+                            "delta inserts tuple {} which already exists",
+                            t.id()
+                        )));
+                    }
+                    crate::delta::check_arity(&self.table, t)?;
+                }
+                DeltaOp::Update(t) => {
+                    if !self.pos.contains_key(&t.id()) && !added.contains(&t.id()) {
+                        return Err(Error::Parse(format!(
+                            "delta updates missing tuple {}",
+                            t.id()
+                        )));
+                    }
+                    crate::delta::check_arity(&self.table, t)?;
+                }
+                DeltaOp::Delete(_) => unreachable!("delete-free path"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Clone the named tuples out of the current table through the
+    /// position index (absent ids were deleted).
+    fn snapshot(&self, ids: &BTreeSet<TupleId>) -> HashMap<TupleId, Tuple> {
+        ids.iter()
+            .filter_map(|id| {
+                self.pos
+                    .get(id)
+                    .map(|&p| (*id, self.table.tuples()[p].clone()))
+            })
+            .collect()
+    }
+
+    /// The current value of `cell`, resolved through the position index
+    /// (`Table::cell_value` falls back to an O(n) scan once ids and
+    /// positions diverge).
+    fn cell_value(&self, cell: Cell) -> Option<&Value> {
+        self.pos
+            .get(&cell.tuple)
+            .and_then(|&p| self.table.tuples().get(p))
+            .and_then(|t| t.get(cell.attr as usize))
+    }
+
+    /// The batch cleanse loop, with per-round re-detection going through
+    /// the incremental path (only repair-changed tuples are dirty).
+    fn repair_loop(
+        &mut self,
+        engine: &Engine,
+        report: &mut DeltaReport,
+        stats: &mut ApplyStats,
+    ) -> Result<()> {
+        let mut change_count: HashMap<Cell, usize> = HashMap::new();
+        let mut converged = false;
+        let mut froze = false;
+        let mut broke_stable = false;
+        for _ in 0..self.options.max_iterations.max(1) {
+            engine.check_cancelled()?;
+            if self.store.is_empty() {
+                converged = true;
+                break;
+            }
+            report.iterations += 1;
+            report.total_violations += self.store.len();
+            let detected = self.store.detected();
+            let assignment = run_repair(
+                engine,
+                &detected,
+                &self.options.strategy,
+                self.options.repair_options,
+            );
+            let mut applicable: HashMap<Cell, Value> = HashMap::new();
+            for (cell, value) in assignment {
+                let count = change_count.entry(cell).or_insert(0);
+                if *count >= self.options.max_changes_per_cell {
+                    froze = true;
+                    continue;
+                }
+                if self.cell_value(cell) == Some(&value) {
+                    continue;
+                }
+                *count += 1;
+                if *count == self.options.max_changes_per_cell {
+                    report.frozen_cells += 1;
+                }
+                applicable.insert(cell, value);
+            }
+            if applicable.is_empty() {
+                broke_stable = !froze;
+                break;
+            }
+            for (cell, value) in &applicable {
+                if let Some(old) = self.cell_value(*cell) {
+                    report.repair_cost += old.distance(value);
+                }
+            }
+            report.cells_changed += applicable.len();
+            self.table.apply_at(&applicable, &self.pos)?;
+            let dirty: BTreeSet<TupleId> = applicable.keys().map(|c| c.tuple).collect();
+            let fresh = self.snapshot(&dirty);
+            self.redetect(&dirty, &fresh, stats)?;
+        }
+        if !converged {
+            converged = self.store.is_empty();
+        }
+        report.converged = converged;
+        self.stable = converged || broke_stable;
+        Ok(())
+    }
+
+    /// Re-detect everything the dirty tuples can influence: remove their
+    /// old scoped entries from the indexes, retract their violations,
+    /// enumerate `delta×resident ∪ delta×delta` units, and run Detect +
+    /// GenFix over those units through the lazy Stage API.
+    fn redetect(
+        &mut self,
+        dirty: &BTreeSet<TupleId>,
+        fresh: &HashMap<TupleId, Tuple>,
+        stats: &mut ApplyStats,
+    ) -> Result<()> {
+        let engine = self.executor.engine().clone();
+        // Rule-agnostic retraction by generating-unit tuple ids.
+        for stored in self.store.retract_tuples(dirty) {
+            stats.retracted += 1;
+            stats.mark_stored(&stored);
+        }
+        for ri in 0..self.states.len() {
+            engine.check_cancelled()?;
+            let units = self.enumerate_rule(ri, dirty, fresh, stats, &engine)?;
+            if units.is_empty() {
+                continue;
+            }
+            self.detect_units(ri, units, stats, &engine)?;
+        }
+        Ok(())
+    }
+
+    /// Update rule `ri`'s index for the dirty tuples and enumerate the
+    /// candidate units to re-detect.
+    fn enumerate_rule(
+        &mut self,
+        ri: usize,
+        dirty: &BTreeSet<TupleId>,
+        fresh: &HashMap<TupleId, Tuple>,
+        stats: &mut ApplyStats,
+        engine: &Engine,
+    ) -> Result<Vec<(Provenance, DetectUnit)>> {
+        let state = &mut self.states[ri];
+        let kind = state.kind.clone();
+        let mut dirty_keys: BTreeSet<BlockKey> = BTreeSet::new();
+
+        // Remove old scoped entries from the index.
+        for id in dirty {
+            let Some(reps) = state.scoped.remove(id) else {
+                continue;
+            };
+            match &kind {
+                Kind::Single => {}
+                Kind::Blocked { keyed, .. } => {
+                    for (rep, t) in &reps {
+                        let key = block_key(state.rule.as_ref(), t, *keyed);
+                        remove_entry(&mut state.blocks, &key, self.seqs.get(id), *id, *rep, t);
+                        dirty_keys.insert(key);
+                    }
+                }
+                Kind::List => {
+                    for (rep, t) in &reps {
+                        let key = block_key(state.rule.as_ref(), t, true);
+                        remove_entry(&mut state.blocks, &key, self.seqs.get(id), *id, *rep, t);
+                        dirty_keys.insert(key);
+                    }
+                }
+                Kind::Ordered => {
+                    if let Some(oc) = &mut state.oc {
+                        for (_, t) in &reps {
+                            oc.remove(t);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scope the new versions, in table order.
+        let mut new_entries: Vec<Entry> = Vec::new();
+        for id in dirty {
+            let Some(t) = fresh.get(id) else { continue };
+            let reps = state.rule.scope(t);
+            let seq = *self.seqs.get(id).expect("live tuple has a seq");
+            state.scoped.insert(
+                *id,
+                reps.iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(i, s)| (i as u32, s))
+                    .collect(),
+            );
+            for (i, s) in reps.into_iter().enumerate() {
+                new_entries.push(Entry {
+                    seq,
+                    rep: i as u32,
+                    tuple: s,
+                });
+            }
+        }
+        new_entries.sort_by_key(Entry::pos);
+
+        let mut units: Vec<(Provenance, DetectUnit)> = Vec::new();
+        match kind {
+            Kind::Single => {
+                for e in new_entries {
+                    stats.reprocessed.insert(e.tuple.id());
+                    units.push((
+                        Provenance::Tuples(vec![e.tuple.id()]),
+                        DetectUnit::Single(e.tuple),
+                    ));
+                }
+            }
+            Kind::Blocked {
+                keyed,
+                ordered,
+                distinct_ids,
+            } => {
+                let mut by_key: BTreeMap<BlockKey, Vec<Entry>> = BTreeMap::new();
+                for e in new_entries {
+                    let key = block_key(state.rule.as_ref(), &e.tuple, keyed);
+                    dirty_keys.insert(key.clone());
+                    by_key.entry(key).or_default().push(e);
+                }
+                let mut pairs = 0u64;
+                let mut emit = |a: &Entry, b: &Entry, units: &mut Vec<(Provenance, DetectUnit)>| {
+                    if distinct_ids && a.tuple.id() == b.tuple.id() {
+                        return;
+                    }
+                    stats.reprocessed.insert(a.tuple.id());
+                    stats.reprocessed.insert(b.tuple.id());
+                    if ordered {
+                        pairs += 2;
+                        units.push((
+                            Provenance::Tuples(vec![a.tuple.id(), b.tuple.id()]),
+                            DetectUnit::Pair(a.tuple.clone(), b.tuple.clone()),
+                        ));
+                        units.push((
+                            Provenance::Tuples(vec![b.tuple.id(), a.tuple.id()]),
+                            DetectUnit::Pair(b.tuple.clone(), a.tuple.clone()),
+                        ));
+                    } else {
+                        pairs += 1;
+                        let (lo, hi) = if a.pos() <= b.pos() { (a, b) } else { (b, a) };
+                        units.push((
+                            Provenance::Tuples(vec![lo.tuple.id(), hi.tuple.id()]),
+                            DetectUnit::Pair(lo.tuple.clone(), hi.tuple.clone()),
+                        ));
+                    }
+                };
+                for (key, news) in by_key {
+                    if let Some(residents) = state.blocks.get(&key) {
+                        for e in &news {
+                            for r in residents {
+                                emit(e, r, &mut units);
+                            }
+                        }
+                    }
+                    for i in 0..news.len() {
+                        for j in (i + 1)..news.len() {
+                            emit(&news[i], &news[j], &mut units);
+                        }
+                    }
+                    let slot = state.blocks.entry(key).or_default();
+                    for e in news {
+                        let at = slot.partition_point(|x| x.pos() < e.pos());
+                        slot.insert(at, e);
+                    }
+                }
+                Metrics::add(&engine.metrics().pairs_generated, pairs);
+            }
+            Kind::List => {
+                for e in new_entries {
+                    let key = block_key(state.rule.as_ref(), &e.tuple, true);
+                    dirty_keys.insert(key.clone());
+                    let slot = state.blocks.entry(key).or_default();
+                    let at = slot.partition_point(|x| x.pos() < e.pos());
+                    slot.insert(at, e);
+                }
+                for key in &dirty_keys {
+                    for stored in self.store.retract_block(ri, key) {
+                        stats.retracted += 1;
+                        stats.mark_stored(&stored);
+                    }
+                    let Some(entries) = self.states[ri].blocks.get(key) else {
+                        continue;
+                    };
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let block: Vec<Tuple> = entries.iter().map(|e| e.tuple.clone()).collect();
+                    for t in &block {
+                        stats.reprocessed.insert(t.id());
+                    }
+                    units.push((Provenance::Block(key.clone()), DetectUnit::List(block)));
+                }
+            }
+            Kind::Ordered => {
+                let conds = self.states[ri].rule.ordering_conditions();
+                let delta: Vec<Tuple> = new_entries.iter().map(|e| e.tuple.clone()).collect();
+                let state = &mut self.states[ri];
+                let pairs = match &mut state.oc {
+                    Some(oc) => {
+                        let pairs = oc.probe(engine, &delta);
+                        for t in &delta {
+                            oc.insert(t.clone());
+                        }
+                        pairs
+                    }
+                    None => {
+                        // First ingest: batch-build the index and take
+                        // the pairs from a batch OCJoin, exactly like a
+                        // full-detect pipeline would.
+                        state.oc = Some(OcIndex::build(
+                            conds.clone(),
+                            &delta,
+                            engine.default_partitions(),
+                        ));
+                        try_ocjoin(
+                            PDataset::from_vec(engine.clone(), delta.clone()),
+                            &conds,
+                            OcJoinConfig::default(),
+                        )?
+                        .try_collect()?
+                    }
+                };
+                if !delta.is_empty() {
+                    dirty_keys.insert(BlockKey::new());
+                }
+                for (a, b) in pairs {
+                    stats.reprocessed.insert(a.id());
+                    stats.reprocessed.insert(b.id());
+                    units.push((
+                        Provenance::Tuples(vec![a.id(), b.id()]),
+                        DetectUnit::Pair(a, b),
+                    ));
+                }
+            }
+        }
+        for key in dirty_keys {
+            stats.blocks.insert((ri, key));
+        }
+        Ok(units)
+    }
+
+    /// Run Detect + GenFix over the enumerated units as one fused lazy
+    /// stage (fault retries, memory budget, and cancellation apply), and
+    /// fold the results into the store.
+    fn detect_units(
+        &mut self,
+        ri: usize,
+        units: Vec<(Provenance, DetectUnit)>,
+        stats: &mut ApplyStats,
+        engine: &Engine,
+    ) -> Result<()> {
+        let rule = Arc::clone(&self.states[ri].rule);
+        let metrics = engine.metrics().clone();
+        let op = format!("delta-detect+genfix({})", rule.name());
+        let found: Vec<(Provenance, Violation, Vec<Fix>)> =
+            PDataset::from_vec(engine.clone(), units)
+                .stage()
+                .map_parts(op, move |part: Vec<(Provenance, DetectUnit)>| {
+                    Metrics::add(&metrics.detect_calls, part.len() as u64);
+                    let mut out = Vec::new();
+                    for (prov, unit) in part {
+                        for v in rule.detect(&unit) {
+                            let fixes = rule.gen_fix(&v);
+                            out.push((prov.clone(), v, fixes));
+                        }
+                    }
+                    Ok(out)
+                })
+                .run()?
+                .try_collect()?;
+        Metrics::add(&engine.metrics().violations, found.len() as u64);
+        for (prov, violation, fixes) in found {
+            stats.added += 1;
+            let stored = Stored {
+                rule: ri,
+                violation,
+                fixes,
+                prov,
+            };
+            stats.mark_stored(&stored);
+            self.store
+                .add(stored.rule, stored.violation, stored.fixes, stored.prov);
+        }
+        Ok(())
+    }
+
+    /// Count connected components of the violation graph (tuples linked
+    /// by sharing a violation) containing a tuple whose violations were
+    /// added or retracted this apply.
+    fn touched_components(&self, stats: &ApplyStats) -> u64 {
+        if stats.markers.is_empty() {
+            return 0;
+        }
+        let mut uf = UnionFind::new();
+        for stored in self.store.items.values() {
+            let mut ids: Vec<TupleId> = stored.violation.tuple_ids();
+            if let Provenance::Tuples(unit) = &stored.prov {
+                ids.extend(unit.iter().copied());
+            }
+            for w in ids.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+        let roots: BTreeSet<u64> = stats.markers.iter().map(|&id| uf.find(id)).collect();
+        roots.len() as u64
+    }
+}
+
+/// The blocking key for a scoped tuple (`[]` when the rule has no Block
+/// operator and everything shares one global block).
+fn block_key(rule: &dyn Rule, t: &Tuple, keyed: bool) -> BlockKey {
+    if keyed {
+        rule.block(t).unwrap_or_default()
+    } else {
+        BlockKey::new()
+    }
+}
+
+/// Drop the `(seq, rep)` entry for tuple `id` from `blocks[key]`.
+fn remove_entry(
+    blocks: &mut HashMap<BlockKey, Vec<Entry>>,
+    key: &BlockKey,
+    seq: Option<&u64>,
+    id: TupleId,
+    rep: u32,
+    t: &Tuple,
+) {
+    let Some(slot) = blocks.get_mut(key) else {
+        return;
+    };
+    // A deleted tuple's seq is already gone from the map; match by
+    // (id, rep) then, scanning the (small) block.
+    let idx = match seq {
+        Some(&s) => slot
+            .binary_search_by(|e| e.pos().cmp(&(s, rep)))
+            .ok()
+            .filter(|&i| slot[i].tuple.id() == id),
+        None => slot
+            .iter()
+            .position(|e| e.tuple.id() == id && e.rep == rep && e.tuple == *t),
+    };
+    if let Some(i) = idx {
+        slot.remove(i);
+    }
+    if slot.is_empty() {
+        blocks.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::Schema;
+    use bigdansing_rules::FdRule;
+
+    fn fd_session(rows: Vec<Vec<Value>>) -> Session {
+        let schema = Schema::parse("zipcode,city");
+        let table = Table::from_rows("t", schema.clone(), rows);
+        let rules: Vec<Arc<dyn Rule>> =
+            vec![Arc::new(FdRule::parse("zipcode -> city", &schema).unwrap())];
+        Session::new(
+            Executor::new(Engine::sequential()),
+            rules,
+            &table,
+            SessionOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn open_session_detects_existing_violations() {
+        let s = fd_session(vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(1), Value::str("SF")],
+        ]);
+        assert_eq!(s.violation_count(), 1);
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn insert_creating_violation_is_detected_and_repaired() {
+        let mut s = fd_session(vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(2), Value::str("NY")],
+        ]);
+        assert!(s.is_clean());
+        let report = s
+            .apply(DeltaBatch::new().insert(10, vec![Value::Int(1), Value::str("SF")]))
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+        assert!(report.violations_added >= 1);
+        assert!(report.converged, "repair should clean the FD violation");
+        assert!(s.is_clean());
+        // only the dirty block's tuples were reprocessed
+        assert!(report.tuples_reprocessed < 4);
+    }
+
+    #[test]
+    fn delete_retracts_violations() {
+        let mut s = fd_session(vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(1), Value::str("SF")],
+        ]);
+        assert_eq!(s.violation_count(), 1);
+        let report = s.apply(DeltaBatch::new().delete(1)).unwrap();
+        assert_eq!(report.violations_retracted, 1);
+        assert!(s.is_clean());
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn malformed_batch_leaves_session_intact() {
+        let mut s = fd_session(vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(2), Value::str("NY")],
+        ]);
+        // Valid insert followed by an invalid update: the in-place fast
+        // path must reject the whole batch before mutating anything.
+        let bad = DeltaBatch::new()
+            .insert(7, vec![Value::Int(3), Value::str("CH")])
+            .update(99, vec![Value::Int(3), Value::str("CH")]);
+        assert!(s.apply(bad).is_err());
+        assert_eq!(s.table().len(), 2);
+        assert!(s.is_clean());
+        // Arity mismatches are caught up front too.
+        assert!(s
+            .apply(DeltaBatch::new().insert(8, vec![Value::Int(3)]))
+            .is_err());
+        assert_eq!(s.table().len(), 2);
+        // An update may target an id inserted later in the batch only
+        // in op order — this one comes first, so it must fail.
+        let out_of_order = DeltaBatch::new()
+            .update(7, vec![Value::Int(3), Value::str("CH")])
+            .insert(7, vec![Value::Int(3), Value::str("CH")]);
+        assert!(s.apply(out_of_order).is_err());
+        // The session still works after the rejections.
+        let r = s
+            .apply(DeltaBatch::new().insert(7, vec![Value::Int(3), Value::str("CH")]))
+            .unwrap();
+        assert!(r.converged);
+        assert_eq!(s.table().len(), 3);
+    }
+
+    #[test]
+    fn clean_delta_skips_repair_after_stable_apply() {
+        let mut s = fd_session(vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(2), Value::str("NY")],
+        ]);
+        // first apply establishes stability
+        let r1 = s
+            .apply(DeltaBatch::new().insert(5, vec![Value::Int(3), Value::str("CH")]))
+            .unwrap();
+        assert!(r1.converged);
+        let r2 = s
+            .apply(DeltaBatch::new().insert(6, vec![Value::Int(4), Value::str("SD")]))
+            .unwrap();
+        assert!(r2.repair_skipped, "clean insert into stable session");
+        assert!(r2.converged);
+    }
+
+    #[test]
+    fn empty_rules_is_an_error() {
+        let schema = Schema::parse("a");
+        let table = Table::from_rows("t", schema, vec![vec![Value::Int(1)]]);
+        assert!(Session::new(
+            Executor::new(Engine::sequential()),
+            Vec::new(),
+            &table,
+            SessionOptions::default(),
+        )
+        .is_err());
+    }
+}

@@ -21,8 +21,14 @@
 //!
 //! [`naive`] holds the CrossProduct + post-filter comparator used by the
 //! physical-operator ablation (Figure 11(c)).
+//!
+//! [`incremental`] keeps the partitioned sorted lists alive across
+//! delta batches so a changed handful of tuples is joined by probing
+//! instead of re-sorting the base (the incremental cleansing subsystem).
 
+pub mod incremental;
 pub mod naive;
 pub mod ocjoin;
 
+pub use incremental::OcIndex;
 pub use ocjoin::{ocjoin, try_ocjoin, OcJoinConfig};

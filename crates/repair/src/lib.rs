@@ -28,10 +28,12 @@ pub mod fixeval;
 pub mod hyper;
 pub mod hypergraph;
 pub mod partition;
+pub mod strategy;
 
 pub use blackbox::{repair_parallel, repair_serial, RepairAlgorithm};
 pub use equivalence::EquivalenceClassRepair;
 pub use hyper::HypergraphRepair;
+pub use strategy::{run_repair, RepairStrategy};
 
 use bigdansing_common::{Cell, Value};
 use std::collections::HashMap;

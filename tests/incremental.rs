@@ -1,0 +1,242 @@
+//! Oracle-equivalence tests for the incremental cleansing subsystem:
+//! after every applied batch, a [`Session`]'s table and violation store
+//! must be indistinguishable from a full recompute (materialize the
+//! delta with [`apply_batch_to_table`], then run the batch cleanse loop
+//! and a fresh detect over its output).
+//!
+//! The suite covers every Iterate strategy the planner can choose: FD
+//! (BlockPairs), CFD (BlockPairs with conditioned detect), DC with
+//! inequalities (OCJoin), and a dedup UDF both blocked (BlockPairs) and
+//! unblocked (UCrossProduct).
+
+use bigdansing::{
+    apply_batch_to_table, BigDansing, CleanseOptions, DedupRule, DeltaBatch, Session,
+};
+use bigdansing_common::{Schema, Table, Value};
+use std::sync::Arc;
+
+fn tax_table() -> Table {
+    // zipcode,city,salary,rate — seeded with an FD violation (rows 0/1)
+    // and a DC-style inequality violation (rows 2/3: higher salary,
+    // lower rate).
+    Table::from_rows(
+        "tax",
+        Schema::parse("zipcode,city,salary,rate"),
+        vec![
+            vec![
+                Value::Int(90210),
+                Value::str("LA"),
+                Value::Int(3000),
+                Value::Int(10),
+            ],
+            vec![
+                Value::Int(90210),
+                Value::str("SF"),
+                Value::Int(4000),
+                Value::Int(15),
+            ],
+            vec![
+                Value::Int(10001),
+                Value::str("NY"),
+                Value::Int(5000),
+                Value::Int(20),
+            ],
+            vec![
+                Value::Int(10001),
+                Value::str("NY"),
+                Value::Int(6000),
+                Value::Int(18),
+            ],
+            vec![
+                Value::Int(60601),
+                Value::str("CH"),
+                Value::Int(2000),
+                Value::Int(8),
+            ],
+        ],
+    )
+}
+
+fn row(zip: i64, city: &str, salary: i64, rate: i64) -> Vec<Value> {
+    vec![
+        Value::Int(zip),
+        Value::str(city),
+        Value::Int(salary),
+        Value::Int(rate),
+    ]
+}
+
+/// Canonical multiset rendering of `(violation, fixes)` pairs, so store
+/// snapshots (insertion order) compare against detect output (plan
+/// order).
+fn canon(detected: &[(bigdansing::Violation, Vec<bigdansing::Fix>)]) -> Vec<String> {
+    let mut out: Vec<String> = detected
+        .iter()
+        .map(|(v, fixes)| format!("{v:?} | {fixes:?}"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn rows_of(table: &Table) -> Vec<String> {
+    table.tuples().iter().map(|t| format!("{t:?}")).collect()
+}
+
+/// Drive `batches` through a session and, in lockstep, through the
+/// from-scratch oracle; assert byte-identical tables and violation
+/// stores after every batch.
+fn assert_oracle_parity(sys: &BigDansing, base: &Table, batches: Vec<DeltaBatch>) {
+    let options = CleanseOptions::default();
+    let mut session: Session = sys.open_session(base, options.clone()).unwrap();
+
+    // The store right after open must equal a full detect on the base.
+    let full = sys.detect(base).unwrap();
+    assert_eq!(
+        canon(&session.detected()),
+        canon(&full.detected),
+        "initial store differs from full detect"
+    );
+
+    let mut current = base.clone();
+    for (i, batch) in batches.into_iter().enumerate() {
+        current = apply_batch_to_table(&current, &batch).unwrap();
+        let report = sys.apply_delta(&mut session, batch).unwrap();
+        let oracle = sys.cleanse(&current, options.clone()).unwrap();
+
+        assert_eq!(
+            rows_of(session.table()),
+            rows_of(&oracle.table),
+            "batch {i}: repaired table differs from full recompute"
+        );
+        let residue = sys.detect(&oracle.table).unwrap();
+        assert_eq!(
+            canon(&session.detected()),
+            canon(&residue.detected),
+            "batch {i}: violation store differs from full recompute"
+        );
+        assert_eq!(
+            report.converged, oracle.converged,
+            "batch {i}: convergence verdict differs"
+        );
+        assert_eq!(
+            report.violations_remaining,
+            residue.violation_count(),
+            "batch {i}: remaining-violation count differs"
+        );
+        current = oracle.table;
+    }
+}
+
+fn mixed_batches() -> Vec<DeltaBatch> {
+    vec![
+        // inserts: one joins an existing block and conflicts, one is new
+        DeltaBatch::new()
+            .insert(10, row(90210, "LB", 3500, 12))
+            .insert(11, row(77001, "HO", 1000, 5)),
+        // update re-blocks a tuple; delete retracts its violations
+        DeltaBatch::new()
+            .update(2, row(60601, "CH", 5000, 20))
+            .delete(3),
+        // delete + reinsert same id (moves to end), plus a clean no-op-ish update
+        DeltaBatch::new()
+            .delete(0)
+            .insert(0, row(10001, "NY", 900, 4))
+            .update(4, row(60601, "CH", 2000, 8)),
+        // empty batch: nothing dirty, repair skippable
+        DeltaBatch::new(),
+    ]
+}
+
+#[test]
+fn fd_session_matches_full_recompute() {
+    let base = tax_table();
+    let mut sys = BigDansing::parallel(2);
+    sys.add_fd("zipcode -> city", base.schema()).unwrap();
+    assert_oracle_parity(&sys, &base, mixed_batches());
+}
+
+#[test]
+fn cfd_session_matches_full_recompute() {
+    let base = tax_table();
+    let mut sys = BigDansing::parallel(2);
+    sys.add_cfd("zipcode -> city | zipcode=10001, city=NY", base.schema())
+        .unwrap();
+    assert_oracle_parity(&sys, &base, mixed_batches());
+}
+
+#[test]
+fn dc_inequality_session_matches_full_recompute() {
+    let base = tax_table();
+    let mut sys = BigDansing::parallel(2);
+    // φ2 from the paper: no one earns more yet pays a lower rate.
+    sys.add_dc("t1.salary > t2.salary & t1.rate < t2.rate", base.schema())
+        .unwrap();
+    assert_oracle_parity(&sys, &base, mixed_batches());
+}
+
+#[test]
+fn dedup_udf_session_matches_full_recompute() {
+    let base = Table::from_rows(
+        "addr",
+        Schema::parse("name,city"),
+        vec![
+            vec![Value::str("Jones"), Value::str("LA")],
+            vec![Value::str("Jonse"), Value::str("LA")],
+            vec![Value::str("Smith"), Value::str("NY")],
+            vec![Value::str("Brown"), Value::str("CH")],
+        ],
+    );
+    let batches = vec![
+        DeltaBatch::new().insert(7, vec![Value::str("Smyth"), Value::str("NY")]),
+        DeltaBatch::new()
+            .update(3, vec![Value::str("Jomes"), Value::str("LA")])
+            .delete(1),
+        DeltaBatch::new().delete(7),
+    ];
+
+    // Blocked (prefix key → BlockPairs strategy).
+    let mut blocked = BigDansing::parallel(2);
+    blocked.add_rule(Arc::new(DedupRule::new("udf:dedup", 0, 0.8)));
+    assert_oracle_parity(&blocked, &base, batches.clone());
+
+    // Unblocked (no key → UCrossProduct strategy).
+    let mut unblocked = BigDansing::parallel(2);
+    unblocked.add_rule(Arc::new(
+        DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(0),
+    ));
+    assert_oracle_parity(&unblocked, &base, batches);
+}
+
+#[test]
+fn multi_rule_session_matches_full_recompute() {
+    let base = tax_table();
+    let mut sys = BigDansing::parallel(2);
+    sys.add_fd("zipcode -> city", base.schema()).unwrap();
+    sys.add_dc("t1.salary > t2.salary & t1.rate < t2.rate", base.schema())
+        .unwrap();
+    assert_oracle_parity(&sys, &base, mixed_batches());
+}
+
+#[test]
+fn bench_style_win_on_small_delta() {
+    // A sanity-scale version of the BENCH_incremental criterion: a tiny
+    // delta over a wide table must reprocess a small fraction of tuples.
+    let n = 2_000i64;
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| row(i % 500, &format!("c{}", i % 500), 1000 + i, 10))
+        .collect();
+    let base = Table::from_rows("tax", Schema::parse("zipcode,city,salary,rate"), rows);
+    let mut sys = BigDansing::parallel(2);
+    sys.add_fd("zipcode -> city", base.schema()).unwrap();
+    let mut session = sys.open_session(&base, CleanseOptions::default()).unwrap();
+    let batch = DeltaBatch::new()
+        .update(17, row(17, "dirty", 1017, 10))
+        .insert(5_000, row(400, "c400", 1, 1));
+    let report = sys.apply_delta(&mut session, batch).unwrap();
+    assert!(
+        report.tuples_reprocessed < (n as u64) / 10,
+        "expected <10% of tuples reprocessed, got {} of {n}",
+        report.tuples_reprocessed
+    );
+    assert!(report.converged);
+}

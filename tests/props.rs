@@ -1,11 +1,11 @@
 //! Property-based integration tests: random tables and rules through the
 //! full stack.
 
-use bigdansing::{BigDansing, CleanseOptions};
+use bigdansing::{apply_batch_to_table, BigDansing, CleanseOptions, DeltaBatch};
 use bigdansing_common::{Schema, Table, Value};
 use bigdansing_dataflow::Engine;
 use bigdansing_plan::Executor;
-use bigdansing_rules::{FdRule, Rule};
+use bigdansing_rules::{DedupRule, FdRule, Rule};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -65,5 +65,181 @@ proptest! {
         let twice = sys.cleanse(&once.table, CleanseOptions::default()).unwrap();
         prop_assert_eq!(twice.cells_changed, 0, "second cleanse is a no-op");
         prop_assert_eq!(once.table.diff_cells(&twice.table), 0);
+    }
+}
+
+// ---- incremental session parity ------------------------------------
+//
+// Random interleavings of insert/update/delete batches through a
+// `Session` must leave exactly the state a from-scratch `cleanse` of
+// the materialized table would: same repaired rows, same violation
+// store. Ops are generated abstractly (fresh values plus selectors into
+// the live id set) so every batch is valid by construction.
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Insert(i64, i64, i64),
+    Update(usize, i64, i64, i64),
+    Delete(usize),
+}
+
+fn arb_interleavings() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
+    let op = prop_oneof![
+        (0i64..6, 0i64..4, 0i64..4).prop_map(|(a, b, c)| OpSpec::Insert(a, b, c)),
+        (any::<usize>(), 0i64..6, 0i64..4, 0i64..4)
+            .prop_map(|(s, a, b, c)| OpSpec::Update(s, a, b, c)),
+        any::<usize>().prop_map(OpSpec::Delete),
+    ];
+    prop::collection::vec(prop::collection::vec(op, 0..6), 1..4)
+}
+
+/// Column `a` becomes a short string under `strings` so similarity
+/// rules have something to compare ("na3" vs "na5" ≈ 0.67 similar).
+fn spec_values(a: i64, b: i64, c: i64, strings: bool) -> Vec<Value> {
+    let first = if strings {
+        Value::str(format!("na{a}"))
+    } else {
+        Value::Int(a)
+    };
+    vec![first, Value::Int(b), Value::Int(c)]
+}
+
+fn spec_table(rows: Vec<(i64, i64, i64)>, strings: bool) -> Table {
+    Table::from_rows(
+        "t",
+        Schema::parse("a,b,c"),
+        rows.into_iter()
+            .map(|(a, b, c)| spec_values(a, b, c, strings))
+            .collect(),
+    )
+}
+
+fn resolve_batch(
+    specs: &[OpSpec],
+    live: &mut Vec<u64>,
+    next: &mut u64,
+    strings: bool,
+) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    for spec in specs {
+        match spec {
+            OpSpec::Insert(a, b, c) => {
+                let id = *next;
+                *next += 1;
+                live.push(id);
+                batch = batch.insert(id, spec_values(*a, *b, *c, strings));
+            }
+            OpSpec::Update(sel, a, b, c) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[sel % live.len()];
+                batch = batch.update(id, spec_values(*a, *b, *c, strings));
+            }
+            OpSpec::Delete(sel) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = sel % live.len();
+                batch = batch.delete(live.remove(idx));
+            }
+        }
+    }
+    batch
+}
+
+fn canon_detected(detected: &[(bigdansing::Violation, Vec<bigdansing::Fix>)]) -> Vec<String> {
+    let mut out: Vec<String> = detected
+        .iter()
+        .map(|(v, fixes)| format!("{v:?} | {fixes:?}"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn assert_session_parity(
+    sys: &BigDansing,
+    base: Table,
+    interleavings: Vec<Vec<OpSpec>>,
+    strings: bool,
+) {
+    let mut session = sys.open_session(&base, CleanseOptions::default()).unwrap();
+    let mut live: Vec<u64> = base.tuples().iter().map(|t| t.id()).collect();
+    let mut next = live.iter().copied().max().map_or(0, |m| m + 1);
+    let mut current = base;
+    for specs in interleavings {
+        let batch = resolve_batch(&specs, &mut live, &mut next, strings);
+        current = apply_batch_to_table(&current, &batch).unwrap();
+        sys.apply_delta(&mut session, batch).unwrap();
+        let oracle = sys.cleanse(&current, CleanseOptions::default()).unwrap();
+        let rows =
+            |t: &Table| -> Vec<String> { t.tuples().iter().map(|t| format!("{t:?}")).collect() };
+        assert_eq!(
+            rows(session.table()),
+            rows(&oracle.table),
+            "repaired tables diverged"
+        );
+        let residue = sys.detect(&oracle.table).unwrap();
+        assert_eq!(
+            canon_detected(&session.detected()),
+            canon_detected(&residue.detected),
+            "violation stores diverged"
+        );
+        current = oracle.table;
+    }
+}
+
+/// Deterministic instance of the property, so the parity harness runs
+/// even where the proptest bodies don't (e.g. type-check-only stubs).
+#[test]
+fn session_parity_smoke_interleaving() {
+    let base = spec_table(vec![(1, 1, 1), (1, 2, 3), (2, 0, 0)], false);
+    let mut sys = BigDansing::parallel(2);
+    sys.add_fd("a -> b", base.schema()).unwrap();
+    let ops = vec![
+        vec![OpSpec::Insert(1, 3, 2), OpSpec::Delete(0)],
+        vec![
+            OpSpec::Update(1, 2, 1, 1),
+            OpSpec::Delete(2),
+            OpSpec::Insert(1, 0, 0),
+        ],
+    ];
+    assert_session_parity(&sys, base, ops, false);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fd_session_parity_on_random_interleavings(
+        rows in prop::collection::vec((0i64..6, 0i64..4, 0i64..4), 0..20),
+        ops in arb_interleavings(),
+    ) {
+        let base = spec_table(rows, false);
+        let mut sys = BigDansing::parallel(2);
+        sys.add_fd("a -> b", base.schema()).unwrap();
+        assert_session_parity(&sys, base, ops, false);
+    }
+
+    #[test]
+    fn dc_session_parity_on_random_interleavings(
+        rows in prop::collection::vec((0i64..6, 0i64..4, 0i64..4), 0..16),
+        ops in arb_interleavings(),
+    ) {
+        let base = spec_table(rows, false);
+        let mut sys = BigDansing::parallel(2);
+        sys.add_dc("t1.b > t2.b & t1.c < t2.c", base.schema()).unwrap();
+        assert_session_parity(&sys, base, ops, false);
+    }
+
+    #[test]
+    fn dedup_session_parity_on_random_interleavings(
+        rows in prop::collection::vec((0i64..6, 0i64..4, 0i64..4), 0..16),
+        ops in arb_interleavings(),
+    ) {
+        let base = spec_table(rows, true);
+        let mut sys = BigDansing::parallel(2);
+        sys.add_rule(Arc::new(DedupRule::new("udf:dedup", 0, 0.6)));
+        assert_session_parity(&sys, base, ops, true);
     }
 }
