@@ -60,6 +60,7 @@ OPTIONS:
                          logical operators fused into it
 ";
 
+#[cfg_attr(test, derive(Debug))]
 struct Args {
     command: String,
     input: String,
@@ -142,7 +143,16 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     args.input = positional.first().cloned().ok_or("missing input file")?;
-    args.deltas = positional[1..].to_vec();
+    // Only `delta` takes trailing positionals (its delta CSVs); stray
+    // extras elsewhere are mistakes, not input to silently ignore.
+    if args.command == "delta" {
+        args.deltas = positional.split_off(1);
+    } else if let Some(extra) = positional.get(1) {
+        return Err(format!(
+            "unexpected argument `{extra}` (the `{}` command takes one input file)",
+            args.command
+        ));
+    }
     Ok(args)
 }
 
@@ -359,5 +369,35 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}\n\n{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_args, Args};
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn delta_collects_trailing_positionals() {
+        let args = parse(&["delta", "base.csv", "d1.csv", "d2.csv", "--fd", "a -> b"]).unwrap();
+        assert_eq!(args.input, "base.csv");
+        assert_eq!(
+            args.deltas,
+            vec!["d1.csv".to_string(), "d2.csv".to_string()]
+        );
+    }
+
+    #[test]
+    fn non_delta_commands_reject_extra_positionals() {
+        for cmd in ["detect", "clean", "convert"] {
+            let err = parse(&[cmd, "in.csv", "stray.csv"]).unwrap_err();
+            assert!(err.contains("stray.csv"), "{cmd}: {err}");
+        }
+        let args = parse(&["detect", "in.csv", "--fd", "a -> b"]).unwrap();
+        assert_eq!(args.input, "in.csv");
+        assert!(args.deltas.is_empty());
     }
 }

@@ -87,14 +87,17 @@ impl DeltaBatch {
     /// leading `op,id,…` header line is skipped when present.
     pub fn parse_str(text: &str, schema: &Schema) -> Result<DeltaBatch> {
         let mut ops = Vec::new();
+        let mut first = true;
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let fields = split_line(line);
             let op = fields[0].trim().to_ascii_lowercase();
-            if i == 0 && op == "op" {
-                continue; // header
+            // The header is the first non-empty line (blank lines above
+            // it don't make it data).
+            if std::mem::take(&mut first) && op == "op" {
+                continue;
             }
             let fail = |reason: String| Error::Parse(format!("delta line {}: {reason}", i + 1));
             if fields.len() < 2 {
@@ -222,6 +225,16 @@ mod tests {
             DeltaOp::Insert(t) => assert_eq!(t.value(0), &Value::Int(90210)),
             other => panic!("expected insert, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn header_after_blank_lines_is_skipped() {
+        let schema = Schema::parse("zipcode,city");
+        let b =
+            DeltaBatch::parse_str("\n\nop,id,zipcode,city\ninsert,5,90210,LA\n", &schema).unwrap();
+        assert_eq!(b.len(), 1);
+        // Only the first non-empty line can be a header.
+        assert!(DeltaBatch::parse_str("insert,5,90210,LA\nop,id,zipcode,city\n", &schema).is_err());
     }
 
     #[test]

@@ -178,8 +178,11 @@ impl Entry {
 struct RuleState {
     rule: Arc<dyn Rule>,
     kind: Kind,
-    /// Scope outputs per source tuple (`rep` order).
-    scoped: HashMap<TupleId, Vec<(u32, Tuple)>>,
+    /// Scope outputs per source tuple (`rep` order), keyed by the seq
+    /// the entries were indexed under. Removal must use this recorded
+    /// seq, not the live one: a delete-then-reinsert batch reassigns
+    /// `Session::seqs[id]` before the indexes are cleaned up.
+    scoped: HashMap<TupleId, (u64, Vec<(u32, Tuple)>)>,
     /// Block index (blocking key → members in table order). Used by
     /// `Blocked` (key `[]` when unkeyed) and `List`.
     blocks: HashMap<BlockKey, Vec<Entry>>,
@@ -349,6 +352,11 @@ pub struct Session {
     /// with every surviving fix filtered as a no-op (never by the freeze
     /// counter or the iteration cap). Gates the skip-repair shortcut.
     stable: bool,
+    /// True when an earlier [`Session::apply`] failed *after* the table
+    /// was materialized (cancellation, deadline, memory ceiling, or a
+    /// stage failure mid-redetect/repair): the indexes and violation
+    /// store no longer match the table, so further applies are refused.
+    poisoned: bool,
     applies: u64,
 }
 
@@ -399,6 +407,7 @@ impl Session {
             states,
             store: Store::default(),
             stable: false,
+            poisoned: false,
             applies: 0,
         };
         let dirty: BTreeSet<TupleId> = table.tuples().iter().map(Tuple::id).collect();
@@ -445,11 +454,24 @@ impl Session {
         self.applies
     }
 
+    /// True when an earlier apply failed after mutation began and the
+    /// session refuses further batches (open a new session to recover).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Apply one delta batch: materialize it, re-detect only the dirty
     /// candidate units, retract violations whose contributing rows
     /// changed, and re-repair — mirroring a from-scratch cleanse over
     /// the materialized table.
     pub fn apply(&mut self, batch: DeltaBatch) -> Result<DeltaReport> {
+        if self.poisoned {
+            return Err(Error::Repair(
+                "session poisoned: an earlier apply failed after mutation began; \
+                 open a new session over the desired table"
+                    .into(),
+            ));
+        }
         let engine = self.executor.engine().clone();
         engine.check_cancelled()?;
 
@@ -458,7 +480,8 @@ impl Session {
         // delete-free batches (the common trickle) are checked up front
         // and then edit the table in place through the position index,
         // while batches with deletes compact through the from-scratch
-        // oracle and rebuild that index (positions shift).
+        // oracle (which validates before this assignment) and rebuild
+        // that index (positions shift).
         if batch.ops.iter().any(|op| matches!(op, DeltaOp::Delete(_))) {
             self.table = apply_batch_to_table(&self.table, &batch)?;
             self.pos = self
@@ -481,6 +504,25 @@ impl Session {
                 }
             }
         }
+
+        // The table is mutated; everything below must finish for the
+        // indexes and violation store to match it again. A governed
+        // abort mid-way (cancellation, deadline, memory ceiling, stage
+        // failure) leaves them out of sync, so poison the session and
+        // let later applies fail loudly instead of computing on
+        // corrupted state.
+        match self.detect_and_repair(&batch, &engine) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// The post-materialization half of [`Session::apply`]: index
+    /// maintenance, delta-driven detection, retraction, and re-repair.
+    fn detect_and_repair(&mut self, batch: &DeltaBatch, engine: &Engine) -> Result<DeltaReport> {
         let mut report = DeltaReport::default();
         let mut touched: BTreeSet<TupleId> = BTreeSet::new();
         for op in &batch.ops {
@@ -513,7 +555,7 @@ impl Session {
         if skip {
             report.converged = self.store.is_empty();
         } else {
-            self.repair_loop(&engine, &mut report, &mut stats)?;
+            self.repair_loop(engine, &mut report, &mut stats)?;
         }
 
         report.tuples_reprocessed = stats.reprocessed.len() as u64;
@@ -691,9 +733,10 @@ impl Session {
         let kind = state.kind.clone();
         let mut dirty_keys: BTreeSet<BlockKey> = BTreeSet::new();
 
-        // Remove old scoped entries from the index.
+        // Remove old scoped entries from the index, by the seq they
+        // were inserted under (the live seq may differ by now).
         for id in dirty {
-            let Some(reps) = state.scoped.remove(id) else {
+            let Some((old_seq, reps)) = state.scoped.remove(id) else {
                 continue;
             };
             match &kind {
@@ -701,14 +744,14 @@ impl Session {
                 Kind::Blocked { keyed, .. } => {
                     for (rep, t) in &reps {
                         let key = block_key(state.rule.as_ref(), t, *keyed);
-                        remove_entry(&mut state.blocks, &key, self.seqs.get(id), *id, *rep, t);
+                        remove_entry(&mut state.blocks, &key, old_seq, *id, *rep, t);
                         dirty_keys.insert(key);
                     }
                 }
                 Kind::List => {
                     for (rep, t) in &reps {
                         let key = block_key(state.rule.as_ref(), t, true);
-                        remove_entry(&mut state.blocks, &key, self.seqs.get(id), *id, *rep, t);
+                        remove_entry(&mut state.blocks, &key, old_seq, *id, *rep, t);
                         dirty_keys.insert(key);
                     }
                 }
@@ -730,11 +773,14 @@ impl Session {
             let seq = *self.seqs.get(id).expect("live tuple has a seq");
             state.scoped.insert(
                 *id,
-                reps.iter()
-                    .cloned()
-                    .enumerate()
-                    .map(|(i, s)| (i as u32, s))
-                    .collect(),
+                (
+                    seq,
+                    reps.iter()
+                        .cloned()
+                        .enumerate()
+                        .map(|(i, s)| (i as u32, s))
+                        .collect(),
+                ),
             );
             for (i, s) in reps.into_iter().enumerate() {
                 new_entries.push(Entry {
@@ -967,10 +1013,14 @@ fn block_key(rule: &dyn Rule, t: &Tuple, keyed: bool) -> BlockKey {
 }
 
 /// Drop the `(seq, rep)` entry for tuple `id` from `blocks[key]`.
+/// `seq` is the sequence number recorded when the entry was indexed, so
+/// the binary search lands on it even when the tuple's live seq has
+/// since changed (delete-then-reinsert) or is gone (plain delete); the
+/// linear scan is a defensive fallback only.
 fn remove_entry(
     blocks: &mut HashMap<BlockKey, Vec<Entry>>,
     key: &BlockKey,
-    seq: Option<&u64>,
+    seq: u64,
     id: TupleId,
     rep: u32,
     t: &Tuple,
@@ -978,17 +1028,14 @@ fn remove_entry(
     let Some(slot) = blocks.get_mut(key) else {
         return;
     };
-    // A deleted tuple's seq is already gone from the map; match by
-    // (id, rep) then, scanning the (small) block.
-    let idx = match seq {
-        Some(&s) => slot
-            .binary_search_by(|e| e.pos().cmp(&(s, rep)))
-            .ok()
-            .filter(|&i| slot[i].tuple.id() == id),
-        None => slot
-            .iter()
-            .position(|e| e.tuple.id() == id && e.rep == rep && e.tuple == *t),
-    };
+    let idx = slot
+        .binary_search_by(|e| e.pos().cmp(&(seq, rep)))
+        .ok()
+        .filter(|&i| slot[i].tuple.id() == id)
+        .or_else(|| {
+            slot.iter()
+                .position(|e| e.tuple.id() == id && e.rep == rep && e.tuple == *t)
+        });
     if let Some(i) = idx {
         slot.remove(i);
     }
@@ -1089,6 +1136,81 @@ mod tests {
             .unwrap();
         assert!(r.converged);
         assert_eq!(s.table().len(), 3);
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_id_purges_stale_block_entry() {
+        let mut s = fd_session(vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(2), Value::str("NY")],
+        ]);
+        assert!(s.is_clean());
+        // Tuple 0 dies and is reborn in the SAME block with a new city.
+        // `apply` reassigns its seq before the indexes are cleaned up,
+        // so removal must go by the seq the old entry was indexed under
+        // — otherwise the dead version stays resident and pairs with
+        // the reborn one as a phantom violation.
+        let r = s
+            .apply(
+                DeltaBatch::new()
+                    .delete(0)
+                    .insert(0, vec![Value::Int(1), Value::str("SF")]),
+            )
+            .unwrap();
+        assert_eq!(
+            r.violations_added, 0,
+            "reborn tuple is the only zip-1 row; any violation pairs it \
+             with its dead version"
+        );
+        assert!(s.is_clean());
+        // Future deltas into the block must pair with the live version only.
+        let r2 = s
+            .apply(DeltaBatch::new().insert(9, vec![Value::Int(1), Value::str("SF")]))
+            .unwrap();
+        assert_eq!(r2.violations_added, 0);
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn mid_apply_failure_poisons_the_session() {
+        use bigdansing_dataflow::{ExecMode, FaultInjector, FaultPolicy};
+        // An empty base runs no detect stage at open; the first batch
+        // does, and every task attempt panics — a deterministic failure
+        // after the table has been materialized.
+        let schema = Schema::parse("zipcode,city");
+        let table = Table::from_rows("t", schema.clone(), vec![]);
+        let engine = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .fault_policy(FaultPolicy::fail_fast())
+            .fault_injector(FaultInjector::seeded(1).with_task_panics(1.0))
+            .build();
+        let rules: Vec<Arc<dyn Rule>> =
+            vec![Arc::new(FdRule::parse("zipcode -> city", &schema).unwrap())];
+        let mut s = Session::new(
+            Executor::new(engine),
+            rules,
+            &table,
+            SessionOptions::default(),
+        )
+        .unwrap();
+        assert!(!s.is_poisoned());
+        // Two inserts into one block form a delta×delta pair, so the
+        // batch runs a detect stage (a lone insert would not).
+        let err = s
+            .apply(
+                DeltaBatch::new()
+                    .insert(0, vec![Value::Int(1), Value::str("LA")])
+                    .insert(1, vec![Value::Int(1), Value::str("SF")]),
+            )
+            .unwrap_err();
+        assert!(
+            !err.to_string().contains("poisoned"),
+            "first failure surfaces the stage error: {err}"
+        );
+        assert!(s.is_poisoned());
+        // Every later apply — even an empty batch — is refused.
+        let err = s.apply(DeltaBatch::new()).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
     }
 
     #[test]

@@ -144,6 +144,18 @@ fn mixed_batches() -> Vec<DeltaBatch> {
             .update(4, row(60601, "CH", 2000, 8)),
         // empty batch: nothing dirty, repair skippable
         DeltaBatch::new(),
+        // delete + reinsert same id staying in the SAME block with a new
+        // city (regression: the dead version must leave the block index
+        // even though the id's seq changed mid-batch) ...
+        DeltaBatch::new()
+            .delete(4)
+            .insert(4, row(60601, "XY", 2100, 9)),
+        // ... a later delta into that block pairs only with live rows ...
+        DeltaBatch::new().insert(12, row(60601, "XY", 50, 2)),
+        // ... and deleting the reborn row then inserting again must not
+        // resurrect its dead version as a phantom partner
+        DeltaBatch::new().delete(4),
+        DeltaBatch::new().insert(13, row(60601, "QQ", 75, 3)),
     ]
 }
 

@@ -81,6 +81,10 @@ enum OpSpec {
     Insert(i64, i64, i64),
     Update(usize, i64, i64, i64),
     Delete(usize),
+    /// Delete a live id and reinsert it within the same batch — the id
+    /// keeps its identity but moves to the end of the table, exercising
+    /// the session's index maintenance under in-batch seq reassignment.
+    Reinsert(usize, i64, i64, i64),
 }
 
 fn arb_interleavings() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
@@ -89,6 +93,8 @@ fn arb_interleavings() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
         (any::<usize>(), 0i64..6, 0i64..4, 0i64..4)
             .prop_map(|(s, a, b, c)| OpSpec::Update(s, a, b, c)),
         any::<usize>().prop_map(OpSpec::Delete),
+        (any::<usize>(), 0i64..6, 0i64..4, 0i64..4)
+            .prop_map(|(s, a, b, c)| OpSpec::Reinsert(s, a, b, c)),
     ];
     prop::collection::vec(prop::collection::vec(op, 0..6), 1..4)
 }
@@ -142,6 +148,15 @@ fn resolve_batch(
                 }
                 let idx = sel % live.len();
                 batch = batch.delete(live.remove(idx));
+            }
+            OpSpec::Reinsert(sel, a, b, c) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[sel % live.len()];
+                batch = batch
+                    .delete(id)
+                    .insert(id, spec_values(*a, *b, *c, strings));
             }
         }
     }
@@ -203,6 +218,10 @@ fn session_parity_smoke_interleaving() {
             OpSpec::Delete(2),
             OpSpec::Insert(1, 0, 0),
         ],
+        // same-batch delete+reinsert of a live id, then another delta
+        // into the same `a` block
+        vec![OpSpec::Reinsert(0, 1, 3, 3)],
+        vec![OpSpec::Insert(1, 1, 1)],
     ];
     assert_session_parity(&sys, base, ops, false);
 }
