@@ -8,9 +8,9 @@
 //! why PostgreSQL falls off a cliff on ϕ2 (Figure 9(b)).
 
 use bigdansing_common::metrics::Metrics;
-use bigdansing_common::{Table, Tuple, Value};
+use bigdansing_common::{Table, Tuple};
 use bigdansing_dataflow::Engine;
-use bigdansing_rules::{Rule, RuleExt, Violation};
+use bigdansing_rules::{BlockKey, Rule, RuleExt, Violation};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -28,7 +28,7 @@ pub fn detect_equality_join(
 ) -> Vec<Violation> {
     Metrics::add(&engine.metrics().tuples_scanned, 2 * table.len() as u64);
     // scan 1: build side
-    let mut build: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+    let mut build: HashMap<BlockKey, Vec<Tuple>> = HashMap::new();
     for t in table.tuples() {
         for s in rule.scope(t) {
             let key = rule.block(&s).unwrap_or_default();
@@ -93,7 +93,7 @@ pub fn detect(engine: &Engine, table: &Table, rule: &Arc<dyn Rule>) -> Vec<Viola
 mod tests {
     use super::*;
     use crate::dedup_violations;
-    use bigdansing_common::Schema;
+    use bigdansing_common::{Schema, Value};
     use bigdansing_rules::{DcRule, FdRule};
 
     fn table() -> Table {

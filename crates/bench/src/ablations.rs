@@ -84,7 +84,7 @@ pub fn ablation_coblock() -> Report {
                 .dirty
                 .tuples()
                 .iter()
-                .map(|t| bigdansing_common::Tuple::new(t.id() + offset, t.values().to_vec())),
+                .map(|t| bigdansing_common::Tuple::new(t.id() + offset, t.to_values())),
         );
         let union = bigdansing_common::Table::new("u", left.schema().clone(), tuples);
         let (_, naive) = time_best(|| exec.detect_only(&union, Arc::clone(&rule)).unwrap());

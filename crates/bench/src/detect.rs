@@ -1,0 +1,320 @@
+//! Detect-throughput benchmark: the zero-copy hot path under the four
+//! pipeline shapes the translator emits.
+//!
+//! One workload per physical strategy family — FD (blocked pairs), CFD
+//! (single units), inequality DC (OCJoin), dedup UDF (blocked
+//! similarity) — each generated deterministically (no RNG) so every run
+//! and every machine sees the same table and the same violation set.
+//! Each workload is timed on the parallel engine and cross-checked
+//! against the sequential oracle: `parity` asserts identical violation
+//! sets, `pairs_match` asserts the candidate-pair count is identical,
+//! so a perf win can never hide a coverage regression. Results land in
+//! `BENCH_detect.json`, the tracked baseline every later perf PR is
+//! measured against.
+
+use crate::{rows, time_best, Report};
+use bigdansing_common::metrics::MetricsSnapshot;
+use bigdansing_common::{Schema, Table, Value};
+use bigdansing_dataflow::Engine;
+use bigdansing_plan::Executor;
+use bigdansing_rules::{CfdRule, DcRule, DedupRule, FdRule, Rule};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// FD workload: wide tax-like table (~5 rows per `zipcode → city`
+/// block) with every 37th row's city garbled, so dirty blocks hold one
+/// bad row plus its clean partners.
+fn fd_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    let spread = (n / 5).max(1);
+    let tuples = (0..n)
+        .map(|i| {
+            let zip = 10_000 + (i * 7919) % spread;
+            let city = if i % 37 == 0 {
+                format!("garbled{i}")
+            } else {
+                format!("city{zip}")
+            };
+            vec![
+                Value::str(format!("p{i}")),
+                Value::Int(zip as i64),
+                Value::str(city),
+            ]
+        })
+        .collect();
+    let table = Table::from_rows("fd_bench", Schema::parse("name,zipcode,city"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", table.schema()).unwrap());
+    (table, rule)
+}
+
+/// CFD workload: the constant rule `zipcode=90210 → city=LA`; a third
+/// of the 90210 rows carry SF and violate it (single-unit strategy).
+fn cfd_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    let tuples = (0..n)
+        .map(|i| match i % 3 {
+            0 => vec![Value::Int(90210), Value::str("LA")],
+            1 => vec![Value::Int(90210), Value::str("SF")],
+            _ => vec![Value::Int(10001), Value::str("NY")],
+        })
+        .collect();
+    let table = Table::from_rows("cfd_bench", Schema::parse("zipcode,city"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(
+        CfdRule::parse("zipcode -> city | zipcode=90210, city=LA", table.schema()).unwrap(),
+    );
+    (table, rule)
+}
+
+/// Inequality-DC workload for OCJoin: salary strictly increasing, rate
+/// monotone in salary, then every 101st row's rate is pulled ~40 ranks
+/// down. Each dirty row violates `t1.salary > t2.salary ∧ t1.rate <
+/// t2.rate` against only the ~40 rows in the rank window it skipped, so
+/// the violation count stays linear in `n` while the join still has to
+/// enumerate candidates across range partitions.
+fn dc_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    let tuples = (0..n)
+        .map(|i| {
+            let rate = if i % 101 == 0 {
+                i as f64 - 40.5
+            } else {
+                i as f64
+            };
+            vec![
+                Value::str(format!("p{i}")),
+                Value::Int(10 * i as i64),
+                Value::Float(rate),
+            ]
+        })
+        .collect();
+    let table = Table::from_rows("dc_bench", Schema::parse("name,salary,rate"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(
+        DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", table.schema()).unwrap(),
+    );
+    (table, rule)
+}
+
+/// Dedup-UDF workload: cities drawn from a small pool with a few
+/// near-duplicate spellings, blocked on the city's first character; the
+/// similarity UDF fires inside each block.
+fn dedup_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    const POOL: [&str; 12] = [
+        "Karlsruhe",
+        "Melbourne",
+        "Vancouver",
+        "Sao Paulo",
+        "Sao Paolo",
+        "Istanbul",
+        "Winnipeg",
+        "Nagasaki",
+        "Florence",
+        "Florense",
+        "Dortmund",
+        "Budapest",
+    ];
+    let tuples = (0..n)
+        .map(|i| {
+            vec![
+                Value::str(format!("p{i}")),
+                Value::str(POOL[(i * 31) % POOL.len()]),
+            ]
+        })
+        .collect();
+    let table = Table::from_rows("dedup_bench", Schema::parse("name,city"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(DedupRule::new("udf:dedup", 1, 0.8).with_block_prefix(1));
+    (table, rule)
+}
+
+/// Measured outcome for one workload.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Workload label (`fd`, `cfd`, `dc`, `dedup`).
+    pub workload: &'static str,
+    /// Rule name as reported by the rule itself.
+    pub rule: String,
+    /// Table rows.
+    pub rows: usize,
+    /// Wall-clock of the parallel detect (best of two runs).
+    pub detect_secs: f64,
+    /// `rows / detect_secs`.
+    pub throughput_tuples_per_sec: f64,
+    /// Candidate units/pairs the parallel run enumerated.
+    pub pairs_generated: u64,
+    /// Bytes moved through wide boundaries by the parallel run.
+    pub bytes_shuffled: u64,
+    /// Deep row/key payload copies attributed to the parallel run.
+    pub tuples_cloned: u64,
+    /// Violations detected.
+    pub violations: usize,
+    /// Parallel and sequential violation sets are identical.
+    pub parity: bool,
+    /// Parallel and sequential enumerate the same number of candidates.
+    pub pairs_match: bool,
+}
+
+fn run_once(
+    engine: Engine,
+    table: &Table,
+    rule: &Arc<dyn Rule>,
+) -> (BTreeSet<String>, MetricsSnapshot) {
+    let exec = Executor::new(engine);
+    let out = exec.detect(table, &[Arc::clone(rule)]).unwrap();
+    let sig = out.detected.iter().map(|(v, _)| format!("{v:?}")).collect();
+    (sig, exec.engine().metrics().snapshot())
+}
+
+/// Bench one workload: time the parallel detect, then cross-check the
+/// violation set and candidate-pair count against the sequential
+/// oracle.
+pub fn run(workload: &'static str, table: Table, rule: Arc<dyn Rule>, workers: usize) -> Outcome {
+    let ((sig, snap), detect_secs) =
+        time_best(|| run_once(Engine::parallel(workers), &table, &rule));
+    let (oracle_sig, oracle_snap) = run_once(Engine::sequential(), &table, &rule);
+    Outcome {
+        workload,
+        rule: rule.name().to_string(),
+        rows: table.len(),
+        detect_secs,
+        throughput_tuples_per_sec: table.len() as f64 / detect_secs.max(1e-9),
+        pairs_generated: snap.pairs_generated,
+        bytes_shuffled: snap.bytes_shuffled,
+        tuples_cloned: snap.tuples_cloned,
+        violations: sig.len(),
+        parity: sig == oracle_sig,
+        pairs_match: snap.pairs_generated == oracle_snap.pairs_generated,
+    }
+}
+
+/// Row counts per workload (each scaled by `BIGDANSING_SCALE`). The
+/// dedup workload is smaller because its cost is dominated by the
+/// quadratic similarity UDF inside each block, not by data movement.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    /// FD workload rows.
+    pub fd: usize,
+    /// CFD workload rows.
+    pub cfd: usize,
+    /// Inequality-DC workload rows.
+    pub dc: usize,
+    /// Dedup workload rows.
+    pub dedup: usize,
+}
+
+impl Default for Sizes {
+    fn default() -> Sizes {
+        Sizes {
+            fd: rows(100_000),
+            cfd: rows(100_000),
+            dc: rows(100_000),
+            dedup: rows(4_000),
+        }
+    }
+}
+
+/// Run all four workloads at the given sizes.
+pub fn run_all(sizes: Sizes) -> Vec<Outcome> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let (fd_t, fd_r) = fd_workload(sizes.fd);
+    let (cfd_t, cfd_r) = cfd_workload(sizes.cfd);
+    let (dc_t, dc_r) = dc_workload(sizes.dc);
+    let (dd_t, dd_r) = dedup_workload(sizes.dedup);
+    vec![
+        run("fd", fd_t, fd_r, workers),
+        run("cfd", cfd_t, cfd_r, workers),
+        run("dc", dc_t, dc_r, workers),
+        run("dedup", dd_t, dd_r, workers),
+    ]
+}
+
+/// Hand-rolled JSON for the workload set (the workspace carries no
+/// serde).
+pub fn to_json(outcomes: &[Outcome]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"detect\",\n  \"workloads\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", o.workload);
+        let _ = writeln!(s, "      \"rule\": \"{}\",", o.rule);
+        let _ = writeln!(s, "      \"rows\": {},", o.rows);
+        let _ = writeln!(s, "      \"detect_secs\": {:.6},", o.detect_secs);
+        let _ = writeln!(
+            s,
+            "      \"throughput_tuples_per_sec\": {:.0},",
+            o.throughput_tuples_per_sec
+        );
+        let _ = writeln!(s, "      \"pairs_generated\": {},", o.pairs_generated);
+        let _ = writeln!(s, "      \"bytes_shuffled\": {},", o.bytes_shuffled);
+        let _ = writeln!(s, "      \"tuples_cloned\": {},", o.tuples_cloned);
+        let _ = writeln!(s, "      \"violations\": {},", o.violations);
+        let _ = writeln!(s, "      \"parity\": {},", o.parity);
+        let _ = writeln!(s, "      \"pairs_match\": {}", o.pairs_match);
+        let _ = writeln!(s, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Run at the scaled default sizes, write `BENCH_detect.json` into the
+/// current directory, and render the report table.
+pub fn report() -> Report {
+    let outcomes = run_all(Sizes::default());
+    let path = "BENCH_detect.json";
+    match std::fs::write(path, to_json(&outcomes)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let mut r = Report::new(
+        "Detect throughput — zero-copy hot path",
+        &[
+            "workload",
+            "rows",
+            "detect",
+            "tuples/s",
+            "pairs",
+            "bytes shuffled",
+            "tuples cloned",
+            "violations",
+            "parity",
+            "pairs match",
+        ],
+    );
+    for o in &outcomes {
+        r.row(vec![
+            o.workload.into(),
+            o.rows.into(),
+            crate::report::Cell::Secs(o.detect_secs),
+            format!("{:.0}/s", o.throughput_tuples_per_sec).into(),
+            o.pairs_generated.into(),
+            o.bytes_shuffled.into(),
+            o.tuples_cloned.into(),
+            o.violations.into(),
+            format!("{}", o.parity).into(),
+            format!("{}", o.pairs_match).into(),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_runs_hold_parity_on_every_shape() {
+        let outcomes = run_all(Sizes {
+            fd: 2_000,
+            cfd: 1_200,
+            dc: 2_000,
+            dedup: 400,
+        });
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert!(o.parity, "{}: violation sets diverged", o.workload);
+            assert!(o.pairs_match, "{}: pair counts diverged", o.workload);
+            assert!(o.violations > 0, "{}: workload found nothing", o.workload);
+        }
+        let json = to_json(&outcomes);
+        assert!(json.contains("\"throughput_tuples_per_sec\""));
+        assert!(json.contains("\"bytes_shuffled\""));
+        assert_eq!(json.matches("\"parity\": true").count(), 4);
+    }
+}

@@ -17,6 +17,7 @@
 //! `BIGDANSING_SCALE` (a float multiplier on row counts).
 
 pub mod ablations;
+pub mod detect;
 pub mod experiments;
 pub mod incremental;
 pub mod report;

@@ -110,7 +110,7 @@ impl Codec for Tuple {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.id().encode(buf);
         (self.arity() as u64).encode(buf);
-        for v in self.values() {
+        for v in self.iter_values() {
             v.encode(buf);
         }
     }
@@ -269,7 +269,7 @@ mod tests {
             let back = Tuple::decode(&mut buf.as_slice()).unwrap();
             prop_assert_eq!(back.id(), t.id());
             // NaN-safe comparison via total-order Eq on Value
-            prop_assert_eq!(back.values(), t.values());
+            prop_assert_eq!(back.to_values(), t.to_values());
         }
     }
 }

@@ -77,7 +77,10 @@ fn parse_inner(
             quarantine.push(i + 1, reason);
             continue;
         }
-        let values = fields.iter().map(|f| Value::parse_lossy(f)).collect();
+        let values = fields
+            .iter()
+            .map(|f| Value::parse_lossy_interned(f))
+            .collect();
         tuples.push(Tuple::new(tuples.len() as TupleId, values));
     }
     Ok((Table::new(name, schema, tuples), quarantine))
@@ -143,7 +146,7 @@ pub fn to_string(table: &Table) -> String {
     );
     out.push('\n');
     for t in table.tuples() {
-        let row: Vec<String> = t.values().iter().map(|v| quote(&v.to_string())).collect();
+        let row: Vec<String> = t.iter_values().map(|v| quote(&v.to_string())).collect();
         out.push_str(&row.join(","));
         out.push('\n');
     }

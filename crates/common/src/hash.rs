@@ -1,0 +1,96 @@
+//! The deterministic hasher behind every shuffle and key encoding.
+//!
+//! Partition routing must put the same key in the same bucket on every
+//! run, Rust release, and platform — `DefaultHasher` (SipHash with
+//! per-process random keys) guarantees none of that. [`StableHasher`]
+//! is a seeded FNV-1a with pinned little-endian integer encodings and a
+//! murmur-style finalizer; [`stable_hash_of`] is the one-shot helper
+//! used by bucket routing and by [`crate::keys::KeyDict`] to cache a
+//! key's hash into its [`crate::keys::KeyId`] so it is computed once
+//! per pass, not once per shuffle hop.
+
+use std::hash::{Hash, Hasher};
+
+/// Fixed seed for [`StableHasher`]: the FNV-1a 64-bit offset basis.
+pub(crate) const STABLE_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A seeded FNV-1a hasher with explicit little-endian integer
+/// encoding, so the same key lands in the same bucket on every run,
+/// Rust release, and platform.
+#[derive(Clone)]
+pub struct StableHasher {
+    hash: u64,
+}
+
+impl StableHasher {
+    /// A hasher starting from the fixed seed.
+    pub fn new() -> StableHasher {
+        StableHasher { hash: STABLE_SEED }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits (used by the `%` in bucket
+        // routing) depend on the whole key.
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    // Pin the integer encodings to little-endian: the std defaults use
+    // native endianness, which would make bucket assignment differ
+    // between platforms.
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// One-shot stable hash of any `Hash` key.
+pub fn stable_hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = StableHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}

@@ -27,6 +27,9 @@
 pub mod codec;
 pub mod csv;
 pub mod error;
+pub mod hash;
+pub mod intern;
+pub mod keys;
 pub mod metrics;
 pub mod quarantine;
 pub mod rdf;
@@ -37,8 +40,10 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{CancelReason, Error, Result};
+pub use hash::{stable_hash_of, StableHasher};
+pub use keys::{KeyDict, KeyId};
 pub use quarantine::Quarantine;
 pub use schema::Schema;
 pub use table::Table;
-pub use tuple::{Cell, Tuple, TupleId};
+pub use tuple::{Cell, Selector, Tuple, TupleId};
 pub use value::Value;

@@ -9,6 +9,27 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Process-wide count of deep row/key payload copies (a fresh
+/// `Vec<Value>` cloned out of an existing tuple or blocking key).
+///
+/// This lives outside [`Metrics`] because the copies happen deep inside
+/// `Tuple`/`BlockKey` clone paths that have no engine handle. The
+/// executor attributes deltas of this counter to a job's
+/// [`Metrics::tuples_cloned`] around each pipeline run.
+static DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` deep payload copies against the process-wide counter.
+#[inline]
+pub fn record_deep_clones(n: u64) {
+    DEEP_CLONES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the process-wide deep-copy counter (monotone; never reset).
+#[inline]
+pub fn deep_clones_total() -> u64 {
+    DEEP_CLONES.load(Ordering::Relaxed)
+}
+
 /// Shared, thread-safe counters incremented by the engine and operators.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -68,6 +89,14 @@ pub struct Metrics {
     pub violations_retracted: AtomicU64,
     /// Violation-graph connected components re-repaired incrementally.
     pub components_rerepaired: AtomicU64,
+    /// Deep row/key payload copies (fresh `Vec<Value>` materialized from
+    /// an existing tuple or blocking key) attributed to this job. The
+    /// zero-copy detect path keeps this at 0: shuffles and pair
+    /// enumeration move `Arc` handles and `KeyId`s, never row payloads.
+    pub tuples_cloned: AtomicU64,
+    /// Bytes moved across wide boundaries (shuffle / co-group /
+    /// range-repartition), computed as record size × records routed.
+    pub bytes_shuffled: AtomicU64,
 }
 
 impl Metrics {
@@ -114,6 +143,8 @@ impl Metrics {
             &self.blocks_dirty,
             &self.violations_retracted,
             &self.components_rerepaired,
+            &self.tuples_cloned,
+            &self.bytes_shuffled,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -147,6 +178,8 @@ impl Metrics {
             blocks_dirty: Metrics::get(&self.blocks_dirty),
             violations_retracted: Metrics::get(&self.violations_retracted),
             components_rerepaired: Metrics::get(&self.components_rerepaired),
+            tuples_cloned: Metrics::get(&self.tuples_cloned),
+            bytes_shuffled: Metrics::get(&self.bytes_shuffled),
         }
     }
 }
@@ -204,6 +237,10 @@ pub struct MetricsSnapshot {
     pub violations_retracted: u64,
     /// See [`Metrics::components_rerepaired`].
     pub components_rerepaired: u64,
+    /// See [`Metrics::tuples_cloned`].
+    pub tuples_cloned: u64,
+    /// See [`Metrics::bytes_shuffled`].
+    pub bytes_shuffled: u64,
 }
 
 #[cfg(test)]

@@ -90,7 +90,7 @@ impl Table {
         for t in &self.tuples {
             match by_tuple.get(&t.id()) {
                 Some(edits) => {
-                    let mut values = t.values().to_vec();
+                    let mut values = t.to_values();
                     for (attr, v) in edits {
                         if *attr >= values.len() {
                             return Err(Error::Repair(format!(
@@ -177,7 +177,7 @@ impl Table {
         }
         for (id, edits) in by_tuple {
             let p = positions[&id];
-            let mut values = self.tuples[p].values().to_vec();
+            let mut values = self.tuples[p].to_values();
             for (attr, v) in edits {
                 values[attr] = v.clone();
             }
@@ -193,9 +193,8 @@ impl Table {
             .iter()
             .zip(other.tuples.iter())
             .map(|(a, b)| {
-                a.values()
-                    .iter()
-                    .zip(b.values().iter())
+                a.iter_values()
+                    .zip(b.iter_values())
                     .filter(|(x, y)| x != y)
                     .count()
             })

@@ -3,24 +3,46 @@
 //! A [`Tuple`] is the relational *data unit*: a stable identifier plus a
 //! shared slice of [`Value`]s. A [`Cell`] names one *element* of a unit —
 //! the `(tuple id, attribute)` pair that violations and fixes refer to.
+//!
+//! Tuples are zero-copy throughout the detect hot path: the payload is a
+//! shared `Arc<[Value]>`, and `Scope` projections are *views* — a second
+//! shared `Arc<[u32]>` selector mapping logical to physical columns —
+//! so neither cloning a tuple nor projecting it copies cell values.
 
+use crate::metrics::record_deep_clones;
 use crate::Value;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Stable tuple identifier, assigned at load time and preserved across
 /// `Scope` projections so fixes can be applied back to the source table.
 pub type TupleId = u64;
 
+/// Sentinel selector entry: logical column reads as `Value::Null`.
+const NULL_COL: u32 = u32::MAX;
+
+static NULL: Value = Value::Null;
+
+/// A shared projection selector: logical column → physical column.
+///
+/// Build one per rule (not per tuple) with [`Tuple::selector`] and apply
+/// it with [`Tuple::project_shared`]; every projected tuple then costs
+/// two `Arc` bumps and no `Value` traffic.
+pub type Selector = Arc<[u32]>;
+
 /// A relational data unit.
 ///
 /// Cloning is O(1): the cell payload is behind an `Arc`, which is what
 /// makes replicating tuples into multiple data flows (the paper's labeled
-/// copies, Appendix A) affordable.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// copies, Appendix A) affordable. Equality and hashing are *logical* —
+/// a projection view and its materialization compare equal.
+#[derive(Clone)]
 pub struct Tuple {
     id: TupleId,
     values: Arc<[Value]>,
+    /// Logical→physical column map; `None` means identity.
+    sel: Option<Selector>,
 }
 
 impl Tuple {
@@ -29,6 +51,7 @@ impl Tuple {
         Tuple {
             id,
             values: values.into(),
+            sel: None,
         }
     }
 
@@ -37,41 +60,98 @@ impl Tuple {
         self.id
     }
 
-    /// Number of cells.
+    /// Number of (logical) cells.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        match &self.sel {
+            None => self.values.len(),
+            Some(sel) => sel.len(),
+        }
+    }
+
+    /// Whether this tuple is a projection view over a wider payload.
+    pub fn is_view(&self) -> bool {
+        self.sel.is_some()
     }
 
     /// Borrow the cell value at `idx`; panics if out of range (mirrors the
     /// paper's `getCellValue`, which assumes in-schema access).
     pub fn value(&self, idx: usize) -> &Value {
-        &self.values[idx]
+        match &self.sel {
+            None => &self.values[idx],
+            Some(sel) => match self.values.get(sel[idx] as usize) {
+                Some(v) => v,
+                None => &NULL,
+            },
+        }
     }
 
     /// Borrow the cell value at `idx`, or `None` when out of range.
     pub fn get(&self, idx: usize) -> Option<&Value> {
-        self.values.get(idx)
+        match &self.sel {
+            None => self.values.get(idx),
+            Some(sel) => sel
+                .get(idx)
+                .map(|&p| self.values.get(p as usize).unwrap_or(&NULL)),
+        }
     }
 
-    /// All cell values.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    /// Iterate the logical cell values without materializing them.
+    pub fn iter_values(&self) -> impl Iterator<Item = &Value> + '_ {
+        (0..self.arity()).map(move |i| self.value(i))
     }
 
-    /// A new tuple with the same id keeping only `indices` (Scope
-    /// projection). Out-of-range indices yield `Value::Null`, keeping the
-    /// operator total as required for UDF-provided scopes.
-    pub fn project(&self, indices: &[usize]) -> Tuple {
-        let values: Vec<Value> = indices
+    /// Materialize the logical row as an owned `Vec<Value>`. This is a
+    /// deep payload copy and counts against the `tuples_cloned` metric;
+    /// the detect hot path never calls it.
+    pub fn to_values(&self) -> Vec<Value> {
+        record_deep_clones(1);
+        self.iter_values().cloned().collect()
+    }
+
+    /// Build a shared selector from attribute indices. Indices beyond
+    /// `u32::MAX` (practically: none) read as `Value::Null`.
+    pub fn selector(indices: &[usize]) -> Selector {
+        indices
             .iter()
-            .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
-            .collect();
-        Tuple::new(self.id, values)
+            .map(|&i| u32::try_from(i).unwrap_or(NULL_COL))
+            .collect()
     }
 
-    /// A new tuple with the same id and `idx` replaced by `v`.
+    /// A zero-copy projection view with the same id: keeps only the
+    /// columns named by `sel` (Scope). Out-of-range entries yield
+    /// `Value::Null`, keeping the operator total as required for
+    /// UDF-provided scopes. Projecting an existing view composes the
+    /// selectors; projecting a base tuple is two `Arc` bumps.
+    pub fn project_shared(&self, sel: &Selector) -> Tuple {
+        let sel = match &self.sel {
+            None => Arc::clone(sel),
+            Some(cur) => sel
+                .iter()
+                .map(|&i| match cur.get(i as usize) {
+                    Some(&p) => p,
+                    None => NULL_COL,
+                })
+                .collect(),
+        };
+        Tuple {
+            id: self.id,
+            values: Arc::clone(&self.values),
+            sel: Some(sel),
+        }
+    }
+
+    /// A projection view built from ad-hoc indices; prefer
+    /// [`Tuple::project_shared`] with a rule-cached [`Selector`] on hot
+    /// paths so the selector is allocated once, not per tuple.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        self.project_shared(&Tuple::selector(indices))
+    }
+
+    /// A new tuple with the same id and `idx` replaced by `v`. This
+    /// materializes the row (a deep copy, counted in `tuples_cloned`);
+    /// it runs on the repair path, not during detection.
     pub fn with_value(&self, idx: usize, v: Value) -> Tuple {
-        let mut values: Vec<Value> = self.values.to_vec();
+        let mut values = self.to_values();
         values[idx] = v;
         Tuple::new(self.id, values)
     }
@@ -85,10 +165,40 @@ impl Tuple {
     }
 }
 
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        if self.id != other.id || self.arity() != other.arity() {
+            return false;
+        }
+        // Views over the same payload with the same selector are equal
+        // without touching values.
+        if Arc::ptr_eq(&self.values, &other.values) {
+            match (&self.sel, &other.sel) {
+                (None, None) => return true,
+                (Some(a), Some(b)) if Arc::ptr_eq(a, b) => return true,
+                _ => {}
+            }
+        }
+        self.iter_values().eq(other.iter_values())
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        state.write_usize(self.arity());
+        for v in self.iter_values() {
+            v.hash(state);
+        }
+    }
+}
+
 impl fmt::Debug for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}(", self.id)?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.iter_values().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -163,9 +273,51 @@ mod tests {
         let p = t.project(&[1, 2, 9]);
         assert_eq!(p.id(), 7);
         assert_eq!(
-            p.values(),
-            &[Value::Int(10001), Value::str("NY"), Value::Null]
+            p.to_values(),
+            vec![Value::Int(10001), Value::str("NY"), Value::Null]
         );
+        assert_eq!(p.get(1), Some(&Value::str("NY")));
+        assert_eq!(p.get(2), Some(&Value::Null));
+        assert_eq!(p.get(3), None);
+    }
+
+    #[test]
+    fn projection_is_a_view_not_a_copy() {
+        let t = tup();
+        let before = crate::metrics::deep_clones_total();
+        let p = t.project(&[1, 2]);
+        assert!(p.is_view());
+        assert!(Arc::ptr_eq(&t.values, &p.values), "payload must be shared");
+        assert_eq!(
+            crate::metrics::deep_clones_total(),
+            before,
+            "projection must not deep-copy values"
+        );
+    }
+
+    #[test]
+    fn projection_composes() {
+        let t = tup();
+        let p = t.project(&[2, 1, 0]).project(&[1, 0, 5]);
+        assert_eq!(p.value(0), &Value::Int(10001));
+        assert_eq!(p.value(1), &Value::str("NY"));
+        assert_eq!(p.value(2), &Value::Null);
+        assert!(Arc::ptr_eq(&t.values, &p.values));
+    }
+
+    #[test]
+    fn view_equals_its_materialization() {
+        let t = tup();
+        let view = t.project(&[1, 2]);
+        let deep = Tuple::new(7, view.to_values());
+        assert_eq!(view, deep);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |t: &Tuple| {
+            let mut s = DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&view), h(&deep));
     }
 
     #[test]

@@ -79,5 +79,6 @@ pub use bigdansing_dataflow::{
 pub use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, Job};
 pub use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm};
 pub use bigdansing_rules::{
-    CfdRule, DcRule, DedupRule, DetectUnit, Fix, FixRhs, Op, Rule, UdfRule, UnitKind, Violation,
+    BlockKey, CfdRule, DcRule, DedupRule, DetectUnit, Fix, FixRhs, Op, Rule, UdfRule, UnitKind,
+    Violation,
 };

@@ -8,95 +8,21 @@ use crate::pdataset::PDataset;
 use crate::pool::par_map_indexed;
 use bigdansing_common::error::Result;
 use bigdansing_common::metrics::Metrics;
+use bigdansing_common::stable_hash_of;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 
-/// Fixed seed for [`StableHasher`]: the FNV-1a 64-bit offset basis.
-/// Using a constant (instead of `RandomState`'s per-process keys) makes
-/// partition assignment reproducible across runs and Rust versions.
-const STABLE_SEED: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// A seeded FNV-1a hasher with explicit little-endian integer
-/// encoding, so the same key lands in the same bucket on every run,
-/// Rust release, and platform. `DefaultHasher` (SipHash with random
-/// keys) guarantees none of that.
-#[derive(Clone)]
-pub struct StableHasher {
-    hash: u64,
-}
-
-impl StableHasher {
-    /// A hasher starting from the fixed seed.
-    pub fn new() -> StableHasher {
-        StableHasher { hash: STABLE_SEED }
-    }
-}
-
-impl Default for StableHasher {
-    fn default() -> StableHasher {
-        StableHasher::new()
-    }
-}
-
-impl Hasher for StableHasher {
-    fn finish(&self) -> u64 {
-        // Final avalanche so low bits (used by the `%` in `bucket_of`)
-        // depend on the whole key.
-        let mut h = self.hash;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        h
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    // Pin the integer encodings to little-endian: the std defaults use
-    // native endianness, which would make bucket assignment differ
-    // between platforms.
-    fn write_u16(&mut self, i: u16) {
-        self.write(&i.to_le_bytes());
-    }
-    fn write_u32(&mut self, i: u32) {
-        self.write(&i.to_le_bytes());
-    }
-    fn write_u64(&mut self, i: u64) {
-        self.write(&i.to_le_bytes());
-    }
-    fn write_u128(&mut self, i: u128) {
-        self.write(&i.to_le_bytes());
-    }
-    fn write_usize(&mut self, i: usize) {
-        self.write_u64(i as u64);
-    }
-    fn write_i16(&mut self, i: i16) {
-        self.write_u16(i as u16);
-    }
-    fn write_i32(&mut self, i: i32) {
-        self.write_u32(i as u32);
-    }
-    fn write_i64(&mut self, i: i64) {
-        self.write_u64(i as u64);
-    }
-    fn write_i128(&mut self, i: i128) {
-        self.write_u128(i as u128);
-    }
-    fn write_isize(&mut self, i: isize) {
-        self.write_u64(i as u64);
-    }
-}
+// The hasher moved to `bigdansing_common::hash` so key dictionaries can
+// cache the same hash the shuffle routes by; re-exported here for the
+// existing callers.
+pub use bigdansing_common::StableHasher;
 
 /// The reducer bucket `key` hashes to — deterministic across runs.
+/// `KeyId` keys hash only their cached stable half, so encoded keys
+/// route without re-hashing the key payload.
 pub(crate) fn bucket_of<K: Hash>(key: &K, nbuckets: usize) -> usize {
-    let mut h = StableHasher::new();
-    key.hash(&mut h);
-    (h.finish() as usize) % nbuckets
+    (stable_hash_of(key) as usize) % nbuckets
 }
 
 /// Map-side half of the shuffle: split one mapped partition into
@@ -126,6 +52,14 @@ where
 {
     let total: usize = bucketed.iter().flat_map(|bs| bs.iter().map(Vec::len)).sum();
     Metrics::add(&engine.metrics().records_shuffled, total as u64);
+    // Bytes that cross the shuffle boundary. Records are shuffled as
+    // handles (`Tuple` is an id + `Arc` + optional selector; keys are
+    // 8-byte `KeyId`s once encoded), so this measures what actually
+    // moves — not the pinned payloads, which never do.
+    Metrics::add(
+        &engine.metrics().bytes_shuffled,
+        (std::mem::size_of::<(K, T)>() * total) as u64,
+    );
     let slots: Vec<Vec<Mutex<Option<Vec<(K, T)>>>>> = bucketed
         .into_iter()
         .map(|bs| bs.into_iter().map(|b| Mutex::new(Some(b))).collect())
@@ -306,7 +240,15 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         let partitions = engine.run_stage(&buckets, |_, bucket: &Vec<(K, T)>| {
             let mut groups: HashMap<K, Vec<T>> = HashMap::new();
             for (k, t) in bucket {
-                groups.entry(k.clone()).or_default().push(t.clone());
+                // `run_stage` borrows the bucket (retries re-run it), so
+                // records are cloned in — but the key only once per
+                // distinct key, not once per record.
+                match groups.get_mut(k) {
+                    Some(g) => g.push(t.clone()),
+                    None => {
+                        groups.insert(k.clone(), vec![t.clone()]);
+                    }
+                }
             }
             Ok(groups.into_iter().collect::<Vec<_>>())
         })?;
@@ -345,11 +287,24 @@ impl<T: Send + Sync + Clone> PDataset<T> {
             buckets_l.into_iter().zip(buckets_r).collect();
         let partitions = engine.run_stage(&zipped, |_, (bl, br)| {
             let mut groups: HashMap<K, (Vec<T>, Vec<U>)> = HashMap::new();
+            // One key clone per distinct key (the bucket is borrowed so
+            // retries can re-run it); the old `entry(k.clone())` pattern
+            // cloned the key for every record on both sides.
             for (k, t) in bl {
-                groups.entry(k.clone()).or_default().0.push(t.clone());
+                match groups.get_mut(k) {
+                    Some(g) => g.0.push(t.clone()),
+                    None => {
+                        groups.insert(k.clone(), (vec![t.clone()], Vec::new()));
+                    }
+                }
             }
             for (k, u) in br {
-                groups.entry(k.clone()).or_default().1.push(u.clone());
+                match groups.get_mut(k) {
+                    Some(g) => g.1.push(u.clone()),
+                    None => {
+                        groups.insert(k.clone(), (Vec::new(), vec![u.clone()]));
+                    }
+                }
             }
             Ok(groups
                 .into_iter()
@@ -385,6 +340,8 @@ mod tests {
         assert_eq!(baseline, from_thread);
         // Cross-check against an independent inline FNV-1a fold: `str`
         // hashes as its bytes followed by a 0xff terminator.
+        const STABLE_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let reference = |s: &str| -> u64 {
             let mut h = STABLE_SEED;
             for &b in s.as_bytes().iter().chain(std::iter::once(&0xffu8)) {

@@ -101,6 +101,10 @@ impl<T: Send + Sync + Clone> PDataset<T> {
         let nparts = nparts.max(1);
         let all: Vec<T> = self.collect();
         Metrics::add(&engine.metrics().records_shuffled, all.len() as u64);
+        Metrics::add(
+            &engine.metrics().bytes_shuffled,
+            (std::mem::size_of::<T>() * all.len()) as u64,
+        );
         if nparts == 1 || all.len() <= 1 {
             return PDataset::from_partitions(engine, vec![all]);
         }
@@ -118,6 +122,42 @@ impl<T: Send + Sync + Clone> PDataset<T> {
             let k = key(&t);
             // first partition whose cut is >= k
             let idx = cuts.partition_point(|c| *c < k);
+            partitions[idx].push(t);
+        }
+        PDataset::from_partitions(engine, partitions)
+    }
+
+    /// [`Self::range_partition_by`] with a *borrowing* key function: the
+    /// key is read in place from each record, so routing constructs no
+    /// per-record key value — only the bounded cut-point sample (at most
+    /// 4096 keys) is cloned.
+    pub fn range_partition_by_ref<K, F>(self, key: F, nparts: usize) -> PDataset<T>
+    where
+        K: Ord + Clone + Send,
+        F: for<'a> Fn(&'a T) -> &'a K + Sync,
+    {
+        let engine = self.engine().clone();
+        let nparts = nparts.max(1);
+        let all: Vec<T> = self.collect();
+        Metrics::add(&engine.metrics().records_shuffled, all.len() as u64);
+        Metrics::add(
+            &engine.metrics().bytes_shuffled,
+            (std::mem::size_of::<T>() * all.len()) as u64,
+        );
+        if nparts == 1 || all.len() <= 1 {
+            return PDataset::from_partitions(engine, vec![all]);
+        }
+        let stride = (all.len() / 4096).max(1);
+        let mut sample: Vec<K> = all.iter().step_by(stride).map(|t| key(t).clone()).collect();
+        sample.sort();
+        let mut cuts: Vec<K> = Vec::with_capacity(nparts - 1);
+        for i in 1..nparts {
+            let idx = i * sample.len() / nparts;
+            cuts.push(sample[idx.min(sample.len() - 1)].clone());
+        }
+        let mut partitions: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+        for t in all {
+            let idx = cuts.partition_point(|c| c < key(&t));
             partitions[idx].push(t);
         }
         PDataset::from_partitions(engine, partitions)

@@ -416,11 +416,24 @@ where
             buckets_l.into_iter().zip(buckets_r).collect();
         let partitions = engine.run_stage(&zipped, |_, (bl, br)| {
             let mut groups: HashMap<K, (Vec<T>, Vec<U>)> = HashMap::new();
+            // The zipped buckets stay borrowed so retries re-run intact;
+            // records are cloned in, but each key only once per distinct
+            // key (not once per record per side).
             for (k, t) in bl {
-                groups.entry(k.clone()).or_default().0.push(t.clone());
+                match groups.get_mut(k) {
+                    Some(g) => g.0.push(t.clone()),
+                    None => {
+                        groups.insert(k.clone(), (vec![t.clone()], Vec::new()));
+                    }
+                }
             }
             for (k, u) in br {
-                groups.entry(k.clone()).or_default().1.push(u.clone());
+                match groups.get_mut(k) {
+                    Some(g) => g.1.push(u.clone()),
+                    None => {
+                        groups.insert(k.clone(), (Vec::new(), vec![u.clone()]));
+                    }
+                }
             }
             Ok(groups
                 .into_iter()

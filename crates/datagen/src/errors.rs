@@ -86,7 +86,7 @@ pub fn inject_duplicates(
         if !rng.gen_bool(rate.clamp(0.0, 1.0)) {
             continue;
         }
-        let mut values = t.values().to_vec();
+        let mut values = t.to_values();
         for &attr in edit_attrs {
             if let Some(s) = values[attr].as_str() {
                 values[attr] = Value::str(text::random_edit(&mut rng, s));
@@ -109,7 +109,7 @@ pub fn replicate_exact(table: &Table, factor: usize) -> Table {
     let mut next_id = 0u64;
     for t in table.tuples() {
         for _ in 0..factor.max(1) {
-            tuples.push(Tuple::new(next_id, t.values().to_vec()));
+            tuples.push(Tuple::new(next_id, t.to_values()));
             next_id += 1;
         }
     }

@@ -88,7 +88,7 @@ pub fn random_edit(rng: &mut StdRng, s: &str) -> String {
     }
     let pos = rng.gen_range(0..chars.len());
     let letter = (b'a' + rng.gen_range(0..26u8)) as char;
-    let mut out = chars.clone();
+    let mut out = chars;
     match rng.gen_range(0..3) {
         0 => out[pos] = letter,       // substitute
         1 => out.insert(pos, letter), // insert

@@ -13,10 +13,10 @@
 
 use crate::physical::{IterateStrategy, RulePipeline};
 use bigdansing_common::error::Result;
-use bigdansing_common::metrics::Metrics;
-use bigdansing_common::{Table, Tuple};
+use bigdansing_common::metrics::{deep_clones_total, Metrics};
+use bigdansing_common::{KeyDict, Table, Tuple};
 use bigdansing_dataflow::{Engine, ExecMode, PDataset, PassKind, Stage};
-use bigdansing_ocjoin::{try_ocjoin, OcJoinConfig};
+use bigdansing_ocjoin::{try_ocjoin_sink, OcJoinConfig};
 use bigdansing_rules::{DetectUnit, Fix, Rule, RuleExt, Violation};
 use std::sync::Arc;
 
@@ -140,8 +140,14 @@ impl Executor {
             IterateStrategy::BlockList => {
                 let r = Arc::clone(rule);
                 let rb = Arc::clone(rule);
+                // Blocking keys are dictionary-encoded once per pass:
+                // downstream routing/grouping moves 8-byte `KeyId`s, not
+                // `Value` payloads.
+                let dict = Arc::new(KeyDict::new());
                 scoped
-                    .group_by_key(&block_op, move |t| Ok(rb.block(t).unwrap_or_default()))?
+                    .group_by_key(&block_op, move |t| {
+                        Ok(dict.encode(rb.block(t).unwrap_or_default()))
+                    })?
                     .map_parts(detect_op, move |groups| {
                         Metrics::add(&metrics.detect_calls, groups.len() as u64);
                         let vs = groups
@@ -156,8 +162,11 @@ impl Executor {
                 let rb = Arc::clone(rule);
                 let rd = Arc::clone(rule);
                 let ordered = *ordered;
+                let dict = Arc::new(KeyDict::new());
                 scoped
-                    .group_by_key(&block_op, move |t| Ok(rb.block(t).unwrap_or_default()))?
+                    .group_by_key(&block_op, move |t| {
+                        Ok(dict.encode(rb.block(t).unwrap_or_default()))
+                    })?
                     .map_parts(detect_op, move |groups| {
                         let mut vs = Vec::new();
                         let mut pairs = 0u64;
@@ -213,18 +222,31 @@ impl Executor {
                     .run()
             }
             IterateStrategy::OcJoin(conds) => {
+                // Streaming join: every enumerated pair flows straight
+                // into Detect (+GenFix) inside the join task — the pair
+                // list is never materialized.
                 let rd = Arc::clone(rule);
-                try_ocjoin(scoped.into_dataset()?, conds, OcJoinConfig::default())?
-                    .stage()
-                    .map_parts(detect_op, move |part: Vec<(Tuple, Tuple)>| {
-                        Metrics::add(&metrics.detect_calls, part.len() as u64);
-                        let vs = part
-                            .iter()
-                            .flat_map(|(a, b)| rd.detect_pair(a, b))
-                            .collect();
-                        Ok(finish(&rd, vs))
-                    })
-                    .run()
+                let pairs_before = Metrics::get(&metrics.pairs_generated);
+                let detected = try_ocjoin_sink(
+                    scoped.into_dataset()?,
+                    conds,
+                    OcJoinConfig::default(),
+                    &detect_op,
+                    move |a, b, out| {
+                        for v in rd.detect_pair(a, b) {
+                            let fixes = if use_genfix {
+                                rd.gen_fix(&v)
+                            } else {
+                                Vec::new()
+                            };
+                            out.push((v, fixes));
+                        }
+                        Ok(())
+                    },
+                )?;
+                let pairs = Metrics::get(&metrics.pairs_generated) - pairs_before;
+                Metrics::add(&metrics.detect_calls, pairs);
+                Ok(detected)
             }
         }
     }
@@ -240,6 +262,7 @@ impl Executor {
         self.engine.check_cancelled()?;
         let rule = Arc::clone(&pipeline.rule);
         let metrics = self.engine.metrics().clone();
+        let clones_before = deep_clones_total();
 
         // PScope: queued as a narrow op — no pass of its own.
         let scoped = if pipeline.use_scope {
@@ -265,6 +288,9 @@ impl Executor {
                 .record_pass(PassKind::Checkpoint, Vec::new(), nparts);
         }
         Metrics::add(&metrics.violations, detected.len() as u64);
+        // Attribute this pipeline's deep-copy activity (tuple
+        // materializations, key clones) to the engine's counter.
+        Metrics::add(&metrics.tuples_cloned, deep_clones_total() - clones_before);
         Ok(DetectOutput { detected })
     }
 
@@ -325,6 +351,7 @@ impl Executor {
         self.engine.check_cancelled()?;
         let metrics = self.engine.metrics().clone();
         let inner = metrics.clone();
+        let clones_before = deep_clones_total();
         let rl = Arc::clone(&rule);
         let rr = Arc::clone(&rule);
         // Scope fuses into each side's shuffle-map pass.
@@ -345,14 +372,18 @@ impl Executor {
         let rd = Arc::clone(&rule);
         let coblock_op = format!("coblock({})", rule.name());
         let detect_op = format!("iterate+detect+genfix({})", rule.name());
+        // One dictionary shared by both sides, so equal blocking keys
+        // from either table map to the same `KeyId`.
+        let dict = Arc::new(KeyDict::new());
+        let dict_r = Arc::clone(&dict);
         // Pair enumeration, Detect, and GenFix all run inside the
         // reducer pass — candidate pairs are never materialized.
         let detected_ds = left_stage
             .co_group(
                 right_stage,
                 &coblock_op,
-                move |t| Ok(kl.block(t).unwrap_or_default()),
-                move |t| Ok(kr.block(t).unwrap_or_default()),
+                move |t| Ok(dict.encode(kl.block(t).unwrap_or_default())),
+                move |t| Ok(dict_r.encode(kr.block(t).unwrap_or_default())),
             )?
             .map_parts(detect_op, move |groups| {
                 let mut out = Vec::new();
@@ -382,6 +413,7 @@ impl Executor {
                 .record_pass(PassKind::Checkpoint, Vec::new(), nparts);
         }
         Metrics::add(&metrics.violations, detected.len() as u64);
+        Metrics::add(&metrics.tuples_cloned, deep_clones_total() - clones_before);
         Ok(DetectOutput { detected })
     }
 }

@@ -113,7 +113,7 @@ pub fn components_bsp(engine: &Engine, edges: &[Vec<u64>]) -> Vec<u64> {
     let node_chunks = chunk_ranges(node_ids.len(), nparts);
 
     // initial labels: each node labels itself with its original id
-    let mut node_label: Vec<u64> = node_ids.clone();
+    let mut node_label: Vec<u64> = node_ids;
     let mut edge_label: Vec<u64> = vec![u64::MAX; dense_edges.len()];
     loop {
         // superstep part 1: edges adopt the min label of their members

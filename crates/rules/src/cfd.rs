@@ -12,7 +12,7 @@ use crate::fd::FdRule;
 use crate::ops::{DetectUnit, UnitKind};
 use crate::rule::{BlockKey, Rule};
 use crate::violation::{Fix, Violation};
-use bigdansing_common::{Cell, Error, Result, Schema, Tuple, Value};
+use bigdansing_common::{Cell, Error, Result, Schema, Selector, Tuple, Value};
 
 /// One pattern entry: the attribute (source index) and its required
 /// constant, or `None` for the `_` wildcard.
@@ -35,6 +35,9 @@ pub struct CfdRule {
     rhs_pattern: Option<Value>,
     rhs_attr: usize,
     scope_attrs: Vec<usize>,
+    /// Precomputed projection selector over `scope_attrs`, shared by
+    /// every `scope` call so scoping is a view, not a copy.
+    scope_sel: Selector,
 }
 
 impl CfdRule {
@@ -98,6 +101,7 @@ impl CfdRule {
             lhs_patterns,
             rhs_pattern,
             rhs_attr,
+            scope_sel: Tuple::selector(&scope_attrs),
             scope_attrs,
         })
     }
@@ -128,7 +132,7 @@ impl Rule for CfdRule {
     /// Project onto LHS ∪ RHS *and* filter to pattern-matching tuples —
     /// Scope both removes attributes and drops irrelevant units (§3.1).
     fn scope(&self, unit: &Tuple) -> Vec<Tuple> {
-        let t = unit.project(&self.scope_attrs);
+        let t = unit.project_shared(&self.scope_sel);
         if self.matches_lhs(&t) {
             vec![t]
         } else {
@@ -239,7 +243,7 @@ mod tests {
         assert!(!cfd.is_constant_cfd());
         let a = cfd.scope(&t(1, 90210, "LA")).remove(0);
         let b = cfd.scope(&t(2, 90210, "SF")).remove(0);
-        assert_eq!(cfd.block(&a), Some(vec![Value::Int(90210)]));
+        assert_eq!(cfd.block(&a), Some(BlockKey::single(Value::Int(90210))));
         let (vs, fixes) = cfd.detect_and_fix_pair(&a, &b);
         assert_eq!(vs.len(), 1);
         assert_eq!(fixes.len(), 1);

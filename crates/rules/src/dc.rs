@@ -16,7 +16,7 @@
 use crate::ops::{DetectUnit, Op, UnitKind};
 use crate::rule::{BlockKey, OrderCond, Rule};
 use crate::violation::{Fix, FixRhs, Violation};
-use bigdansing_common::{Cell, Error, Result, Schema, Tuple, Value};
+use bigdansing_common::{Cell, Error, Result, Schema, Selector, Tuple, Value};
 
 /// One side of a DC predicate. Attribute indices are in **source**
 /// schema coordinates.
@@ -94,6 +94,9 @@ pub struct DcRule {
     /// Sorted, deduplicated source attributes referenced by any predicate;
     /// also the Scope projection.
     scope_attrs: Vec<usize>,
+    /// Precomputed projection selector over `scope_attrs`, shared by
+    /// every `scope` call so scoping is a view, not a copy.
+    scope_sel: Selector,
     /// Whether any predicate references the second tuple.
     pairwise: bool,
 }
@@ -140,6 +143,7 @@ impl DcRule {
         Ok(DcRule {
             name: name.into().into(),
             predicates,
+            scope_sel: Tuple::selector(&scope_attrs),
             scope_attrs,
             pairwise,
         })
@@ -232,7 +236,7 @@ impl Rule for DcRule {
     }
 
     fn scope(&self, unit: &Tuple) -> Vec<Tuple> {
-        vec![unit.project(&self.scope_attrs)]
+        vec![unit.project_shared(&self.scope_sel)]
     }
 
     fn block(&self, unit: &Tuple) -> Option<BlockKey> {
@@ -499,7 +503,7 @@ mod tests {
                 Value::Int(0),
             ],
         ));
-        assert_eq!(dc.block(&a), Some(vec![Value::str("LA")]));
+        assert_eq!(dc.block(&a), Some(BlockKey::single(Value::str("LA"))));
         assert_eq!(dc.detect_pair(&a, &b).len(), 1);
     }
 

@@ -103,7 +103,7 @@ impl Rule for DedupRule {
             .as_str()
             .map(|s| sim::prefix_key(s, self.block_prefix))
             .unwrap_or_default();
-        Some(vec![Value::str(key)])
+        Some(BlockKey::single(Value::str(key)))
     }
 
     fn blocks(&self) -> bool {
@@ -199,7 +199,7 @@ mod tests {
         let r = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(3);
         assert_eq!(
             r.block(&t(1, "Robert", "LA")),
-            Some(vec![Value::str("rob")])
+            Some(BlockKey::single(Value::str("rob")))
         );
         let r0 = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(0);
         assert_eq!(r0.block(&t(1, "Robert", "LA")), None);

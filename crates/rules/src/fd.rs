@@ -9,7 +9,7 @@
 use crate::ops::{DetectUnit, UnitKind};
 use crate::rule::{BlockKey, Rule};
 use crate::violation::{Fix, Violation};
-use bigdansing_common::{Error, Result, Schema, Tuple};
+use bigdansing_common::{Error, Result, Schema, Selector, Tuple};
 
 /// A (possibly multi-attribute) functional dependency `X → Y`.
 #[derive(Debug, Clone)]
@@ -19,10 +19,18 @@ pub struct FdRule {
     lhs: Vec<usize>,
     /// Source-schema indices of the dependent attributes.
     rhs: Vec<usize>,
+    /// Precomputed `[lhs..., rhs...]` projection, shared by every
+    /// `scope` call so scoping is a view, not a copy.
+    scope_sel: Selector,
     /// When true, `GenFix` additionally proposes breaking the LHS
     /// agreement (`t1[X] ≠ t2[X]`), the alternative repair the paper
     /// mentions for φF.
     fix_lhs: bool,
+}
+
+fn scope_selector(lhs: &[usize], rhs: &[usize]) -> Selector {
+    let idx: Vec<usize> = lhs.iter().chain(rhs).copied().collect();
+    Tuple::selector(&idx)
 }
 
 impl FdRule {
@@ -55,6 +63,7 @@ impl FdRule {
         }
         Ok(FdRule {
             name: format!("fd:{}", spec.replace(' ', "")).into(),
+            scope_sel: scope_selector(&lhs, &rhs),
             lhs,
             rhs,
             fix_lhs: false,
@@ -65,6 +74,7 @@ impl FdRule {
     pub fn from_indices(name: impl Into<String>, lhs: Vec<usize>, rhs: Vec<usize>) -> FdRule {
         FdRule {
             name: name.into().into(),
+            scope_sel: scope_selector(&lhs, &rhs),
             lhs,
             rhs,
             fix_lhs: false,
@@ -95,13 +105,12 @@ impl Rule for FdRule {
 
     /// Projection onto LHS ∪ RHS — but emitted tuples keep *source*
     /// arity-preserving semantics by carrying original indices through
-    /// `project`'s index map: we keep the scoped tuple laid out as
-    /// `[lhs..., rhs...]` and translate back in `detect`.
+    /// the projection selector: we keep the scoped tuple laid out as
+    /// `[lhs..., rhs...]` and translate back in `detect`. The selector
+    /// is precomputed once per rule, so scoping shares the row payload
+    /// instead of copying cells.
     fn scope(&self, unit: &Tuple) -> Vec<Tuple> {
-        let mut idx = Vec::with_capacity(self.lhs.len() + self.rhs.len());
-        idx.extend_from_slice(&self.lhs);
-        idx.extend_from_slice(&self.rhs);
-        vec![unit.project(&idx)]
+        vec![unit.project_shared(&self.scope_sel)]
     }
 
     fn block(&self, unit: &Tuple) -> Option<BlockKey> {
@@ -234,9 +243,15 @@ mod tests {
         let t = tup(3, 90210, "LA");
         let scoped = fd.scope(&t);
         assert_eq!(scoped.len(), 1);
-        assert_eq!(scoped[0].values(), &[Value::Int(90210), Value::str("LA")]);
+        assert_eq!(
+            scoped[0].to_values(),
+            vec![Value::Int(90210), Value::str("LA")]
+        );
         assert_eq!(scoped[0].id(), 3);
-        assert_eq!(fd.block(&scoped[0]), Some(vec![Value::Int(90210)]));
+        assert_eq!(
+            fd.block(&scoped[0]),
+            Some(BlockKey::single(Value::Int(90210)))
+        );
     }
 
     #[test]

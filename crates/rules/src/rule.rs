@@ -12,7 +12,69 @@ use bigdansing_common::{Tuple, Value};
 
 /// A blocking key: one or more values extracted from a data unit.
 /// Composite keys block on several attributes at once.
-pub type BlockKey = Vec<Value>;
+///
+/// `Clone` is instrumented: every deep copy bumps the process-wide
+/// deep-clone counter (see `bigdansing_common::metrics`), so the
+/// zero-copy regression tests can assert the detect hot path extracts
+/// each key exactly once and routes it by [`KeyId`] thereafter.
+///
+/// [`KeyId`]: bigdansing_common::KeyId
+#[derive(Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey(Vec<Value>);
+
+impl BlockKey {
+    /// An empty key.
+    pub fn new() -> BlockKey {
+        BlockKey(Vec::new())
+    }
+
+    /// A single-attribute key.
+    pub fn single(v: Value) -> BlockKey {
+        BlockKey(vec![v])
+    }
+
+    /// The key's values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume the key, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Append one more attribute value to a composite key.
+    pub fn push(&mut self, v: Value) {
+        self.0.push(v);
+    }
+}
+
+impl Clone for BlockKey {
+    fn clone(&self) -> Self {
+        bigdansing_common::metrics::record_deep_clones(1);
+        BlockKey(self.0.clone())
+    }
+}
+
+impl From<Vec<Value>> for BlockKey {
+    fn from(values: Vec<Value>) -> Self {
+        BlockKey(values)
+    }
+}
+
+impl FromIterator<Value> for BlockKey {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        BlockKey(iter.into_iter().collect())
+    }
+}
+
+impl std::ops::Deref for BlockKey {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
 
 /// One ordering-comparison join condition of a rule, used by the planner
 /// to route candidate generation to OCJoin (§4.3). Attribute indices are
@@ -117,7 +179,7 @@ mod tests {
             "toy"
         }
         fn block(&self, unit: &Tuple) -> Option<BlockKey> {
-            Some(vec![unit.value(0).clone()])
+            Some(BlockKey::single(unit.value(0).clone()))
         }
         fn detect(&self, input: &DetectUnit) -> Vec<Violation> {
             let (a, b) = input.as_pair();
@@ -144,7 +206,7 @@ mod tests {
         assert_eq!(r.unit_kind(), UnitKind::Pair);
         assert!(r.symmetric());
         assert!(r.ordering_conditions().is_empty());
-        assert_eq!(r.block(&t), Some(vec![Value::Int(1)]));
+        assert_eq!(r.block(&t), Some(BlockKey::single(Value::Int(1))));
     }
 
     #[test]

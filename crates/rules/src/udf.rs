@@ -163,7 +163,7 @@ mod tests {
             }
         })
         .scope(|t| vec![t.project(&[1, 2])])
-        .block(|t| Some(vec![t.value(0).clone()]))
+        .block(|t| Some(BlockKey::single(t.value(0).clone())))
         .gen_fix(|v| {
             let (c1, v1) = &v.cells()[0];
             let (c2, v2) = &v.cells()[1];
@@ -183,7 +183,7 @@ mod tests {
         let t2 = s(&row(2, 90210, "LA"));
         let t4 = s(&row(4, 90210, "SF"));
         let t3 = s(&row(3, 60601, "CH"));
-        assert_eq!(r.block(&t2), Some(vec![Value::Int(90210)]));
+        assert_eq!(r.block(&t2), Some(BlockKey::single(Value::Int(90210))));
         let (vs, fixes) = r.detect_and_fix_pair(&t2, &t4);
         assert_eq!(vs.len(), 1);
         assert_eq!(fixes.len(), 1);

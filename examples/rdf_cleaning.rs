@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example rdf_cleaning`
 
-use bigdansing::{BigDansing, Fix, Rule, UdfRule, Violation};
+use bigdansing::{BigDansing, BlockKey, Fix, Rule, UdfRule, Violation};
 use bigdansing_common::rdf;
 use bigdansing_common::{Table, Tuple, TupleId, Value};
 use std::sync::Arc;
@@ -85,7 +85,7 @@ fn main() {
                 vec![]
             }
         })
-        .block(|t| Some(vec![t.value(2).clone()])) // block on advisor
+        .block(|t| Some(BlockKey::single(t.value(2).clone()))) // block on advisor
         .gen_fix(|v| {
             let (c1, v1) = &v.cells()[0];
             let (c2, v2) = &v.cells()[1];

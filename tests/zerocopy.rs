@@ -1,0 +1,205 @@
+//! Zero-copy detect path: equivalence against a deep-clone oracle and
+//! an allocation-regression gate.
+//!
+//! The detect hot path moves tuple *handles* (shared row storage +
+//! projection views) and dictionary-encoded blocking keys; nothing in
+//! the pipeline may depend on tuples being deeply materialized. These
+//! tests pit the production path against an oracle whose input tuples
+//! are forcibly deep-materialized first — the outputs must be
+//! byte-identical (violations **and** fixes) — and then gate the fused
+//! FD pipeline on performing **zero** deep clones.
+//!
+//! Deep-clone accounting is process-global, so every test here takes a
+//! shared lock to keep concurrently running tests from attributing each
+//! other's clones.
+
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Schema, Table, Tuple, Value};
+use bigdansing_dataflow::{Engine, ExecMode, FaultInjector, FaultPolicy, MemoryBudget};
+use bigdansing_datagen::tax;
+use bigdansing_plan::{DetectOutput, Executor};
+use bigdansing_rules::{CfdRule, DcRule, DedupRule, FdRule, Rule};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes the tests in this binary: the deep-clone counter is a
+/// process-wide atomic, and the `tuples_cloned == 0` gate must not see
+/// another test's attribution window.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Byte-level signature of a detect run: violations with their fixes,
+/// rendered through `Debug` so any drift in ids, cells, values, or fix
+/// payloads shows up.
+fn signature(out: &DetectOutput) -> BTreeSet<String> {
+    out.detected
+        .iter()
+        .map(|(v, fixes)| format!("{v:?}|{fixes:?}"))
+        .collect()
+}
+
+/// The deep-clone oracle input: every tuple forcibly materialized into
+/// fresh owned storage, so the oracle run cannot share a byte with the
+/// zero-copy run's views.
+fn deep_materialized(table: &Table) -> Table {
+    let tuples = table
+        .tuples()
+        .iter()
+        .map(|t| Tuple::new(t.id(), t.to_values()))
+        .collect();
+    Table::new(table.name(), table.schema().clone(), tuples)
+}
+
+/// One instance of every physical pipeline shape: FD → blocked pairs,
+/// constant CFD → single units, inequality DC → OCJoin (streaming
+/// sink), unblocked dedup → UCrossProduct.
+fn shape_suite() -> Vec<(&'static str, Table, Arc<dyn Rule>)> {
+    let fd = tax::taxa(300, 0.10, 31);
+    let fd_rule: Arc<dyn Rule> =
+        Arc::new(FdRule::parse("zipcode -> city", fd.dirty.schema()).unwrap());
+    let cfd_rows = (0..240)
+        .map(|i| match i % 3 {
+            0 => vec![Value::Int(90210), Value::str("LA")],
+            1 => vec![Value::Int(90210), Value::str("SF")],
+            _ => vec![Value::Int(10001), Value::str("NY")],
+        })
+        .collect();
+    let cfd_table = Table::from_rows("cfd", Schema::parse("zipcode,city"), cfd_rows);
+    let cfd_rule: Arc<dyn Rule> = Arc::new(
+        CfdRule::parse(
+            "zipcode -> city | zipcode=90210, city=LA",
+            cfd_table.schema(),
+        )
+        .unwrap(),
+    );
+    let dc = tax::taxb(120, 0.10, 32);
+    let dc_rule: Arc<dyn Rule> = Arc::new(
+        DcRule::parse(
+            "t1.salary > t2.salary & t1.rate < t2.rate",
+            dc.dirty.schema(),
+        )
+        .unwrap(),
+    );
+    let dd = tax::taxa(80, 0.10, 33);
+    let dd_rule: Arc<dyn Rule> =
+        Arc::new(DedupRule::new("udf:dedup", tax::attr::CITY, 0.5).with_block_prefix(0));
+    vec![
+        ("fd/block-pairs", fd.dirty, fd_rule),
+        ("cfd/single-units", cfd_table, cfd_rule),
+        ("dc/ocjoin", dc.dirty, dc_rule),
+        ("dedup/ucross", dd.dirty, dd_rule),
+    ]
+}
+
+#[test]
+fn zero_copy_path_matches_deep_clone_oracle_under_injected_faults() {
+    let _g = lock();
+    let mut panics = 0;
+    for (shape, table, rule) in shape_suite() {
+        let oracle = {
+            let exec = Executor::new(Engine::sequential());
+            let out = exec
+                .detect(&deep_materialized(&table), &[Arc::clone(&rule)])
+                .unwrap();
+            signature(&out)
+        };
+        assert!(!oracle.is_empty(), "{shape}: oracle found nothing");
+        let engine = Engine::builder(ExecMode::Parallel)
+            .workers(3)
+            .fault_policy(FaultPolicy::with_max_attempts(6))
+            .fault_injector(
+                FaultInjector::seeded(0x2E50)
+                    .with_task_panics(0.15)
+                    .with_spill_errors(0.15),
+            )
+            .build();
+        let exec = Executor::new(engine);
+        let got = signature(&exec.detect(&table, &[Arc::clone(&rule)]).unwrap());
+        assert_eq!(
+            oracle, got,
+            "{shape}: zero-copy run diverged from the deep-clone oracle under faults"
+        );
+        panics += Metrics::get(&exec.engine().metrics().panics_caught);
+    }
+    assert!(panics > 0, "no panics injected — injector not wired in");
+}
+
+#[test]
+fn zero_copy_path_matches_deep_clone_oracle_under_memory_budget() {
+    let _g = lock();
+    let mut spills = 0;
+    for (shape, table, rule) in shape_suite() {
+        let oracle = {
+            let exec = Executor::new(Engine::sequential());
+            let out = exec
+                .detect(&deep_materialized(&table), &[Arc::clone(&rule)])
+                .unwrap();
+            signature(&out)
+        };
+        let engine = Engine::builder(ExecMode::Parallel)
+            .workers(2)
+            .memory_budget(MemoryBudget::new(4 * 1024, 64 * 1024 * 1024))
+            .build();
+        let exec = Executor::new(engine);
+        let got = signature(&exec.detect(&table, &[Arc::clone(&rule)]).unwrap());
+        assert_eq!(
+            oracle, got,
+            "{shape}: zero-copy run diverged from the deep-clone oracle under a memory budget"
+        );
+        spills += Metrics::get(&exec.engine().metrics().pressure_spills);
+    }
+    assert!(spills > 0, "budget below working set but nothing spilled");
+}
+
+#[test]
+fn fused_fd_pipeline_performs_zero_deep_clones() {
+    // Allocation-regression gate: Scope (projection views), Block
+    // (dictionary-encoded keys), and the fused Iterate→Detect→GenFix
+    // pass must move only handles. One deep copy anywhere on the FD hot
+    // path — a `to_values()` materialization, a `BlockKey` clone — and
+    // this counter goes nonzero.
+    let _g = lock();
+    let gt = tax::taxa(400, 0.10, 34);
+    let rule: Arc<dyn Rule> =
+        Arc::new(FdRule::parse("zipcode -> city", gt.dirty.schema()).unwrap());
+    let exec = Executor::new(Engine::parallel(4));
+    let out = exec.detect(&gt.dirty, &[rule]).unwrap();
+    assert!(!out.is_clean(), "expected violations on the dirty table");
+    assert_eq!(
+        Metrics::get(&exec.engine().metrics().tuples_cloned),
+        0,
+        "fused FD pipeline deep-cloned tuple or key payloads"
+    );
+}
+
+#[test]
+fn streaming_ocjoin_detect_reports_shuffle_bytes_and_pairs() {
+    // The rewired DC path must still account its shuffle volume and
+    // pair count even though pairs are never materialized.
+    let _g = lock();
+    let gt = tax::taxb(150, 0.10, 35);
+    let rule: Arc<dyn Rule> = Arc::new(
+        DcRule::parse(
+            "t1.salary > t2.salary & t1.rate < t2.rate",
+            gt.dirty.schema(),
+        )
+        .unwrap(),
+    );
+    let exec = Executor::new(Engine::parallel(3));
+    let out = exec.detect(&gt.dirty, &[rule]).unwrap();
+    assert!(!out.is_clean());
+    let m = exec.engine().metrics();
+    assert!(Metrics::get(&m.pairs_generated) > 0, "pairs not counted");
+    assert!(
+        Metrics::get(&m.bytes_shuffled) > 0,
+        "range partitioning did not account shuffled bytes"
+    );
+    assert_eq!(
+        Metrics::get(&m.detect_calls),
+        Metrics::get(&m.pairs_generated),
+        "each enumerated pair must be detected exactly once"
+    );
+}
