@@ -13,7 +13,7 @@
 //! repo's perf trajectory.
 
 use crate::{rows, time, Report};
-use bigdansing::{BigDansing, CleanseOptions, DeltaBatch};
+use bigdansing::{BigDansing, CleanseOptions, DeltaBatch, DurabilityOptions};
 use bigdansing_common::{Schema, Table, Value};
 use std::fmt::Write as _;
 
@@ -81,6 +81,11 @@ pub struct Outcome {
     pub violations_retracted: u64,
     /// Both paths converged and agree on the remaining-violation count.
     pub parity: bool,
+    /// Wall-clock of the same apply on a durable (WAL-logged) session.
+    pub durable_secs: f64,
+    /// A crash-recovered reopen of the durable directory matches the
+    /// in-memory session (table tuples and live violations).
+    pub durable_parity: bool,
 }
 
 impl Outcome {
@@ -92,6 +97,18 @@ impl Outcome {
     /// Fraction of the table the session re-detected over.
     pub fn reprocessed_fraction(&self) -> f64 {
         self.tuples_reprocessed as f64 / self.rows.max(1) as f64
+    }
+
+    /// Durable apply overhead relative to the plain session, percent.
+    pub fn durable_overhead_pct(&self) -> f64 {
+        (self.durable_secs / self.incremental_secs.max(1e-9) - 1.0) * 100.0
+    }
+
+    /// The durability gate: WAL logging in the apply path must cost at
+    /// most 15% over the plain session (plus a 50ms absolute floor so
+    /// sub-millisecond runs don't trip on noise).
+    pub fn durable_overhead_ok(&self) -> bool {
+        self.durable_secs <= self.incremental_secs * 1.15 + 0.05
     }
 
     /// Hand-rolled JSON (the workspace carries no serde).
@@ -114,7 +131,19 @@ impl Outcome {
             "  \"violations_retracted\": {},",
             self.violations_retracted
         );
-        let _ = writeln!(s, "  \"parity\": {}", self.parity);
+        let _ = writeln!(s, "  \"parity\": {},", self.parity);
+        let _ = writeln!(s, "  \"durable_secs\": {:.6},", self.durable_secs);
+        let _ = writeln!(
+            s,
+            "  \"durable_overhead_pct\": {:.2},",
+            self.durable_overhead_pct()
+        );
+        let _ = writeln!(s, "  \"durable_parity\": {},", self.durable_parity);
+        let _ = writeln!(
+            s,
+            "  \"durable_overhead_ok\": {}",
+            self.durable_overhead_ok()
+        );
         s.push('}');
         s.push('\n');
         s
@@ -141,7 +170,35 @@ pub fn run(n: usize) -> Outcome {
     let mut session = sys
         .open_session(&base, CleanseOptions::default())
         .expect("session opens");
-    let (report, incremental_secs) = time(|| sys.apply_delta(&mut session, batch).unwrap());
+    let (report, incremental_secs) = time(|| sys.apply_delta(&mut session, batch.clone()).unwrap());
+
+    // Durable arm: the same apply through a WAL-logged session. The
+    // baseline snapshot happens at open (outside the timed region);
+    // with the default snapshot cadence the timed cost is exactly the
+    // per-batch WAL append + fsync. Afterwards, recover the directory
+    // cold and require parity with the in-memory session.
+    let durable_dir = std::env::temp_dir().join(format!("bd-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let mut durable = sys
+        .open_durable_session(
+            &base,
+            CleanseOptions::default(),
+            DurabilityOptions::new(&durable_dir),
+        )
+        .expect("durable session opens");
+    let (durable_report, durable_secs) = time(|| sys.apply_delta(&mut durable, batch).unwrap());
+    drop(durable);
+    let (recovered, stats) = sys
+        .recover_session(
+            CleanseOptions::default(),
+            DurabilityOptions::new(&durable_dir),
+        )
+        .expect("durable directory recovers");
+    let durable_parity = stats.last_seq == 1
+        && durable_report.violations_remaining == report.violations_remaining
+        && recovered.table().tuples() == session.table().tuples()
+        && recovered.detected() == session.detected();
+    let _ = std::fs::remove_dir_all(&durable_dir);
 
     let (oracle, full_secs) = time(|| sys.cleanse(&materialized, CleanseOptions::default()));
     let oracle = oracle.expect("full recompute succeeds");
@@ -158,6 +215,8 @@ pub fn run(n: usize) -> Outcome {
         tuples_reprocessed: report.tuples_reprocessed,
         violations_retracted: report.violations_retracted,
         parity,
+        durable_secs,
+        durable_parity,
     }
 }
 
@@ -181,6 +240,9 @@ pub fn report() -> Report {
             "reprocessed",
             "fraction",
             "parity",
+            "durable",
+            "overhead",
+            "recovered",
         ],
     );
     r.row(vec![
@@ -192,6 +254,9 @@ pub fn report() -> Report {
         out.tuples_reprocessed.into(),
         crate::report::Cell::Ratio(out.reprocessed_fraction()),
         format!("{}", out.parity).into(),
+        crate::report::Cell::Secs(out.durable_secs),
+        format!("{:+.1}%", out.durable_overhead_pct()).into(),
+        format!("{}", out.durable_parity).into(),
     ]);
     r
 }
@@ -204,6 +269,11 @@ mod tests {
     fn small_scale_run_wins_and_agrees() {
         let out = run(4_000);
         assert!(out.parity, "incremental and full recompute must agree");
+        assert!(
+            out.durable_parity,
+            "recovered durable session must match the in-memory one"
+        );
+        assert!(out.durable_secs > 0.0);
         assert_eq!(out.delta_ops, 40);
         assert!(
             out.violations_retracted > 0 || out.tuples_reprocessed > out.delta_ops as u64,
@@ -217,6 +287,9 @@ mod tests {
         let json = out.to_json();
         assert!(json.contains("\"tuples_reprocessed\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"durable_parity\": true"));
+        assert!(json.contains("\"durable_overhead_pct\""));
+        assert!(json.contains("\"durable_overhead_ok\""));
     }
 
     #[test]

@@ -13,10 +13,11 @@
 //! CFD `"a -> b | a=1, b=_"`.
 
 use bigdansing::{
-    csv, BigDansing, CleanseOptions, DeltaBatch, Engine, EquivalenceClassRepair, ExecMode,
-    HypergraphRepair, MemoryBudget, Quarantine, RepairStrategy,
+    csv, read_snapshot_table, BigDansing, CleanseOptions, DeltaBatch, DurabilityOptions, Engine,
+    EquivalenceClassRepair, ExecMode, HypergraphRepair, MemoryBudget, Quarantine, RepairStrategy,
 };
 use bigdansing_common::Table;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,9 +34,16 @@ USAGE:
                      [--repair eq|hyper] [--max-iterations N]
   bigdansing delta   <base.csv> <delta.csv>... [RULES] [-o <clean.csv>]
                      [--repair eq|hyper] [--max-iterations N]
+                     [--durable-dir DIR] [--snapshot-every N]
                      incremental cleansing: each delta CSV holds
                      `op,id,<cols...>` rows (op = insert|update|delete);
-                     batches apply in order over a persistent session
+                     batches apply in order over a persistent session;
+                     with --durable-dir every batch is WAL-logged and
+                     the session state snapshotted, so a crash (or a
+                     poisoned session) is recoverable
+  bigdansing recover <durable-dir> [RULES] [-o <clean.csv>]
+                     rebuild a durable session from its directory:
+                     load the latest snapshot and replay the WAL suffix
   bigdansing convert <input.csv> -o <table.bdcol>
 
 RULES (repeatable):
@@ -53,6 +61,10 @@ OPTIONS:
   --memory-budget-mb N   soft memory budget for checkpointed data; the
                          coldest datasets spill to disk past it (hard
                          ceiling: 4x the budget cancels the job)
+  --durable-dir DIR      (delta) root of the write-ahead log and
+                         snapshots; recover later with `recover DIR`
+  --snapshot-every N     (delta/recover) snapshot cadence in batches
+                         (default: 8; 0 disables automatic snapshots)
   --lenient              quarantine malformed CSV rows instead of
                          aborting the load (reported after the run)
   --explain              print the fused stage graph after the run:
@@ -75,6 +87,8 @@ struct Args {
     max_iterations: usize,
     deadline_ms: Option<u64>,
     memory_budget_mb: Option<u64>,
+    durable_dir: Option<String>,
+    snapshot_every: u64,
     lenient: bool,
     explain: bool,
 }
@@ -97,6 +111,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         max_iterations: 10,
         deadline_ms: None,
         memory_budget_mb: None,
+        durable_dir: None,
+        snapshot_every: 8,
         lenient: false,
         explain: false,
     };
@@ -136,6 +152,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                         .map_err(|_| "--memory-budget-mb needs an integer")?,
                 )
             }
+            "--durable-dir" => args.durable_dir = Some(value("--durable-dir")?),
+            "--snapshot-every" => {
+                args.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every needs an integer")?
+            }
             "--lenient" => args.lenient = true,
             "--explain" => args.explain = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -143,9 +165,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     args.input = positional.first().cloned().ok_or("missing input file")?;
-    // Only `delta` takes trailing positionals (its delta CSVs); stray
-    // extras elsewhere are mistakes, not input to silently ignore.
-    if args.command == "delta" {
+    // Only `delta` (and its crash-test twin) takes trailing positionals
+    // (its delta CSVs); stray extras elsewhere are mistakes, not input
+    // to silently ignore.
+    if args.command == "delta" || args.command == "crash-apply" {
         args.deltas = positional.split_off(1);
     } else if let Some(extra) = positional.get(1) {
         return Err(format!(
@@ -217,8 +240,54 @@ fn explain(engine: &Engine) {
     }
 }
 
+/// `recover <durable-dir>`: rebuild a durable session from its
+/// snapshot + WAL. The schema comes from the snapshot itself, so rules
+/// can be parsed before the session exists. A snapshot written by a
+/// newer format version is rejected, not misread.
+fn run_recover(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(&args.input);
+    let table = read_snapshot_table(&dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "snapshot at `{}`: {} rows × {} attributes",
+        args.input,
+        table.len(),
+        table.schema().arity()
+    );
+    let sys = build_system(args, &table)?;
+    let options = CleanseOptions {
+        strategy: parse_strategy(&args.repair)?,
+        max_iterations: args.max_iterations,
+        ..Default::default()
+    };
+    let durability = DurabilityOptions::new(&dir).snapshot_every(args.snapshot_every);
+    let (session, stats) = sys
+        .recover_session(options, durability)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "recovered: snapshot covered seq {}, {} batch(es) replayed from the WAL, \
+         last seq {}, {} live violation(s), {} row(s)",
+        stats.snapshot_seq,
+        stats.replayed,
+        stats.last_seq,
+        session.violation_count(),
+        session.table().len()
+    );
+    if let Some(output) = args.output.as_deref() {
+        csv::write_file(session.table(), output).map_err(|e| e.to_string())?;
+        eprintln!("wrote {output}");
+    }
+    if let Some(line) = bigdansing::report::fault_summary(&sys.engine().metrics().snapshot()) {
+        eprintln!("{line}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
+    if args.command == "recover" {
+        // The input positional is a durable directory, not a CSV.
+        return run_recover(&args);
+    }
     let (table, quarantine) = load(&args.input, args.lenient)?;
     if let Some(q) = quarantine.as_ref().filter(|q| !q.is_empty()) {
         eprintln!("{}", q.summary());
@@ -297,9 +366,16 @@ fn run() -> Result<(), String> {
                 eprintln!("{line}");
             }
         }
-        "delta" => {
+        // `crash-apply` is the crash-test twin of `delta`: identical
+        // semantics (it requires --durable-dir), invoked by the crash
+        // harness with BIGDANSING_CRASH_AT set so the process kills
+        // itself at a seeded durability crash point. Hidden from USAGE.
+        cmd @ ("delta" | "crash-apply") => {
             if args.deltas.is_empty() {
                 return Err("delta needs at least one delta CSV after the base table".into());
+            }
+            if cmd == "crash-apply" && args.durable_dir.is_none() {
+                return Err("crash-apply requires --durable-dir".into());
             }
             let sys = build_system(&args, &table)?;
             if let Some(q) = &quarantine {
@@ -310,9 +386,23 @@ fn run() -> Result<(), String> {
                 max_iterations: args.max_iterations,
                 ..Default::default()
             };
-            let mut session = sys
-                .open_session(&table, options)
-                .map_err(|e| e.to_string())?;
+            let mut session = match &args.durable_dir {
+                Some(dir) => {
+                    let durability =
+                        DurabilityOptions::new(dir).snapshot_every(args.snapshot_every);
+                    let s = sys
+                        .open_durable_session(&table, options, durability)
+                        .map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "durable session at `{dir}` (snapshot every {} batch(es))",
+                        args.snapshot_every
+                    );
+                    s
+                }
+                None => sys
+                    .open_session(&table, options)
+                    .map_err(|e| e.to_string())?,
+            };
             eprintln!(
                 "session open: {} pre-existing violation(s)",
                 session.violation_count()
@@ -384,6 +474,54 @@ mod tests {
     fn delta_collects_trailing_positionals() {
         let args = parse(&["delta", "base.csv", "d1.csv", "d2.csv", "--fd", "a -> b"]).unwrap();
         assert_eq!(args.input, "base.csv");
+        assert_eq!(
+            args.deltas,
+            vec!["d1.csv".to_string(), "d2.csv".to_string()]
+        );
+    }
+
+    #[test]
+    fn durable_flags_parse() {
+        let args = parse(&[
+            "delta",
+            "base.csv",
+            "d1.csv",
+            "--fd",
+            "a -> b",
+            "--durable-dir",
+            "/tmp/session",
+            "--snapshot-every",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(args.durable_dir.as_deref(), Some("/tmp/session"));
+        assert_eq!(args.snapshot_every, 3);
+        // Defaults.
+        let args = parse(&["delta", "base.csv", "d1.csv"]).unwrap();
+        assert_eq!(args.durable_dir, None);
+        assert_eq!(args.snapshot_every, 8);
+        assert!(parse(&["delta", "base.csv", "--snapshot-every", "x"]).is_err());
+    }
+
+    #[test]
+    fn recover_takes_one_directory() {
+        let args = parse(&["recover", "/tmp/session", "--fd", "a -> b"]).unwrap();
+        assert_eq!(args.input, "/tmp/session");
+        let err = parse(&["recover", "/tmp/session", "stray"]).unwrap_err();
+        assert!(err.contains("stray"), "{err}");
+    }
+
+    #[test]
+    fn crash_apply_collects_deltas_like_delta() {
+        let args = parse(&[
+            "crash-apply",
+            "base.csv",
+            "d1.csv",
+            "d2.csv",
+            "--durable-dir",
+            "/tmp/s",
+        ])
+        .unwrap();
         assert_eq!(
             args.deltas,
             vec!["d1.csv".to_string(), "d2.csv".to_string()]

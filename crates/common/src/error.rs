@@ -40,6 +40,12 @@ pub enum Error {
     Parse(String),
     /// An I/O failure, stringified so the error stays `Clone + Eq`.
     Io(String),
+    /// Durable bytes failed validation: a frame with a bad magic, an
+    /// unsupported format version, or a CRC mismatch. Distinct from
+    /// [`Error::Parse`] so recovery code can tell "the file is damaged"
+    /// (truncate / fall back to an older snapshot) from "the payload
+    /// grammar is wrong" (a bug).
+    Corrupt(String),
     /// A repair algorithm was asked to do something it does not support.
     Repair(String),
     /// A dataflow task exhausted its retry budget. Identifies the
@@ -81,6 +87,7 @@ impl fmt::Display for Error {
             Error::Schema(m) => write!(f, "schema error: {m}"),
             Error::Parse(m) => write!(f, "parse error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
             Error::Repair(m) => write!(f, "repair error: {m}"),
             Error::Task {
                 partition,
@@ -162,6 +169,15 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("cleanse-0"), "{s}");
         assert!(s.contains('2'), "{s}");
+    }
+
+    #[test]
+    fn corrupt_error_displays_and_stays_eq() {
+        let e = Error::Corrupt("wal frame 3: crc mismatch".into());
+        let s = e.to_string();
+        assert!(s.contains("corrupt data"), "{s}");
+        assert!(s.contains("crc mismatch"), "{s}");
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

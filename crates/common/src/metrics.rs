@@ -97,6 +97,13 @@ pub struct Metrics {
     /// Bytes moved across wide boundaries (shuffle / co-group /
     /// range-repartition), computed as record size × records routed.
     pub bytes_shuffled: AtomicU64,
+    /// Transient durable-IO failures (spill, checkpoint, WAL, snapshot)
+    /// retried with backoff instead of surfacing.
+    pub io_retries: AtomicU64,
+    /// Delta batches appended (and fsync'd) to a session write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Durable session snapshots written atomically.
+    pub snapshots_written: AtomicU64,
 }
 
 impl Metrics {
@@ -145,6 +152,9 @@ impl Metrics {
             &self.components_rerepaired,
             &self.tuples_cloned,
             &self.bytes_shuffled,
+            &self.io_retries,
+            &self.wal_appends,
+            &self.snapshots_written,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -180,6 +190,9 @@ impl Metrics {
             components_rerepaired: Metrics::get(&self.components_rerepaired),
             tuples_cloned: Metrics::get(&self.tuples_cloned),
             bytes_shuffled: Metrics::get(&self.bytes_shuffled),
+            io_retries: Metrics::get(&self.io_retries),
+            wal_appends: Metrics::get(&self.wal_appends),
+            snapshots_written: Metrics::get(&self.snapshots_written),
         }
     }
 }
@@ -241,6 +254,12 @@ pub struct MetricsSnapshot {
     pub tuples_cloned: u64,
     /// See [`Metrics::bytes_shuffled`].
     pub bytes_shuffled: u64,
+    /// See [`Metrics::io_retries`].
+    pub io_retries: u64,
+    /// See [`Metrics::wal_appends`].
+    pub wal_appends: u64,
+    /// See [`Metrics::snapshots_written`].
+    pub snapshots_written: u64,
 }
 
 #[cfg(test)]

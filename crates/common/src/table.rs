@@ -263,7 +263,7 @@ mod tests {
         fixes.insert(Cell::new(1, 1), Value::str("LA"));
         fixes.insert(Cell::new(2, 0), Value::Int(60602));
         let rebuilt = t.apply(&fixes).unwrap();
-        let mut in_place = t.clone();
+        let mut in_place = t;
         in_place.apply_at(&fixes, &positions).unwrap();
         assert_eq!(rebuilt.diff_cells(&in_place), 0);
     }

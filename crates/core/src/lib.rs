@@ -69,7 +69,8 @@ pub use bigdansing_common::{
     csv, rdf, sim, CancelReason, Cell, Error, Quarantine, Result, Schema, Table, Tuple, Value,
 };
 pub use bigdansing_incremental::{
-    apply_batch_to_table, DeltaBatch, DeltaOp, DeltaReport, Session, SessionOptions,
+    apply_batch_to_table, read_snapshot_table, DeltaBatch, DeltaOp, DeltaReport, DurabilityOptions,
+    RecoverStats, Session, SessionOptions,
 };
 
 pub use bigdansing_dataflow::{

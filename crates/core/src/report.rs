@@ -78,12 +78,14 @@ pub fn fixes_csv(output: &DetectOutput, table: Option<&Table>) -> String {
 /// counters for a finished run.
 ///
 /// Returns `None` when the run was fault-free and nothing was governed
-/// (nothing worth reporting); otherwise up to four lines — faults
+/// (nothing worth reporting); otherwise up to five lines — faults
 /// (retries, caught panics, spill failures, degraded stages), governance
 /// (cancelled jobs, deadline trips, pressure spills, queued/rejected
-/// jobs), input quarantine, and incremental-cleansing work (tuples
+/// jobs), input quarantine, incremental-cleansing work (tuples
 /// reprocessed, dirty blocks, retracted violations, re-repaired
-/// components) — suitable for appending to the CLI's run report.
+/// components), and durability activity (WAL appends, snapshots,
+/// transient IO retries) — suitable for appending to the CLI's run
+/// report.
 pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
     let mut lines: Vec<String> = Vec::new();
     if m.tasks_retried != 0
@@ -124,6 +126,13 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
             "incremental: {} tuple(s) reprocessed across {} dirty block(s), \
              {} violation(s) retracted, {} component(s) re-repaired",
             m.tuples_reprocessed, m.blocks_dirty, m.violations_retracted, m.components_rerepaired
+        ));
+    }
+    if m.io_retries != 0 || m.wal_appends != 0 || m.snapshots_written != 0 {
+        lines.push(format!(
+            "durability: {} WAL append(s), {} snapshot(s) written, \
+             {} transient IO retry(ies)",
+            m.wal_appends, m.snapshots_written, m.io_retries
         ));
     }
     if lines.is_empty() {
@@ -279,6 +288,24 @@ mod tests {
         assert!(
             !line.contains("governance"),
             "no governance line without governance counters: {line}"
+        );
+    }
+
+    #[test]
+    fn fault_summary_reports_durability_counters() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            wal_appends: 9,
+            snapshots_written: 2,
+            io_retries: 5,
+            ..Default::default()
+        };
+        let line = fault_summary(&snap).unwrap();
+        assert!(line.contains("9 WAL append(s)"), "{line}");
+        assert!(line.contains("2 snapshot(s) written"), "{line}");
+        assert!(line.contains("5 transient IO retry(ies)"), "{line}");
+        assert!(
+            !line.contains("incremental:"),
+            "no incremental line without its counters: {line}"
         );
     }
 

@@ -6,7 +6,9 @@ use crate::cleanse::{cleanse_loop, CleanseOptions, CleanseResult};
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Error, Result, Schema, Table};
 use bigdansing_dataflow::Engine;
-use bigdansing_incremental::{DeltaBatch, DeltaReport, Session, SessionOptions};
+use bigdansing_incremental::{
+    DeltaBatch, DeltaReport, DurabilityOptions, RecoverStats, Session, SessionOptions,
+};
 use bigdansing_plan::{physical, DetectOutput, Executor, Job};
 use bigdansing_rules::{CfdRule, DcRule, FdRule, Rule};
 use std::collections::HashMap;
@@ -300,6 +302,59 @@ impl BigDansing {
         })
     }
 
+    /// Open a **durable** incremental session rooted at
+    /// `durability.dir`: every applied batch is appended to a
+    /// checksummed write-ahead log before any in-memory mutation, and
+    /// atomic snapshots (every `durability.snapshot_every` batches)
+    /// bound replay time. A crashed — or poisoned — session is
+    /// rebuilt with [`Self::recover_session`]. Governed like
+    /// [`Self::open_session`].
+    pub fn open_durable_session(
+        &self,
+        table: &Table,
+        options: CleanseOptions,
+        durability: DurabilityOptions,
+    ) -> Result<Session> {
+        self.governed("session-open", || {
+            Session::open_durable(
+                self.executor.clone(),
+                self.rules.clone(),
+                table,
+                SessionOptions {
+                    max_iterations: options.max_iterations,
+                    max_changes_per_cell: options.max_changes_per_cell,
+                    strategy: options.strategy,
+                    repair_options: options.repair_options,
+                },
+                durability,
+            )
+        })
+    }
+
+    /// Recover a durable session from its directory: load the latest
+    /// valid snapshot, verify the rule set matches, and replay the WAL
+    /// suffix (including a batch whose apply crashed or poisoned the
+    /// previous session). Governed like [`Self::open_session`].
+    pub fn recover_session(
+        &self,
+        options: CleanseOptions,
+        durability: DurabilityOptions,
+    ) -> Result<(Session, RecoverStats)> {
+        self.governed("session-recover", || {
+            Session::recover(
+                self.executor.clone(),
+                self.rules.clone(),
+                SessionOptions {
+                    max_iterations: options.max_iterations,
+                    max_changes_per_cell: options.max_changes_per_cell,
+                    strategy: options.strategy,
+                    repair_options: options.repair_options,
+                },
+                durability,
+            )
+        })
+    }
+
     /// Apply one [`DeltaBatch`] to an open session: incremental detect
     /// over the dirtied blocks, violation retraction, and scoped
     /// re-repair. Governed like [`Self::detect`].
@@ -434,9 +489,9 @@ mod tests {
         let metrics = Arc::new(Metrics::default());
         let adm = AdmissionControl::queue(1, 4);
         let permit = adm.admit("running", &metrics).unwrap();
-        let (adm2, m2) = (adm.clone(), Arc::clone(&metrics));
+        let m2 = Arc::clone(&metrics);
         let waiter = std::thread::spawn(move || {
-            let _p = adm2.admit("queued", &m2).unwrap();
+            let _p = adm.admit("queued", &m2).unwrap();
         });
         // let the waiter actually queue, then free the slot
         while Metrics::get(&metrics.jobs_queued) == 0 {

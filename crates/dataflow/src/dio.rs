@@ -1,0 +1,413 @@
+//! Durable IO: fault-injected, retrying, crash-point-instrumented
+//! writes for everything that must survive process death.
+//!
+//! [`Dio`] bundles the three things every durable write needs — the
+//! engine's retry/backoff [`FaultPolicy`], its optional
+//! [`FaultInjector`], and the shared [`Metrics`] — behind two
+//! primitives:
+//!
+//! * [`Dio::write_atomic`] — whole-file replacement via temp + fsync +
+//!   rename (crash leaves old-or-new, never a torn mix);
+//! * [`Dio::append_sync`] — append + fsync to an open log file, rolling
+//!   a failed partial append back to its start offset before retrying.
+//!
+//! Loud injected faults (fail-write, fail-fsync) exercise the retry
+//! path and count `Metrics::io_retries`; silent ones (short write,
+//! corrupt byte) report success and are only caught by the frame CRC at
+//! read time — exactly the failure modes real disks have.
+//!
+//! The module also hosts the crash-point switchboard for the crash-test
+//! harness: setting `BIGDANSING_CRASH_AT=<point>[:N]` in a child
+//! process makes the Nth arrival at that named point abort the process,
+//! simulating power loss at a precise moment in the commit protocol.
+
+use crate::engine::Engine;
+use crate::fault::{FaultInjector, FaultPolicy, FaultSite, IoFault};
+use bigdansing_common::codec::{sync_parent_dir, tmp_sibling};
+use bigdansing_common::metrics::Metrics;
+use bigdansing_common::{Error, Result};
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Environment variable naming the crash point (and optional 1-based
+/// hit count, `point:N`) at which this process aborts.
+pub const CRASH_ENV: &str = "BIGDANSING_CRASH_AT";
+
+static CRASH_POINT: OnceLock<Option<(String, u64)>> = OnceLock::new();
+static CRASH_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn crash_config() -> &'static Option<(String, u64)> {
+    CRASH_POINT.get_or_init(|| {
+        let spec = std::env::var(CRASH_ENV).ok()?;
+        let (name, nth) = match spec.split_once(':') {
+            Some((name, n)) => (name.to_string(), n.parse().unwrap_or(1)),
+            None => (spec, 1),
+        };
+        Some((name, nth.max(1)))
+    })
+}
+
+/// True when this arrival is the configured Nth hit of crash point
+/// `point` — the caller must then simulate the crash (usually
+/// `std::process::abort()`, possibly after deliberately tearing a
+/// write). Always false unless [`CRASH_ENV`] is set.
+pub fn crash_hit(point: &str) -> bool {
+    let Some((name, nth)) = crash_config() else {
+        return false;
+    };
+    if name != point {
+        return false;
+    }
+    CRASH_HITS.fetch_add(1, Ordering::Relaxed) + 1 == *nth
+}
+
+/// Abort the process if this is the configured hit of `point`.
+pub fn crash_point(point: &str) {
+    if crash_hit(point) {
+        std::process::abort();
+    }
+}
+
+/// A handle for durable writes: retry policy + fault injection +
+/// metrics, detached from the engine so IO paths can hold it without a
+/// borrow.
+#[derive(Clone)]
+pub struct Dio {
+    policy: FaultPolicy,
+    injector: Option<FaultInjector>,
+    metrics: Arc<Metrics>,
+}
+
+impl Dio {
+    /// A Dio carrying `engine`'s fault policy, injector, and metrics.
+    pub fn from_engine(engine: &Engine) -> Dio {
+        Dio {
+            policy: engine.fault_policy(),
+            injector: engine.fault_injector(),
+            metrics: Arc::clone(engine.metrics()),
+        }
+    }
+
+    /// A Dio with default policy, no injection, and private metrics —
+    /// for tests and callers without an engine.
+    pub fn plain() -> Dio {
+        Dio {
+            policy: FaultPolicy::default(),
+            injector: None,
+            metrics: Metrics::new_shared(),
+        }
+    }
+
+    /// Override the injector (test hook).
+    pub fn with_injector(mut self, injector: FaultInjector) -> Dio {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Override the retry policy (test hook).
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Dio {
+        self.policy = policy;
+        self
+    }
+
+    /// The metrics counters this Dio reports into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Apply any injected fault to one write attempt's buffer. Loud
+    /// faults return `Err`; silent ones hand back a doctored buffer.
+    fn doctor<'a>(
+        &self,
+        site: FaultSite,
+        stream: u64,
+        attempt: u32,
+        bytes: &'a [u8],
+    ) -> std::io::Result<Cow<'a, [u8]>> {
+        let Some(inj) = &self.injector else {
+            return Ok(Cow::Borrowed(bytes));
+        };
+        match inj.io_write_fault(site, stream, attempt) {
+            Some(IoFault::FailWrite) => Err(std::io::Error::other(format!(
+                "injected write failure: {site:?} stream {stream} attempt {attempt}"
+            ))),
+            Some(IoFault::ShortWrite) => Ok(Cow::Borrowed(&bytes[..bytes.len() / 2])),
+            Some(IoFault::CorruptByte) => {
+                let mut owned = bytes.to_vec();
+                if !owned.is_empty() {
+                    let idx = (stream as usize).wrapping_mul(31) % owned.len();
+                    owned[idx] ^= 0x55;
+                }
+                Ok(Cow::Owned(owned))
+            }
+            None => Ok(Cow::Borrowed(bytes)),
+        }
+    }
+
+    fn fsync_fault(&self, site: FaultSite, stream: u64, attempt: u32) -> std::io::Result<()> {
+        if let Some(inj) = &self.injector {
+            if inj.io_fsync_fails(site, stream, attempt) {
+                return Err(std::io::Error::other(format!(
+                    "injected fsync failure: {site:?} stream {stream} attempt {attempt}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically replace `path` with `bytes`: write `<path>.tmp`,
+    /// fsync, rename, fsync the directory. Loud faults are retried with
+    /// capped exponential backoff (counting `Metrics::io_retries`);
+    /// exhaustion surfaces as [`Error::Io`]. `crash_prefix` names the
+    /// crash point fired between the temp fsync and the rename
+    /// (`"<prefix>-pre-rename"`) so the harness can kill the process
+    /// with a complete temp file but no visible new state.
+    pub fn write_atomic(
+        &self,
+        site: FaultSite,
+        stream: u64,
+        path: &Path,
+        bytes: &[u8],
+        crash_prefix: &str,
+    ) -> Result<()> {
+        let max = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.write_atomic_once(site, stream, attempt, path, bytes, crash_prefix) {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt >= max => {
+                    return Err(Error::Io(format!(
+                        "{site:?} {}: {e} (after {attempt} attempt(s))",
+                        path.display()
+                    )));
+                }
+                Err(_) => {
+                    Metrics::add(&self.metrics.io_retries, 1);
+                    std::thread::sleep(self.policy.backoff_for(attempt));
+                }
+            }
+        }
+    }
+
+    fn write_atomic_once(
+        &self,
+        site: FaultSite,
+        stream: u64,
+        attempt: u32,
+        path: &Path,
+        bytes: &[u8],
+        crash_prefix: &str,
+    ) -> std::io::Result<()> {
+        let data = self.doctor(site, stream, attempt, bytes)?;
+        let tmp = tmp_sibling(path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&data)?;
+            self.fsync_fault(site, stream, attempt)?;
+            f.sync_all()?;
+        }
+        crash_point(&format!("{crash_prefix}-pre-rename"));
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    }
+
+    /// Append `bytes` to `file` and fsync. On a loud fault the partial
+    /// append is rolled back (truncate to the pre-append length) before
+    /// the backoff and retry, so the log never accumulates garbage from
+    /// failed attempts; exhaustion surfaces as [`Error::Io`]. Returns
+    /// the offset the record was appended at.
+    pub fn append_sync(
+        &self,
+        site: FaultSite,
+        stream: u64,
+        file: &mut File,
+        bytes: &[u8],
+    ) -> Result<u64> {
+        let start = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| Error::Io(format!("{site:?}: seek: {e}")))?;
+        let max = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let res = (|| -> std::io::Result<()> {
+                let data = self.doctor(site, stream, attempt, bytes)?;
+                file.write_all(&data)?;
+                self.fsync_fault(site, stream, attempt)?;
+                file.sync_data()?;
+                Ok(())
+            })();
+            match res {
+                Ok(()) => return Ok(start),
+                Err(e) => {
+                    // Roll the log back to the record boundary.
+                    let _ = file.set_len(start);
+                    let _ = file.seek(SeekFrom::End(0));
+                    if attempt >= max {
+                        return Err(Error::Io(format!(
+                            "{site:?}: append at offset {start}: {e} (after {attempt} attempt(s))"
+                        )));
+                    }
+                    Metrics::add(&self.metrics.io_retries, 1);
+                    std::thread::sleep(self.policy.backoff_for(attempt));
+                }
+            }
+        }
+    }
+}
+
+/// Remove orphaned `.tmp` siblings (left by a crash between temp write
+/// and rename) from `dir`. Best effort; returns how many were removed.
+pub fn sweep_orphan_tmps(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::codec::{decode_frame, encode_frame};
+
+    fn tdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("bd-dio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fail_once_write_retries_and_counts() {
+        let dir = tdir("failonce");
+        let dio = Dio::plain().with_injector(FaultInjector::seeded(1).with_io_fail_once());
+        let path = dir.join("out.bin");
+        dio.write_atomic(FaultSite::SnapshotWrite, 0, &path, b"payload", "test")
+            .unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        assert_eq!(Metrics::get(&dio.metrics().io_retries), 1);
+        assert!(!tmp_sibling(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_write_failure_exhausts_as_io_error() {
+        let dir = tdir("exhaust");
+        let dio = Dio::plain()
+            .with_injector(FaultInjector::seeded(1).with_io_write_failures(1.0))
+            .with_policy(FaultPolicy::with_max_attempts(2));
+        let err = dio
+            .write_atomic(
+                FaultSite::SnapshotWrite,
+                0,
+                &dir.join("out.bin"),
+                b"x",
+                "test",
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err}");
+        assert!(err.to_string().contains("2 attempt"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_is_silent_but_crc_catches_it() {
+        let dir = tdir("short");
+        let dio = Dio::plain().with_injector(FaultInjector::seeded(1).with_io_short_writes(1.0));
+        let path = dir.join("frame.bin");
+        let frame = encode_frame(1, b"this payload will be torn in half");
+        dio.write_atomic(FaultSite::SnapshotWrite, 0, &path, &frame, "test")
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.len() < frame.len(), "write must have been torn");
+        let res = decode_frame(&mut bytes.as_slice());
+        assert!(
+            matches!(res, Err(Error::Parse(_)) | Err(Error::Corrupt(_))),
+            "torn frame must fail decode, got {res:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_is_silent_but_crc_catches_it() {
+        let dir = tdir("corrupt");
+        let dio = Dio::plain().with_injector(FaultInjector::seeded(1).with_io_corrupt_bytes(1.0));
+        let path = dir.join("frame.bin");
+        let frame = encode_frame(1, b"one byte of this will flip");
+        dio.write_atomic(FaultSite::SnapshotWrite, 3, &path, &frame, "test")
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), frame.len());
+        assert_ne!(bytes, frame, "a byte must have flipped");
+        assert!(matches!(
+            decode_frame(&mut bytes.as_slice()),
+            Err(Error::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_to_record_boundary() {
+        let dir = tdir("append");
+        let path = dir.join("log.bin");
+        let mut file = File::options()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .unwrap();
+        let dio = Dio::plain().with_injector(FaultInjector::seeded(1).with_io_fail_once());
+        let off1 = dio
+            .append_sync(FaultSite::WalAppend, 1, &mut file, b"rec-one|")
+            .unwrap();
+        let off2 = dio
+            .append_sync(FaultSite::WalAppend, 2, &mut file, b"rec-two|")
+            .unwrap();
+        assert_eq!((off1, off2), (0, 8));
+        assert_eq!(std::fs::read(&path).unwrap(), b"rec-one|rec-two|");
+        // two appends, each failed once before succeeding
+        assert_eq!(Metrics::get(&dio.metrics().io_retries), 2);
+        // persistent failure leaves the log exactly as it was
+        let bad = Dio::plain()
+            .with_injector(FaultInjector::seeded(1).with_io_write_failures(1.0))
+            .with_policy(FaultPolicy::fail_fast());
+        assert!(bad
+            .append_sync(FaultSite::WalAppend, 3, &mut file, b"rec-three|")
+            .is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"rec-one|rec-two|");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_tmp_files() {
+        let dir = tdir("sweep");
+        std::fs::write(dir.join("keep.bin"), b"k").unwrap();
+        std::fs::write(dir.join("a.bin.tmp"), b"t").unwrap();
+        std::fs::write(dir.join("b.tmp"), b"t").unwrap();
+        assert_eq!(sweep_orphan_tmps(&dir), 2);
+        assert!(dir.join("keep.bin").exists());
+        assert!(!dir.join("a.bin.tmp").exists());
+        assert_eq!(sweep_orphan_tmps(&dir), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_hit_is_inert_without_the_env_var() {
+        // The test runner never sets CRASH_ENV, so every point is inert.
+        assert!(!crash_hit("wal-pre-sync"));
+        crash_point("snapshot-pre-rename"); // must not abort
+    }
+}

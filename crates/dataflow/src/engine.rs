@@ -41,6 +41,9 @@ struct EngineInner {
     /// Set when the engine actually created its spill directory, so
     /// Drop only removes directories this engine made.
     spill_dir_created: AtomicBool,
+    /// Set once a pre-existing spill directory has been swept of
+    /// orphaned `.tmp` files, so the sweep runs at most once.
+    tmp_swept: AtomicBool,
     /// Memory-budget policy; `None` disables the ledger entirely.
     budget: Option<MemoryBudget>,
     /// Default wall-clock deadline applied to every job begun on this
@@ -65,6 +68,10 @@ impl Drop for EngineInner {
         // Engine handle goes away; leaks here were previously permanent.
         if self.spill_dir_created.load(Ordering::Relaxed) {
             let _ = std::fs::remove_dir_all(&self.spill_dir);
+        } else if self.spill_dir.is_dir() {
+            // Pre-existing (user-provided) dir: keep it, but sweep any
+            // `.tmp` orphans left by interrupted atomic writes.
+            crate::dio::sweep_orphan_tmps(&self.spill_dir);
         }
     }
 }
@@ -147,6 +154,7 @@ impl EngineBuilder {
                 injector: self.injector,
                 degraded: AtomicBool::new(false),
                 spill_dir_created: AtomicBool::new(false),
+                tmp_swept: AtomicBool::new(false),
                 budget: self.budget,
                 deadline: self.deadline,
                 current: Mutex::new(CancellationToken::new("ad-hoc")),
@@ -255,6 +263,11 @@ impl Engine {
         if !self.inner.spill_dir.is_dir() {
             std::fs::create_dir_all(&self.inner.spill_dir)?;
             self.inner.spill_dir_created.store(true, Ordering::Relaxed);
+            self.inner.tmp_swept.store(true, Ordering::Relaxed);
+        } else if !self.inner.tmp_swept.swap(true, Ordering::Relaxed) {
+            // First use of a pre-existing spill dir: sweep `.tmp`
+            // orphans a crashed process may have left mid-rename.
+            crate::dio::sweep_orphan_tmps(&self.inner.spill_dir);
         }
         Ok(())
     }
@@ -412,7 +425,7 @@ impl Engine {
                 Metrics::add(&self.inner.metrics.spill_failures, 1);
                 return;
             }
-            match coldest.spill(self.next_spill_path()) {
+            match coldest.spill(self.next_spill_path(), &crate::dio::Dio::from_engine(self)) {
                 Ok(written) if written > 0 => {
                     Metrics::add(&self.inner.metrics.pressure_spills, 1);
                     Metrics::add(&self.inner.metrics.bytes_spilled, written);

@@ -85,6 +85,27 @@ pub enum FaultSite {
     SpillWrite,
     /// A checkpoint spill read-back (I/O error injection).
     SpillRead,
+    /// A write-ahead-log append (durable IO fault injection).
+    WalAppend,
+    /// A session snapshot write (durable IO fault injection).
+    SnapshotWrite,
+}
+
+/// A durable-write fault decision from [`FaultInjector::io_write_fault`].
+///
+/// `FailWrite` is *loud* — the write reports an error and the caller's
+/// retry/backoff path runs. `ShortWrite` and `CorruptByte` are *silent*
+/// — the write reports success but the bytes on disk are wrong, which
+/// only the checksummed frame codec can catch at read time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write attempt fails with an I/O error (retryable).
+    FailWrite,
+    /// Only a prefix of the buffer reaches disk; success is reported.
+    ShortWrite,
+    /// One byte of the buffer is flipped before writing; success is
+    /// reported.
+    CorruptByte,
 }
 
 /// Deterministic, seeded fault injector.
@@ -103,6 +124,11 @@ pub struct FaultInjector {
     spill_read_error: f64,
     delay: f64,
     delay_for: Duration,
+    io_write_fail: f64,
+    io_short_write: f64,
+    io_corrupt_byte: f64,
+    io_fsync_fail: f64,
+    io_fail_first_attempt: bool,
 }
 
 impl FaultInjector {
@@ -115,6 +141,11 @@ impl FaultInjector {
             spill_read_error: 0.0,
             delay: 0.0,
             delay_for: Duration::ZERO,
+            io_write_fail: 0.0,
+            io_short_write: 0.0,
+            io_corrupt_byte: 0.0,
+            io_fsync_fail: 0.0,
+            io_fail_first_attempt: false,
         }
     }
 
@@ -140,6 +171,40 @@ impl FaultInjector {
         self
     }
 
+    /// Probability that a durable write attempt (WAL append, snapshot,
+    /// spill) fails loudly with an I/O error.
+    pub fn with_io_write_failures(mut self, p: f64) -> FaultInjector {
+        self.io_write_fail = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Every durable write's *first* attempt fails loudly; retries
+    /// succeed. The deterministic "fail-once" fault for proving the
+    /// retry/backoff path without risking retry exhaustion.
+    pub fn with_io_fail_once(mut self) -> FaultInjector {
+        self.io_fail_first_attempt = true;
+        self
+    }
+
+    /// Probability that a durable write silently persists only a prefix
+    /// of the buffer (torn write). Only the frame CRC can catch this.
+    pub fn with_io_short_writes(mut self, p: f64) -> FaultInjector {
+        self.io_short_write = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a durable write silently flips one byte.
+    pub fn with_io_corrupt_bytes(mut self, p: f64) -> FaultInjector {
+        self.io_corrupt_byte = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that the fsync after a durable write fails loudly.
+    pub fn with_io_fsync_failures(mut self, p: f64) -> FaultInjector {
+        self.io_fsync_fail = p.clamp(0.0, 1.0);
+        self
+    }
+
     /// A uniform draw in `[0, 1)` for one decision, keyed by every
     /// coordinate that identifies the attempt plus a purpose salt.
     fn roll(&self, salt: u64, site: FaultSite, stage: u64, partition: usize, attempt: u32) -> f64 {
@@ -147,6 +212,8 @@ impl FaultInjector {
             FaultSite::Task => 1u64,
             FaultSite::SpillWrite => 2,
             FaultSite::SpillRead => 3,
+            FaultSite::WalAppend => 4,
+            FaultSite::SnapshotWrite => 5,
         };
         let mut z = self
             .seed
@@ -195,8 +262,39 @@ impl FaultInjector {
                     )));
                 }
             }
+            FaultSite::WalAppend | FaultSite::SnapshotWrite => {}
         }
         Ok(())
+    }
+
+    /// The durable-write fault (if any) for one attempt at `site`.
+    /// `stream` distinguishes independent byte streams through the same
+    /// site (a WAL record seq, a snapshot generation, a spill slot).
+    /// Loud faults win over silent ones so retry tests stay simple.
+    pub fn io_write_fault(&self, site: FaultSite, stream: u64, attempt: u32) -> Option<IoFault> {
+        if self.io_fail_first_attempt && attempt == 1 {
+            return Some(IoFault::FailWrite);
+        }
+        if self.io_write_fail > 0.0 && self.roll(19, site, stream, 0, attempt) < self.io_write_fail
+        {
+            return Some(IoFault::FailWrite);
+        }
+        if self.io_short_write > 0.0
+            && self.roll(23, site, stream, 0, attempt) < self.io_short_write
+        {
+            return Some(IoFault::ShortWrite);
+        }
+        if self.io_corrupt_byte > 0.0
+            && self.roll(29, site, stream, 0, attempt) < self.io_corrupt_byte
+        {
+            return Some(IoFault::CorruptByte);
+        }
+        None
+    }
+
+    /// Whether the fsync after a durable write at `site` fails loudly.
+    pub fn io_fsync_fails(&self, site: FaultSite, stream: u64, attempt: u32) -> bool {
+        self.io_fsync_fail > 0.0 && self.roll(31, site, stream, 0, attempt) < self.io_fsync_fail
     }
 }
 
@@ -273,5 +371,66 @@ mod tests {
             assert!(inj.inject(FaultSite::SpillWrite, 0, part, 1).is_ok());
             assert!(inj.inject(FaultSite::SpillRead, 0, part, 1).is_ok());
         }
+        for stream in 0..100 {
+            assert_eq!(inj.io_write_fault(FaultSite::WalAppend, stream, 1), None);
+            assert!(!inj.io_fsync_fails(FaultSite::SnapshotWrite, stream, 1));
+        }
+    }
+
+    #[test]
+    fn io_fail_once_fails_exactly_the_first_attempt() {
+        let inj = FaultInjector::seeded(3).with_io_fail_once();
+        for stream in 0..32u64 {
+            assert_eq!(
+                inj.io_write_fault(FaultSite::WalAppend, stream, 1),
+                Some(IoFault::FailWrite)
+            );
+            assert_eq!(inj.io_write_fault(FaultSite::WalAppend, stream, 2), None);
+            assert_eq!(
+                inj.io_write_fault(FaultSite::SnapshotWrite, stream, 3),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn io_faults_are_deterministic_and_site_keyed() {
+        let a = FaultInjector::seeded(11)
+            .with_io_short_writes(0.4)
+            .with_io_corrupt_bytes(0.2)
+            .with_io_fsync_failures(0.3);
+        let b = FaultInjector::seeded(11)
+            .with_io_short_writes(0.4)
+            .with_io_corrupt_bytes(0.2)
+            .with_io_fsync_failures(0.3);
+        let mut differs = false;
+        for stream in 0..64u64 {
+            for attempt in 1..4u32 {
+                let wal = a.io_write_fault(FaultSite::WalAppend, stream, attempt);
+                assert_eq!(wal, b.io_write_fault(FaultSite::WalAppend, stream, attempt));
+                let snap = a.io_write_fault(FaultSite::SnapshotWrite, stream, attempt);
+                assert_eq!(
+                    snap,
+                    b.io_write_fault(FaultSite::SnapshotWrite, stream, attempt)
+                );
+                differs |= wal != snap;
+                assert_eq!(
+                    a.io_fsync_fails(FaultSite::WalAppend, stream, attempt),
+                    b.io_fsync_fails(FaultSite::WalAppend, stream, attempt)
+                );
+            }
+        }
+        assert!(differs, "sites must roll independently");
+    }
+
+    #[test]
+    fn io_fault_probabilities_are_roughly_honored() {
+        let inj = FaultInjector::seeded(77).with_io_write_failures(0.25);
+        let n = 10_000u64;
+        let fails = (0..n)
+            .filter(|s| inj.io_write_fault(FaultSite::WalAppend, *s, 1).is_some())
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
     }
 }

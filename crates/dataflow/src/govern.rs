@@ -211,9 +211,10 @@ pub(crate) trait Spillable: Send + Sync {
     fn resident_bytes(&self) -> u64;
     /// Ledger clock value of the last access — the eviction ordering.
     fn last_touch(&self) -> u64;
-    /// Encode to `path` and drop the in-memory partitions. Returns the
-    /// bytes written (0 if there was nothing resident to spill).
-    fn spill(&self, path: PathBuf) -> Result<u64>;
+    /// Encode to `path` and drop the in-memory partitions, writing
+    /// through `dio` (atomic temp+rename, retries, fault injection).
+    /// Returns the bytes written (0 if nothing was resident to spill).
+    fn spill(&self, path: PathBuf, dio: &crate::dio::Dio) -> Result<u64>;
 }
 
 /// Where a tracked dataset's partitions currently live.
@@ -326,14 +327,22 @@ impl<T: Send> Spillable for TrackedSlot<T> {
         self.touch.load(Ordering::Relaxed)
     }
 
-    fn spill(&self, path: PathBuf) -> Result<u64> {
+    fn spill(&self, path: PathBuf, dio: &crate::dio::Dio) -> Result<u64> {
         let mut state = self.state.lock();
         let SlotState::Mem(parts) = &*state else {
             return Ok(0);
         };
         let buf = (self.encode)(parts);
-        fs::write(&path, &buf)
-            .map_err(|e| Error::Io(format!("pressure spill {}: {e}", path.display())))?;
+        // Atomic temp+fsync+rename: a crash mid-spill leaves at worst
+        // an orphaned `.tmp` the engine sweeps on startup, never a
+        // half-written file that would poison the fault-back-in path.
+        dio.write_atomic(
+            crate::fault::FaultSite::SpillWrite,
+            self.touch.load(Ordering::Relaxed),
+            &path,
+            &buf,
+            "spill",
+        )?;
         let written = buf.len() as u64;
         *state = SlotState::Spilled(path);
         self.resident.store(0, Ordering::Relaxed);
@@ -421,12 +430,17 @@ mod tests {
         let dir = std::env::temp_dir().join("bigdansing-govern-test");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("slot-roundtrip.bin");
-        let written = slot.spill(path.clone()).unwrap();
+        let dio = crate::dio::Dio::plain();
+        let written = slot.spill(path.clone(), &dio).unwrap();
         assert!(written > 0);
         assert_eq!(slot.resident_bytes(), 0);
         assert!(path.exists());
+        assert!(
+            !bigdansing_common::codec::tmp_sibling(&path).exists(),
+            "atomic spill must not leave a temp file"
+        );
         // Second spill is a no-op.
-        assert_eq!(slot.spill(dir.join("slot-other.bin")).unwrap(), 0);
+        assert_eq!(slot.spill(dir.join("slot-other.bin"), &dio).unwrap(), 0);
         assert_eq!(slot.clone_parts().unwrap(), parts);
         assert!(path.exists(), "clone_parts must leave the spill file");
         assert_eq!(slot.take().unwrap(), parts);
@@ -440,9 +454,24 @@ mod tests {
         let dir = std::env::temp_dir().join("bigdansing-govern-test");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("slot-dropped.bin");
-        slot.spill(path.clone()).unwrap();
+        slot.spill(path.clone(), &crate::dio::Dio::plain()).unwrap();
         assert!(path.exists());
         drop(slot);
         assert!(!path.exists(), "orphaned spill file after drop");
+    }
+
+    #[test]
+    fn transient_spill_write_failure_is_retried() {
+        use crate::fault::FaultInjector;
+        let slot = TrackedSlot::create(vec![vec![7u64; 32]], 0);
+        let dir = std::env::temp_dir().join("bigdansing-govern-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slot-retried.bin");
+        let dio =
+            crate::dio::Dio::plain().with_injector(FaultInjector::seeded(5).with_io_fail_once());
+        let written = slot.spill(path, &dio).unwrap();
+        assert!(written > 0);
+        assert_eq!(Metrics::get(&dio.metrics().io_retries), 1);
+        assert_eq!(slot.take().unwrap(), vec![vec![7u64; 32]]);
     }
 }

@@ -42,7 +42,14 @@
 //! enforced by a watchdog thread, and an optional [`MemoryBudget`] under
 //! which checkpointed datasets are byte-accounted and evicted to disk
 //! when the soft limit is exceeded (spill-under-pressure).
+//!
+//! Durable IO ([`dio`]): spill, checkpoint, WAL, and snapshot files are
+//! written atomically (temp + fsync + rename) through [`Dio`], with
+//! transient failures retried under the fault policy, deterministic IO
+//! fault injection (fail-once, short write, corrupt byte, fail-fsync),
+//! and named crash points for the crash-test harness.
 
+pub mod dio;
 pub mod engine;
 pub mod fault;
 pub mod govern;
@@ -52,8 +59,9 @@ pub mod pdataset;
 pub mod pool;
 pub mod stage;
 
+pub use dio::Dio;
 pub use engine::{Engine, EngineBuilder, ExecMode, JobGuard};
-pub use fault::{FaultInjector, FaultPolicy, SpillFallback};
+pub use fault::{FaultInjector, FaultPolicy, FaultSite, IoFault, SpillFallback};
 pub use govern::{CancellationToken, MemoryBudget};
 pub use grouping::StableHasher;
 pub use pdataset::PDataset;

@@ -344,6 +344,7 @@ fn spill_io<X>(
                     });
                 }
                 Metrics::add(&metrics.tasks_retried, 1);
+                Metrics::add(&metrics.io_retries, 1);
                 let backoff = policy.backoff_for(attempt);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
@@ -424,7 +425,9 @@ impl<T: Send + Sync + Codec + 'static> PDataset<T> {
         let written = par_map_indexed(workers, items, |i, (part, path)| {
             spill_io(engine, FaultSite::SpillWrite, write_stage, i, || {
                 let buf = encode_batch(part);
-                fs::write(path, &buf)?;
+                // Atomic temp+fsync+rename (retries come from spill_io):
+                // a crash mid-checkpoint leaves no torn partition files.
+                bigdansing_common::codec::atomic_write(path, &buf)?;
                 Ok(buf.len() as u64)
             })
         });
@@ -663,7 +666,7 @@ mod tests {
             .workers(2)
             .memory_budget(MemoryBudget::new(64, 1 << 30))
             .build();
-        let cp = PDataset::from_vec(e.clone(), (0..100u64).collect())
+        let cp = PDataset::from_vec(e, (0..100u64).collect())
             .checkpoint()
             .unwrap();
         let dup = cp.try_duplicate().unwrap();
@@ -824,7 +827,7 @@ mod tests {
         let e = Engine::disk_backed(2);
         let guard = e.begin_job("cancelled-checkpoint", None);
         e.cancel_job(CancelReason::User);
-        let ds = PDataset::from_vec(e.clone(), (0..100u64).collect());
+        let ds = PDataset::from_vec(e, (0..100u64).collect());
         let err = ds.checkpoint().unwrap_err();
         assert!(matches!(err, Error::Cancelled { .. }), "{err:?}");
         drop(guard);

@@ -617,7 +617,7 @@ mod tests {
         let e = Engine::parallel(2);
         let guard = e.begin_job("doomed", None);
         e.cancel_job(CancelReason::User);
-        let err = Stage::over(PDataset::from_vec(e.clone(), (0..100i64).collect()))
+        let err = Stage::over(PDataset::from_vec(e, (0..100i64).collect()))
             .map("id", Ok)
             .collect()
             .unwrap_err();

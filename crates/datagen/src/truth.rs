@@ -168,7 +168,7 @@ mod tests {
     fn numeric_distance() {
         let schema = Schema::parse("v");
         let clean = Table::from_rows("t", schema.clone(), vec![vec![Value::Int(10)]]);
-        let dirty = Table::from_rows("t", schema.clone(), vec![vec![Value::Int(50)]]);
+        let dirty = Table::from_rows("t", schema, vec![vec![Value::Int(50)]]);
         let gt = GroundTruth {
             clean,
             dirty: dirty.clone(),

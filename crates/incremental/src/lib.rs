@@ -30,9 +30,18 @@
 //! equal what a from-scratch `cleanse_loop` over the materialized table
 //! would produce. The test suite enforces this for FDs, CFDs, DCs with
 //! inequalities, and dedup UDF rules.
+//!
+//! Sessions can additionally be made **durable**: with
+//! [`DurabilityOptions`] every applied batch is appended to a
+//! checksummed write-ahead log before any in-memory mutation, periodic
+//! atomic snapshots bound replay time, and [`Session::recover`]
+//! rebuilds an equivalent session after a crash — or after an apply
+//! error that would otherwise leave the session poisoned.
 
 pub mod delta;
 pub mod session;
+pub mod wal;
 
 pub use delta::{apply_batch_to_table, DeltaBatch, DeltaOp};
 pub use session::{DeltaReport, Session, SessionOptions};
+pub use wal::{read_snapshot_table, DurabilityOptions, RecoverStats};

@@ -1,0 +1,790 @@
+//! Durability layer for incremental sessions: a write-ahead log of
+//! [`DeltaBatch`]es plus atomic, checksummed snapshots of full session
+//! state.
+//!
+//! Both artifacts live in one *durable directory* and share the
+//! self-describing frame codec from `bigdansing_common::codec`
+//! (magic, format version, kind byte, CRC32 trailer):
+//!
+//! ```text
+//! <dir>/wal.log       frame(KIND_WAL) per batch: seq u64 + DeltaBatch
+//! <dir>/snapshot.bin  one frame(KIND_SNAPSHOT): full SessionState
+//! ```
+//!
+//! The WAL is append-only and fsync'd before any in-memory mutation;
+//! a torn tail (partial last frame after a crash) is detected by the
+//! frame CRC and truncated away on open. Snapshots are written to a
+//! temp sibling, fsync'd, then renamed into place, so a crash leaves
+//! either the old snapshot or the new one — never a hybrid. Recovery
+//! is: load the newest valid snapshot, then replay the WAL suffix
+//! whose sequence numbers exceed the snapshot watermark.
+
+use crate::delta::{DeltaBatch, DeltaOp};
+use bigdansing_common::codec::{
+    decode_frame, encode_frame, read_frame_file, Codec, FRAME_HEADER, FRAME_TRAILER,
+};
+use bigdansing_common::{Error, Result, Schema, Table, Tuple, Value};
+use bigdansing_dataflow::dio::{crash_hit, crash_point, Dio};
+use bigdansing_dataflow::FaultSite;
+use bigdansing_rules::{Fix, Violation};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame kind for WAL records.
+pub const KIND_WAL: u8 = 1;
+/// Frame kind for session snapshots.
+pub const KIND_SNAPSHOT: u8 = 2;
+
+/// WAL file name inside a durable directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name inside a durable directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Where and how often a session persists its state.
+#[derive(Clone, Debug)]
+pub struct DurabilityOptions {
+    /// Directory holding `wal.log` and `snapshot.bin` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Write a snapshot (and truncate the WAL) every this many applied
+    /// batches. `0` disables automatic snapshots; explicit
+    /// `Session::snapshot()` calls still work.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityOptions {
+    /// Durability rooted at `dir` with the default snapshot cadence
+    /// (every 8 batches).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityOptions {
+            dir: dir.into(),
+            snapshot_every: 8,
+        }
+    }
+
+    /// Override the automatic snapshot cadence.
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+}
+
+/// What recovery found and did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverStats {
+    /// Sequence number covered by the snapshot that seeded recovery
+    /// (0 when no snapshot existed and the session was rebuilt from
+    /// the base table + full WAL).
+    pub snapshot_seq: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Highest batch sequence number in the recovered session.
+    pub last_seq: u64,
+}
+
+// --- delta codecs -------------------------------------------------------
+
+impl Codec for DeltaOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DeltaOp::Insert(t) => {
+                buf.push(0);
+                t.encode(buf);
+            }
+            DeltaOp::Update(t) => {
+                buf.push(1);
+                t.encode(buf);
+            }
+            DeltaOp::Delete(id) => {
+                buf.push(2);
+                id.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let tag = *buf
+            .first()
+            .ok_or_else(|| Error::Parse("delta op codec underrun".into()))?;
+        *buf = &buf[1..];
+        Ok(match tag {
+            0 => DeltaOp::Insert(Tuple::decode(buf)?),
+            1 => DeltaOp::Update(Tuple::decode(buf)?),
+            2 => DeltaOp::Delete(u64::decode(buf)?),
+            t => return Err(Error::Parse(format!("delta op codec: bad tag {t}"))),
+        })
+    }
+}
+
+impl Codec for DeltaBatch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.ops.len() as u64).encode(buf);
+        for op in &self.ops {
+            op.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let n = u64::decode(buf)? as usize;
+        let mut ops = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            ops.push(DeltaOp::decode(buf)?);
+        }
+        Ok(DeltaBatch { ops })
+    }
+}
+
+// --- write-ahead log ----------------------------------------------------
+
+/// Append-only, fsync'd log of applied delta batches.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+}
+
+/// Path of the WAL file inside `dir`.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+/// Path of the snapshot file inside `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+impl Wal {
+    /// Create (or truncate) the WAL in `dir`.
+    pub fn create(dir: &Path) -> Result<Wal> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Io(format!("create durable dir {}: {e}", dir.display())))?;
+        let path = wal_path(dir);
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| Error::Io(format!("create {}: {e}", path.display())))?;
+        Ok(Wal { path, file })
+    }
+
+    /// Open the WAL in `dir`, returning the valid records in order. A
+    /// torn tail — any suffix that fails frame decoding, e.g. a
+    /// half-written record from a crash mid-append — is truncated away
+    /// so subsequent appends start at a clean record boundary. A
+    /// missing file is treated as an empty log.
+    pub fn open(dir: &Path) -> Result<(Wal, Vec<(u64, DeltaBatch)>)> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Io(format!("create durable dir {}: {e}", dir.display())))?;
+        let path = wal_path(dir);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false) // existing records are replayed, not discarded
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| Error::Io(format!("open {}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| Error::Io(format!("read {}: {e}", path.display())))?;
+
+        let mut records = Vec::new();
+        let mut cursor = &bytes[..];
+        let mut good = 0u64; // byte offset of the first bad/torn frame
+        while !cursor.is_empty() {
+            let before = cursor.len();
+            match decode_frame(&mut cursor) {
+                Ok((KIND_WAL, payload)) => {
+                    let mut p = &payload[..];
+                    let seq = u64::decode(&mut p)?;
+                    let batch = DeltaBatch::decode(&mut p)?;
+                    if !p.is_empty() {
+                        return Err(Error::Corrupt(format!(
+                            "{}: {} trailing byte(s) inside WAL record {seq}",
+                            path.display(),
+                            p.len()
+                        )));
+                    }
+                    records.push((seq, batch));
+                    good += (before - cursor.len()) as u64;
+                }
+                Ok((kind, _)) => {
+                    return Err(Error::Corrupt(format!(
+                        "{}: unexpected frame kind {kind} in WAL",
+                        path.display()
+                    )));
+                }
+                Err(_) => break, // torn tail: keep `good`, drop the rest
+            }
+        }
+        if good < bytes.len() as u64 {
+            file.set_len(good)
+                .map_err(|e| Error::Io(format!("truncate torn tail {}: {e}", path.display())))?;
+            file.sync_data()
+                .map_err(|e| Error::Io(format!("sync {}: {e}", path.display())))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| Error::Io(format!("seek {}: {e}", path.display())))?;
+        Ok((Wal { path, file }, records))
+    }
+
+    /// Append one batch under sequence number `seq` and fsync before
+    /// returning. Transient IO faults are retried by `dio` with the
+    /// partial write rolled back, so the log only ever grows by whole
+    /// frames. Fires the `wal-pre-sync` crash point (simulating a torn
+    /// write: half the frame reaches disk) and `wal-post-sync` (record
+    /// durable, in-memory state not yet mutated).
+    pub fn append(&mut self, seq: u64, batch: &DeltaBatch, dio: &Dio) -> Result<()> {
+        let mut payload = Vec::new();
+        seq.encode(&mut payload);
+        batch.encode(&mut payload);
+        let frame = encode_frame(KIND_WAL, &payload);
+
+        if crash_hit("wal-pre-sync") {
+            // Simulate a crash mid-append: half the frame reaches the
+            // disk, then the process dies. Recovery must truncate it.
+            // (`crash_hit` already consumed the configured hit, so
+            // abort directly rather than via `crash_point`.)
+            let half = &frame[..frame.len() / 2];
+            let _ = self.file.write_all(half);
+            let _ = self.file.sync_data();
+            std::process::abort();
+        }
+
+        dio.append_sync(FaultSite::WalAppend, seq, &mut self.file, &frame)?;
+        crash_point("wal-post-sync");
+        Ok(())
+    }
+
+    /// Drop all records (after a snapshot made them redundant).
+    pub fn truncate_all(&mut self) -> Result<()> {
+        self.file
+            .set_len(0)
+            .map_err(|e| Error::Io(format!("truncate {}: {e}", self.path.display())))?;
+        self.file
+            .sync_data()
+            .map_err(|e| Error::Io(format!("sync {}: {e}", self.path.display())))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| Error::Io(format!("seek {}: {e}", self.path.display())))?;
+        Ok(())
+    }
+
+    /// Expected size in bytes of one appended record for `batch`.
+    pub fn record_size(batch: &DeltaBatch) -> usize {
+        let mut payload = Vec::new();
+        0u64.encode(&mut payload);
+        batch.encode(&mut payload);
+        FRAME_HEADER + payload.len() + FRAME_TRAILER
+    }
+}
+
+// --- snapshot state -----------------------------------------------------
+
+/// Serialized provenance of a stored violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProvState {
+    /// Violation derived from these tuple ids.
+    Tuples(Vec<u64>),
+    /// Violation derived from the block with this key.
+    Block(Vec<Value>),
+}
+
+impl Codec for ProvState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProvState::Tuples(ids) => {
+                buf.push(0);
+                (ids.len() as u64).encode(buf);
+                for id in ids {
+                    id.encode(buf);
+                }
+            }
+            ProvState::Block(vals) => {
+                buf.push(1);
+                (vals.len() as u64).encode(buf);
+                for v in vals {
+                    v.encode(buf);
+                }
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let tag = *buf
+            .first()
+            .ok_or_else(|| Error::Parse("prov codec underrun".into()))?;
+        *buf = &buf[1..];
+        let n = u64::decode(buf)? as usize;
+        Ok(match tag {
+            0 => {
+                let mut ids = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    ids.push(u64::decode(buf)?);
+                }
+                ProvState::Tuples(ids)
+            }
+            1 => {
+                let mut vals = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    vals.push(Value::decode(buf)?);
+                }
+                ProvState::Block(vals)
+            }
+            t => return Err(Error::Parse(format!("prov codec: bad tag {t}"))),
+        })
+    }
+}
+
+/// One stored violation with its repair context and provenance.
+#[derive(Clone, Debug)]
+pub struct StoredState {
+    /// Store id (preserved across snapshot/recover so retraction sets
+    /// stay aligned).
+    pub id: u64,
+    /// Index of the originating rule in the session's rule list.
+    pub rule: u64,
+    /// The violation itself.
+    pub violation: Violation,
+    /// Possible fixes generated for it.
+    pub fixes: Vec<Fix>,
+    /// Where it came from (for retraction on later deltas).
+    pub prov: ProvState,
+}
+
+impl Codec for StoredState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.rule.encode(buf);
+        self.violation.encode(buf);
+        (self.fixes.len() as u64).encode(buf);
+        for f in &self.fixes {
+            f.encode(buf);
+        }
+        self.prov.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let id = u64::decode(buf)?;
+        let rule = u64::decode(buf)?;
+        let violation = Violation::decode(buf)?;
+        let n = u64::decode(buf)? as usize;
+        let mut fixes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            fixes.push(Fix::decode(buf)?);
+        }
+        let prov = ProvState::decode(buf)?;
+        Ok(StoredState {
+            id,
+            rule,
+            violation,
+            fixes,
+            prov,
+        })
+    }
+}
+
+/// Complete serializable session state. Per-rule scoping indexes are
+/// *not* stored — they are rebuilt deterministically from the table
+/// and sequence numbers on recovery, which keeps the snapshot small
+/// and the format stable across index-layout changes.
+#[derive(Clone, Debug)]
+pub struct SessionState {
+    /// Materialized table name.
+    pub table_name: String,
+    /// Schema attribute names.
+    pub attrs: Vec<String>,
+    /// Tuples in table order.
+    pub tuples: Vec<Tuple>,
+    /// Ingestion sequence number per tuple, aligned with `tuples`.
+    pub seqs: Vec<u64>,
+    /// Next ingestion sequence number.
+    pub next_seq: u64,
+    /// Batches applied so far.
+    pub applies: u64,
+    /// Whether the last repair pass converged.
+    pub stable: bool,
+    /// Highest WAL batch sequence number covered by this snapshot.
+    pub last_seq: u64,
+    /// Rule names at snapshot time, order-sensitive; recovery refuses
+    /// a mismatched rule set.
+    pub rule_names: Vec<String>,
+    /// Violation store id counter.
+    pub store_next: u64,
+    /// Live violations.
+    pub items: Vec<StoredState>,
+}
+
+fn encode_bool(b: bool, buf: &mut Vec<u8>) {
+    buf.push(b as u8);
+}
+
+fn decode_bool(buf: &mut &[u8]) -> Result<bool> {
+    let b = *buf
+        .first()
+        .ok_or_else(|| Error::Parse("bool codec underrun".into()))?;
+    *buf = &buf[1..];
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(Error::Parse(format!("bool codec: bad byte {t}"))),
+    }
+}
+
+impl Codec for SessionState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.table_name.encode(buf);
+        (self.attrs.len() as u64).encode(buf);
+        for a in &self.attrs {
+            a.encode(buf);
+        }
+        (self.tuples.len() as u64).encode(buf);
+        for t in &self.tuples {
+            t.encode(buf);
+        }
+        (self.seqs.len() as u64).encode(buf);
+        for s in &self.seqs {
+            s.encode(buf);
+        }
+        self.next_seq.encode(buf);
+        self.applies.encode(buf);
+        encode_bool(self.stable, buf);
+        self.last_seq.encode(buf);
+        (self.rule_names.len() as u64).encode(buf);
+        for r in &self.rule_names {
+            r.encode(buf);
+        }
+        self.store_next.encode(buf);
+        (self.items.len() as u64).encode(buf);
+        for it in &self.items {
+            it.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        fn vec_of<T: Codec>(buf: &mut &[u8]) -> Result<Vec<T>> {
+            let n = u64::decode(buf)? as usize;
+            let mut out = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                out.push(T::decode(buf)?);
+            }
+            Ok(out)
+        }
+        let table_name = String::decode(buf)?;
+        let attrs = vec_of::<String>(buf)?;
+        let tuples = vec_of::<Tuple>(buf)?;
+        let seqs = vec_of::<u64>(buf)?;
+        let next_seq = u64::decode(buf)?;
+        let applies = u64::decode(buf)?;
+        let stable = decode_bool(buf)?;
+        let last_seq = u64::decode(buf)?;
+        let rule_names = vec_of::<String>(buf)?;
+        let store_next = u64::decode(buf)?;
+        let items = vec_of::<StoredState>(buf)?;
+        if seqs.len() != tuples.len() {
+            return Err(Error::Corrupt(format!(
+                "snapshot: {} seqs for {} tuples",
+                seqs.len(),
+                tuples.len()
+            )));
+        }
+        Ok(SessionState {
+            table_name,
+            attrs,
+            tuples,
+            seqs,
+            next_seq,
+            applies,
+            stable,
+            last_seq,
+            rule_names,
+            store_next,
+            items,
+        })
+    }
+}
+
+impl SessionState {
+    /// Rebuild the materialized table from the snapshot fields.
+    pub fn table(&self) -> Table {
+        Table::new(
+            self.table_name.clone(),
+            Schema::new(&self.attrs),
+            self.tuples.clone(),
+        )
+    }
+}
+
+/// Write `state` as the durable snapshot for `dir`: encode one
+/// checksummed frame, write to a temp sibling, fsync, rename. Fires
+/// the `snapshot-pre-rename` crash point between fsync and rename.
+pub fn write_snapshot(dir: &Path, state: &SessionState, dio: &Dio) -> Result<()> {
+    let mut payload = Vec::new();
+    state.encode(&mut payload);
+    let frame = encode_frame(KIND_SNAPSHOT, &payload);
+    dio.write_atomic(
+        FaultSite::SnapshotWrite,
+        state.last_seq,
+        &snapshot_path(dir),
+        &frame,
+        "snapshot",
+    )
+}
+
+/// Read the snapshot in `dir`, or `None` when no snapshot exists yet.
+/// Corruption (bad CRC, wrong kind, trailing bytes) and
+/// newer-than-supported format versions surface as [`Error::Corrupt`].
+pub fn read_snapshot(dir: &Path) -> Result<Option<SessionState>> {
+    let path = snapshot_path(dir);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let (kind, payload) = read_frame_file(&path)?;
+    if kind != KIND_SNAPSHOT {
+        return Err(Error::Corrupt(format!(
+            "{}: frame kind {kind} is not a snapshot",
+            path.display()
+        )));
+    }
+    let mut p = &payload[..];
+    let state = SessionState::decode(&mut p)?;
+    if !p.is_empty() {
+        return Err(Error::Corrupt(format!(
+            "{}: {} trailing byte(s) after snapshot state",
+            path.display(),
+            p.len()
+        )));
+    }
+    Ok(Some(state))
+}
+
+/// Read just the materialized table out of the snapshot in `dir`.
+/// Used by the CLI `recover` subcommand to learn the schema before
+/// constructing rules.
+pub fn read_snapshot_table(dir: &Path) -> Result<Table> {
+    match read_snapshot(dir)? {
+        Some(state) => Ok(state.table()),
+        None => Err(Error::Io(format!(
+            "{}: no snapshot found",
+            snapshot_path(dir).display()
+        ))),
+    }
+}
+
+/// Remove stray temp files (crash leftovers) from a durable directory.
+/// Returns how many were removed.
+pub fn sweep_dir(dir: &Path) -> usize {
+    bigdansing_dataflow::dio::sweep_orphan_tmps(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdansing_common::codec::{encode_frame_versioned, FORMAT_VERSION};
+    use bigdansing_dataflow::FaultInjector;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bd-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn batch(n: u64) -> DeltaBatch {
+        let b = DeltaBatch::new().insert(n, vec![Value::Int(n as i64), Value::str("x")]);
+        if n.is_multiple_of(2) {
+            b.update(n, vec![Value::Int(n as i64 + 1), Value::str("y")])
+        } else {
+            b
+        }
+    }
+
+    #[test]
+    fn delta_codec_roundtrip() {
+        let b = batch(4).delete(9);
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        let back = DeltaBatch::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.ops.len(), b.ops.len());
+        let mut buf2 = Vec::new();
+        back.encode(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn wal_append_and_replay() {
+        let dir = tdir("replay");
+        let dio = Dio::plain();
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 1..=5u64 {
+            wal.append(seq, &batch(seq), &dio).unwrap();
+        }
+        drop(wal);
+        let (_wal, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        for (i, (seq, b)) in records.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert_eq!(b.ops.len(), batch(*seq).ops.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tdir("torn");
+        let dio = Dio::plain();
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 1..=3u64 {
+            wal.append(seq, &batch(seq), &dio).unwrap();
+        }
+        drop(wal);
+        // Simulate a crash mid-append: append half of a 4th record.
+        let mut payload = Vec::new();
+        4u64.encode(&mut payload);
+        batch(4).encode(&mut payload);
+        let frame = encode_frame(KIND_WAL, &payload);
+        let full = std::fs::read(wal_path(&dir)).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&frame[..frame.len() / 2]);
+        std::fs::write(wal_path(&dir), &torn).unwrap();
+
+        let (mut wal, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records.len(), 3, "torn record dropped");
+        assert_eq!(
+            std::fs::metadata(wal_path(&dir)).unwrap().len(),
+            full.len() as u64,
+            "file truncated back to the last whole frame"
+        );
+        // Appends after truncation land on a clean boundary.
+        wal.append(4, &batch(4), &dio).unwrap();
+        drop(wal);
+        let (_w, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_rejected_at_tail() {
+        // A flipped byte in the middle record makes that frame (and
+        // everything after) untrusted: open keeps only the prefix.
+        let dir = tdir("midflip");
+        let dio = Dio::plain();
+        let mut wal = Wal::create(&dir).unwrap();
+        let mut offsets = Vec::new();
+        for seq in 1..=3u64 {
+            let mut payload = Vec::new();
+            seq.encode(&mut payload);
+            batch(seq).encode(&mut payload);
+            offsets.push(encode_frame(KIND_WAL, &payload).len());
+            wal.append(seq, &batch(seq), &dio).unwrap();
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(wal_path(&dir)).unwrap();
+        let second_start = offsets[0];
+        bytes[second_start + FRAME_HEADER + 2] ^= 0xFF;
+        std::fs::write(wal_path(&dir), &bytes).unwrap();
+        let (_w, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records.len(), 1, "only the record before the flip survives");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_append_retries_transient_faults() {
+        let dir = tdir("retry");
+        let injector = FaultInjector::seeded(7).with_io_fail_once();
+        let dio = Dio::plain().with_injector(injector);
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 1..=4u64 {
+            wal.append(seq, &batch(seq), &dio).unwrap();
+        }
+        assert!(dio.metrics().snapshot().io_retries >= 1);
+        drop(wal);
+        let (_w, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records.len(), 4, "retried appends leave whole frames only");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn state() -> SessionState {
+        SessionState {
+            table_name: "t".into(),
+            attrs: vec!["id".into(), "city".into()],
+            tuples: vec![
+                Tuple::new(0, vec![Value::Int(1), Value::str("LA")]),
+                Tuple::new(1, vec![Value::Int(2), Value::str("SF")]),
+            ],
+            seqs: vec![1, 2],
+            next_seq: 3,
+            applies: 2,
+            stable: true,
+            last_seq: 2,
+            rule_names: vec!["fd:zip->city".into()],
+            store_next: 5,
+            items: vec![StoredState {
+                id: 4,
+                rule: 0,
+                violation: Violation::new("fd:zip->city")
+                    .with_cell(bigdansing_common::Cell::new(0, 1), Value::str("LA")),
+                fixes: vec![Fix::assign_const(
+                    bigdansing_common::Cell::new(0, 1),
+                    Value::str("LA"),
+                    Value::str("SF"),
+                )],
+                prov: ProvState::Block(vec![Value::str("90001")]),
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = tdir("snap");
+        let dio = Dio::plain();
+        let st = state();
+        write_snapshot(&dir, &st, &dio).unwrap();
+        let back = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(back.table_name, st.table_name);
+        assert_eq!(back.tuples, st.tuples);
+        assert_eq!(back.seqs, st.seqs);
+        assert_eq!(back.last_seq, st.last_seq);
+        assert_eq!(back.rule_names, st.rule_names);
+        assert_eq!(back.items.len(), 1);
+        assert_eq!(back.items[0].id, 4);
+        assert_eq!(back.items[0].prov, st.items[0].prov);
+        let table = read_snapshot_table(&dir).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.schema().attrs(), ["id", "city"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_corruption_detected() {
+        let dir = tdir("snapbad");
+        let dio = Dio::plain();
+        write_snapshot(&dir, &state(), &dio).unwrap();
+        let mut bytes = std::fs::read(snapshot_path(&dir)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(snapshot_path(&dir), &bytes).unwrap();
+        match read_snapshot(&dir) {
+            Err(Error::Corrupt(_)) | Err(Error::Parse(_)) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_version_too_new_rejected() {
+        let dir = tdir("snapver");
+        let mut payload = Vec::new();
+        state().encode(&mut payload);
+        let frame = encode_frame_versioned(KIND_SNAPSHOT, FORMAT_VERSION + 1, &payload);
+        std::fs::write(snapshot_path(&dir), &frame).unwrap();
+        match read_snapshot(&dir) {
+            Err(Error::Corrupt(msg)) => assert!(msg.contains("version"), "msg: {msg}"),
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = tdir("snapnone");
+        assert!(read_snapshot(&dir).unwrap().is_none());
+        assert!(read_snapshot_table(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

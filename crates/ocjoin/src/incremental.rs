@@ -355,7 +355,7 @@ mod tests {
         let base = vec![tup(1, 100, 30), tup(2, 200, 10), tup(3, 150, 20)];
         let conds = phi2_conds();
         let engine = Engine::sequential();
-        let mut index = OcIndex::build(conds.clone(), &base, 2);
+        let mut index = OcIndex::build(conds, &base, 2);
         assert!(index.remove(&base[1]));
         assert!(!index.remove(&base[1]), "second removal is a no-op");
         assert_eq!(index.len(), 2);
@@ -370,7 +370,7 @@ mod tests {
     fn inserted_delta_joins_future_probes() {
         let conds = phi2_conds();
         let engine = Engine::sequential();
-        let mut index = OcIndex::build(conds.clone(), &[tup(1, 100, 30)], 2);
+        let mut index = OcIndex::build(conds, &[tup(1, 100, 30)], 2);
         index.insert(tup(2, 200, 10));
         let got = index.probe(&engine, &[tup(3, 300, 5)]);
         let ids = pair_ids(&got);
@@ -381,7 +381,7 @@ mod tests {
     fn delta_delta_pairs_are_included_once() {
         let conds = phi2_conds();
         let engine = Engine::sequential();
-        let index = OcIndex::build(conds.clone(), &[], 4);
+        let index = OcIndex::build(conds, &[], 4);
         let delta = vec![tup(1, 100, 30), tup(2, 200, 10)];
         let got = index.probe(&engine, &delta);
         assert_eq!(pair_ids(&got), HashSet::from([(2, 1)]));

@@ -1,0 +1,245 @@
+//! Crash-recovery harness for durable incremental sessions.
+//!
+//! Each case forks the CLI in its hidden `crash-apply` mode with
+//! `BIGDANSING_CRASH_AT=<point>[:N]` set, so the child process aborts
+//! itself at a seeded durability crash point — mid-WAL-append (torn
+//! frame on disk), after the WAL fsync but before any in-memory
+//! mutation, or mid-snapshot-rename (complete temp file, old snapshot
+//! still visible). The parent then recovers the durable directory
+//! through the library, applies whatever batches the crash swallowed,
+//! and asserts the result is identical to an uninterrupted sequential
+//! session over the same inputs.
+
+use bigdansing::{
+    BigDansing, CleanseOptions, DeltaBatch, DurabilityOptions, RecoverStats, Session,
+};
+use bigdansing_common::Schema;
+use std::path::PathBuf;
+use std::process::Command;
+
+const BASE_CSV: &str = "zipcode,city\n1,LA\n2,NY\n";
+const DELTA_CSVS: [&str; 4] = [
+    "op,id,zipcode,city\ninsert,10,1,SF\n",
+    "op,id,zipcode,city\ninsert,11,3,CH\nupdate,10,2,NY\n",
+    "op,id,zipcode,city\ndelete,1\n",
+    "op,id,zipcode,city\ninsert,12,3,AU\n",
+];
+const FD: &str = "zipcode -> city";
+
+/// Locate the CLI binary built alongside the test executable, falling
+/// back to asking cargo for a build when it is missing (e.g. `cargo
+/// test` without a prior workspace build).
+fn cli_binary() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // the test executable
+    if dir.ends_with("deps") {
+        dir.pop(); // target/<profile>/
+    }
+    let exe = format!("bigdansing-cli{}", std::env::consts::EXE_SUFFIX);
+    let debug = dir.join(&exe);
+    if debug.exists() {
+        return debug;
+    }
+    // A release-only build leaves the binary under target/release.
+    if let Some(target) = dir.parent() {
+        let release = target.join("release").join(&exe);
+        if release.exists() {
+            return release;
+        }
+    }
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "-p", "bigdansing-cli"])
+        .status()
+        .expect("spawn cargo build");
+    assert!(status.success(), "cargo build -p bigdansing-cli failed");
+    assert!(
+        debug.exists(),
+        "{} still missing after build",
+        debug.display()
+    );
+    debug
+}
+
+struct Scenario {
+    root: PathBuf,
+    base: PathBuf,
+    deltas: Vec<PathBuf>,
+    durable: PathBuf,
+}
+
+impl Scenario {
+    fn new(tag: &str) -> Scenario {
+        let root = std::env::temp_dir().join(format!("bd-crash-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let base = root.join("base.csv");
+        std::fs::write(&base, BASE_CSV).unwrap();
+        let deltas: Vec<PathBuf> = DELTA_CSVS
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                let p = root.join(format!("d{}.csv", i + 1));
+                std::fs::write(&p, text).unwrap();
+                p
+            })
+            .collect();
+        let durable = root.join("session");
+        Scenario {
+            root,
+            base,
+            deltas,
+            durable,
+        }
+    }
+
+    /// Run the child with a seeded crash point; it must die abnormally.
+    fn crash_child(&self, crash_at: &str) {
+        let out = Command::new(cli_binary())
+            .arg("crash-apply")
+            .arg(&self.base)
+            .args(&self.deltas)
+            .args(["--fd", FD])
+            .arg("--durable-dir")
+            .arg(&self.durable)
+            .args(["--snapshot-every", "2", "--workers", "1"])
+            .env("BIGDANSING_CRASH_AT", crash_at)
+            .output()
+            .expect("spawn crash-apply child");
+        assert!(
+            !out.status.success(),
+            "child with BIGDANSING_CRASH_AT={crash_at} exited cleanly:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            self.durable.join("snapshot.bin").exists(),
+            "baseline snapshot must exist whatever the kill point"
+        );
+    }
+
+    fn system() -> BigDansing {
+        let mut sys = BigDansing::sequential();
+        sys.add_fd(FD, &Schema::parse("zipcode,city")).unwrap();
+        sys
+    }
+
+    /// Recover the durable directory and finish applying the batches
+    /// the crash swallowed (WAL sequence numbers are 1-based and map
+    /// directly onto the delta file order).
+    fn recover_and_finish(&self) -> (Session, RecoverStats) {
+        let sys = Self::system();
+        let (mut session, stats) = sys
+            .recover_session(
+                CleanseOptions::default(),
+                DurabilityOptions::new(&self.durable).snapshot_every(2),
+            )
+            .expect("recovery");
+        let schema = Schema::parse("zipcode,city");
+        for path in &self.deltas[stats.last_seq as usize..] {
+            let batch = DeltaBatch::read_file(path, &schema).unwrap();
+            sys.apply_delta(&mut session, batch)
+                .expect("catch-up apply");
+        }
+        (session, stats)
+    }
+
+    /// The oracle: an uninterrupted sequential session over the same
+    /// base and batches.
+    fn oracle(&self) -> Session {
+        let sys = Self::system();
+        let table = bigdansing::csv::read_file(&self.base, true, None).unwrap();
+        let mut session = sys.open_session(&table, CleanseOptions::default()).unwrap();
+        let schema = Schema::parse("zipcode,city");
+        for path in &self.deltas {
+            let batch = DeltaBatch::read_file(path, &schema).unwrap();
+            sys.apply_delta(&mut session, batch).unwrap();
+        }
+        session
+    }
+
+    fn cleanup(self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn assert_parity(recovered: &Session, oracle: &Session, context: &str) {
+    assert_eq!(
+        recovered.table().tuples(),
+        oracle.table().tuples(),
+        "{context}: recovered table diverges from the uninterrupted run"
+    );
+    assert_eq!(
+        recovered.detected(),
+        oracle.detected(),
+        "{context}: recovered violation store diverges"
+    );
+}
+
+fn run_case(tag: &str, crash_at: &str, min_replayed: u64, max_last_seq: u64) {
+    let scenario = Scenario::new(tag);
+    scenario.crash_child(crash_at);
+    let (recovered, stats) = scenario.recover_and_finish();
+    assert!(
+        stats.replayed >= min_replayed,
+        "{crash_at}: expected >= {min_replayed} replayed, got {stats:?}"
+    );
+    assert!(
+        stats.last_seq <= max_last_seq,
+        "{crash_at}: crash point leaked later batches: {stats:?}"
+    );
+    let oracle = scenario.oracle();
+    assert_parity(&recovered, &oracle, crash_at);
+    scenario.cleanup();
+}
+
+/// Kill mid-append on batch 2: a torn half-frame tails the WAL. Only
+/// batch 1 is recoverable; recovery truncates the tear and the parent
+/// re-applies batches 2–4.
+#[test]
+fn crash_mid_wal_append_recovers_to_parity() {
+    run_case("pre-sync", "wal-pre-sync:2", 0, 1);
+}
+
+/// Kill after batch 2's WAL fsync but before the in-memory apply: the
+/// record is durable, so recovery replays both batches 1 and 2.
+#[test]
+fn crash_after_wal_sync_recovers_to_parity() {
+    run_case("post-sync", "wal-post-sync:2", 2, 2);
+}
+
+/// Kill between the snapshot temp-file fsync and its rename (the
+/// second snapshot — the first is the baseline at open): the old
+/// snapshot must still be intact, the orphan temp swept, and the WAL
+/// replay must reach the same state the snapshot would have captured.
+#[test]
+fn crash_mid_snapshot_rename_recovers_to_parity() {
+    run_case("snap-rename", "snapshot-pre-rename:2", 2, 2);
+}
+
+/// No crash at all: the child applies everything, the parent recovery
+/// replays nothing new and still matches the oracle — the degenerate
+/// case that pins the harness itself.
+#[test]
+fn clean_run_recovers_to_parity() {
+    let scenario = Scenario::new("clean");
+    let out = Command::new(cli_binary())
+        .arg("crash-apply")
+        .arg(&scenario.base)
+        .args(&scenario.deltas)
+        .args(["--fd", FD])
+        .arg("--durable-dir")
+        .arg(&scenario.durable)
+        .args(["--snapshot-every", "2", "--workers", "1"])
+        .output()
+        .expect("spawn clean child");
+    assert!(
+        out.status.success(),
+        "clean run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (recovered, stats) = scenario.recover_and_finish();
+    assert_eq!(stats.last_seq, 4);
+    assert_eq!(stats.replayed, 0, "snapshot at seq 4 covers the whole WAL");
+    let oracle = scenario.oracle();
+    assert_parity(&recovered, &oracle, "clean");
+    scenario.cleanup();
+}
