@@ -14,7 +14,8 @@
 
 use bigdansing::{
     csv, read_snapshot_table, BigDansing, CleanseOptions, DeltaBatch, DurabilityOptions, Engine,
-    EquivalenceClassRepair, ExecMode, HypergraphRepair, MemoryBudget, Quarantine, RepairStrategy,
+    EquivalenceClassRepair, ExecMode, HypergraphRepair, IsolationOptions, MemoryBudget, Quarantine,
+    RepairStrategy,
 };
 use bigdansing_common::Table;
 use std::path::PathBuf;
@@ -67,6 +68,18 @@ OPTIONS:
                          (default: 8; 0 disables automatic snapshots)
   --lenient              quarantine malformed CSV rows instead of
                          aborting the load (reported after the run)
+  --partial              best-effort cleansing: a faulty rule (panicking
+                         UDF, hung detect, repeated stage failure) is
+                         quarantined by its circuit breaker and the run
+                         completes with a per-rule health report instead
+                         of failing; a degraded-but-usable run exits
+                         with code 3
+  --rule-timeout-ms N    soft wall-clock budget per rule detect pass;
+                         a rule that exceeds it faults (and in partial
+                         mode is quarantined)
+  --max-block-size N     straggler guard: blocks with more than N
+                         tuples are outliers — skipped-and-counted in
+                         partial mode, a typed error otherwise
   --explain              print the fused stage graph after the run:
                          every physical pass, its kind, and the
                          logical operators fused into it
@@ -91,7 +104,29 @@ struct Args {
     snapshot_every: u64,
     lenient: bool,
     explain: bool,
+    partial: bool,
+    rule_timeout_ms: Option<u64>,
+    max_block_size: Option<usize>,
 }
+
+impl Args {
+    /// The rule-isolation options the flags describe.
+    fn isolation(&self) -> IsolationOptions {
+        let mut iso = if self.partial {
+            IsolationOptions::partial()
+        } else {
+            IsolationOptions::default()
+        };
+        iso.rule_time_budget = self.rule_timeout_ms.map(Duration::from_millis);
+        iso.max_block_size = self.max_block_size;
+        iso
+    }
+}
+
+/// Exit code for a run that completed best-effort but degraded (some
+/// rule quarantined or units skipped) — distinct from success (0) and
+/// failure (1) so scripts can tell "usable but incomplete" apart.
+const EXIT_DEGRADED: u8 = 3;
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = argv.next().ok_or("missing command")?;
@@ -115,6 +150,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         snapshot_every: 8,
         lenient: false,
         explain: false,
+        partial: false,
+        rule_timeout_ms: None,
+        max_block_size: None,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -160,6 +198,21 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--lenient" => args.lenient = true,
             "--explain" => args.explain = true,
+            "--partial" => args.partial = true,
+            "--rule-timeout-ms" => {
+                args.rule_timeout_ms = Some(
+                    value("--rule-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--rule-timeout-ms needs an integer")?,
+                )
+            }
+            "--max-block-size" => {
+                args.max_block_size = Some(
+                    value("--max-block-size")?
+                        .parse()
+                        .map_err(|_| "--max-block-size needs an integer")?,
+                )
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -244,7 +297,7 @@ fn explain(engine: &Engine) {
 /// snapshot + WAL. The schema comes from the snapshot itself, so rules
 /// can be parsed before the session exists. A snapshot written by a
 /// newer format version is rejected, not misread.
-fn run_recover(args: &Args) -> Result<(), String> {
+fn run_recover(args: &Args) -> Result<u8, String> {
     let dir = PathBuf::from(&args.input);
     let table = read_snapshot_table(&dir).map_err(|e| e.to_string())?;
     eprintln!(
@@ -257,6 +310,7 @@ fn run_recover(args: &Args) -> Result<(), String> {
     let options = CleanseOptions {
         strategy: parse_strategy(&args.repair)?,
         max_iterations: args.max_iterations,
+        isolation: args.isolation(),
         ..Default::default()
     };
     let durability = DurabilityOptions::new(&dir).snapshot_every(args.snapshot_every);
@@ -279,10 +333,28 @@ fn run_recover(args: &Args) -> Result<(), String> {
     if let Some(line) = bigdansing::report::fault_summary(&sys.engine().metrics().snapshot()) {
         eprintln!("{line}");
     }
-    Ok(())
+    Ok(session_exit_code(&session))
 }
 
-fn run() -> Result<(), String> {
+/// 0 (success) unless partial-mode isolation quarantined rules during
+/// the session — then the degraded exit code, with the quarantines
+/// printed.
+fn session_exit_code(session: &bigdansing::Session) -> u8 {
+    let quarantined = session.quarantined_rules();
+    if quarantined.is_empty() {
+        return 0;
+    }
+    for (rule, cause) in &quarantined {
+        eprintln!("rule {rule}: quarantined — {cause}");
+    }
+    eprintln!(
+        "degraded: {} rule(s) quarantined; output is best-effort",
+        quarantined.len()
+    );
+    EXIT_DEGRADED
+}
+
+fn run() -> Result<u8, String> {
     let args = parse_args(std::env::args().skip(1))?;
     if args.command == "recover" {
         // The input positional is a durable directory, not a CSV.
@@ -299,6 +371,7 @@ fn run() -> Result<(), String> {
         table.schema().arity()
     );
 
+    let mut status = 0u8;
     match args.command.as_str() {
         "detect" => {
             let sys = build_system(&args, &table)?;
@@ -341,6 +414,7 @@ fn run() -> Result<(), String> {
                     CleanseOptions {
                         strategy,
                         max_iterations: args.max_iterations,
+                        isolation: args.isolation(),
                         ..Default::default()
                     },
                 )
@@ -349,6 +423,10 @@ fn run() -> Result<(), String> {
                 "cleansed in {} iteration(s): {} cells changed, cost {:.3}, converged: {}",
                 result.iterations, result.cells_changed, result.repair_cost, result.converged
             );
+            if let Some(report) = bigdansing::report::health_report(&result.outcome) {
+                eprintln!("{report}");
+                status = EXIT_DEGRADED;
+            }
             csv::write_file(&result.table, output).map_err(|e| e.to_string())?;
             eprintln!("wrote {output}");
             if let Some(stem) = &args.report {
@@ -384,6 +462,7 @@ fn run() -> Result<(), String> {
             let options = CleanseOptions {
                 strategy: parse_strategy(&args.repair)?,
                 max_iterations: args.max_iterations,
+                isolation: args.isolation(),
                 ..Default::default()
             };
             let mut session = match &args.durable_dir {
@@ -433,6 +512,7 @@ fn run() -> Result<(), String> {
                 csv::write_file(session.table(), output).map_err(|e| e.to_string())?;
                 eprintln!("wrote {output}");
             }
+            status = session_exit_code(&session);
             if args.explain {
                 explain(sys.engine());
             }
@@ -449,12 +529,12 @@ fn run() -> Result<(), String> {
         }
         other => return Err(format!("unknown command `{other}`")),
     }
-    Ok(())
+    Ok(status)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(status),
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -464,10 +544,35 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_args, Args};
+    use super::{
+        parse_args, session_exit_code, Args, CleanseOptions, IsolationOptions, EXIT_DEGRADED,
+    };
+    use bigdansing::{csv, BigDansing, UdfRule, UnitKind};
+    use std::sync::Arc;
 
     fn parse(argv: &[&str]) -> Result<Args, String> {
         parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn degraded_sessions_map_to_the_degraded_exit_code() {
+        let table = csv::parse_str("t", "zipcode,city\n1,LA\n2,NY\n", true, None).unwrap();
+        let mut sys = BigDansing::sequential();
+        sys.add_fd("zipcode -> city", table.schema()).unwrap();
+        let options = CleanseOptions {
+            isolation: IsolationOptions::partial(),
+            ..Default::default()
+        };
+        let healthy = sys.open_session(&table, options.clone()).unwrap();
+        assert_eq!(session_exit_code(&healthy), 0);
+
+        sys.add_rule(Arc::new(
+            UdfRule::builder("udf:faulty", |_| panic!("boom"))
+                .unit_kind(UnitKind::Single)
+                .build(),
+        ));
+        let degraded = sys.open_session(&table, options).unwrap();
+        assert_eq!(session_exit_code(&degraded), EXIT_DEGRADED);
     }
 
     #[test]
@@ -526,6 +631,37 @@ mod tests {
             args.deltas,
             vec!["d1.csv".to_string(), "d2.csv".to_string()]
         );
+    }
+
+    #[test]
+    fn isolation_flags_parse_and_map() {
+        let args = parse(&[
+            "clean",
+            "in.csv",
+            "--fd",
+            "a -> b",
+            "--partial",
+            "--rule-timeout-ms",
+            "250",
+            "--max-block-size",
+            "500",
+        ])
+        .unwrap();
+        assert!(args.partial);
+        let iso = args.isolation();
+        assert!(iso.is_partial());
+        assert_eq!(
+            iso.rule_time_budget,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(iso.max_block_size, Some(500));
+        // Defaults: strict, unguarded.
+        let args = parse(&["clean", "in.csv"]).unwrap();
+        let iso = args.isolation();
+        assert!(!iso.is_partial());
+        assert_eq!(iso.rule_time_budget, None);
+        assert_eq!(iso.max_block_size, None);
+        assert!(parse(&["clean", "in.csv", "--rule-timeout-ms", "x"]).is_err());
     }
 
     #[test]

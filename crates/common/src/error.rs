@@ -26,6 +26,35 @@ impl fmt::Display for CancelReason {
     }
 }
 
+/// How a failure is expected to behave under retry — the contract the
+/// retry loop and the per-rule circuit breakers key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// May succeed on a re-attempt (I/O hiccups, lost races). Worth the
+    /// retry/backoff budget.
+    Transient,
+    /// Same input, same failure: parse errors, plan validation, a UDF
+    /// that panics with the same payload on the same partition.
+    /// Retrying burns the backoff budget without any chance of success,
+    /// so the retry loop short-circuits and circuit breakers trip
+    /// immediately.
+    Deterministic,
+    /// The job hit a resource envelope (memory ceiling, deadline,
+    /// admission gate). Retrying now would fail the same way; retrying
+    /// later, with more headroom, might not.
+    Resource,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorClass::Transient => write!(f, "transient"),
+            ErrorClass::Deterministic => write!(f, "deterministic"),
+            ErrorClass::Resource => write!(f, "resource"),
+        }
+    }
+}
+
 /// The error type for BigDansing operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -77,6 +106,40 @@ pub enum Error {
         /// The gate's concurrent-job limit at rejection time.
         limit: usize,
     },
+    /// A rule-scoped fault raised by the isolation layer: a detect /
+    /// genfix pass that exceeded its soft time budget, hit an outlier
+    /// block in strict mode, or failed while its circuit breaker was
+    /// counting it out. Carries the rule name so callers can attribute
+    /// the failure to one rule instead of the whole job.
+    Rule {
+        /// Name of the faulty rule.
+        rule: String,
+        /// What went wrong, rendered as text.
+        cause: String,
+    },
+}
+
+impl Error {
+    /// Classify this error for the retry loop and circuit breakers.
+    ///
+    /// `Task` is classified deterministic: the per-task retries already
+    /// absorbed any transient cause, so what escapes the budget is
+    /// presumed to reproduce. `Cancelled` / `Rejected` are resource
+    /// failures — they reflect the job's envelope, not its input.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Error::Io(_) => ErrorClass::Transient,
+            Error::RuleParse(_)
+            | Error::InvalidPlan(_)
+            | Error::Schema(_)
+            | Error::Parse(_)
+            | Error::Corrupt(_)
+            | Error::Repair(_)
+            | Error::Task { .. }
+            | Error::Rule { .. } => ErrorClass::Deterministic,
+            Error::Cancelled { .. } | Error::Rejected { .. } => ErrorClass::Resource,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -104,6 +167,7 @@ impl fmt::Display for Error {
                 f,
                 "job `{job}` rejected: already running {limit} concurrent job(s)"
             ),
+            Error::Rule { rule, cause } => write!(f, "rule `{rule}` fault: {cause}"),
         }
     }
 }
@@ -178,6 +242,60 @@ mod tests {
         assert!(s.contains("corrupt data"), "{s}");
         assert!(s.contains("crc mismatch"), "{s}");
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn rule_error_displays_rule_and_cause() {
+        let e = Error::Rule {
+            rule: "fd:zip->city".into(),
+            cause: "soft time budget exceeded".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("fd:zip->city"), "{s}");
+        assert!(s.contains("time budget"), "{s}");
+        assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn error_classes_partition_the_variants() {
+        assert_eq!(Error::Io("flaky".into()).class(), ErrorClass::Transient);
+        assert_eq!(
+            Error::Parse("bad row".into()).class(),
+            ErrorClass::Deterministic
+        );
+        assert_eq!(
+            Error::Rule {
+                rule: "r".into(),
+                cause: "c".into()
+            }
+            .class(),
+            ErrorClass::Deterministic
+        );
+        assert_eq!(
+            Error::Task {
+                partition: 0,
+                attempts: 3,
+                cause: "boom".into()
+            }
+            .class(),
+            ErrorClass::Deterministic
+        );
+        assert_eq!(
+            Error::Cancelled {
+                job: "j".into(),
+                reason: CancelReason::MemoryExceeded
+            }
+            .class(),
+            ErrorClass::Resource
+        );
+        assert_eq!(
+            Error::Rejected {
+                job: "j".into(),
+                limit: 1
+            }
+            .class(),
+            ErrorClass::Resource
+        );
     }
 
     #[test]

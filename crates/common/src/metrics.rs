@@ -104,6 +104,18 @@ pub struct Metrics {
     pub wal_appends: AtomicU64,
     /// Durable session snapshots written atomically.
     pub snapshots_written: AtomicU64,
+    /// Retry attempts skipped because the failure was classified
+    /// deterministic (same panic payload twice on one partition, or a
+    /// typed deterministic error) — backoff budget not burned.
+    pub retries_short_circuited: AtomicU64,
+    /// Per-rule circuit breakers that transitioned closed → open.
+    pub breaker_trips: AtomicU64,
+    /// Rules quarantined for the rest of a job (or session) by an open
+    /// breaker.
+    pub rules_quarantined: AtomicU64,
+    /// Candidate units skipped by the outlier-block guard in partial
+    /// mode instead of failing the rule.
+    pub units_skipped: AtomicU64,
 }
 
 impl Metrics {
@@ -155,6 +167,10 @@ impl Metrics {
             &self.io_retries,
             &self.wal_appends,
             &self.snapshots_written,
+            &self.retries_short_circuited,
+            &self.breaker_trips,
+            &self.rules_quarantined,
+            &self.units_skipped,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -193,6 +209,10 @@ impl Metrics {
             io_retries: Metrics::get(&self.io_retries),
             wal_appends: Metrics::get(&self.wal_appends),
             snapshots_written: Metrics::get(&self.snapshots_written),
+            retries_short_circuited: Metrics::get(&self.retries_short_circuited),
+            breaker_trips: Metrics::get(&self.breaker_trips),
+            rules_quarantined: Metrics::get(&self.rules_quarantined),
+            units_skipped: Metrics::get(&self.units_skipped),
         }
     }
 }
@@ -260,6 +280,14 @@ pub struct MetricsSnapshot {
     pub wal_appends: u64,
     /// See [`Metrics::snapshots_written`].
     pub snapshots_written: u64,
+    /// See [`Metrics::retries_short_circuited`].
+    pub retries_short_circuited: u64,
+    /// See [`Metrics::breaker_trips`].
+    pub breaker_trips: u64,
+    /// See [`Metrics::rules_quarantined`].
+    pub rules_quarantined: u64,
+    /// See [`Metrics::units_skipped`].
+    pub units_skipped: u64,
 }
 
 #[cfg(test)]

@@ -7,8 +7,11 @@
 //! of iterations" — here a per-cell change counter; cells that exceed it
 //! are *frozen* and excluded from further updates.
 
+use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Cell, Error, Result, Table, Value};
-use bigdansing_plan::Executor;
+use bigdansing_dataflow::bulkhead::{Bulkhead, IsolationOptions, RuleGuard};
+use bigdansing_plan::physical::pipeline_for_rule;
+use bigdansing_plan::{DetectOutput, Executor};
 use bigdansing_repair::{blackbox::RepairOptions, run_repair, Assignment};
 use bigdansing_rules::Rule;
 use std::collections::HashMap;
@@ -31,6 +34,9 @@ pub struct CleanseOptions {
     pub strategy: RepairStrategy,
     /// Options forwarded to the parallel black-box driver.
     pub repair_options: RepairOptions,
+    /// Rule-isolation knobs: strict-vs-partial fault mode, per-rule
+    /// soft time budget, outlier-block threshold, breaker tuning.
+    pub isolation: IsolationOptions,
 }
 
 impl Default for CleanseOptions {
@@ -40,7 +46,59 @@ impl Default for CleanseOptions {
             max_changes_per_cell: 3,
             strategy: RepairStrategy::default(),
             repair_options: RepairOptions::default(),
+            isolation: IsolationOptions::default(),
         }
+    }
+}
+
+/// One rule's health at the end of a cleansing run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleHealth {
+    /// Every pass completed, nothing skipped.
+    Completed,
+    /// The rule ran but some passes failed (below the breaker
+    /// threshold) or the straggler guard skipped candidate units.
+    Degraded {
+        /// Candidate units skipped by the outlier-block guard.
+        units_skipped: u64,
+    },
+    /// The rule's circuit breaker opened; its detection was abandoned
+    /// for the rest of the job and it contributed no violations after
+    /// the trip.
+    Quarantined {
+        /// The failure that opened the breaker.
+        cause: String,
+    },
+}
+
+/// Per-rule health and the job-level completeness fraction a
+/// best-effort cleanse delivers alongside the repaired table.
+#[derive(Debug, Clone, Default)]
+pub struct CleanseOutcome {
+    /// `(rule name, health)` in registration order.
+    pub rules: Vec<(String, RuleHealth)>,
+    /// Fraction in `[0, 1]` of the job's detection work that actually
+    /// ran: each rule scores `(successful rounds / attempted rounds) ×
+    /// (units processed / units enumerated)`, quarantined rules score
+    /// 0, and the job's fraction is the mean over rules. `1.0` means a
+    /// complete, undegraded cleanse.
+    pub completeness: f64,
+}
+
+impl CleanseOutcome {
+    /// True when any rule ended degraded or quarantined.
+    pub fn is_degraded(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|(_, h)| !matches!(h, RuleHealth::Completed))
+    }
+
+    /// The quarantined rules, with the failure that tripped each one.
+    pub fn quarantined(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.rules.iter().filter_map(|(name, h)| match h {
+            RuleHealth::Quarantined { cause } => Some((name.as_str(), cause.as_str())),
+            _ => None,
+        })
     }
 }
 
@@ -62,9 +120,116 @@ pub struct CleanseResult {
     /// True when the final table has no violations (false when the loop
     /// stopped on unfixable violations or the iteration cap).
     pub converged: bool,
+    /// Per-rule health and completeness. A strict-mode success is
+    /// always fully complete; a partial-mode run reports which rules
+    /// degraded or were quarantined.
+    pub outcome: CleanseOutcome,
+}
+
+/// Book-keeping for one rule across a job's detect rounds.
+struct RuleTracker {
+    name: String,
+    units_processed: u64,
+    units_skipped: u64,
+    rounds_ok: u32,
+    rounds_failed: u32,
+}
+
+/// One isolation-aware detect round: a shared scan, then every
+/// non-quarantined rule's pipeline under its own [`RuleGuard`]. In
+/// partial mode a failing rule is counted against its breaker and
+/// contributes nothing this round; strict mode propagates the first
+/// failure. Cancellation and admission errors always propagate — they
+/// are about the job, not a rule.
+fn detect_round(
+    executor: &Executor,
+    table: &Table,
+    rules: &[Arc<dyn Rule>],
+    options: &CleanseOptions,
+    bulkhead: &Bulkhead,
+    trackers: &mut [RuleTracker],
+) -> Result<DetectOutput> {
+    let iso = &options.isolation;
+    let metrics = executor.engine().metrics().clone();
+    let data = executor.load(table);
+    let mut out = DetectOutput::default();
+    for (i, rule) in rules.iter().enumerate() {
+        executor.engine().check_cancelled()?;
+        let name = rule.name().to_string();
+        if !bulkhead.admit(&name) {
+            continue;
+        }
+        let pipeline = pipeline_for_rule(Arc::clone(rule), table.name());
+        let guard = RuleGuard::arm(&name, iso);
+        let run = executor.run_pipeline_guarded(data.try_duplicate()?, &pipeline, Some(&guard));
+        trackers[i].units_processed += guard.units_processed();
+        trackers[i].units_skipped += guard.units_skipped();
+        Metrics::add(&metrics.units_skipped, guard.units_skipped());
+        match run {
+            Ok(o) => {
+                trackers[i].rounds_ok += 1;
+                bulkhead.record_success(&name);
+                out.extend(o);
+            }
+            Err(e @ Error::Cancelled { .. }) | Err(e @ Error::Rejected { .. }) => return Err(e),
+            Err(e) => {
+                if !iso.is_partial() {
+                    return Err(e);
+                }
+                trackers[i].rounds_failed += 1;
+                bulkhead.record_failure(&name, e.class(), &e.to_string());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Summarize tracker + breaker state into the per-rule health report
+/// and the job completeness fraction.
+fn health_report(bulkhead: &Bulkhead, trackers: &[RuleTracker]) -> CleanseOutcome {
+    let mut rules = Vec::with_capacity(trackers.len());
+    let mut score_sum = 0.0f64;
+    for t in trackers {
+        let (health, score) = if let Some(cause) = bulkhead.quarantine_cause(&t.name) {
+            (RuleHealth::Quarantined { cause }, 0.0)
+        } else if t.units_skipped > 0 || t.rounds_failed > 0 {
+            let attempted = (t.rounds_ok + t.rounds_failed).max(1) as f64;
+            let enumerated = t.units_processed + t.units_skipped;
+            let unit_fraction = if enumerated > 0 {
+                t.units_processed as f64 / enumerated as f64
+            } else {
+                1.0
+            };
+            (
+                RuleHealth::Degraded {
+                    units_skipped: t.units_skipped,
+                },
+                (t.rounds_ok as f64 / attempted) * unit_fraction,
+            )
+        } else {
+            (RuleHealth::Completed, 1.0)
+        };
+        score_sum += score;
+        rules.push((t.name.clone(), health));
+    }
+    let completeness = if trackers.is_empty() {
+        1.0
+    } else {
+        score_sum / trackers.len() as f64
+    };
+    CleanseOutcome {
+        rules,
+        completeness,
+    }
 }
 
 /// Run the full cleansing process over `table`.
+///
+/// With [`IsolationOptions::partial`] in the options, rule faults
+/// degrade the result instead of failing it: each rule's detection runs
+/// under its own circuit breaker and guard, a quarantined rule's
+/// violations are excluded from repair, and the returned
+/// [`CleanseResult::outcome`] attributes what was lost to which rule.
 pub fn cleanse_loop(
     executor: &Executor,
     rules: &[Arc<dyn Rule>],
@@ -74,6 +239,21 @@ pub fn cleanse_loop(
     if rules.is_empty() {
         return Err(Error::Repair("no rules registered".into()));
     }
+    let bulkhead = Bulkhead::new(
+        options.isolation.breaker,
+        options.isolation.mode,
+        executor.engine().metrics().clone(),
+    );
+    let mut trackers: Vec<RuleTracker> = rules
+        .iter()
+        .map(|r| RuleTracker {
+            name: r.name().to_string(),
+            units_processed: 0,
+            units_skipped: 0,
+            rounds_ok: 0,
+            rounds_failed: 0,
+        })
+        .collect();
     let mut current = table.clone();
     let mut change_count: HashMap<Cell, usize> = HashMap::new();
     let mut result = CleanseResult {
@@ -84,12 +264,20 @@ pub fn cleanse_loop(
         frozen_cells: 0,
         repair_cost: 0.0,
         converged: false,
+        outcome: CleanseOutcome::default(),
     };
     for _ in 0..options.max_iterations.max(1) {
         // a deadline/cancellation that trips mid-repair is honoured at
         // the next iteration boundary
         executor.engine().check_cancelled()?;
-        let detected = executor.detect(&current, rules)?;
+        let detected = detect_round(
+            executor,
+            &current,
+            rules,
+            &options,
+            &bulkhead,
+            &mut trackers,
+        )?;
         if detected.is_clean() {
             result.converged = true;
             break;
@@ -134,9 +322,18 @@ pub fn cleanse_loop(
         current = current.apply(&applicable)?;
     }
     if !result.converged {
-        result.converged = executor.detect(&current, rules)?.is_clean();
+        result.converged = detect_round(
+            executor,
+            &current,
+            rules,
+            &options,
+            &bulkhead,
+            &mut trackers,
+        )?
+        .is_clean();
     }
     result.table = current;
+    result.outcome = health_report(&bulkhead, &trackers);
     Ok(result)
 }
 
@@ -146,7 +343,7 @@ mod tests {
     use bigdansing_common::Schema;
     use bigdansing_dataflow::Engine;
     use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair};
-    use bigdansing_rules::{DcRule, FdRule};
+    use bigdansing_rules::{DcRule, FdRule, UdfRule, UnitKind};
 
     fn fd_table() -> Table {
         let schema = Schema::parse("zipcode,city");
@@ -254,6 +451,80 @@ mod tests {
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
         assert_eq!(res.cells_changed, 0);
+    }
+
+    fn panicking_rule() -> Arc<dyn Rule> {
+        Arc::new(
+            UdfRule::builder("udf:faulty", |_| panic!("faulty udf rule"))
+                .unit_kind(UnitKind::Single)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn partial_mode_quarantines_a_panicking_rule() {
+        let t = fd_table();
+        let mut rules = fd_rules(t.schema());
+        rules.push(panicking_rule());
+        let exec = Executor::new(Engine::sequential());
+        let opts = CleanseOptions {
+            isolation: IsolationOptions::partial(),
+            ..Default::default()
+        };
+        let res = cleanse_loop(&exec, &rules, &t, opts).unwrap();
+        assert!(res.converged, "healthy rules must still converge");
+        assert!(res.outcome.is_degraded());
+        assert!(res.outcome.completeness < 1.0);
+        let health: HashMap<_, _> = res.outcome.rules.iter().cloned().collect();
+        assert_eq!(health["fd:zipcode->city"], RuleHealth::Completed);
+        assert!(
+            matches!(health["udf:faulty"], RuleHealth::Quarantined { .. }),
+            "faulty rule should be quarantined, got {:?}",
+            health["udf:faulty"]
+        );
+        let m = exec.engine().metrics().snapshot();
+        assert!(m.rules_quarantined >= 1);
+        assert!(
+            m.retries_short_circuited >= 1,
+            "repeated panic payloads should fail fast"
+        );
+
+        // the healthy rule's repair is byte-identical to a run that
+        // never registered the faulty rule
+        let oracle_exec = Executor::new(Engine::sequential());
+        let oracle = cleanse_loop(
+            &oracle_exec,
+            &fd_rules(t.schema()),
+            &t,
+            CleanseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(res.table.diff_cells(&oracle.table), 0);
+    }
+
+    #[test]
+    fn strict_mode_propagates_rule_faults() {
+        let t = fd_table();
+        let mut rules = fd_rules(t.schema());
+        rules.push(panicking_rule());
+        let exec = Executor::new(Engine::sequential());
+        let err = cleanse_loop(&exec, &rules, &t, CleanseOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, Error::Task { .. }),
+            "strict mode should surface the task failure, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_run_reports_full_completeness() {
+        let t = fd_table();
+        let exec = Executor::new(Engine::parallel(2));
+        let res =
+            cleanse_loop(&exec, &fd_rules(t.schema()), &t, CleanseOptions::default()).unwrap();
+        assert!(!res.outcome.is_degraded());
+        assert_eq!(res.outcome.completeness, 1.0);
+        assert_eq!(res.outcome.rules.len(), 1);
+        assert_eq!(res.outcome.rules[0].1, RuleHealth::Completed);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod cleanse;
 pub mod report;
 pub mod system;
 
-pub use cleanse::{CleanseOptions, CleanseResult, RepairStrategy};
+pub use cleanse::{CleanseOptions, CleanseOutcome, CleanseResult, RepairStrategy, RuleHealth};
 pub use system::{AdmissionControl, AdmissionPermit, AdmissionPolicy, BigDansing};
 
 // Re-export the workspace's main vocabulary so downstream users can
@@ -74,8 +74,9 @@ pub use bigdansing_incremental::{
 };
 
 pub use bigdansing_dataflow::{
-    CancellationToken, Engine, EngineBuilder, ExecMode, FaultInjector, FaultPolicy, JobGuard,
-    MemoryBudget, PDataset, SpillFallback,
+    BreakerConfig, BreakerState, Bulkhead, CancellationToken, Engine, EngineBuilder, ExecMode,
+    FaultInjector, FaultMode, FaultPolicy, IsolationOptions, JobGuard, MemoryBudget, PDataset,
+    SpillFallback,
 };
 pub use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, Job};
 pub use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm};

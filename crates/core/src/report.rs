@@ -5,6 +5,7 @@
 //! (§3.2). This module renders a [`DetectOutput`] as CSV for exactly
 //! that purpose (and for the CLI's `detect` command).
 
+use crate::cleanse::{CleanseOutcome, RuleHealth};
 use bigdansing_common::metrics::MetricsSnapshot;
 use bigdansing_common::{Result, Table};
 use bigdansing_plan::DetectOutput;
@@ -135,11 +136,49 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
             m.wal_appends, m.snapshots_written, m.io_retries
         ));
     }
+    if m.breaker_trips != 0
+        || m.rules_quarantined != 0
+        || m.units_skipped != 0
+        || m.retries_short_circuited != 0
+    {
+        lines.push(format!(
+            "isolation: {} breaker trip(s), {} rule(s) quarantined, \
+             {} unit(s) skipped by guards, {} retry(ies) short-circuited",
+            m.breaker_trips, m.rules_quarantined, m.units_skipped, m.retries_short_circuited
+        ));
+    }
     if lines.is_empty() {
         None
     } else {
         Some(lines.join("\n"))
     }
+}
+
+/// Render a best-effort cleanse's per-rule health: one line per rule
+/// plus the job's completeness fraction.
+///
+/// Returns `None` when every rule completed (a fully healthy run needs
+/// no health report).
+pub fn health_report(outcome: &CleanseOutcome) -> Option<String> {
+    if !outcome.is_degraded() {
+        return None;
+    }
+    let mut lines = vec![format!(
+        "cleanse completeness: {:.1}% of detection work ran",
+        outcome.completeness * 100.0
+    )];
+    for (name, health) in &outcome.rules {
+        lines.push(match health {
+            RuleHealth::Completed => format!("  rule {name}: completed"),
+            RuleHealth::Degraded { units_skipped } => {
+                format!("  rule {name}: degraded ({units_skipped} unit(s) skipped)")
+            }
+            RuleHealth::Quarantined { cause } => {
+                format!("  rule {name}: quarantined — {cause}")
+            }
+        });
+    }
+    Some(lines.join("\n"))
 }
 
 /// Summarize stage-graph execution for a finished run: how many
@@ -307,6 +346,53 @@ mod tests {
             !line.contains("incremental:"),
             "no incremental line without its counters: {line}"
         );
+    }
+
+    #[test]
+    fn fault_summary_reports_isolation_counters() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            breaker_trips: 1,
+            rules_quarantined: 1,
+            units_skipped: 5,
+            retries_short_circuited: 2,
+            ..Default::default()
+        };
+        let line = fault_summary(&snap).unwrap();
+        assert!(line.contains("1 breaker trip(s)"), "{line}");
+        assert!(line.contains("1 rule(s) quarantined"), "{line}");
+        assert!(line.contains("5 unit(s) skipped"), "{line}");
+        assert!(line.contains("2 retry(ies) short-circuited"), "{line}");
+    }
+
+    #[test]
+    fn health_report_silent_when_all_rules_completed() {
+        let outcome = CleanseOutcome {
+            rules: vec![("fd:a->b".into(), RuleHealth::Completed)],
+            completeness: 1.0,
+        };
+        assert_eq!(health_report(&outcome), None);
+    }
+
+    #[test]
+    fn health_report_attributes_degradation_per_rule() {
+        let outcome = CleanseOutcome {
+            rules: vec![
+                ("fd:a->b".into(), RuleHealth::Completed),
+                ("udf:slow".into(), RuleHealth::Degraded { units_skipped: 9 }),
+                (
+                    "udf:bad".into(),
+                    RuleHealth::Quarantined {
+                        cause: "panicked".into(),
+                    },
+                ),
+            ],
+            completeness: 0.5,
+        };
+        let report = health_report(&outcome).unwrap();
+        assert!(report.contains("50.0% of detection work ran"), "{report}");
+        assert!(report.contains("rule fd:a->b: completed"), "{report}");
+        assert!(report.contains("9 unit(s) skipped"), "{report}");
+        assert!(report.contains("quarantined — panicked"), "{report}");
     }
 
     #[test]

@@ -297,6 +297,7 @@ impl BigDansing {
                     max_changes_per_cell: options.max_changes_per_cell,
                     strategy: options.strategy,
                     repair_options: options.repair_options,
+                    isolation: options.isolation,
                 },
             )
         })
@@ -325,6 +326,7 @@ impl BigDansing {
                     max_changes_per_cell: options.max_changes_per_cell,
                     strategy: options.strategy,
                     repair_options: options.repair_options,
+                    isolation: options.isolation,
                 },
                 durability,
             )
@@ -349,6 +351,7 @@ impl BigDansing {
                     max_changes_per_cell: options.max_changes_per_cell,
                     strategy: options.strategy,
                     repair_options: options.repair_options,
+                    isolation: options.isolation,
                 },
                 durability,
             )

@@ -134,7 +134,31 @@ impl EngineBuilder {
     }
 
     /// Construct the engine.
-    pub fn build(self) -> Engine {
+    ///
+    /// When the `BIGDANSING_CHAOS` environment variable is set to a
+    /// numeric seed and the builder has no injector of its own, the
+    /// engine is built with a chaos [`FaultInjector`]: sporadic task
+    /// panics plus fail-once durable IO, with the retry budget raised
+    /// to absorb them, and a tiny memory budget unless one was
+    /// configured. CI's chaos matrix uses this to run the ordinary
+    /// test suites under fault injection without touching their code.
+    pub fn build(mut self) -> Engine {
+        if self.injector.is_none() {
+            if let Some(seed) = std::env::var("BIGDANSING_CHAOS")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                self.injector = Some(
+                    FaultInjector::seeded(seed)
+                        .with_task_panics(0.02)
+                        .with_io_fail_once(),
+                );
+                self.policy.max_attempts = self.policy.max_attempts.max(5);
+                if self.budget.is_none() {
+                    self.budget = Some(MemoryBudget::soft(1 << 20));
+                }
+            }
+        }
         let spill_dir = self.spill_dir.unwrap_or_else(|| {
             std::env::temp_dir().join(format!(
                 "bigdansing-spill-{}-{}",

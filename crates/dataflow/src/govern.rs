@@ -126,11 +126,12 @@ pub(crate) struct Watchdog {
 }
 
 impl Watchdog {
-    pub(crate) fn arm(
-        token: CancellationToken,
-        deadline: Duration,
-        metrics: Arc<Metrics>,
-    ) -> Watchdog {
+    /// Arm a watchdog that runs `on_trip` once if `deadline` elapses
+    /// before the watchdog is dropped.
+    pub(crate) fn arm_with<F>(deadline: Duration, on_trip: F) -> Watchdog
+    where
+        F: FnOnce() + Send + 'static,
+    {
         let shared = Arc::new((StdMutex::new(false), Condvar::new()));
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
@@ -140,9 +141,7 @@ impl Watchdog {
             while !*disarmed {
                 let now = Instant::now();
                 if now >= deadline_at {
-                    if token.cancel(CancelReason::DeadlineExceeded) {
-                        Metrics::add(&metrics.deadline_trips, 1);
-                    }
+                    on_trip();
                     return;
                 }
                 disarmed = cv
@@ -155,6 +154,18 @@ impl Watchdog {
             shared,
             handle: Some(handle),
         }
+    }
+
+    pub(crate) fn arm(
+        token: CancellationToken,
+        deadline: Duration,
+        metrics: Arc<Metrics>,
+    ) -> Watchdog {
+        Watchdog::arm_with(deadline, move || {
+            if token.cancel(CancelReason::DeadlineExceeded) {
+                Metrics::add(&metrics.deadline_trips, 1);
+            }
+        })
     }
 }
 
@@ -169,6 +180,37 @@ impl Drop for Watchdog {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+    }
+}
+
+/// A *soft* time budget built on the same condvar watchdog as the
+/// deadline machinery, but tripping a plain flag instead of a job
+/// token. The isolation layer arms one per rule pass: workers poll
+/// [`exceeded`](SoftBudget::exceeded) between detect units — the rule
+/// is stopped cooperatively, the job (and its sibling rules) keep
+/// running.
+#[derive(Debug)]
+pub struct SoftBudget {
+    expired: Arc<std::sync::atomic::AtomicBool>,
+    _watchdog: Watchdog,
+}
+
+impl SoftBudget {
+    /// Arm a budget that expires after `budget` of wall-clock time.
+    pub fn arm(budget: Duration) -> SoftBudget {
+        let expired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&expired);
+        SoftBudget {
+            expired,
+            _watchdog: Watchdog::arm_with(budget, move || {
+                flag.store(true, Ordering::Release);
+            }),
+        }
+    }
+
+    /// Whether the budget has elapsed. Cheap enough to poll per unit.
+    pub fn exceeded(&self) -> bool {
+        self.expired.load(Ordering::Acquire)
     }
 }
 

@@ -49,6 +49,7 @@
 //! fault injection (fail-once, short write, corrupt byte, fail-fsync),
 //! and named crash points for the crash-test harness.
 
+pub mod bulkhead;
 pub mod dio;
 pub mod engine;
 pub mod fault;
@@ -59,10 +60,11 @@ pub mod pdataset;
 pub mod pool;
 pub mod stage;
 
+pub use bulkhead::{BreakerConfig, BreakerState, Bulkhead, FaultMode, IsolationOptions, RuleGuard};
 pub use dio::Dio;
 pub use engine::{Engine, EngineBuilder, ExecMode, JobGuard};
 pub use fault::{FaultInjector, FaultPolicy, FaultSite, IoFault, SpillFallback};
-pub use govern::{CancellationToken, MemoryBudget};
+pub use govern::{CancellationToken, MemoryBudget, SoftBudget};
 pub use grouping::StableHasher;
 pub use pdataset::PDataset;
 pub use stage::{PassKind, PassRecord, Stage};

@@ -11,7 +11,7 @@
 
 use crate::fault::{FaultInjector, FaultPolicy, FaultSite};
 use crate::govern::CancellationToken;
-use bigdansing_common::error::Error;
+use bigdansing_common::error::{Error, ErrorClass};
 use bigdansing_common::metrics::Metrics;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -88,15 +88,35 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Sleep for `backoff`, waking early if the job's token trips so a
+/// cancel or deadline is honoured within milliseconds instead of after
+/// the whole (possibly capped-at-a-second) backoff.
+fn backoff_sleep(cancel: &CancellationToken, backoff: std::time::Duration) {
+    const SLICE: std::time::Duration = std::time::Duration::from_millis(2);
+    let mut remaining = backoff;
+    while !remaining.is_zero() && !cancel.is_cancelled() {
+        let nap = remaining.min(SLICE);
+        std::thread::sleep(nap);
+        remaining = remaining.saturating_sub(nap);
+    }
+}
+
 /// Run one task to completion under the retry policy. Every attempt —
 /// including the injector's contribution — executes under
 /// `catch_unwind`, so a panicking partition is isolated to this task
 /// and surfaces as a retriable failure rather than an abort.
+///
+/// Retries are reserved for failures that can plausibly clear: a typed
+/// error whose [`ErrorClass`] is deterministic, or a panic repeating
+/// the same payload on the same partition, short-circuits the rest of
+/// the budget (counted in `retries_short_circuited`) instead of
+/// sleeping through backoffs that cannot help.
 fn run_task<I, R, F>(ctx: &TaskCtx, i: usize, item: &I, f: &F) -> Result<R, Error>
 where
     F: Fn(usize, &I) -> Result<R, Error>,
 {
     let mut attempt = 0u32;
+    let mut last_panic: Option<String> = None;
     loop {
         // Cooperative cancellation point: a tripped token surfaces as
         // Error::Cancelled directly (not a retriable task failure).
@@ -109,13 +129,24 @@ where
             }
             f(i, item)
         }));
-        let cause = match outcome {
+        let (cause, deterministic) = match outcome {
             Ok(Ok(r)) => return Ok(r),
             Ok(Err(e @ Error::Cancelled { .. })) => return Err(e),
-            Ok(Err(e)) => e.to_string(),
+            // A rule-guard abort (soft time budget, strict-mode
+            // straggler block) is already typed and attributed to its
+            // rule; the guard's verdict is deterministic, so it
+            // propagates unwrapped and unretried.
+            Ok(Err(e @ Error::Rule { .. })) => return Err(e),
+            Ok(Err(e)) => {
+                let det = e.class() == ErrorClass::Deterministic;
+                (e.to_string(), det)
+            }
             Err(payload) => {
                 Metrics::add(&ctx.metrics.panics_caught, 1);
-                panic_message(payload)
+                let msg = panic_message(payload);
+                let repeat = last_panic.as_deref() == Some(msg.as_str());
+                last_panic = Some(msg.clone());
+                (msg, repeat)
             }
         };
         if attempt >= ctx.policy.max_attempts.max(1) {
@@ -125,10 +156,18 @@ where
                 cause,
             });
         }
+        if deterministic {
+            Metrics::add(&ctx.metrics.retries_short_circuited, 1);
+            return Err(Error::Task {
+                partition: i,
+                attempts: attempt,
+                cause,
+            });
+        }
         Metrics::add(&ctx.metrics.tasks_retried, 1);
         let backoff = ctx.policy.backoff_for(attempt);
         if !backoff.is_zero() {
-            std::thread::sleep(backoff);
+            backoff_sleep(&ctx.cancel, backoff);
         }
     }
 }
@@ -393,6 +432,92 @@ mod tests {
         }
         // No retries are burned on a cancelled job.
         assert_eq!(Metrics::get(&ctx.metrics.tasks_retried), 0);
+    }
+
+    #[test]
+    fn repeated_panic_payload_short_circuits_retries() {
+        let items = vec![(); 1];
+        let ctx = quiet_ctx(6);
+        let err = try_par_map_indexed(1, &items, &ctx, |_, _| -> Result<(), Error> {
+            panic!("deterministic boom");
+        })
+        .unwrap_err();
+        match err {
+            Error::Task {
+                attempts, cause, ..
+            } => {
+                // The second identical payload proves determinism; the
+                // remaining four attempts are skipped.
+                assert_eq!(attempts, 2);
+                assert!(cause.contains("deterministic boom"), "{cause}");
+            }
+            other => panic!("expected Error::Task, got {other:?}"),
+        }
+        assert_eq!(Metrics::get(&ctx.metrics.panics_caught), 2);
+        assert_eq!(Metrics::get(&ctx.metrics.tasks_retried), 1);
+        assert_eq!(Metrics::get(&ctx.metrics.retries_short_circuited), 1);
+    }
+
+    #[test]
+    fn varying_panic_payloads_still_use_the_full_budget() {
+        let n = AtomicU64::new(0);
+        let items = vec![(); 1];
+        let ctx = quiet_ctx(3);
+        let err = try_par_map_indexed(1, &items, &ctx, |_, _| -> Result<(), Error> {
+            let k = n.fetch_add(1, Ordering::SeqCst);
+            panic!("flaky boom #{k}");
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Task { attempts: 3, .. }), "{err:?}");
+        assert_eq!(Metrics::get(&ctx.metrics.retries_short_circuited), 0);
+    }
+
+    #[test]
+    fn deterministic_typed_errors_fail_fast() {
+        let items = vec![(); 1];
+        let ctx = quiet_ctx(5);
+        let err = try_par_map_indexed(1, &items, &ctx, |_, _| -> Result<(), Error> {
+            Err(Error::Parse("schema will never match".into()))
+        })
+        .unwrap_err();
+        match err {
+            Error::Task {
+                attempts, cause, ..
+            } => {
+                assert_eq!(attempts, 1, "no retry for a deterministic error");
+                assert!(cause.contains("never match"), "{cause}");
+            }
+            other => panic!("expected Error::Task, got {other:?}"),
+        }
+        assert_eq!(Metrics::get(&ctx.metrics.tasks_retried), 0);
+        assert_eq!(Metrics::get(&ctx.metrics.retries_short_circuited), 1);
+    }
+
+    #[test]
+    fn backoff_sleep_wakes_on_cancellation() {
+        use bigdansing_common::error::CancelReason;
+        let items = vec![(); 1];
+        let mut ctx = quiet_ctx(3);
+        ctx.policy.backoff = Duration::from_millis(2000);
+        let cancel = ctx.cancel.clone();
+        let start = std::time::Instant::now();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cancel.cancel(CancelReason::User);
+        });
+        // Transient failures keep the task in its backoff sleep; the
+        // cancel must cut that sleep short instead of waiting 2s.
+        let err = try_par_map_indexed(1, &items, &ctx, |_, _| -> Result<(), Error> {
+            Err(Error::Io("still flaky".into()))
+        })
+        .unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, Error::Cancelled { .. }), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_millis(1000),
+            "backoff ignored cancellation: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

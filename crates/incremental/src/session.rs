@@ -37,6 +37,7 @@ use crate::wal::{
 };
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Cell, Error, Result, Table, Tuple, TupleId, Value};
+use bigdansing_dataflow::bulkhead::IsolationOptions;
 use bigdansing_dataflow::{Dio, Engine, PDataset};
 use bigdansing_ocjoin::{try_ocjoin, OcIndex, OcJoinConfig};
 use bigdansing_plan::physical::choose_strategy;
@@ -62,6 +63,12 @@ pub struct SessionOptions {
     pub strategy: RepairStrategy,
     /// Options forwarded to the parallel black-box driver.
     pub repair_options: RepairOptions,
+    /// Rule-isolation mode. In partial mode a rule whose delta
+    /// detection fails is quarantined — its indexes are dropped, its
+    /// stored violations retracted, and later applies skip it — instead
+    /// of poisoning the whole session. Quarantine is in-memory only:
+    /// [`Session::recover`] gives every rule a fresh trial.
+    pub isolation: IsolationOptions,
 }
 
 impl Default for SessionOptions {
@@ -71,6 +78,7 @@ impl Default for SessionOptions {
             max_changes_per_cell: 3,
             strategy: RepairStrategy::default(),
             repair_options: RepairOptions::default(),
+            isolation: IsolationOptions::default(),
         }
     }
 }
@@ -114,6 +122,10 @@ pub struct DeltaReport {
     /// True when the scoped-re-repair shortcut skipped the repair loop
     /// (no violations added or retracted, previous loop ended stably).
     pub repair_skipped: bool,
+    /// Rules quarantined so far (this apply and earlier ones): in
+    /// partial isolation mode, a rule whose detection faults is
+    /// excluded for the rest of the session instead of poisoning it.
+    pub rules_quarantined: u64,
 }
 
 /// How a rule's candidate units are generated incrementally — the
@@ -191,6 +203,10 @@ struct RuleState {
     blocks: HashMap<BlockKey, Vec<Entry>>,
     /// The inequality index, built lazily on first ingest.
     oc: Option<OcIndex>,
+    /// The fault that quarantined this rule (partial isolation mode):
+    /// its indexes are dropped and redetection skips it for the rest of
+    /// the session. `None` while healthy.
+    quarantined: Option<String>,
 }
 
 /// Where a stored violation came from: the tuple ids of the unit that
@@ -310,6 +326,18 @@ impl Store {
                 ids.extend(set.iter().copied());
             }
         }
+        ids.into_iter().filter_map(|id| self.remove(id)).collect()
+    }
+
+    /// Retract every violation detected by rule `rule` (quarantine:
+    /// a faulted rule's stored violations must not feed repair).
+    fn retract_rule(&mut self, rule: usize) -> Vec<Stored> {
+        let ids: Vec<u64> = self
+            .items
+            .iter()
+            .filter(|(_, s)| s.rule == rule)
+            .map(|(id, _)| *id)
+            .collect();
         ids.into_iter().filter_map(|id| self.remove(id)).collect()
     }
 
@@ -436,6 +464,7 @@ impl Session {
                 scoped: HashMap::new(),
                 blocks: HashMap::new(),
                 oc: None,
+                quarantined: None,
             })
             .collect();
         let mut session = Session {
@@ -592,6 +621,7 @@ impl Session {
                 scoped: HashMap::new(),
                 blocks: HashMap::new(),
                 oc: None,
+                quarantined: None,
             })
             .collect();
         let mut store = Store::default();
@@ -740,6 +770,20 @@ impl Session {
     /// session refuses further batches (open a new session to recover).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Rules quarantined by partial-mode fault isolation, as
+    /// `(rule name, cause)` pairs in registration order. Empty in
+    /// strict mode and for healthy sessions.
+    pub fn quarantined_rules(&self) -> Vec<(String, String)> {
+        self.states
+            .iter()
+            .filter_map(|s| {
+                s.quarantined
+                    .as_ref()
+                    .map(|c| (s.rule.name().to_string(), c.clone()))
+            })
+            .collect()
     }
 
     /// Apply one delta batch: materialize it, re-detect only the dirty
@@ -953,6 +997,11 @@ impl Session {
         report.violations_added = stats.added;
         report.violations_retracted = stats.retracted;
         report.violations_remaining = self.store.len();
+        report.rules_quarantined = self
+            .states
+            .iter()
+            .filter(|s| s.quarantined.is_some())
+            .count() as u64;
         let m = engine.metrics();
         Metrics::add(&m.tuples_reprocessed, report.tuples_reprocessed);
         Metrics::add(&m.blocks_dirty, report.blocks_dirty);
@@ -1098,15 +1147,54 @@ impl Session {
             stats.retracted += 1;
             stats.mark_stored(&stored);
         }
+        let partial = self.options.isolation.is_partial();
         for ri in 0..self.states.len() {
             engine.check_cancelled()?;
-            let units = self.enumerate_rule(ri, dirty, fresh, stats, &engine)?;
-            if units.is_empty() {
+            if self.states[ri].quarantined.is_some() {
                 continue;
             }
-            self.detect_units(ri, units, stats, &engine)?;
+            let run = self
+                .enumerate_rule(ri, dirty, fresh, stats, &engine)
+                .and_then(|units| {
+                    if units.is_empty() {
+                        Ok(())
+                    } else {
+                        self.detect_units(ri, units, stats, &engine)
+                    }
+                });
+            match run {
+                Ok(()) => {}
+                // Cancellation and admission failures are about the
+                // job, not the rule — never quarantine for them.
+                Err(e @ Error::Cancelled { .. }) | Err(e @ Error::Rejected { .. }) => {
+                    return Err(e)
+                }
+                // Partial mode: a mid-apply fault leaves this rule's
+                // index integrity unknown, so one strike quarantines —
+                // drop its state and carry on with the other rules.
+                Err(e) if partial => self.quarantine_rule(ri, &e.to_string(), stats, &engine),
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
+    }
+
+    /// Quarantine rule `ri`: record the cause, drop its indexes, and
+    /// retract its stored violations so repair never acts on a faulted
+    /// rule's stale detections. The other rules' state is untouched.
+    fn quarantine_rule(&mut self, ri: usize, cause: &str, stats: &mut ApplyStats, engine: &Engine) {
+        let state = &mut self.states[ri];
+        state.quarantined = Some(cause.to_string());
+        state.scoped.clear();
+        state.blocks.clear();
+        state.oc = None;
+        for stored in self.store.retract_rule(ri) {
+            stats.retracted += 1;
+            stats.mark_stored(&stored);
+        }
+        let m = engine.metrics();
+        Metrics::add(&m.breaker_trips, 1);
+        Metrics::add(&m.rules_quarantined, 1);
     }
 
     /// Update rule `ri`'s index for the dirty tuples and enumerate the
@@ -1480,6 +1568,130 @@ mod tests {
         assert!(s.is_clean());
         // only the dirty block's tuples were reprocessed
         assert!(report.tuples_reprocessed < 4);
+    }
+
+    #[test]
+    fn partial_isolation_quarantines_faulty_rule_and_continues() {
+        let schema = Schema::parse("zipcode,city");
+        let table = Table::from_rows(
+            "t",
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::str("LA")],
+                vec![Value::Int(2), Value::str("NY")],
+            ],
+        );
+        let rules: Vec<Arc<dyn Rule>> = vec![
+            Arc::new(FdRule::parse("zipcode -> city", &schema).unwrap()),
+            Arc::new(
+                bigdansing_rules::UdfRule::builder("udf:faulty", |_| panic!("bad udf"))
+                    .unit_kind(bigdansing_rules::UnitKind::Single)
+                    .build(),
+            ),
+        ];
+        let mut s = Session::new(
+            Executor::new(Engine::sequential()),
+            rules,
+            &table,
+            SessionOptions {
+                isolation: IsolationOptions::partial(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // the faulty rule was quarantined during the opening detect;
+        // only its state is poisoned, not the session
+        assert_eq!(
+            s.quarantined_rules()
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["udf:faulty"]
+        );
+        assert!(!s.is_poisoned());
+        // the healthy FD rule keeps detecting and repairing
+        let report = s
+            .apply(DeltaBatch::new().insert(10, vec![Value::Int(1), Value::str("SF")]))
+            .unwrap();
+        assert!(report.violations_added >= 1);
+        assert!(report.converged);
+        assert_eq!(report.rules_quarantined, 1);
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn quarantine_retracts_the_faulted_rules_stored_violations() {
+        // the faulty rule produces violations for a while, then starts
+        // panicking: quarantine must retract what it already stored
+        let table = Table::from_rows(
+            "t",
+            Schema::parse("zipcode,city"),
+            vec![
+                vec![Value::Int(1), Value::str("LA")],
+                vec![Value::Int(2), Value::str("NY")],
+            ],
+        );
+        let trip = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let trip_in_detect = Arc::clone(&trip);
+        let rules: Vec<Arc<dyn Rule>> = vec![Arc::new(
+            bigdansing_rules::UdfRule::builder("udf:flaky", move |unit| {
+                if trip_in_detect.load(std::sync::atomic::Ordering::SeqCst) {
+                    panic!("flaky udf tripped");
+                }
+                let t = match unit {
+                    DetectUnit::Single(t) => t,
+                    other => panic!("unexpected unit {other:?}"),
+                };
+                // complain about every row, with no fixes: the store
+                // keeps these violations live across applies
+                vec![Violation::new("udf:flaky").with_cell(t.cell(1), t.value(1).clone())]
+            })
+            .unit_kind(bigdansing_rules::UnitKind::Single)
+            .build(),
+        )];
+        let mut s = Session::new(
+            Executor::new(Engine::sequential()),
+            rules,
+            &table,
+            SessionOptions {
+                isolation: IsolationOptions::partial(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.violation_count(), 2);
+        assert!(s.quarantined_rules().is_empty());
+        trip.store(true, std::sync::atomic::Ordering::SeqCst);
+        let report = s
+            .apply(DeltaBatch::new().insert(10, vec![Value::Int(3), Value::str("SEA")]))
+            .unwrap();
+        assert_eq!(report.rules_quarantined, 1);
+        assert!(
+            s.is_clean(),
+            "quarantine must retract the rule's stored violations"
+        );
+        assert!(!s.is_poisoned());
+    }
+
+    #[test]
+    fn strict_mode_poisons_the_session_on_rule_fault() {
+        let table = Table::from_rows(
+            "t",
+            Schema::parse("zipcode,city"),
+            vec![vec![Value::Int(1), Value::str("LA")]],
+        );
+        let rules: Vec<Arc<dyn Rule>> = vec![Arc::new(
+            bigdansing_rules::UdfRule::builder("udf:faulty", |_| panic!("bad udf"))
+                .unit_kind(bigdansing_rules::UnitKind::Single)
+                .build(),
+        )];
+        let err = Session::new(
+            Executor::new(Engine::sequential()),
+            rules,
+            &table,
+            SessionOptions::default(),
+        );
+        assert!(err.is_err(), "strict isolation propagates the fault");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::physical::{IterateStrategy, RulePipeline};
 use bigdansing_common::error::Result;
 use bigdansing_common::metrics::{deep_clones_total, Metrics};
 use bigdansing_common::{KeyDict, Table, Tuple};
+use bigdansing_dataflow::bulkhead::{pairs_in_block, RuleGuard};
 use bigdansing_dataflow::{Engine, ExecMode, PDataset, PassKind, Stage};
 use bigdansing_ocjoin::{try_ocjoin_sink, OcJoinConfig};
 use bigdansing_rules::{DetectUnit, Fix, Rule, RuleExt, Violation};
@@ -101,12 +102,19 @@ impl Executor {
     /// [`bigdansing_dataflow::FaultPolicy`] — a retry re-runs the whole
     /// fused pass for that partition. A task that exhausts its budget
     /// surfaces as `Error::Task` naming the partition.
+    ///
+    /// With a [`RuleGuard`], the fused reducer polls the rule's soft
+    /// time budget before every Detect/GenFix invocation and gates each
+    /// block through the outlier straggler threshold — skipped blocks
+    /// are counted on the guard (partial mode) or abort the pass with a
+    /// typed `Error::Rule` (strict mode).
     fn iterate_and_detect(
         &self,
         scoped: Stage<Tuple, Tuple>,
         rule: &Arc<dyn Rule>,
         strategy: &IterateStrategy,
         use_genfix: bool,
+        guard: Option<&Arc<RuleGuard>>,
     ) -> Result<PDataset<(Violation, Vec<Fix>)>> {
         let metrics = self.engine.metrics().clone();
         let finish = move |r: &Arc<dyn Rule>, vs: Vec<Violation>| -> Vec<(Violation, Vec<Fix>)> {
@@ -126,13 +134,20 @@ impl Executor {
         match strategy {
             IterateStrategy::SingleUnits => {
                 let r = Arc::clone(rule);
+                let guard = guard.cloned();
                 scoped
                     .map_parts(detect_op, move |part: Vec<Tuple>| {
                         Metrics::add(&metrics.detect_calls, part.len() as u64);
-                        let vs = part
-                            .iter()
-                            .flat_map(|t| r.detect(&DetectUnit::Single(t.clone())))
-                            .collect();
+                        let mut vs = Vec::new();
+                        for t in &part {
+                            if let Some(g) = &guard {
+                                g.check_budget()?;
+                            }
+                            vs.extend(r.detect(&DetectUnit::Single(t.clone())));
+                        }
+                        if let Some(g) = &guard {
+                            g.count_units(part.len() as u64);
+                        }
                         Ok(finish(&r, vs))
                     })
                     .run()
@@ -144,16 +159,28 @@ impl Executor {
                 // downstream routing/grouping moves 8-byte `KeyId`s, not
                 // `Value` payloads.
                 let dict = Arc::new(KeyDict::new());
+                let guard = guard.cloned();
                 scoped
                     .group_by_key(&block_op, move |t| {
                         Ok(dict.encode(rb.block(t).unwrap_or_default()))
                     })?
                     .map_parts(detect_op, move |groups| {
-                        Metrics::add(&metrics.detect_calls, groups.len() as u64);
-                        let vs = groups
-                            .iter()
-                            .flat_map(|(_, block)| r.detect(&DetectUnit::List(block.clone())))
-                            .collect();
+                        let mut vs = Vec::new();
+                        let mut units = 0u64;
+                        for (_, block) in &groups {
+                            if let Some(g) = &guard {
+                                g.check_budget()?;
+                                if !g.admit_block(block.len(), 1)? {
+                                    continue;
+                                }
+                            }
+                            units += 1;
+                            vs.extend(r.detect(&DetectUnit::List(block.clone())));
+                        }
+                        Metrics::add(&metrics.detect_calls, units);
+                        if let Some(g) = &guard {
+                            g.count_units(units);
+                        }
                         Ok(finish(&r, vs))
                     })
                     .run()
@@ -163,6 +190,7 @@ impl Executor {
                 let rd = Arc::clone(rule);
                 let ordered = *ordered;
                 let dict = Arc::new(KeyDict::new());
+                let guard = guard.cloned();
                 scoped
                     .group_by_key(&block_op, move |t| {
                         Ok(dict.encode(rb.block(t).unwrap_or_default()))
@@ -170,12 +198,24 @@ impl Executor {
                     .map_parts(detect_op, move |groups| {
                         let mut vs = Vec::new();
                         let mut pairs = 0u64;
-                        for (_, block) in groups {
+                        for (_, block) in &groups {
+                            if let Some(g) = &guard {
+                                g.check_budget()?;
+                                if !g.admit_block(
+                                    block.len(),
+                                    pairs_in_block(block.len(), ordered),
+                                )? {
+                                    continue;
+                                }
+                            }
                             for i in 0..block.len() {
                                 let j0 = if ordered { 0 } else { i + 1 };
                                 for j in j0..block.len() {
                                     if i == j {
                                         continue;
+                                    }
+                                    if let Some(g) = &guard {
+                                        g.check_budget()?;
                                     }
                                     pairs += 1;
                                     vs.extend(rd.detect_pair(&block[i], &block[j]));
@@ -184,39 +224,60 @@ impl Executor {
                         }
                         Metrics::add(&metrics.pairs_generated, pairs);
                         Metrics::add(&metrics.detect_calls, pairs);
+                        if let Some(g) = &guard {
+                            g.count_units(pairs);
+                        }
                         Ok(finish(&rd, vs))
                     })
                     .run()
             }
             IterateStrategy::UCrossProduct => {
                 let rd = Arc::clone(rule);
+                let guard = guard.cloned();
                 scoped
                     .into_dataset()?
                     .try_self_cartesian()?
                     .stage()
                     .map_parts(detect_op, move |part: Vec<(Tuple, Tuple)>| {
                         Metrics::add(&metrics.detect_calls, part.len() as u64);
-                        let vs = part
-                            .iter()
-                            .flat_map(|(a, b)| rd.detect_pair(a, b))
-                            .collect();
+                        let mut vs = Vec::new();
+                        for (a, b) in &part {
+                            if let Some(g) = &guard {
+                                g.check_budget()?;
+                            }
+                            vs.extend(rd.detect_pair(a, b));
+                        }
+                        if let Some(g) = &guard {
+                            g.count_units(part.len() as u64);
+                        }
                         Ok(finish(&rd, vs))
                     })
                     .run()
             }
             IterateStrategy::CrossProduct => {
                 let rd = Arc::clone(rule);
+                let guard = guard.cloned();
                 scoped
                     .into_dataset()?
                     .try_self_cross_product()?
                     .stage()
                     .map_parts(detect_op, move |part: Vec<(Tuple, Tuple)>| {
                         Metrics::add(&metrics.detect_calls, part.len() as u64);
-                        let vs = part
-                            .iter()
-                            .filter(|(a, b)| a.id() != b.id())
-                            .flat_map(|(a, b)| rd.detect_pair(a, b))
-                            .collect();
+                        let mut vs = Vec::new();
+                        let mut units = 0u64;
+                        for (a, b) in &part {
+                            if a.id() == b.id() {
+                                continue;
+                            }
+                            if let Some(g) = &guard {
+                                g.check_budget()?;
+                            }
+                            units += 1;
+                            vs.extend(rd.detect_pair(a, b));
+                        }
+                        if let Some(g) = &guard {
+                            g.count_units(units);
+                        }
                         Ok(finish(&rd, vs))
                     })
                     .run()
@@ -226,6 +287,7 @@ impl Executor {
                 // into Detect (+GenFix) inside the join task — the pair
                 // list is never materialized.
                 let rd = Arc::clone(rule);
+                let guard = guard.cloned();
                 let pairs_before = Metrics::get(&metrics.pairs_generated);
                 let detected = try_ocjoin_sink(
                     scoped.into_dataset()?,
@@ -233,6 +295,10 @@ impl Executor {
                     OcJoinConfig::default(),
                     &detect_op,
                     move |a, b, out| {
+                        if let Some(g) = &guard {
+                            g.check_budget()?;
+                            g.count_units(1);
+                        }
                         for v in rd.detect_pair(a, b) {
                             let fixes = if use_genfix {
                                 rd.gen_fix(&v)
@@ -259,6 +325,20 @@ impl Executor {
         data: PDataset<Tuple>,
         pipeline: &RulePipeline,
     ) -> Result<DetectOutput> {
+        self.run_pipeline_guarded(data, pipeline, None)
+    }
+
+    /// [`run_pipeline`](Executor::run_pipeline) under a [`RuleGuard`]:
+    /// the fused reducer polls the guard's soft time budget between
+    /// Detect/GenFix invocations and gates blocks through its straggler
+    /// threshold. The isolation-aware cleanse loop arms one guard per
+    /// rule pass and reads its processed/skipped counters afterwards.
+    pub fn run_pipeline_guarded(
+        &self,
+        data: PDataset<Tuple>,
+        pipeline: &RulePipeline,
+        guard: Option<&Arc<RuleGuard>>,
+    ) -> Result<DetectOutput> {
         self.engine.check_cancelled()?;
         let rule = Arc::clone(&pipeline.rule);
         let metrics = self.engine.metrics().clone();
@@ -277,8 +357,13 @@ impl Executor {
 
         // PBlock / PIterate / PDetect / PGenFix (fused), then the final
         // stage-boundary materialization.
-        let detected_ds =
-            self.iterate_and_detect(scoped, &rule, &pipeline.strategy, pipeline.use_genfix)?;
+        let detected_ds = self.iterate_and_detect(
+            scoped,
+            &rule,
+            &pipeline.strategy,
+            pipeline.use_genfix,
+            guard,
+        )?;
         let nparts = detected_ds.num_partitions();
         let materializes =
             self.engine.mode() == ExecMode::DiskBacked || self.engine.memory_budget().is_some();
@@ -570,6 +655,75 @@ mod tests {
         let out = exec.detect_two_tables(fd, &left, &right).unwrap();
         assert_eq!(out.violation_count(), 1);
         assert_eq!(out.violations().next().unwrap().tuple_ids(), vec![0, 100]);
+    }
+
+    #[test]
+    fn guarded_pipeline_skips_outlier_blocks_in_partial_mode() {
+        use bigdansing_dataflow::bulkhead::{FaultMode, IsolationOptions};
+        // Example 1's only multi-tuple FD block is zipcode 90210 (three
+        // tuples); capping blocks at 2 tuples skips it — and with it
+        // every FD violation.
+        let table = example1();
+        let exec = Executor::new(Engine::parallel(2));
+        let rule = fd_rule();
+        let pipeline = crate::physical::pipeline_for_rule(Arc::clone(&rule), table.name());
+        let iso = IsolationOptions {
+            mode: FaultMode::Partial,
+            max_block_size: Some(2),
+            ..IsolationOptions::default()
+        };
+        let guard = RuleGuard::arm(rule.name(), &iso);
+        let out = exec
+            .run_pipeline_guarded(exec.load(&table), &pipeline, Some(&guard))
+            .unwrap();
+        assert!(out.is_clean(), "the violating block was skipped");
+        assert_eq!(guard.units_skipped(), pairs_in_block(3, false));
+        // The unguarded run still sees both violations.
+        let full = exec.detect(&table, &[rule]).unwrap();
+        assert_eq!(full.violation_count(), 2);
+    }
+
+    #[test]
+    fn guarded_pipeline_raises_typed_error_in_strict_mode() {
+        use bigdansing_common::error::Error;
+        use bigdansing_dataflow::bulkhead::IsolationOptions;
+        let table = example1();
+        let exec = Executor::new(Engine::sequential());
+        let rule = fd_rule();
+        let pipeline = crate::physical::pipeline_for_rule(Arc::clone(&rule), table.name());
+        let iso = IsolationOptions {
+            max_block_size: Some(2),
+            ..IsolationOptions::default()
+        };
+        let guard = RuleGuard::arm(rule.name(), &iso);
+        let err = exec
+            .run_pipeline_guarded(exec.load(&table), &pipeline, Some(&guard))
+            .unwrap_err();
+        match err {
+            Error::Rule { rule: name, cause } => {
+                assert_eq!(name, rule.name());
+                assert!(cause.contains("straggler"), "{cause}");
+            }
+            other => panic!("expected Error::Rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_counts_processed_units() {
+        use bigdansing_dataflow::bulkhead::IsolationOptions;
+        let table = example1();
+        let exec = Executor::new(Engine::sequential());
+        let rule = fd_rule();
+        let pipeline = crate::physical::pipeline_for_rule(Arc::clone(&rule), table.name());
+        let guard = RuleGuard::arm(rule.name(), &IsolationOptions::default());
+        let out = exec
+            .run_pipeline_guarded(exec.load(&table), &pipeline, Some(&guard))
+            .unwrap();
+        assert_eq!(out.violation_count(), 2);
+        // 90210 has 3 tuples → 3 unordered pairs; every other block is
+        // a singleton.
+        assert_eq!(guard.units_processed(), 3);
+        assert_eq!(guard.units_skipped(), 0);
     }
 
     #[test]

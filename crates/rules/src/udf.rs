@@ -5,6 +5,17 @@
 //! implement the signatures of the two abstract functions" (§2.1). The
 //! builder mirrors the operator templates of Appendix B — provide any
 //! subset of Scope / Block / Iterate hints, and at least `detect`.
+//!
+//! # Fault isolation
+//!
+//! UDF closures are untrusted code from the engine's point of view: a
+//! panic inside `detect`/`gen_fix` is caught at the task layer, retried
+//! only if the payload varies (a repeated payload short-circuits the
+//! retry budget), and — when the job runs with partial isolation —
+//! charged to this rule's circuit breaker rather than the job. A rule
+//! whose breaker opens is quarantined for the rest of the job; other
+//! rules' detection and repair proceed untouched. UDFs therefore don't
+//! need defensive `catch_unwind` wrappers of their own.
 
 use crate::ops::{DetectUnit, UnitKind};
 use crate::rule::{BlockKey, OrderCond, Rule};

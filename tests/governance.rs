@@ -10,13 +10,13 @@
 
 use bigdansing::{
     AdmissionControl, BigDansing, CancelReason, CleanseOptions, Engine, Error, ExecMode,
-    FaultInjector, MemoryBudget,
+    FaultInjector, IsolationOptions, MemoryBudget, RuleHealth,
 };
 use bigdansing_common::metrics::Metrics;
-use bigdansing_common::{Cell, Table};
+use bigdansing_common::{Cell, Schema, Table, Value};
 use bigdansing_datagen::tax;
 use bigdansing_plan::Executor;
-use bigdansing_rules::{DcRule, FdRule, Rule, Violation};
+use bigdansing_rules::{DcRule, FdRule, Rule, UdfRule, UnitKind, Violation};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -192,6 +192,157 @@ fn hard_memory_ceiling_cancels_the_job_with_memory_exceeded() {
         other => panic!("expected Error::Cancelled, got {other:?}"),
     }
     assert_eq!(Metrics::get(&engine.metrics().jobs_cancelled), 1);
+}
+
+fn three_city_table() -> Table {
+    let schema = Schema::parse("zipcode,city,state");
+    Table::from_rows(
+        "t",
+        schema,
+        vec![
+            vec![Value::Int(1), Value::str("LA"), Value::str("CA")],
+            vec![Value::Int(1), Value::str("SF"), Value::str("CA")],
+            vec![Value::Int(1), Value::str("LA"), Value::str("CA")],
+            vec![Value::Int(2), Value::str("NY"), Value::str("NY")],
+            vec![Value::Int(2), Value::str("NY"), Value::str("NJ")],
+        ],
+    )
+}
+
+fn healthy_rules(schema: &Schema) -> Vec<Arc<dyn Rule>> {
+    vec![
+        Arc::new(FdRule::parse("zipcode -> city", schema).unwrap()),
+        Arc::new(FdRule::parse("zipcode -> state", schema).unwrap()),
+    ]
+}
+
+/// The fault-isolation acceptance test: a three-rule cleanse in partial
+/// mode completes with the always-panicking rule quarantined by its
+/// circuit breaker, the repeated panic payload short-circuiting its
+/// retry budget, and the healthy rules' repair byte-identical to a run
+/// that never registered the faulty rule.
+#[test]
+fn partial_cleanse_quarantines_panicking_rule_and_matches_oracle() {
+    let table = three_city_table();
+    let oracle_sys = {
+        let mut sys = BigDansing::sequential();
+        sys.add_fd("zipcode -> city", table.schema()).unwrap();
+        sys.add_fd("zipcode -> state", table.schema()).unwrap();
+        sys
+    };
+    let oracle = oracle_sys
+        .cleanse(&table, CleanseOptions::default())
+        .unwrap();
+    assert!(oracle.converged);
+
+    let mut rules = healthy_rules(table.schema());
+    rules.push(Arc::new(
+        UdfRule::builder("udf:faulty", |_| panic!("faulty udf"))
+            .unit_kind(UnitKind::Single)
+            .build(),
+    ));
+    let engine = Engine::sequential();
+    let exec = Executor::new(engine.clone());
+    let result = bigdansing::cleanse::cleanse_loop(
+        &exec,
+        &rules,
+        &table,
+        CleanseOptions {
+            isolation: IsolationOptions::partial(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    assert!(result.converged, "healthy rules must still converge");
+    assert_eq!(
+        result.table.diff_cells(&oracle.table),
+        0,
+        "partial-mode repair diverged from the faulty-rule-free oracle"
+    );
+    assert!(result.outcome.is_degraded());
+    assert!(result.outcome.completeness < 1.0);
+    let quarantined: Vec<&str> = result.outcome.quarantined().map(|(n, _)| n).collect();
+    assert_eq!(quarantined, vec!["udf:faulty"]);
+    for (name, health) in &result.outcome.rules {
+        if name != "udf:faulty" {
+            assert_eq!(*health, RuleHealth::Completed, "{name} should be healthy");
+        }
+    }
+    let m = engine.metrics().snapshot();
+    assert!(m.breaker_trips >= 1, "breaker never opened");
+    assert!(m.rules_quarantined >= 1);
+    assert!(
+        m.retries_short_circuited >= 1,
+        "repeated panic payloads should fail fast instead of burning the retry budget"
+    );
+}
+
+/// A rule that hangs (sleeps far past the soft per-rule time budget) is
+/// timed out between detect units and quarantined in partial mode; in
+/// strict mode the same timeout is a typed rule error.
+#[test]
+fn hung_rule_is_timed_out_and_quarantined_in_partial_mode() {
+    let table = three_city_table();
+    let hanging = || -> Arc<dyn Rule> {
+        Arc::new(
+            UdfRule::builder("udf:hung", |_| {
+                std::thread::sleep(Duration::from_millis(120));
+                vec![]
+            })
+            .unit_kind(UnitKind::Single)
+            .build(),
+        )
+    };
+    let mut iso = IsolationOptions::partial();
+    iso.rule_time_budget = Some(Duration::from_millis(40));
+
+    let mut rules = healthy_rules(table.schema());
+    rules.push(hanging());
+    let exec = Executor::new(Engine::sequential());
+    let result = bigdansing::cleanse::cleanse_loop(
+        &exec,
+        &rules,
+        &table,
+        CleanseOptions {
+            isolation: iso,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(result.converged, "healthy rules must still converge");
+    let causes: Vec<(&str, &str)> = result.outcome.quarantined().collect();
+    assert_eq!(causes.len(), 1, "outcome: {:?}", result.outcome);
+    assert_eq!(causes[0].0, "udf:hung");
+    assert!(
+        causes[0].1.contains("time budget"),
+        "cause should name the budget: {}",
+        causes[0].1
+    );
+    assert!(result.outcome.completeness < 1.0);
+
+    // Strict mode: the same hang is a typed, rule-attributed error.
+    let strict_iso = IsolationOptions {
+        rule_time_budget: Some(Duration::from_millis(40)),
+        ..Default::default()
+    };
+    let err = bigdansing::cleanse::cleanse_loop(
+        &Executor::new(Engine::sequential()),
+        &rules,
+        &table,
+        CleanseOptions {
+            isolation: strict_iso,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    match err {
+        Error::Rule { rule, cause } => {
+            assert_eq!(rule, "udf:hung");
+            assert!(cause.contains("time budget"), "{cause}");
+        }
+        other => panic!("expected Error::Rule, got {other:?}"),
+    }
 }
 
 /// Two systems sharing one reject-on-full gate: while the first system's

@@ -1,11 +1,13 @@
 //! Property-based integration tests: random tables and rules through the
 //! full stack.
 
-use bigdansing::{apply_batch_to_table, BigDansing, CleanseOptions, DeltaBatch};
+use bigdansing::{
+    apply_batch_to_table, BigDansing, CleanseOptions, DeltaBatch, IsolationOptions, RuleHealth,
+};
 use bigdansing_common::{Schema, Table, Value};
 use bigdansing_dataflow::Engine;
 use bigdansing_plan::Executor;
-use bigdansing_rules::{DedupRule, FdRule, Rule};
+use bigdansing_rules::{DedupRule, FdRule, Rule, UdfRule, UnitKind};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -54,6 +56,47 @@ proptest! {
         for (before, after) in table.tuples().iter().zip(res.table.tuples()) {
             prop_assert_eq!(before.value(0), after.value(0), "LHS untouched");
             prop_assert_eq!(before.value(1), after.value(1), "unrelated attr untouched");
+        }
+    }
+
+    /// Fault-isolation parity: adding an always-panicking rule to a job
+    /// run with partial isolation quarantines exactly that rule and
+    /// leaves the other rules' repaired output byte-identical to a run
+    /// that never registered the faulty rule at all.
+    #[test]
+    fn quarantined_rule_never_perturbs_healthy_rules(table in arb_table(40)) {
+        let healthy: Vec<Arc<dyn Rule>> = vec![
+            Arc::new(FdRule::parse("a -> b", table.schema()).unwrap()),
+            Arc::new(FdRule::parse("a -> c", table.schema()).unwrap()),
+        ];
+        let oracle_exec = Executor::new(Engine::sequential());
+        let oracle = bigdansing::cleanse::cleanse_loop(
+            &oracle_exec, &healthy, &table, CleanseOptions::default(),
+        ).unwrap();
+
+        let mut rules = healthy.clone();
+        rules.push(Arc::new(
+            UdfRule::builder("udf:faulty", |_| panic!("faulty udf"))
+                .unit_kind(UnitKind::Single)
+                .build(),
+        ));
+        let exec = Executor::new(Engine::sequential());
+        let res = bigdansing::cleanse::cleanse_loop(
+            &exec, &rules, &table,
+            CleanseOptions { isolation: IsolationOptions::partial(), ..Default::default() },
+        ).unwrap();
+
+        prop_assert_eq!(res.converged, oracle.converged);
+        prop_assert_eq!(
+            res.table.diff_cells(&oracle.table), 0,
+            "quarantining the faulty rule changed the healthy rules' repairs"
+        );
+        let quarantined: Vec<&str> = res.outcome.quarantined().map(|(n, _)| n).collect();
+        prop_assert_eq!(quarantined, vec!["udf:faulty"]);
+        for (name, health) in &res.outcome.rules {
+            if name != "udf:faulty" {
+                prop_assert_eq!(health, &RuleHealth::Completed, "{} degraded", name);
+            }
         }
     }
 
