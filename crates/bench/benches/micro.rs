@@ -17,7 +17,7 @@ use bigdansing_ocjoin::naive::{cross_join_filter, ucross_join_filter};
 use bigdansing_ocjoin::{ocjoin, OcJoinConfig};
 use bigdansing_plan::Executor;
 use bigdansing_repair::blackbox::RepairOptions;
-use bigdansing_repair::cc::{components_bsp, components_union_find};
+use bigdansing_repair::cc::{components_bsp_edges, components_union_find};
 use bigdansing_repair::{repair_parallel, repair_serial, EquivalenceClassRepair};
 use bigdansing_rules::{DcRule, DedupRule, FdRule, Rule};
 use std::sync::Arc;
@@ -96,7 +96,7 @@ fn bench_connected_components(c: &mut Criterion) {
     });
     g.bench_function("bsp_label_propagation", |b| {
         let e = Engine::parallel(2);
-        b.iter(|| black_box(components_bsp(&e, &edges).len()))
+        b.iter(|| black_box(components_bsp_edges(&e, &edges).unwrap().len()))
     });
     g.finish();
 }
@@ -136,6 +136,7 @@ fn bench_repair(c: &mut Criterion) {
                     &EquivalenceClassRepair,
                     RepairOptions::default(),
                 )
+                .unwrap()
                 .len(),
             )
         })

@@ -9,7 +9,7 @@ use bigdansing_common::metrics::Metrics;
 use bigdansing_dataflow::Engine;
 use bigdansing_datagen::{tax, tpch};
 use bigdansing_plan::Executor;
-use bigdansing_repair::cc::{components_bsp, components_union_find};
+use bigdansing_repair::cc::{components_bsp_edges, components_union_find};
 use bigdansing_rules::{FdRule, Rule};
 use bigdansing_storage::{layout, PartitionedStore};
 use std::sync::Arc;
@@ -165,7 +165,7 @@ pub fn ablation_cc() -> Report {
             .map(|i| vec![i, (i * 7919) % (edges_n as u64), i / 3])
             .collect();
         let e = Engine::parallel(workers());
-        let (labels, bsp) = time_best(|| components_bsp(&e, &edges));
+        let (labels, bsp) = time_best(|| components_bsp_edges(&e, &edges).unwrap());
         let (uf_labels, uf) = time_best(|| components_union_find(&edges));
         let ncomp = {
             let mut l = labels.clone();

@@ -231,6 +231,7 @@ pub fn fig8b() -> Report {
                 &EquivalenceClassRepair,
                 RepairOptions::default(),
             )
+            .unwrap()
         });
         let share = t_detect / (t_detect + t_repair);
         r.row(vec![
@@ -597,6 +598,7 @@ pub fn fig12b() -> Report {
                 &EquivalenceClassRepair,
                 RepairOptions::default(),
             )
+            .unwrap()
         });
         let (_, ser) = time(|| repair_serial(&detected.detected, &EquivalenceClassRepair));
         r.row(vec![

@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod detect;
 pub mod experiments;
 pub mod incremental;
+pub mod repair;
 pub mod report;
 pub mod runners;
 

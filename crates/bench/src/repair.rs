@@ -1,0 +1,329 @@
+//! Repair-pipeline benchmark: the fused zero-copy repair half.
+//!
+//! Three workloads — FD (many small components, repaired by the
+//! holistic hypergraph algorithm), CFD (constant fixes via the
+//! equivalence-class algorithm, one singleton component per violation),
+//! inequality DC (hypergraph greedy over numeric fixes) — each
+//! generated deterministically (no RNG). Every workload is detected once, then
+//! the repair stage alone is timed both ways: `repair_serial` (the
+//! centralized NADEEF-style baseline, one algorithm instance over the
+//! whole violation set) against `repair_parallel` (hypergraph →
+//! semi-naive BSP components → per-component repair through
+//! `run_stage`). `parity` asserts the two produce identical cell
+//! assignments, so the parallel driver can never silently diverge from
+//! the sequential oracle. The end-to-end cleanse loop (detect ⇄ repair
+//! until clean) is timed once on top. Results land in
+//! `BENCH_repair.json`, the tracked baseline for the repair data path.
+
+use crate::{rows, time, time_best, Report};
+use bigdansing::{BigDansing, CleanseOptions};
+use bigdansing_common::{Schema, Table, Value};
+use bigdansing_dataflow::Engine;
+use bigdansing_plan::Executor;
+use bigdansing_repair::blackbox::RepairOptions;
+use bigdansing_repair::{
+    repair_parallel, repair_serial, EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm,
+};
+use bigdansing_rules::{CfdRule, DcRule, FdRule, Rule};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// FD workload tuned for repair: 4 rows per `zipcode → city` block with
+/// the first row's city garbled, so the hypergraph shatters into one
+/// small component per dirty block. The serial baseline must run the
+/// repair algorithm over the *whole* violation set at once — per-round
+/// global cell sorts and hash maps far beyond cache — which is exactly
+/// the superlinear cost the component decomposition avoids (§5.1's
+/// motivation), and what the `speedup` column measures on one core.
+fn fd_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    let spread = (n / 4).max(1);
+    let tuples = (0..n)
+        .map(|i| {
+            let zip = 10_000 + i % spread;
+            let city = if (i / spread).is_multiple_of(4) {
+                format!("garbled{i}")
+            } else {
+                format!("city{zip}")
+            };
+            vec![
+                Value::str(format!("p{i}")),
+                Value::Int(zip as i64),
+                Value::str(city),
+            ]
+        })
+        .collect();
+    let table = Table::from_rows("fd_repair", Schema::parse("name,zipcode,city"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(FdRule::parse("zipcode -> city", table.schema()).unwrap());
+    (table, rule)
+}
+
+/// CFD workload: `zipcode=90210 → city=LA` with a third of the 90210
+/// rows carrying SF. Every violation is its own singleton component —
+/// the many-tiny-components stress case for the grouping path.
+fn cfd_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    let tuples = (0..n)
+        .map(|i| match i % 3 {
+            0 => vec![Value::Int(90210), Value::str("LA")],
+            1 => vec![Value::Int(90210), Value::str("SF")],
+            _ => vec![Value::Int(10001), Value::str("NY")],
+        })
+        .collect();
+    let table = Table::from_rows("cfd_repair", Schema::parse("zipcode,city"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(
+        CfdRule::parse("zipcode -> city | zipcode=90210, city=LA", table.schema()).unwrap(),
+    );
+    (table, rule)
+}
+
+/// Inequality-DC workload: salary strictly increasing, every 101st
+/// row's rate pulled ~40 ranks down, so each dirty row forms one
+/// component of ~40 violations repaired by the hypergraph greedy.
+fn dc_workload(n: usize) -> (Table, Arc<dyn Rule>) {
+    let tuples = (0..n)
+        .map(|i| {
+            let rate = if i % 101 == 0 {
+                i as f64 - 40.5
+            } else {
+                i as f64
+            };
+            vec![
+                Value::str(format!("p{i}")),
+                Value::Int(10 * i as i64),
+                Value::Float(rate),
+            ]
+        })
+        .collect();
+    let table = Table::from_rows("dc_repair", Schema::parse("name,salary,rate"), tuples);
+    let rule: Arc<dyn Rule> = Arc::new(
+        DcRule::parse("t1.salary > t2.salary & t1.rate < t2.rate", table.schema()).unwrap(),
+    );
+    (table, rule)
+}
+
+/// Measured outcome for one workload.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Workload label (`fd`, `cfd`, `dc`).
+    pub workload: &'static str,
+    /// Repair algorithm run per component.
+    pub algorithm: String,
+    /// Table rows.
+    pub rows: usize,
+    /// Violations the detect stage produced (repair input size).
+    pub violations: usize,
+    /// Connected components the BSP pass found.
+    pub components: u64,
+    /// Semi-naive BSP supersteps until the frontier drained.
+    pub cc_supersteps: u64,
+    /// Wall-clock of the serial baseline (best of two runs).
+    pub serial_secs: f64,
+    /// Wall-clock of the parallel driver (best of two runs).
+    pub parallel_secs: f64,
+    /// `serial_secs / parallel_secs`.
+    pub speedup: f64,
+    /// `violations / parallel_secs`.
+    pub violations_per_sec: f64,
+    /// `components / parallel_secs`.
+    pub components_per_sec: f64,
+    /// Cell assignments the parallel round produced.
+    pub cells_assigned: u64,
+    /// Deep payload copies attributed to the parallel round — zero on
+    /// the component-grouping path, which moves only indexes.
+    pub tuples_cloned: u64,
+    /// Wall-clock of the full detect ⇄ repair cleanse loop.
+    pub cleanse_secs: f64,
+    /// Serial and parallel assignments are identical.
+    pub parity: bool,
+}
+
+/// Bench one workload: detect once, time the serial baseline and the
+/// parallel driver on the same violation set, cross-check their
+/// assignments, then time the end-to-end cleanse on top.
+pub fn run(
+    workload: &'static str,
+    table: Table,
+    rule: Arc<dyn Rule>,
+    algo: &dyn RepairAlgorithm,
+    workers: usize,
+) -> Outcome {
+    let exec = Executor::new(Engine::parallel(workers));
+    let detected = exec.detect(&table, &[Arc::clone(&rule)]).unwrap().detected;
+
+    let (serial_assign, serial_secs) = time_best(|| repair_serial(&detected, algo));
+    // fresh engine per run so the snapshot reflects exactly one round
+    let ((parallel_assign, snap), parallel_secs) = time_best(|| {
+        let engine = Engine::parallel(workers);
+        let assign = repair_parallel(&engine, &detected, algo, RepairOptions::default()).unwrap();
+        (assign, engine.metrics().snapshot())
+    });
+
+    let (_, cleanse_secs) = time(|| {
+        let mut sys = BigDansing::parallel(workers);
+        sys.add_rule(Arc::clone(&rule));
+        sys.cleanse(&table, CleanseOptions::default()).unwrap()
+    });
+
+    Outcome {
+        workload,
+        algorithm: algo.name().to_string(),
+        rows: table.len(),
+        violations: detected.len(),
+        components: snap.components_found,
+        cc_supersteps: snap.cc_supersteps,
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs.max(1e-9),
+        violations_per_sec: detected.len() as f64 / parallel_secs.max(1e-9),
+        components_per_sec: snap.components_found as f64 / parallel_secs.max(1e-9),
+        cells_assigned: snap.repair_cells_assigned,
+        tuples_cloned: snap.tuples_cloned,
+        cleanse_secs,
+        parity: serial_assign == parallel_assign,
+    }
+}
+
+/// Row counts per workload (each scaled by `BIGDANSING_SCALE`).
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    /// FD workload rows.
+    pub fd: usize,
+    /// CFD workload rows.
+    pub cfd: usize,
+    /// Inequality-DC workload rows.
+    pub dc: usize,
+}
+
+impl Default for Sizes {
+    fn default() -> Sizes {
+        Sizes {
+            fd: rows(300_000),
+            cfd: rows(100_000),
+            dc: rows(100_000),
+        }
+    }
+}
+
+/// Run all three workloads at the given sizes.
+pub fn run_all(sizes: Sizes) -> Vec<Outcome> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let (fd_t, fd_r) = fd_workload(sizes.fd);
+    let (cfd_t, cfd_r) = cfd_workload(sizes.cfd);
+    let (dc_t, dc_r) = dc_workload(sizes.dc);
+    vec![
+        run("fd", fd_t, fd_r, &HypergraphRepair::default(), workers),
+        run("cfd", cfd_t, cfd_r, &EquivalenceClassRepair, workers),
+        run("dc", dc_t, dc_r, &HypergraphRepair::default(), workers),
+    ]
+}
+
+/// Hand-rolled JSON for the workload set (the workspace carries no
+/// serde).
+pub fn to_json(outcomes: &[Outcome]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"repair\",\n  \"workloads\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", o.workload);
+        let _ = writeln!(s, "      \"algorithm\": \"{}\",", o.algorithm);
+        let _ = writeln!(s, "      \"rows\": {},", o.rows);
+        let _ = writeln!(s, "      \"violations\": {},", o.violations);
+        let _ = writeln!(s, "      \"components\": {},", o.components);
+        let _ = writeln!(s, "      \"cc_supersteps\": {},", o.cc_supersteps);
+        let _ = writeln!(s, "      \"serial_secs\": {:.6},", o.serial_secs);
+        let _ = writeln!(s, "      \"parallel_secs\": {:.6},", o.parallel_secs);
+        let _ = writeln!(s, "      \"speedup\": {:.2},", o.speedup);
+        let _ = writeln!(
+            s,
+            "      \"violations_per_sec\": {:.0},",
+            o.violations_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "      \"components_per_sec\": {:.0},",
+            o.components_per_sec
+        );
+        let _ = writeln!(s, "      \"cells_assigned\": {},", o.cells_assigned);
+        let _ = writeln!(s, "      \"tuples_cloned\": {},", o.tuples_cloned);
+        let _ = writeln!(s, "      \"cleanse_secs\": {:.6},", o.cleanse_secs);
+        let _ = writeln!(s, "      \"parity\": {}", o.parity);
+        let _ = writeln!(s, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Run at the scaled default sizes, write `BENCH_repair.json` into the
+/// current directory, and render the report table.
+pub fn report() -> Report {
+    let outcomes = run_all(Sizes::default());
+    let path = "BENCH_repair.json";
+    match std::fs::write(path, to_json(&outcomes)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let mut r = Report::new(
+        "Repair pipeline — hypergraph / BSP components / black-box repair",
+        &[
+            "workload",
+            "rows",
+            "violations",
+            "components",
+            "supersteps",
+            "serial",
+            "parallel",
+            "speedup",
+            "viol/s",
+            "tuples cloned",
+            "cleanse",
+            "parity",
+        ],
+    );
+    for o in &outcomes {
+        r.row(vec![
+            o.workload.into(),
+            o.rows.into(),
+            o.violations.into(),
+            o.components.into(),
+            o.cc_supersteps.into(),
+            crate::report::Cell::Secs(o.serial_secs),
+            crate::report::Cell::Secs(o.parallel_secs),
+            format!("{:.2}x", o.speedup).into(),
+            format!("{:.0}/s", o.violations_per_sec).into(),
+            o.tuples_cloned.into(),
+            crate::report::Cell::Secs(o.cleanse_secs),
+            format!("{}", o.parity).into(),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_runs_hold_parity_on_every_workload() {
+        let outcomes = run_all(Sizes {
+            fd: 1_600,
+            cfd: 1_200,
+            dc: 1_500,
+        });
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            assert!(o.parity, "{}: assignments diverged from oracle", o.workload);
+            assert!(o.violations > 0, "{}: workload found nothing", o.workload);
+            assert!(o.components > 0, "{}: no components", o.workload);
+            assert!(o.cc_supersteps >= 1, "{}: BSP never ran", o.workload);
+            assert!(
+                o.cells_assigned > 0,
+                "{}: repair assigned nothing",
+                o.workload
+            );
+        }
+        let json = to_json(&outcomes);
+        assert!(json.contains("\"cc_supersteps\""));
+        assert!(json.contains("\"cleanse_secs\""));
+        assert_eq!(json.matches("\"parity\": true").count(), 3);
+    }
+}

@@ -15,7 +15,7 @@
 use bigdansing::{
     csv, read_snapshot_table, BigDansing, CleanseOptions, DeltaBatch, DurabilityOptions, Engine,
     EquivalenceClassRepair, ExecMode, HypergraphRepair, IsolationOptions, MemoryBudget, Quarantine,
-    RepairStrategy,
+    RepairOptions, RepairStrategy,
 };
 use bigdansing_common::Table;
 use std::path::PathBuf;
@@ -57,6 +57,10 @@ OPTIONS:
   --report STEM          write STEM.violations.csv / STEM.fixes.csv
   --workers N            worker threads (default: all cores)
   --repair eq|hyper      repair algorithm (default: eq)
+  --max-component-size N k-way partition hypergraph components larger
+                         than N violations and repair them with the
+                         master/slave protocol (default: unlimited)
+  --repair-k N           parts per partitioned component (default: 4)
   --max-iterations N     detect/repair rounds (default: 10)
   --deadline-ms N        cancel the job after N ms of wall-clock time
   --memory-budget-mb N   soft memory budget for checkpointed data; the
@@ -107,6 +111,8 @@ struct Args {
     partial: bool,
     rule_timeout_ms: Option<u64>,
     max_block_size: Option<usize>,
+    max_component_size: Option<usize>,
+    repair_k: Option<usize>,
 }
 
 impl Args {
@@ -120,6 +126,18 @@ impl Args {
         iso.rule_time_budget = self.rule_timeout_ms.map(Duration::from_millis);
         iso.max_block_size = self.max_block_size;
         iso
+    }
+
+    /// The parallel-repair driver options the flags describe.
+    fn repair_options(&self) -> RepairOptions {
+        let mut opts = RepairOptions::default();
+        if let Some(n) = self.max_component_size {
+            opts.max_component_size = n;
+        }
+        if let Some(k) = self.repair_k {
+            opts.k = k;
+        }
+        opts
     }
 }
 
@@ -153,6 +171,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         partial: false,
         rule_timeout_ms: None,
         max_block_size: None,
+        max_component_size: None,
+        repair_k: None,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -211,6 +231,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     value("--max-block-size")?
                         .parse()
                         .map_err(|_| "--max-block-size needs an integer")?,
+                )
+            }
+            "--max-component-size" => {
+                args.max_component_size = Some(
+                    value("--max-component-size")?
+                        .parse()
+                        .map_err(|_| "--max-component-size needs an integer")?,
+                )
+            }
+            "--repair-k" => {
+                args.repair_k = Some(
+                    value("--repair-k")?
+                        .parse()
+                        .map_err(|_| "--repair-k needs an integer")?,
                 )
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -311,6 +345,7 @@ fn run_recover(args: &Args) -> Result<u8, String> {
         strategy: parse_strategy(&args.repair)?,
         max_iterations: args.max_iterations,
         isolation: args.isolation(),
+        repair_options: args.repair_options(),
         ..Default::default()
     };
     let durability = DurabilityOptions::new(&dir).snapshot_every(args.snapshot_every);
@@ -329,6 +364,9 @@ fn run_recover(args: &Args) -> Result<u8, String> {
     if let Some(output) = args.output.as_deref() {
         csv::write_file(session.table(), output).map_err(|e| e.to_string())?;
         eprintln!("wrote {output}");
+    }
+    if let Some(line) = bigdansing::report::repair_summary(&sys.engine().metrics().snapshot()) {
+        eprintln!("{line}");
     }
     if let Some(line) = bigdansing::report::fault_summary(&sys.engine().metrics().snapshot()) {
         eprintln!("{line}");
@@ -415,6 +453,7 @@ fn run() -> Result<u8, String> {
                         strategy,
                         max_iterations: args.max_iterations,
                         isolation: args.isolation(),
+                        repair_options: args.repair_options(),
                         ..Default::default()
                     },
                 )
@@ -426,6 +465,11 @@ fn run() -> Result<u8, String> {
             if let Some(report) = bigdansing::report::health_report(&result.outcome) {
                 eprintln!("{report}");
                 status = EXIT_DEGRADED;
+            }
+            if let Some(line) =
+                bigdansing::report::repair_summary(&sys.engine().metrics().snapshot())
+            {
+                eprintln!("{line}");
             }
             csv::write_file(&result.table, output).map_err(|e| e.to_string())?;
             eprintln!("wrote {output}");
@@ -463,6 +507,7 @@ fn run() -> Result<u8, String> {
                 strategy: parse_strategy(&args.repair)?,
                 max_iterations: args.max_iterations,
                 isolation: args.isolation(),
+                repair_options: args.repair_options(),
                 ..Default::default()
             };
             let mut session = match &args.durable_dir {
@@ -511,6 +556,11 @@ fn run() -> Result<u8, String> {
             if let Some(output) = args.output.as_deref() {
                 csv::write_file(session.table(), output).map_err(|e| e.to_string())?;
                 eprintln!("wrote {output}");
+            }
+            if let Some(line) =
+                bigdansing::report::repair_summary(&sys.engine().metrics().snapshot())
+            {
+                eprintln!("{line}");
             }
             status = session_exit_code(&session);
             if args.explain {
@@ -662,6 +712,30 @@ mod tests {
         assert_eq!(iso.rule_time_budget, None);
         assert_eq!(iso.max_block_size, None);
         assert!(parse(&["clean", "in.csv", "--rule-timeout-ms", "x"]).is_err());
+    }
+
+    #[test]
+    fn repair_flags_parse_and_map() {
+        let args = parse(&[
+            "clean",
+            "in.csv",
+            "--fd",
+            "a -> b",
+            "--max-component-size",
+            "64",
+            "--repair-k",
+            "8",
+        ])
+        .unwrap();
+        let opts = args.repair_options();
+        assert_eq!(opts.max_component_size, 64);
+        assert_eq!(opts.k, 8);
+        // Defaults: unlimited components, k = 4.
+        let args = parse(&["clean", "in.csv"]).unwrap();
+        let opts = args.repair_options();
+        assert_eq!(opts.max_component_size, usize::MAX);
+        assert_eq!(opts.k, 4);
+        assert!(parse(&["clean", "in.csv", "--repair-k", "x"]).is_err());
     }
 
     #[test]

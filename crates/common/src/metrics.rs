@@ -116,6 +116,18 @@ pub struct Metrics {
     /// Candidate units skipped by the outlier-block guard in partial
     /// mode instead of failing the rule.
     pub units_skipped: AtomicU64,
+    /// Connected components found in the violation hypergraph by a
+    /// repair round (each repaired independently).
+    pub components_found: AtomicU64,
+    /// Components that exceeded `max_component_size` and took the
+    /// k-way partitioned master/slave path.
+    pub components_partitioned: AtomicU64,
+    /// BSP supersteps executed by the semi-naive connected-components
+    /// label propagation until its frontier drained.
+    pub cc_supersteps: AtomicU64,
+    /// Cell assignments produced by repair rounds (before the cleanse
+    /// loop's freeze/no-op filtering).
+    pub repair_cells_assigned: AtomicU64,
 }
 
 impl Metrics {
@@ -171,6 +183,10 @@ impl Metrics {
             &self.breaker_trips,
             &self.rules_quarantined,
             &self.units_skipped,
+            &self.components_found,
+            &self.components_partitioned,
+            &self.cc_supersteps,
+            &self.repair_cells_assigned,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -213,6 +229,10 @@ impl Metrics {
             breaker_trips: Metrics::get(&self.breaker_trips),
             rules_quarantined: Metrics::get(&self.rules_quarantined),
             units_skipped: Metrics::get(&self.units_skipped),
+            components_found: Metrics::get(&self.components_found),
+            components_partitioned: Metrics::get(&self.components_partitioned),
+            cc_supersteps: Metrics::get(&self.cc_supersteps),
+            repair_cells_assigned: Metrics::get(&self.repair_cells_assigned),
         }
     }
 }
@@ -288,6 +308,14 @@ pub struct MetricsSnapshot {
     pub rules_quarantined: u64,
     /// See [`Metrics::units_skipped`].
     pub units_skipped: u64,
+    /// See [`Metrics::components_found`].
+    pub components_found: u64,
+    /// See [`Metrics::components_partitioned`].
+    pub components_partitioned: u64,
+    /// See [`Metrics::cc_supersteps`].
+    pub cc_supersteps: u64,
+    /// See [`Metrics::repair_cells_assigned`].
+    pub repair_cells_assigned: u64,
 }
 
 #[cfg(test)]

@@ -290,7 +290,7 @@ pub fn cleanse_loop(
             &detected.detected,
             &options.strategy,
             options.repair_options,
-        );
+        )?;
 
         // apply, honoring frozen cells and counting changes
         let mut applicable: HashMap<Cell, Value> = HashMap::new();

@@ -79,6 +79,7 @@ pub use bigdansing_dataflow::{
     SpillFallback,
 };
 pub use bigdansing_plan::{DetectOutput, Executor, IterateStrategy, Job};
+pub use bigdansing_repair::blackbox::RepairOptions;
 pub use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair, RepairAlgorithm};
 pub use bigdansing_rules::{
     BlockKey, CfdRule, DcRule, DedupRule, DetectUnit, Fix, FixRhs, Op, Rule, UdfRule, UnitKind,

@@ -181,6 +181,23 @@ pub fn health_report(outcome: &CleanseOutcome) -> Option<String> {
     Some(lines.join("\n"))
 }
 
+/// Summarize the repair half of a finished run: hypergraph components
+/// found (and how many were k-way partitioned), BSP supersteps spent
+/// finding them, and cells assigned by the repair algorithms.
+///
+/// Returns `None` when no repair work ran (detect-only jobs, clean
+/// inputs).
+pub fn repair_summary(m: &MetricsSnapshot) -> Option<String> {
+    if m.components_found == 0 && m.repair_cells_assigned == 0 {
+        return None;
+    }
+    Some(format!(
+        "repair: {} component(s) ({} partitioned) via {} BSP superstep(s), \
+         {} cell(s) assigned",
+        m.components_found, m.components_partitioned, m.cc_supersteps, m.repair_cells_assigned
+    ))
+}
+
 /// Summarize stage-graph execution for a finished run: how many
 /// physical passes ran and how many logical stages were fused away
 /// into them (plus shuffle volume when a wide boundary ran).
@@ -393,6 +410,27 @@ mod tests {
         assert!(report.contains("rule fd:a->b: completed"), "{report}");
         assert!(report.contains("9 unit(s) skipped"), "{report}");
         assert!(report.contains("quarantined — panicked"), "{report}");
+    }
+
+    #[test]
+    fn repair_summary_silent_without_repair_work() {
+        assert_eq!(repair_summary(&Default::default()), None);
+    }
+
+    #[test]
+    fn repair_summary_reports_components_and_supersteps() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            components_found: 12,
+            components_partitioned: 2,
+            cc_supersteps: 5,
+            repair_cells_assigned: 30,
+            ..Default::default()
+        };
+        let line = repair_summary(&snap).unwrap();
+        assert!(line.contains("12 component(s)"), "{line}");
+        assert!(line.contains("2 partitioned"), "{line}");
+        assert!(line.contains("5 BSP superstep(s)"), "{line}");
+        assert!(line.contains("30 cell(s) assigned"), "{line}");
     }
 
     #[test]

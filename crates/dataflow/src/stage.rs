@@ -50,6 +50,9 @@ pub enum PassKind {
     /// A materializing checkpoint boundary (disk round-trip or
     /// ledger-tracked).
     Checkpoint,
+    /// A fused repair pass: hypergraph build + BSP connected
+    /// components + one per-component repair task per partition.
+    Repair,
 }
 
 impl PassKind {
@@ -61,6 +64,7 @@ impl PassKind {
             PassKind::ShuffleReduce => "shuffle-reduce",
             PassKind::Join => "join",
             PassKind::Checkpoint => "checkpoint",
+            PassKind::Repair => "repair",
         }
     }
 }

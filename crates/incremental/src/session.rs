@@ -1091,7 +1091,7 @@ impl Session {
                 &detected,
                 &self.options.strategy,
                 self.options.repair_options,
-            );
+            )?;
             let mut applicable: HashMap<Cell, Value> = HashMap::new();
             for (cell, value) in assignment {
                 let count = change_count.entry(cell).or_insert(0);

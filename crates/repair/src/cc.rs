@@ -1,13 +1,16 @@
 //! Connected components of the violation hypergraph.
 //!
 //! The paper uses GraphX, whose Pregel/BSP model processes the graph in
-//! synchronized supersteps (§5.1). [`components_bsp`] reproduces that:
-//! label propagation where, each superstep, every hyperedge takes the
-//! minimum label of its members and every node takes the minimum label
-//! of its incident edges — run as parallel min-aggregations over a
-//! partitioning fixed up front (GraphX-style partition reuse).
-//! [`components_union_find`] is the sequential oracle.
+//! synchronized supersteps (§5.1). [`components_bsp`] reproduces that
+//! over a CSR-encoded bipartite incidence structure ([`EdgeList`]) with
+//! dense `u32` node ids, evaluated **semi-naively**: each superstep
+//! propagates labels only from the frontier of nodes whose label
+//! changed last round, and iteration exits as soon as the frontier
+//! drains — the fixpoint trick of Datalog engines, applied to label
+//! propagation. [`components_union_find`] is the sequential oracle.
 
+use bigdansing_common::error::Result;
+use bigdansing_common::metrics::Metrics;
 use bigdansing_dataflow::Engine;
 use std::collections::HashMap;
 
@@ -71,121 +74,263 @@ pub fn components_union_find(edges: &[Vec<u64>]) -> Vec<u64> {
         .collect()
 }
 
-/// Component label per edge via BSP label propagation on the engine.
-///
-/// Each superstep is two parallel min-aggregations (node→edge and
-/// edge→node) over a *fixed* partitioning — like GraphX, the bipartite
-/// incidence structure is partitioned once and reused across
-/// supersteps instead of reshuffled, so a superstep is pure
-/// computation. Iteration stops when no node label changes — the
-/// Pregel-style fixed point.
-pub fn components_bsp(engine: &Engine, edges: &[Vec<u64>]) -> Vec<u64> {
-    use bigdansing_dataflow::pool::par_map_indexed;
-    if edges.is_empty() {
-        return Vec::new();
-    }
-    // dense node ids (one-time "partitioning" pass)
-    let mut node_index: HashMap<u64, u32> = HashMap::new();
-    let mut node_ids: Vec<u64> = Vec::new();
-    let dense_edges: Vec<Vec<u32>> = edges
-        .iter()
-        .map(|e| {
-            e.iter()
-                .map(|&n| {
-                    *node_index.entry(n).or_insert_with(|| {
-                        node_ids.push(n);
-                        (node_ids.len() - 1) as u32
-                    })
-                })
-                .collect()
-        })
-        .collect();
-    // fixed incidence partitioning: edges chunked once, nodes chunked once
-    let workers = engine.workers();
-    let nparts = engine.default_partitions();
-    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); node_ids.len()];
-    for (e, members) in dense_edges.iter().enumerate() {
-        for &n in members {
-            incidence[n as usize].push(e as u32);
-        }
-    }
-    let edge_chunks = chunk_ranges(dense_edges.len(), nparts);
-    let node_chunks = chunk_ranges(node_ids.len(), nparts);
+/// The hypergraph's incidence structure in CSR form: edge `i`'s member
+/// node ids are `members[offsets[i]..offsets[i+1]]`, node ids are dense
+/// `u32`s in `0..num_nodes`. Built once, reused across supersteps —
+/// the GraphX-style "partition once" property, without per-round
+/// hash maps.
+#[derive(Debug, Default, Clone)]
+pub struct EdgeList {
+    /// Number of distinct nodes.
+    pub num_nodes: usize,
+    /// CSR offsets, length `num_edges + 1`.
+    pub offsets: Vec<u32>,
+    /// Concatenated member node ids.
+    pub members: Vec<u32>,
+}
 
-    // initial labels: each node labels itself with its original id
-    let mut node_label: Vec<u64> = node_ids;
-    let mut edge_label: Vec<u64> = vec![u64::MAX; dense_edges.len()];
-    loop {
-        // superstep part 1: edges adopt the min label of their members
-        let nl = &node_label;
-        let de = &dense_edges;
-        let new_edges: Vec<Vec<u64>> =
-            par_map_indexed(workers, edge_chunks.clone(), |_, (lo, hi)| {
-                (lo..hi)
-                    .map(|e| {
-                        de[e]
-                            .iter()
-                            .map(|&n| nl[n as usize])
-                            .min()
-                            .unwrap_or(u64::MAX)
-                    })
-                    .collect()
-            });
-        for ((lo, _), labels) in edge_chunks.iter().zip(new_edges) {
-            edge_label[*lo..*lo + labels.len()].copy_from_slice(&labels);
+impl EdgeList {
+    /// An edge list with no edges over `num_nodes` nodes.
+    pub fn with_nodes(num_nodes: usize) -> EdgeList {
+        EdgeList {
+            num_nodes,
+            offsets: vec![0],
+            members: Vec::new(),
         }
-        // superstep part 2: nodes adopt the min label of incident edges
-        let el = &edge_label;
-        let inc = &incidence;
-        let nl = &node_label;
-        let new_nodes: Vec<Vec<u64>> =
-            par_map_indexed(workers, node_chunks.clone(), |_, (lo, hi)| {
-                (lo..hi)
-                    .map(|n| {
-                        inc[n]
-                            .iter()
-                            .map(|&e| el[e as usize])
-                            .min()
-                            .unwrap_or(u64::MAX)
-                            .min(nl[n])
-                    })
-                    .collect()
-            });
-        let mut changed = false;
-        for ((lo, _), labels) in node_chunks.iter().zip(new_nodes) {
-            for (i, l) in labels.into_iter().enumerate() {
-                if node_label[lo + i] != l {
-                    node_label[lo + i] = l;
-                    changed = true;
+    }
+
+    /// Append one edge given its member node ids (need not be unique).
+    pub fn push_edge(&mut self, members: impl IntoIterator<Item = u32>) {
+        let start = self.members.len();
+        self.members.extend(members);
+        self.members[start..].sort_unstable();
+        let mut w = start;
+        for r in start..self.members.len() {
+            let m = self.members[r];
+            if w == start || self.members[w - 1] != m {
+                self.members[w] = m;
+                w += 1;
+            }
+        }
+        self.members.truncate(w);
+        for &m in &self.members[start..] {
+            self.num_nodes = self.num_nodes.max(m as usize + 1);
+        }
+        self.offsets.push(self.members.len() as u32);
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Member node ids of edge `i`.
+    pub fn edge(&self, i: usize) -> &[u32] {
+        &self.members[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Densify arbitrary `u64` node ids into an [`EdgeList`], returning
+    /// the original id per dense node (first-appearance order).
+    pub fn from_edges(edges: &[Vec<u64>]) -> (EdgeList, Vec<u64>) {
+        let mut index: HashMap<u64, u32> = HashMap::new();
+        let mut node_ids: Vec<u64> = Vec::new();
+        let mut el = EdgeList::with_nodes(0);
+        for edge in edges {
+            el.push_edge(edge.iter().map(|&n| {
+                *index.entry(n).or_insert_with(|| {
+                    node_ids.push(n);
+                    (node_ids.len() - 1) as u32
+                })
+            }));
+        }
+        el.num_nodes = node_ids.len();
+        (el, node_ids)
+    }
+}
+
+/// The fixpoint [`components_bsp`] converges to.
+#[derive(Debug, Clone)]
+pub struct BspComponents {
+    /// Component label per edge: the minimum dense node id reachable
+    /// from the edge (`u32::MAX` for empty edges).
+    pub edge_labels: Vec<u32>,
+    /// Component label per node.
+    pub node_labels: Vec<u32>,
+    /// Supersteps executed until the frontier drained.
+    pub supersteps: u64,
+}
+
+/// Below this many dirty items a superstep half runs inline; above it,
+/// the work is chunked across the engine's workers.
+const PARALLEL_THRESHOLD: usize = 4 * 1024;
+
+/// Component labels via semi-naive BSP label propagation on the engine.
+///
+/// Each superstep is two min-aggregations (node→edge, edge→node) over
+/// the fixed CSR incidence, but only the *dirty* part of it: edges
+/// touching a frontier node re-min, nodes touching a changed edge
+/// re-min, and the next frontier is exactly the nodes whose label
+/// decreased. Iteration exits when the frontier drains. Labels can only
+/// decrease, so skipping clean regions loses nothing — the fixpoint is
+/// the same one naive evaluation reaches, which the union-find parity
+/// test asserts. Cancellation (deadline, memory ceiling, user) is
+/// honored at every superstep boundary, and large half-steps run
+/// through [`Engine::run_stage`] so they inherit retry and panic
+/// isolation. Supersteps are recorded on the engine's `cc_supersteps`
+/// counter.
+pub fn components_bsp(engine: &Engine, graph: &EdgeList) -> Result<BspComponents> {
+    let n_nodes = graph.num_nodes;
+    let n_edges = graph.num_edges();
+    let mut node_labels: Vec<u32> = (0..n_nodes as u32).collect();
+    let mut edge_labels: Vec<u32> = vec![u32::MAX; n_edges];
+    if n_edges == 0 || n_nodes == 0 {
+        return Ok(BspComponents {
+            edge_labels,
+            node_labels,
+            supersteps: 0,
+        });
+    }
+    // node→edge incidence CSR, built once
+    let mut inc_off = vec![0u32; n_nodes + 1];
+    for &n in &graph.members {
+        inc_off[n as usize + 1] += 1;
+    }
+    for i in 0..n_nodes {
+        inc_off[i + 1] += inc_off[i];
+    }
+    let mut inc = vec![0u32; graph.members.len()];
+    let mut cursor: Vec<u32> = inc_off[..n_nodes].to_vec();
+    for e in 0..n_edges {
+        for &n in graph.edge(e) {
+            inc[cursor[n as usize] as usize] = e as u32;
+            cursor[n as usize] += 1;
+        }
+    }
+    let incident =
+        |n: u32| -> &[u32] { &inc[inc_off[n as usize] as usize..inc_off[n as usize + 1] as usize] };
+
+    let mut frontier: Vec<u32> = (0..n_nodes as u32).collect();
+    let mut edge_seen = vec![false; n_edges];
+    let mut node_seen = vec![false; n_nodes];
+    let mut supersteps = 0u64;
+    while !frontier.is_empty() {
+        engine.check_cancelled()?;
+        supersteps += 1;
+        // scatter: edges incident to the frontier are the dirty set
+        let mut dirty_edges: Vec<u32> = Vec::new();
+        for &n in &frontier {
+            for &e in incident(n) {
+                if !edge_seen[e as usize] {
+                    edge_seen[e as usize] = true;
+                    dirty_edges.push(e);
                 }
             }
         }
-        if !changed {
-            break;
+        // half-step 1: dirty edges adopt the min label of their members
+        let new_edge = half_step(engine, &dirty_edges, |&e| {
+            graph
+                .edge(e as usize)
+                .iter()
+                .map(|&n| node_labels[n as usize])
+                .min()
+                .unwrap_or(u32::MAX)
+        })?;
+        let mut changed_edges: Vec<u32> = Vec::new();
+        for (&e, &l) in dirty_edges.iter().zip(&new_edge) {
+            edge_seen[e as usize] = false;
+            if l < edge_labels[e as usize] {
+                edge_labels[e as usize] = l;
+                changed_edges.push(e);
+            }
+        }
+        // half-step 2: nodes of changed edges adopt the min incident
+        // edge label; those that decreased form the next frontier
+        let mut candidates: Vec<u32> = Vec::new();
+        for &e in &changed_edges {
+            for &n in graph.edge(e as usize) {
+                if !node_seen[n as usize] {
+                    node_seen[n as usize] = true;
+                    candidates.push(n);
+                }
+            }
+        }
+        let new_node = half_step(engine, &candidates, |&n| {
+            incident(n)
+                .iter()
+                .map(|&e| edge_labels[e as usize])
+                .min()
+                .unwrap_or(u32::MAX)
+                .min(node_labels[n as usize])
+        })?;
+        frontier.clear();
+        for (&n, &l) in candidates.iter().zip(&new_node) {
+            node_seen[n as usize] = false;
+            if l < node_labels[n as usize] {
+                node_labels[n as usize] = l;
+                frontier.push(n);
+            }
         }
     }
-    edge_label
+    Metrics::add(&engine.metrics().cc_supersteps, supersteps);
+    Ok(BspComponents {
+        edge_labels,
+        node_labels,
+        supersteps,
+    })
 }
 
-/// Split `0..n` into at most `parts` contiguous `(lo, hi)` ranges.
-fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
-    let parts = parts.clamp(1, n.max(1));
-    let base = n / parts;
-    let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut lo = 0;
-    for p in 0..parts {
-        let len = base + usize::from(p < extra);
-        out.push((lo, lo + len));
-        lo += len;
+/// One min-aggregation half of a superstep: pure reads of the shared
+/// label arrays, so a retried task recomputes identical values. Small
+/// dirty sets run inline; large ones run as one governed stage task per
+/// chunk.
+fn half_step<F>(engine: &Engine, items: &[u32], f: F) -> Result<Vec<u32>>
+where
+    F: Fn(&u32) -> u32 + Sync,
+{
+    if items.len() < PARALLEL_THRESHOLD {
+        return Ok(items.iter().map(&f).collect());
     }
-    out
+    let nparts = engine.default_partitions();
+    let chunks = chunk_ranges(items.len(), nparts);
+    let parts = engine.run_stage(&chunks, |_, &(lo, hi)| {
+        Ok(items[lo..hi].iter().map(&f).collect::<Vec<u32>>())
+    })?;
+    Ok(parts.concat())
+}
+
+/// Split `0..n` into at most `parts` contiguous half-open ranges.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(parts.max(1)).max(1);
+    (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect()
+}
+
+/// Component labels for loosely-typed `u64` edge lists: densify, run
+/// the semi-naive BSP, and map labels back to the original node ids.
+/// Keeps the oracle-parity comparison (and the ablation/bench callers)
+/// on the original id space.
+pub fn components_bsp_edges(engine: &Engine, edges: &[Vec<u64>]) -> Result<Vec<u64>> {
+    let (el, node_ids) = EdgeList::from_edges(edges);
+    let bsp = components_bsp(engine, &el)?;
+    Ok(bsp
+        .edge_labels
+        .iter()
+        .map(|&l| {
+            if l == u32::MAX {
+                u64::MAX
+            } else {
+                node_ids[l as usize]
+            }
+        })
+        .collect())
 }
 
 /// Group edge indices by component label, ordered by label for
 /// determinism.
-pub fn group_by_component(labels: &[u64]) -> Vec<Vec<usize>> {
-    let mut groups: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+pub fn group_by_component<L: Ord + Copy>(labels: &[L]) -> Vec<Vec<usize>> {
+    let mut groups: std::collections::BTreeMap<L, Vec<usize>> = Default::default();
     for (i, &l) in labels.iter().enumerate() {
         groups.entry(l).or_default().push(i);
     }
@@ -197,8 +342,13 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn normalize(labels: &[u64]) -> Vec<Vec<usize>> {
-        group_by_component(labels)
+    /// Compare partitions, not labels: union-find labels components by
+    /// minimum original id, BSP by first-appearance order, so group
+    /// *order* may differ even when the partition is identical.
+    fn normalize<L: Ord + Copy>(labels: &[L]) -> Vec<Vec<usize>> {
+        let mut groups = group_by_component(labels);
+        groups.sort_by_key(|g| g[0]);
+        groups
     }
 
     #[test]
@@ -209,7 +359,7 @@ mod tests {
         assert_eq!(uf[0], uf[1]);
         assert_ne!(uf[0], uf[2]);
         let e = Engine::parallel(2);
-        let bsp = components_bsp(&e, &edges);
+        let bsp = components_bsp_edges(&e, &edges).unwrap();
         assert_eq!(normalize(&uf), normalize(&bsp));
         assert_eq!(group_by_component(&uf), vec![vec![0, 1], vec![2]]);
     }
@@ -219,8 +369,28 @@ mod tests {
         // a path of 50 edges — stresses multi-superstep propagation
         let edges: Vec<Vec<u64>> = (0..50).map(|i| vec![i, i + 1]).collect();
         let e = Engine::parallel(4);
-        let bsp = components_bsp(&e, &edges);
+        let bsp = components_bsp_edges(&e, &edges).unwrap();
         assert!(bsp.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn supersteps_are_counted_and_frontier_drains_early() {
+        // a star: every edge shares node 0, so one superstep labels all
+        // edges and a second drains the frontier
+        let star: Vec<Vec<u64>> = (1..40).map(|i| vec![0, i]).collect();
+        let (el, _) = EdgeList::from_edges(&star);
+        let e = Engine::parallel(2);
+        let star_steps = components_bsp(&e, &el).unwrap().supersteps;
+        // a chain needs supersteps proportional to its diameter
+        let chain: Vec<Vec<u64>> = (0..40).map(|i| vec![i, i + 1]).collect();
+        let (el, _) = EdgeList::from_edges(&chain);
+        let chain_steps = components_bsp(&e, &el).unwrap().supersteps;
+        assert!(star_steps >= 1);
+        assert!(
+            chain_steps > star_steps,
+            "chain ({chain_steps}) should need more supersteps than star ({star_steps})"
+        );
+        assert!(Metrics::get(&e.metrics().cc_supersteps) >= star_steps + chain_steps);
     }
 
     #[test]
@@ -228,10 +398,21 @@ mod tests {
         let none: Vec<Vec<u64>> = vec![];
         assert!(components_union_find(&none).is_empty());
         let e = Engine::sequential();
-        assert!(components_bsp(&e, &none).is_empty());
+        assert!(components_bsp_edges(&e, &none).unwrap().is_empty());
         let single = vec![vec![7]];
         assert_eq!(components_union_find(&single), vec![7]);
-        assert_eq!(components_bsp(&e, &single), vec![7]);
+        assert_eq!(components_bsp_edges(&e, &single).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn edge_list_dedups_members() {
+        let mut el = EdgeList::with_nodes(0);
+        el.push_edge([3, 1, 3, 2, 1]);
+        el.push_edge([]);
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.edge(0), &[1, 2, 3]);
+        assert_eq!(el.edge(1), &[] as &[u32]);
+        assert_eq!(el.num_nodes, 4);
     }
 
     #[test]
@@ -253,7 +434,7 @@ mod tests {
             prop::collection::vec(0u64..30, 1..4), 0..25)) {
             let uf = components_union_find(&edges);
             let e = Engine::parallel(3);
-            let bsp = components_bsp(&e, &edges);
+            let bsp = components_bsp_edges(&e, &edges).unwrap();
             prop_assert_eq!(normalize(&uf), normalize(&bsp));
         }
     }

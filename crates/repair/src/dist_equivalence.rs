@@ -11,75 +11,86 @@
 //! * round 2 re-keys by `ccid` and reduces to the highest-frequency
 //!   value, which becomes `targ(E)` for every element of the class.
 //!
-//! Classes (`ccid`) come from the BSP connected components over the
-//! equality-fix graph, exactly the GraphX step of §5.1. The result is
+//! Classes (`ccid`) come from the semi-naive BSP connected components
+//! over the equality-fix graph, exactly the GraphX step of §5.1. Cells
+//! are interned through a [`KeyDict`] into dense `u32` node ids, so the
+//! class map is a flat `node_labels` vector rather than a hash map, and
+//! isolated cells fall out as singleton classes for free (a node with
+//! no incident edge keeps its own id as its label). The result is
 //! bit-identical to the centralized [`crate::EquivalenceClassRepair`]
 //! (both break frequency ties toward the smaller value), which the
 //! parity tests assert.
 
-use crate::cc::components_bsp;
+use crate::cc::{components_bsp, EdgeList};
 use crate::{Assignment, Detected};
+use bigdansing_common::error::Result;
+use bigdansing_common::keys::KeyDict;
 use bigdansing_common::{Cell, Value};
 use bigdansing_dataflow::{Engine, PDataset};
 use bigdansing_rules::{FixRhs, Op};
 use std::collections::{BTreeSet, HashMap};
 
 /// Run the distributed equivalence-class repair on `engine`.
-pub fn repair_distributed_equivalence(engine: &Engine, detected: &[Detected]) -> Assignment {
+pub fn repair_distributed_equivalence(
+    engine: &Engine,
+    detected: &[Detected],
+) -> Result<Assignment> {
     // -- class formation: BSP connected components over Eq-fix edges --
-    let mut edges: Vec<Vec<u64>> = Vec::new();
-    let mut observed: HashMap<Cell, Value> = HashMap::new();
-    let mut consts: BTreeSet<(Cell, Value)> = BTreeSet::new();
+    // Interning is single-threaded here, so ordinals are dense AND
+    // deterministic (first-appearance order).
+    let dict: KeyDict<Cell> = KeyDict::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut observed: Vec<Value> = Vec::new();
+    let intern = |c: Cell, v: &Value, cells: &mut Vec<Cell>, observed: &mut Vec<Value>| -> u32 {
+        let id = dict.encode(c);
+        if id.ordinal() as usize == cells.len() {
+            cells.push(c);
+            observed.push(v.clone());
+        }
+        id.ordinal()
+    };
+    let mut graph = EdgeList::with_nodes(0);
+    let mut consts: BTreeSet<(u32, Value)> = BTreeSet::new();
     for (violation, fixes) in detected {
         for (c, v) in violation.cells() {
-            observed.entry(*c).or_insert_with(|| v.clone());
+            intern(*c, v, &mut cells, &mut observed);
         }
         for fix in fixes {
             if fix.op != Op::Eq {
                 continue;
             }
-            observed
-                .entry(fix.left)
-                .or_insert_with(|| fix.left_value.clone());
+            let left = intern(fix.left, &fix.left_value, &mut cells, &mut observed);
             match &fix.rhs {
                 FixRhs::Cell(rc, rv) => {
-                    observed.entry(*rc).or_insert_with(|| rv.clone());
-                    edges.push(vec![fix.left.encode(), rc.encode()]);
+                    let right = intern(*rc, rv, &mut cells, &mut observed);
+                    graph.push_edge([left, right]);
                 }
                 FixRhs::Const(k) => {
-                    edges.push(vec![fix.left.encode()]);
-                    consts.insert((fix.left, k.clone()));
+                    consts.insert((left, k.clone()));
                 }
             }
         }
     }
-    // include untouched violation cells as singleton classes so the
-    // class map is total (they produce no assignment)
-    let mut cells: Vec<Cell> = observed.keys().copied().collect();
-    cells.sort();
-    for c in &cells {
-        edges.push(vec![c.encode()]);
-    }
-    let labels = components_bsp(engine, &edges);
-    let mut class_of: HashMap<Cell, u64> = HashMap::new();
-    for (edge, label) in edges.iter().zip(&labels) {
-        for &node in edge {
-            class_of.insert(Cell::decode(node), *label);
-        }
-    }
+    // untouched cells are singleton classes: their identity label needs
+    // no edge, only a node slot
+    graph.num_nodes = cells.len();
+    let labels = components_bsp(engine, &graph)?.node_labels;
 
     // -- map-reduce round 1: ⟨(ccid, value), count⟩ with count-once ----
     // map: one record per element (deduplicated) and per const candidate
-    let mut records: Vec<((u64, Value), u64)> = cells
-        .iter()
-        .map(|c| ((class_of[c], observed[c].clone()), 1u64))
+    let mut records: Vec<((u32, Value), u64)> = (0..cells.len())
+        .map(|i| ((labels[i], observed[i].clone()), 1u64))
         .collect();
-    records.extend(consts.iter().map(|(c, k)| ((class_of[c], k.clone()), 1u64)));
-    let counted: PDataset<((u64, Value), u64)> = PDataset::from_vec(engine.clone(), records)
+    records.extend(
+        consts
+            .iter()
+            .map(|(n, k)| ((labels[*n as usize], k.clone()), 1u64)),
+    );
+    let counted: PDataset<((u32, Value), u64)> = PDataset::from_vec(engine.clone(), records)
         .reduce_by_key(|(k, _)| k.clone(), |(_, n)| n, |a, b| a + b);
 
     // -- map-reduce round 2: ⟨ccid, (value, count)⟩ → max-frequency -----
-    let targets: Vec<(u64, (Value, u64))> = counted
+    let targets: Vec<(u32, (Value, u64))> = counted
         .map(|((cc, value), count)| (cc, (value, count)))
         .reduce_by_key(
             |(cc, _)| *cc,
@@ -100,24 +111,24 @@ pub fn repair_distributed_equivalence(engine: &Engine, detected: &[Detected]) ->
             },
         )
         .collect();
-    let targ: HashMap<u64, Value> = targets.into_iter().map(|(cc, (v, _))| (cc, v)).collect();
+    let targ: HashMap<u32, Value> = targets.into_iter().map(|(cc, (v, _))| (cc, v)).collect();
 
     // -- final assignment: every element moves to its class target ------
     let mut out = Assignment::new();
-    for c in &cells {
-        if let Some(t) = targ.get(&class_of[c]) {
-            if observed[c] != *t {
-                out.insert(*c, t.clone());
+    for (i, cell) in cells.iter().enumerate() {
+        if let Some(t) = targ.get(&labels[i]) {
+            if observed[i] != *t {
+                out.insert(*cell, t.clone());
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::blackbox::{repair_serial, RepairAlgorithm};
+    use crate::blackbox::repair_serial;
     use crate::EquivalenceClassRepair;
     use bigdansing_rules::{Fix, Violation};
     use proptest::prelude::*;
@@ -141,7 +152,7 @@ mod tests {
             fd_detected(6, "LA", 4, "SF", 2),
         ];
         let engine = Engine::parallel(4);
-        let dist = repair_distributed_equivalence(&engine, &detected);
+        let dist = repair_distributed_equivalence(&engine, &detected).unwrap();
         let central = repair_serial(&detected, &EquivalenceClassRepair);
         assert_eq!(dist, central);
         assert_eq!(dist[&Cell::new(4, 2)], Value::str("LA"));
@@ -160,8 +171,9 @@ mod tests {
             Fix::assign_const(ca, Value::str("B"), Value::str("Z")), // duplicate
         ];
         let engine = Engine::sequential();
-        let dist = repair_distributed_equivalence(&engine, &[(v.clone(), fixes.clone())]);
-        let central = EquivalenceClassRepair.repair(&[(v, fixes)]);
+        let detected = vec![(v, fixes)];
+        let dist = repair_distributed_equivalence(&engine, &detected).unwrap();
+        let central = repair_serial(&detected, &EquivalenceClassRepair);
         assert_eq!(dist, central);
         assert_eq!(dist[&ca], Value::str("Z"));
     }
@@ -169,7 +181,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let engine = Engine::sequential();
-        assert!(repair_distributed_equivalence(&engine, &[]).is_empty());
+        assert!(repair_distributed_equivalence(&engine, &[])
+            .unwrap()
+            .is_empty());
     }
 
     proptest! {
@@ -187,7 +201,7 @@ mod tests {
                 .map(|((a, b), va, vb)| fd_detected(a, va, b, vb, 1))
                 .collect();
             let engine = Engine::parallel(3);
-            let dist = repair_distributed_equivalence(&engine, &detected);
+            let dist = repair_distributed_equivalence(&engine, &detected).unwrap();
             let central = repair_serial(&detected, &EquivalenceClassRepair);
             prop_assert_eq!(dist, central);
         }

@@ -41,13 +41,13 @@ pub(crate) type Classes = (
     HashMap<u64, BTreeMap<Value, usize>>,
 );
 
-pub(crate) fn build_classes(detected: &[Detected]) -> Classes {
+pub(crate) fn build_classes(detected: &[&Detected]) -> Classes {
     let mut uf = UnionFind::new();
     let mut observed: HashMap<Cell, Value> = HashMap::new();
     // deduplicated: a cell proposing the same constant in several fixes
     // contributes one candidate (mirrors §5.2's count-once rule)
     let mut consts: std::collections::BTreeSet<(Cell, Value)> = Default::default();
-    for (violation, fixes) in detected {
+    for (violation, fixes) in detected.iter().map(|d| (&d.0, &d.1)) {
         for (c, v) in violation.cells() {
             observed.entry(*c).or_insert_with(|| v.clone());
         }
@@ -100,7 +100,7 @@ impl RepairAlgorithm for EquivalenceClassRepair {
         "equivalence-class"
     }
 
-    fn repair(&self, component: &[Detected]) -> Assignment {
+    fn repair(&self, component: &[&Detected]) -> Assignment {
         let (class_of, observed, counts) = build_classes(component);
         let targets: HashMap<u64, Value> = counts
             .iter()
@@ -121,6 +121,7 @@ impl RepairAlgorithm for EquivalenceClassRepair {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blackbox::repair_serial;
     use bigdansing_rules::{Fix, Violation};
 
     fn city_cell(t: u64) -> Cell {
@@ -141,8 +142,7 @@ mod tests {
 
     #[test]
     fn majority_wins_la_over_sf() {
-        let algo = EquivalenceClassRepair;
-        let assign = algo.repair(&example1_detected());
+        let assign = repair_serial(&example1_detected(), &EquivalenceClassRepair);
         // class {t2,t4,t6}.city with values {LA, SF, LA} → target LA
         assert_eq!(assign.len(), 1);
         assert_eq!(assign[&city_cell(4)], Value::str("LA"));
@@ -154,7 +154,7 @@ mod tests {
         v.add_cell(city_cell(1), Value::str("B"));
         v.add_cell(city_cell(2), Value::str("A"));
         let f = Fix::assign_cell(city_cell(1), Value::str("B"), city_cell(2), Value::str("A"));
-        let assign = EquivalenceClassRepair.repair(&[(v, vec![f])]);
+        let assign = repair_serial(&[(v, vec![f])], &EquivalenceClassRepair);
         assert_eq!(assign.len(), 1);
         assert_eq!(assign[&city_cell(1)], Value::str("A"));
     }
@@ -170,7 +170,7 @@ mod tests {
             Fix::assign_cell(city_cell(1), Value::str("B"), city_cell(2), Value::str("Z")),
             Fix::assign_const(city_cell(1), Value::str("B"), Value::str("Z")),
         ];
-        let assign = EquivalenceClassRepair.repair(&[(v, fixes)]);
+        let assign = repair_serial(&[(v, fixes)], &EquivalenceClassRepair);
         assert_eq!(assign[&city_cell(1)], Value::str("Z"));
         assert!(!assign.contains_key(&city_cell(2)));
     }
@@ -186,13 +186,13 @@ mod tests {
             Op::Ge,
             FixRhs::Cell(Cell::new(2, 5), Value::Int(20)),
         );
-        let assign = EquivalenceClassRepair.repair(&[(v, vec![f])]);
+        let assign = repair_serial(&[(v, vec![f])], &EquivalenceClassRepair);
         assert!(assign.is_empty());
     }
 
     #[test]
     fn clean_input_produces_no_assignments() {
-        assert!(EquivalenceClassRepair.repair(&[]).is_empty());
+        assert!(repair_serial(&[], &EquivalenceClassRepair).is_empty());
     }
 
     #[test]
@@ -212,7 +212,7 @@ mod tests {
                 Value::str("CA2"),
             )],
         ));
-        let assign = EquivalenceClassRepair.repair(&d);
+        let assign = repair_serial(&d, &EquivalenceClassRepair);
         assert_eq!(assign.len(), 2);
         assert_eq!(assign[&city_cell(4)], Value::str("LA"));
         // CA vs CA2 tie → smaller value CA wins; cell 11 changes

@@ -69,6 +69,10 @@ pub fn value_below(v: &Value) -> Value {
 /// re-read the partially repaired data (used by the master/slave
 /// iterations of §5.1).
 pub fn overlay_detected(d: &Detected, assign: &Assignment) -> Detected {
+    // the one place the repair path materializes a violation copy —
+    // metered so the zero-copy gate can prove the grouping path never
+    // takes it
+    bigdansing_common::metrics::record_deep_clones(1);
     let (v, fixes) = d;
     let mut nv = bigdansing_rules::Violation::new(v.rule());
     for (c, val) in v.cells() {
@@ -195,6 +199,7 @@ mod tests {
 
     #[test]
     fn overlay_rewrites_observed_values() {
+        let _serial = crate::testsync::lock();
         let mut v = Violation::new("r");
         v.add_cell(cell(1), Value::str("SF"));
         let fix = Fix::assign_cell(cell(1), Value::str("SF"), cell(2), Value::str("LA"));

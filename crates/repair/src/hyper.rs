@@ -70,12 +70,12 @@ type Gathered = (
     HashMap<Cell, usize>,
 );
 
-fn gather(component: &[Detected], unresolved: &[usize], assign: &Assignment) -> Gathered {
+fn gather(component: &[&Detected], unresolved: &[usize], assign: &Assignment) -> Gathered {
     let mut constraints: HashMap<Cell, Vec<(usize, Constraint)>> = HashMap::new();
     let mut degree: HashMap<Cell, usize> = HashMap::new();
     let _ = assign;
     for &vi in unresolved {
-        let (_, fixes) = &component[vi];
+        let (_, fixes) = component[vi];
         for fix in fixes {
             // enforcing through the left cell: left op rhs
             let (rhs_cell, rhs_value) = match &fix.rhs {
@@ -214,11 +214,11 @@ impl RepairAlgorithm for HypergraphRepair {
         "hypergraph"
     }
 
-    fn repair(&self, component: &[Detected]) -> Assignment {
+    fn repair(&self, component: &[&Detected]) -> Assignment {
         let mut assign = Assignment::new();
         for _ in 0..self.max_rounds.max(1) {
             let unresolved: Vec<usize> = (0..component.len())
-                .filter(|&i| !violation_resolved(&component[i], &assign))
+                .filter(|&i| !violation_resolved(component[i], &assign))
                 .collect();
             if unresolved.is_empty() {
                 break;
@@ -299,6 +299,7 @@ impl RepairAlgorithm for HypergraphRepair {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blackbox::repair_serial;
     use crate::fixeval::fix_holds;
     use bigdansing_rules::{Fix, Violation};
 
@@ -334,7 +335,7 @@ mod tests {
         // salary gap is huge (200k→100k), rate gap tiny (10→11):
         // the cheap repair touches a rate, not a salary.
         let det = dc_detected(1, 200_000, 10, 2, 100_000, 11);
-        let assign = HypergraphRepair::default().repair(std::slice::from_ref(&det));
+        let assign = repair_serial(std::slice::from_ref(&det), &HypergraphRepair::default());
         assert!(violation_resolved(&det, &assign));
         assert!(
             !assign.contains_key(&Cell::new(1, 4)) && !assign.contains_key(&Cell::new(2, 4)),
@@ -349,7 +350,7 @@ mod tests {
         let dets: Vec<Detected> = (1..20)
             .map(|i| dc_detected(0, 900, 1, i, 100 + i as i64, 50))
             .collect();
-        let assign = HypergraphRepair::default().repair(&dets);
+        let assign = repair_serial(&dets, &HypergraphRepair::default());
         // a single cell assignment (on tuple 0) resolves everything
         assert_eq!(assign.len(), 1, "{assign:?}");
         assert_eq!(assign.keys().next().unwrap().tuple, 0);
@@ -365,7 +366,7 @@ mod tests {
             dc_detected(3, 500, 1, 2, 100, 20),
             dc_detected(1, 200, 10, 4, 50, 90),
         ];
-        let assign = HypergraphRepair::default().repair(&dets);
+        let assign = repair_serial(&dets, &HypergraphRepair::default());
         for d in &dets {
             assert!(violation_resolved(d, &assign), "unresolved: {:?}", d.0);
         }
@@ -378,7 +379,7 @@ mod tests {
     fn violations_without_fixes_are_left_alone() {
         let mut v = Violation::new("r");
         v.add_cell(Cell::new(1, 0), Value::Int(1));
-        let assign = HypergraphRepair::default().repair(&[(v, vec![])]);
+        let assign = repair_serial(&[(v, vec![])], &HypergraphRepair::default());
         assert!(
             assign.is_empty(),
             "no possible fixes → no repair (terminal state per §2.2)"
@@ -390,8 +391,8 @@ mod tests {
         let dets: Vec<Detected> = (0..10)
             .map(|i| dc_detected(i, 100 + i as i64, 10, i + 100, 50, 20 + i as i64))
             .collect();
-        let a1 = HypergraphRepair::default().repair(&dets);
-        let a2 = HypergraphRepair::default().repair(&dets);
+        let a1 = repair_serial(&dets, &HypergraphRepair::default());
+        let a2 = repair_serial(&dets, &HypergraphRepair::default());
         assert_eq!(a1, a2);
     }
 

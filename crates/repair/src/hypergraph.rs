@@ -2,70 +2,122 @@
 //!
 //! "The nodes represent the elements and each hyperedge covers a set of
 //! elements that together violate a rule, along with possible repairs."
+//!
+//! Cells are interned through a [`KeyDict`] into dense `u32` node ids
+//! (the same dictionary-encoding idiom the detect shuffle uses for
+//! blocking keys), and the incidence structure is stored as a CSR
+//! [`EdgeList`] shared with the BSP connected-components pass — no
+//! per-edge `Vec<Cell>` allocations, no `u64` re-encoding per round.
+//! The build interns sequentially, so ordinals (node ids) are assigned
+//! in deterministic first-appearance order.
 
+use crate::cc::EdgeList;
 use crate::Detected;
+use bigdansing_common::keys::KeyDict;
 use bigdansing_common::Cell;
-use std::collections::BTreeSet;
 
-/// One hyperedge: the element set of a violation (plus any extra cells
-/// its fixes reference).
-#[derive(Debug, Clone)]
-pub struct HyperEdge {
-    /// Index into the originating `Detected` slice.
-    pub detected_idx: usize,
-    /// Sorted, deduplicated member cells.
-    pub cells: Vec<Cell>,
-}
-
-/// The violation hypergraph, in edge-list form (node set is implicit).
+/// The violation hypergraph: interned nodes plus CSR incidence.
 #[derive(Debug, Default)]
 pub struct Hypergraph {
-    /// One edge per violation.
-    pub edges: Vec<HyperEdge>,
+    /// Cell payload per dense node id.
+    node_cells: Vec<Cell>,
+    /// CSR incidence: one edge per violation, members are node ids.
+    topology: EdgeList,
+    /// Index into the originating `Detected` slice, per edge.
+    detected_idx: Vec<usize>,
 }
 
 impl Hypergraph {
     /// Build from detection output. Cells referenced only by fixes are
     /// included too, so repairs on them stay inside one component.
     pub fn build(detected: &[Detected]) -> Hypergraph {
-        let edges = detected
-            .iter()
-            .enumerate()
-            .map(|(i, (v, fixes))| {
-                let mut cells: BTreeSet<Cell> = v.cells().iter().map(|(c, _)| *c).collect();
-                for f in fixes {
-                    cells.extend(f.cells());
+        let dict: KeyDict<Cell> = KeyDict::new();
+        let mut node_cells: Vec<Cell> = Vec::new();
+        let intern = |c: Cell, cells: &mut Vec<Cell>| -> u32 {
+            let id = dict.encode(c);
+            // single-threaded encode: a fresh ordinal is always dense
+            if id.ordinal() as usize == cells.len() {
+                cells.push(c);
+            }
+            id.ordinal()
+        };
+        let mut topology = EdgeList::with_nodes(0);
+        let mut detected_idx = Vec::with_capacity(detected.len());
+        // scratch_cells mirrors scratch: edges are tiny, so a linear
+        // membership scan is cheaper than re-hashing through the dict
+        // for the cells a fix repeats from its violation
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut scratch_cells: Vec<Cell> = Vec::new();
+        for (i, (v, fixes)) in detected.iter().enumerate() {
+            scratch.clear();
+            scratch_cells.clear();
+            let add = |c: Cell, cells: &mut Vec<Cell>, ids: &mut Vec<u32>, seen: &mut Vec<Cell>| {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                    ids.push(intern(c, cells));
                 }
-                HyperEdge {
-                    detected_idx: i,
-                    cells: cells.into_iter().collect(),
+            };
+            for (c, _) in v.cells() {
+                add(*c, &mut node_cells, &mut scratch, &mut scratch_cells);
+            }
+            for f in fixes {
+                add(f.left, &mut node_cells, &mut scratch, &mut scratch_cells);
+                if let bigdansing_rules::FixRhs::Cell(c, _) = &f.rhs {
+                    add(*c, &mut node_cells, &mut scratch, &mut scratch_cells);
                 }
-            })
-            .collect();
-        Hypergraph { edges }
+            }
+            topology.push_edge(scratch.iter().copied());
+            detected_idx.push(i);
+        }
+        topology.num_nodes = node_cells.len();
+        Hypergraph {
+            node_cells,
+            topology,
+            detected_idx,
+        }
     }
 
     /// Number of hyperedges (violations).
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.topology.num_edges()
     }
 
-    /// All distinct nodes (cells).
-    pub fn nodes(&self) -> Vec<Cell> {
-        let set: BTreeSet<Cell> = self
-            .edges
-            .iter()
-            .flat_map(|e| e.cells.iter().copied())
-            .collect();
-        set.into_iter().collect()
+    /// Number of distinct nodes (cells).
+    pub fn num_nodes(&self) -> usize {
+        self.node_cells.len()
     }
 
-    /// Edge cells encoded as `u64` node ids (for the CC algorithms).
-    pub fn encoded_edges(&self) -> Vec<Vec<u64>> {
-        self.edges
+    /// The CSR incidence structure (input to the CC pass).
+    pub fn topology(&self) -> &EdgeList {
+        &self.topology
+    }
+
+    /// The cell behind a dense node id.
+    pub fn cell_of(&self, node: u32) -> Cell {
+        self.node_cells[node as usize]
+    }
+
+    /// Member node ids of edge `i` (sorted, deduplicated).
+    pub fn edge_members(&self, i: usize) -> &[u32] {
+        self.topology.edge(i)
+    }
+
+    /// Member cells of edge `i` (decoded; for reports and tests).
+    pub fn edge_cells(&self, i: usize) -> Vec<Cell> {
+        self.edge_members(i)
             .iter()
-            .map(|e| e.cells.iter().map(Cell::encode).collect())
+            .map(|&n| self.cell_of(n))
             .collect()
+    }
+
+    /// Index into the originating `Detected` slice for edge `i`.
+    pub fn detected_index(&self, i: usize) -> usize {
+        self.detected_idx[i]
+    }
+
+    /// All distinct nodes (cells), in interning order.
+    pub fn nodes(&self) -> &[Cell] {
+        &self.node_cells
     }
 }
 
@@ -84,11 +136,29 @@ mod tests {
     }
 
     #[test]
-    fn builds_edges_with_sorted_unique_cells() {
+    fn builds_edges_with_unique_interned_cells() {
         let d = vec![detected(&[(2, 1), (1, 1), (2, 1)])];
         let g = Hypergraph::build(&d);
         assert_eq!(g.num_edges(), 1);
-        assert_eq!(g.edges[0].cells, vec![Cell::new(1, 1), Cell::new(2, 1)]);
+        assert_eq!(g.num_nodes(), 2);
+        let mut cells = g.edge_cells(0);
+        cells.sort();
+        assert_eq!(cells, vec![Cell::new(1, 1), Cell::new(2, 1)]);
+    }
+
+    #[test]
+    fn interning_is_dense_and_first_appearance_ordered() {
+        let d = vec![detected(&[(5, 0), (7, 0)]), detected(&[(7, 0), (9, 0)])];
+        let g = Hypergraph::build(&d);
+        assert_eq!(
+            g.nodes(),
+            &[Cell::new(5, 0), Cell::new(7, 0), Cell::new(9, 0)]
+        );
+        // shared cell resolves to the same node id in both edges
+        assert!(g.edge_members(0).contains(&1));
+        assert!(g.edge_members(1).contains(&1));
+        assert_eq!(g.detected_index(0), 0);
+        assert_eq!(g.detected_index(1), 1);
     }
 
     #[test]
@@ -102,8 +172,8 @@ mod tests {
             Value::Int(1),
         );
         let g = Hypergraph::build(&[(v, vec![fix])]);
-        assert!(g.edges[0].cells.contains(&Cell::new(9, 4)));
-        assert_eq!(g.nodes().len(), 2);
+        assert!(g.edge_cells(0).contains(&Cell::new(9, 4)));
+        assert_eq!(g.num_nodes(), 2);
     }
 
     #[test]
@@ -116,7 +186,7 @@ mod tests {
         ];
         let g = Hypergraph::build(&d);
         assert_eq!(g.num_edges(), 3);
-        assert_eq!(g.nodes().len(), 5);
-        assert_eq!(g.encoded_edges()[0].len(), 2);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.edge_members(0).len(), 2);
     }
 }

@@ -40,12 +40,12 @@ impl Default for PartitionConfig {
 
 /// Greedy balanced k-way split of a component's violations. Returns
 /// `k` (possibly empty) groups of indices into `component`.
-pub fn partition_component(component: &[Detected], k: usize) -> Vec<Vec<usize>> {
+pub fn partition_component(component: &[&Detected], k: usize) -> Vec<Vec<usize>> {
     let k = k.max(1);
     let mut parts: Vec<Vec<usize>> = vec![Vec::new(); k];
     let mut part_cells: Vec<HashSet<Cell>> = vec![HashSet::new(); k];
     let target = component.len().div_ceil(k);
-    for (i, (v, fixes)) in component.iter().enumerate() {
+    for (i, (v, fixes)) in component.iter().map(|d| (&d.0, &d.1)).enumerate() {
         let cells: HashSet<Cell> = v
             .cells()
             .iter()
@@ -74,9 +74,14 @@ pub fn partition_component(component: &[Detected], k: usize) -> Vec<Vec<usize>> 
 }
 
 /// Repair an oversized component with the master/slave protocol.
+///
+/// The only place the repair path materializes violation copies: each
+/// part's pending violations are overlaid with the partially repaired
+/// data before re-running the black box (metered as deep clones via
+/// [`overlay_detected`]).
 pub fn repair_partitioned(
     algo: &dyn RepairAlgorithm,
-    component: &[Detected],
+    component: &[&Detected],
     config: PartitionConfig,
 ) -> Assignment {
     let parts = partition_component(component, config.k);
@@ -91,7 +96,7 @@ pub fn repair_partitioned(
         for (p, idxs) in parts.iter().enumerate() {
             let pending: Vec<Detected> = idxs
                 .iter()
-                .map(|&i| &component[i])
+                .map(|&i| component[i])
                 .filter(|d| !violation_resolved(d, &global))
                 .map(|d| {
                     let mut biased = overlay_detected(d, &global);
@@ -112,7 +117,8 @@ pub fn repair_partitioned(
             if pending.is_empty() {
                 continue;
             }
-            proposals.push((p, algo.repair(&pending)));
+            let pending_refs: Vec<&Detected> = pending.iter().collect();
+            proposals.push((p, algo.repair(&pending_refs)));
         }
         if proposals.is_empty() {
             break;
@@ -161,6 +167,10 @@ mod tests {
     use bigdansing_common::Value;
     use bigdansing_rules::{Fix, Violation};
 
+    fn refs(comp: &[Detected]) -> Vec<&Detected> {
+        comp.iter().collect()
+    }
+
     fn fd_detected(a: u64, va: &str, b: u64, vb: &str) -> Detected {
         let ca = Cell::new(a, 2);
         let cb = Cell::new(b, 2);
@@ -176,7 +186,7 @@ mod tests {
     #[test]
     fn partition_is_balanced_and_complete() {
         let comp: Vec<Detected> = (0..20).map(|i| fd_detected(i, "A", i + 1, "B")).collect();
-        let parts = partition_component(&comp, 4);
+        let parts = partition_component(&refs(&comp), 4);
         assert_eq!(parts.len(), 4);
         let total: usize = parts.iter().map(Vec::len).sum();
         assert_eq!(total, 20);
@@ -200,7 +210,7 @@ mod tests {
         for _ in 0..4 {
             comp.push(fd_detected(100, "X", 101, "Y"));
         }
-        let parts = partition_component(&comp, 2);
+        let parts = partition_component(&refs(&comp), 2);
         // each part should be pure (all same cluster)
         for p in parts.iter().filter(|p| !p.is_empty()) {
             let first_cluster = comp[p[0]].0.cells()[0].0.tuple < 50;
@@ -212,10 +222,11 @@ mod tests {
 
     #[test]
     fn partitioned_repair_resolves_everything() {
+        let _serial = crate::testsync::lock();
         let comp: Vec<Detected> = (0..12).map(|i| fd_detected(i, "LA", i + 1, "SF")).collect();
         let assign = repair_partitioned(
             &EquivalenceClassRepair,
-            &comp,
+            &refs(&comp),
             PartitionConfig {
                 k: 3,
                 max_iterations: 8,
@@ -228,6 +239,7 @@ mod tests {
 
     #[test]
     fn master_values_never_flip() {
+        let _serial = crate::testsync::lock();
         // Example 2's shape: overlapping violations whose naive split
         // repairs contradict. With the protocol, once a cell is set it
         // stays set.
@@ -239,7 +251,7 @@ mod tests {
         ];
         let a1 = repair_partitioned(
             &HypergraphRepair::default(),
-            &comp,
+            &refs(&comp),
             PartitionConfig {
                 k: 2,
                 max_iterations: 4,
@@ -248,7 +260,7 @@ mod tests {
         // run again: deterministic
         let a2 = repair_partitioned(
             &HypergraphRepair::default(),
-            &comp,
+            &refs(&comp),
             PartitionConfig {
                 k: 2,
                 max_iterations: 4,
@@ -262,11 +274,12 @@ mod tests {
 
     #[test]
     fn k_one_degenerates_to_plain_repair() {
+        let _serial = crate::testsync::lock();
         let comp: Vec<Detected> = vec![fd_detected(1, "A", 2, "B")];
-        let direct = EquivalenceClassRepair.repair(&comp);
+        let direct = EquivalenceClassRepair.repair(&refs(&comp));
         let part = repair_partitioned(
             &EquivalenceClassRepair,
-            &comp,
+            &refs(&comp),
             PartitionConfig {
                 k: 1,
                 max_iterations: 2,

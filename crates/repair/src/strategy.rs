@@ -10,6 +10,7 @@ use crate::blackbox::RepairOptions;
 use crate::dist_equivalence::repair_distributed_equivalence;
 use crate::{repair_parallel, repair_serial, Assignment, Detected};
 use crate::{EquivalenceClassRepair, RepairAlgorithm};
+use bigdansing_common::error::Result;
 use bigdansing_dataflow::Engine;
 use std::sync::Arc;
 
@@ -48,12 +49,12 @@ pub fn run_repair(
     detected: &[Detected],
     strategy: &RepairStrategy,
     options: RepairOptions,
-) -> Assignment {
+) -> Result<Assignment> {
     match strategy {
         RepairStrategy::ParallelBlackBox(algo) => {
             repair_parallel(engine, detected, algo.as_ref(), options)
         }
-        RepairStrategy::SerialBlackBox(algo) => repair_serial(detected, algo.as_ref()),
+        RepairStrategy::SerialBlackBox(algo) => Ok(repair_serial(detected, algo.as_ref())),
         RepairStrategy::DistributedEquivalence => repair_distributed_equivalence(engine, detected),
     }
 }
@@ -85,7 +86,7 @@ mod tests {
             RepairStrategy::SerialBlackBox(Arc::new(EquivalenceClassRepair)),
             RepairStrategy::DistributedEquivalence,
         ] {
-            let a = run_repair(&engine, &detected, &strategy, RepairOptions::default());
+            let a = run_repair(&engine, &detected, &strategy, RepairOptions::default()).unwrap();
             assert!(!a.is_empty(), "{strategy:?} produced no assignment");
         }
     }

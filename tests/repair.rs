@@ -1,0 +1,166 @@
+//! The fused repair data path, end to end: semi-naive BSP components
+//! against the union-find oracle, the zero-copy component-grouping
+//! gate, and the master/slave partitioned path against the serial
+//! oracle on randomized equivalence-class inputs.
+//!
+//! Deep-clone accounting is process-global, so tests that produce or
+//! assert on the counter take a shared lock (the partitioned path
+//! overlays violations — a metered clone — while the grouping path must
+//! stay at zero).
+
+use bigdansing_common::{Cell, Value};
+use bigdansing_dataflow::Engine;
+use bigdansing_repair::blackbox::RepairOptions;
+use bigdansing_repair::cc::{components_bsp_edges, components_union_find};
+use bigdansing_repair::fixeval::violation_resolved;
+use bigdansing_repair::{repair_parallel, repair_serial, Detected, EquivalenceClassRepair};
+use bigdansing_rules::{Fix, Violation};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fd_detected(a: u64, va: &str, b: u64, vb: &str, attr: usize) -> Detected {
+    let ca = Cell::new(a, attr);
+    let cb = Cell::new(b, attr);
+    let mut v = Violation::new("fd");
+    v.add_cell(ca, Value::str(va));
+    v.add_cell(cb, Value::str(vb));
+    (
+        v,
+        vec![Fix::assign_cell(ca, Value::str(va), cb, Value::str(vb))],
+    )
+}
+
+/// Group edge labels into a canonical partition: indexes grouped by
+/// label, groups ordered by their smallest member. Union-find and BSP
+/// pick different representative labels for the same partition.
+fn partition(labels: &[u64]) -> Vec<Vec<usize>> {
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        groups.entry(l).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+#[test]
+fn bsp_components_match_union_find_on_chain_star_and_mesh() {
+    let engine = Engine::parallel(3);
+    // chain 0-1-2-3, star around 10, a 3-clique, and an isolated edge
+    let edges: Vec<Vec<u64>> = vec![
+        vec![0, 1],
+        vec![1, 2],
+        vec![2, 3],
+        vec![10, 11],
+        vec![10, 12],
+        vec![10, 13],
+        vec![20, 21],
+        vec![21, 22],
+        vec![20, 22],
+        vec![30, 31],
+    ];
+    let bsp = components_bsp_edges(&engine, &edges).unwrap();
+    let oracle = components_union_find(&edges);
+    assert_eq!(partition(&bsp), partition(&oracle));
+    assert_eq!(partition(&bsp).len(), 4);
+}
+
+#[test]
+fn fused_repair_is_zero_copy_and_metered() {
+    let _serial = lock();
+    let detected: Vec<Detected> = (0..32)
+        .map(|i| fd_detected(10 * i, "LA", 10 * i + 1, "SF", 2))
+        .collect();
+    let engine = Engine::parallel(4);
+    let assign = repair_parallel(
+        &engine,
+        &detected,
+        &EquivalenceClassRepair,
+        RepairOptions::default(),
+    )
+    .unwrap();
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.components_found, 32);
+    assert!(snap.cc_supersteps >= 1, "BSP must report its supersteps");
+    assert_eq!(snap.repair_cells_assigned, assign.len() as u64);
+    assert_eq!(
+        snap.tuples_cloned, 0,
+        "the component-grouping path moves indexes, never violation clones"
+    );
+    assert!(engine.explain().contains("repair"));
+    for d in &detected {
+        assert!(violation_resolved(d, &assign));
+    }
+}
+
+/// One star block: a clean cell whose value sorts below every dirty
+/// value, and one violation per dirty cell pairing it with the clean
+/// cell. Within a class all candidate frequencies tie at 1, so the
+/// equivalence-class algorithm picks the smallest value — the clean one
+/// — in the serial oracle, in every k-way slave partition, and in the
+/// whole component alike. That makes the master/slave reconciliation
+/// conflict-free and provably equal to the oracle.
+fn star_block(block: u64, attr: usize, dirty: &[&str]) -> Vec<Detected> {
+    let base = 1000 * block;
+    let clean = Cell::new(base, attr);
+    dirty
+        .iter()
+        .enumerate()
+        .map(|(j, dv)| {
+            let cell = Cell::new(base + 1 + j as u64, attr);
+            let mut v = Violation::new("fd");
+            v.add_cell(cell, Value::str(*dv));
+            v.add_cell(clean, Value::str("A"));
+            (
+                v,
+                vec![Fix::assign_cell(
+                    cell,
+                    Value::str(*dv),
+                    clean,
+                    Value::str("A"),
+                )],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn partitioned_repair_converges_to_the_serial_oracle(
+        blocks in prop::collection::vec((0usize..3, 1usize..5), 1..6),
+        k in 2usize..5,
+    ) {
+        const POOL: [&str; 4] = ["pA", "qB", "rC", "sD"];
+        let _serial = lock();
+        let detected: Vec<Detected> = blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, (attr, cnt))| star_block(b as u64, *attr, &POOL[..*cnt]))
+            .collect();
+        let serial = repair_serial(&detected, &EquivalenceClassRepair);
+        // force every multi-violation component through the k-way
+        // master/slave path
+        let engine = Engine::parallel(3);
+        let partitioned = repair_parallel(
+            &engine,
+            &detected,
+            &EquivalenceClassRepair,
+            RepairOptions { max_component_size: 1, k },
+        )
+        .unwrap();
+        prop_assert_eq!(&partitioned, &serial);
+        // conflict-free convergence: the merged assignment resolves
+        // every violation
+        for d in &detected {
+            prop_assert!(violation_resolved(d, &partitioned));
+        }
+    }
+}
