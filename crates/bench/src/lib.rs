@@ -23,6 +23,7 @@ pub mod incremental;
 pub mod repair;
 pub mod report;
 pub mod runners;
+pub mod serve;
 
 pub use report::Report;
 

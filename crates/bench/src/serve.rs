@@ -1,0 +1,262 @@
+//! The continuous-cleansing service benchmark: 64 concurrent tenants
+//! streaming delta batches over HTTP into sharded incremental sessions.
+//!
+//! Each tenant's client thread streams its share of the rows as
+//! `?wait=1` POSTs (one request = one micro-batch applied), so every
+//! request's round-trip time is a true end-to-end cleanse latency:
+//! socket → parse → shard mailbox → session apply (detect, retract,
+//! re-repair) → reply. ~2% of rows garble `city` inside their zipcode
+//! block, so batches carry real FD violations, not just inserts.
+//!
+//! The gate is **parity**: after the stream drains, every tenant's
+//! `GET /table` must be byte-identical to a sequential offline session
+//! fed the same batches — then the server must shut down cleanly. The
+//! outcome (records/sec, p50/p99 latency, parity, clean shutdown) is
+//! committed to `BENCH_serve.json`.
+
+use crate::{rows, time, Report};
+use bigdansing::{BigDansing, CleanseOptions, Rule};
+use bigdansing_common::{csv, Schema, Table};
+use bigdansing_incremental::DeltaBatch;
+use bigdansing_rules::FdRule;
+use bigdansing_serve::client::Client;
+use bigdansing_serve::{ServeOptions, Server};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ops per `?wait=1` request (= per micro-batch).
+const BATCH_OPS: usize = 50;
+
+fn schema() -> Schema {
+    Schema::parse("zipcode,city,state")
+}
+
+fn fd_rules() -> Vec<Arc<dyn Rule>> {
+    vec![Arc::new(
+        FdRule::parse("zipcode -> city", &schema()).unwrap(),
+    )]
+}
+
+/// Deterministic per-tenant stream: mostly-clean rows over a tenant-
+/// local zip domain, every 53rd row garbling `city` inside its block.
+fn tenant_bodies(tenant: usize, n: usize) -> Vec<String> {
+    let spread = (n / 5).max(1);
+    let mut bodies = Vec::new();
+    let mut body = String::new();
+    for i in 0..n {
+        let zip = 10_000 + tenant * 1_000_000 + (i * 7919) % spread;
+        let city = if i % 53 == 17 {
+            format!("garbled{i}")
+        } else {
+            format!("city{zip}")
+        };
+        writeln!(body, "insert,{i},{zip},{city},st{}", zip % 50).unwrap();
+        if (i + 1) % BATCH_OPS == 0 {
+            bodies.push(std::mem::take(&mut body));
+        }
+    }
+    if !body.is_empty() {
+        bodies.push(body);
+    }
+    bodies
+}
+
+/// Benchmark outcome.
+pub struct Out {
+    /// Concurrent tenants.
+    pub tenants: usize,
+    /// Total rows streamed across all tenants.
+    pub total_rows: usize,
+    /// Shards serving them.
+    pub shards: usize,
+    /// Wall-clock of the streaming phase.
+    pub serve_secs: f64,
+    /// Rows per second end-to-end.
+    pub records_per_sec: f64,
+    /// Median request round-trip (one micro-batch cleansed), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile round-trip, ms.
+    pub p99_ms: f64,
+    /// Wall-clock of the sequential offline oracle over the same batches.
+    pub offline_secs: f64,
+    /// Every tenant's streamed table byte-equal to its offline cleanse.
+    pub parity: bool,
+    /// The server drained and joined cleanly after `POST /shutdown`.
+    pub clean_shutdown: bool,
+}
+
+impl Out {
+    /// Serialize for `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"tenants\": {},", self.tenants);
+        let _ = writeln!(s, "  \"total_rows\": {},", self.total_rows);
+        let _ = writeln!(s, "  \"shards\": {},", self.shards);
+        let _ = writeln!(s, "  \"batch_ops\": {BATCH_OPS},");
+        let _ = writeln!(s, "  \"serve_secs\": {:.6},", self.serve_secs);
+        let _ = writeln!(s, "  \"records_per_sec\": {:.1},", self.records_per_sec);
+        let _ = writeln!(s, "  \"p50_ms\": {:.3},", self.p50_ms);
+        let _ = writeln!(s, "  \"p99_ms\": {:.3},", self.p99_ms);
+        let _ = writeln!(s, "  \"offline_secs\": {:.6},", self.offline_secs);
+        let _ = writeln!(s, "  \"parity\": {},", self.parity);
+        let _ = writeln!(s, "  \"clean_shutdown\": {}", self.clean_shutdown);
+        s.push('}');
+        s
+    }
+}
+
+/// Stream `total_rows` across `tenants` concurrent clients and gate on
+/// offline parity plus clean shutdown.
+pub fn run(total_rows: usize, tenants: usize) -> Out {
+    let per_tenant = (total_rows / tenants).max(1);
+    let shards = 8.min(tenants);
+    let mut opts = ServeOptions::new(schema());
+    opts.rules = fd_rules();
+    opts.shards = shards;
+    opts.http_threads = 16.min(tenants.max(2));
+    opts.max_batch = BATCH_OPS;
+    opts.max_latency = Duration::from_millis(25);
+    let mut server = Server::start("127.0.0.1:0", opts).expect("start serve bench server");
+    let addr = server.addr();
+
+    // streaming phase: one client thread per tenant, wait=1 per batch
+    let (start, handles): (Instant, Vec<_>) = {
+        let start = Instant::now();
+        let handles = (0..tenants)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let bodies = tenant_bodies(t, per_tenant);
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(bodies.len());
+                    for body in &bodies {
+                        let t0 = Instant::now();
+                        let resp = client
+                            .post(&format!("/tenant/t{t}/records?wait=1"), body)
+                            .expect("post records");
+                        assert_eq!(resp.status, 200, "tenant t{t}: {}", resp.body);
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        (start, handles)
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let serve_secs = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+
+    // parity gate: every tenant vs a solo sequential offline session
+    let streamed: Vec<String> = (0..tenants)
+        .map(|t| {
+            let mut client = Client::connect(addr).expect("connect");
+            let resp = client
+                .get(&format!("/tenant/t{t}/table"))
+                .expect("get table");
+            assert_eq!(resp.status, 200);
+            resp.body
+        })
+        .collect();
+    let (oracle, offline_secs) = time(|| {
+        (0..tenants)
+            .map(|t| {
+                let mut sys = BigDansing::sequential();
+                for r in fd_rules() {
+                    sys.add_rule(r);
+                }
+                let empty = Table::from_rows(format!("t{t}"), schema(), Vec::new());
+                let mut session = sys
+                    .open_session(&empty, CleanseOptions::default())
+                    .expect("oracle session");
+                for body in tenant_bodies(t, per_tenant) {
+                    let batch = DeltaBatch::parse_str(&body, &schema()).expect("oracle batch");
+                    sys.apply_delta(&mut session, batch).expect("oracle apply");
+                }
+                csv::to_string(session.table())
+            })
+            .collect::<Vec<String>>()
+    });
+    let parity = streamed == oracle;
+
+    // clean shutdown through the endpoint
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.post("/shutdown", "").expect("post shutdown");
+    let clean_shutdown = resp.status == 200;
+    server.wait();
+
+    let total = per_tenant * tenants;
+    Out {
+        tenants,
+        total_rows: total,
+        shards,
+        serve_secs,
+        records_per_sec: total as f64 / serve_secs.max(1e-9),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        offline_secs,
+        parity,
+        clean_shutdown,
+    }
+}
+
+/// Run at the scaled default (64 tenants × 100k total rows), write
+/// `BENCH_serve.json`, and render the report table.
+pub fn report() -> Report {
+    let out = run(rows(100_000), 64);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, out.to_json()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let mut r = Report::new(
+        "Continuous cleansing service — 64 tenants streaming deltas",
+        &[
+            "tenants",
+            "rows",
+            "shards",
+            "wall",
+            "records/s",
+            "p50",
+            "p99",
+            "offline",
+            "parity",
+            "clean stop",
+        ],
+    );
+    r.row(vec![
+        out.tenants.into(),
+        out.total_rows.into(),
+        out.shards.into(),
+        crate::report::Cell::Secs(out.serve_secs),
+        format!("{:.0}", out.records_per_sec).into(),
+        crate::report::Cell::Secs(out.p50_ms / 1e3),
+        crate::report::Cell::Secs(out.p99_ms / 1e3),
+        crate::report::Cell::Secs(out.offline_secs),
+        format!("{}", out.parity).into(),
+        format!("{}", out.clean_shutdown).into(),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_hits_parity_and_stops_cleanly() {
+        let out = run(2_000, 8);
+        assert!(out.parity, "streamed tables must equal offline cleanse");
+        assert!(out.clean_shutdown);
+        assert_eq!(out.total_rows, 2_000);
+        assert!(out.p99_ms >= out.p50_ms);
+        assert!(out.records_per_sec > 0.0);
+        let json = out.to_json();
+        assert!(json.contains("\"parity\": true"));
+        assert!(json.contains("\"clean_shutdown\": true"));
+    }
+}

@@ -18,6 +18,7 @@ use bigdansing::{
     RepairOptions, RepairStrategy,
 };
 use bigdansing_common::Table;
+use bigdansing_serve::{ServeOptions, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,6 +46,17 @@ USAGE:
   bigdansing recover <durable-dir> [RULES] [-o <clean.csv>]
                      rebuild a durable session from its directory:
                      load the latest snapshot and replay the WAL suffix
+  bigdansing serve   --schema \"col1,col2,...\" [RULES] [--listen ADDR]
+                     [--shards N] [--max-batch N] [--max-latency-ms N]
+                     [--window SIZE[:SLIDE]] [--durable-dir DIR]
+                     [--max-pending N] [--partial]
+                     continuous cleansing service: tenants stream delta
+                     ops (`op,id,<cols...>` CSV or JSONL) to
+                     POST /tenant/{id}/records; a micro-batcher
+                     coalesces them into per-tenant incremental
+                     sessions sharded across worker threads; inspect
+                     with GET /tenant/{id}/report, /table and /stats;
+                     stop with POST /shutdown
   bigdansing convert <input.csv> -o <table.bdcol>
 
 RULES (repeatable):
@@ -87,6 +99,21 @@ OPTIONS:
   --explain              print the fused stage graph after the run:
                          every physical pass, its kind, and the
                          logical operators fused into it
+  --schema COLS          (serve) comma-separated column names shared by
+                         every tenant's stream
+  --listen ADDR          (serve) bind address (default: 127.0.0.1:7171;
+                         port 0 picks an ephemeral port)
+  --shards N             (serve) shard worker threads; tenants hash
+                         across them (default: 2)
+  --max-batch N          (serve) flush a tenant's micro-batch at N
+                         parked ops (default: 256)
+  --max-latency-ms N     (serve) flush once the oldest parked op is
+                         this stale (default: 25)
+  --window SIZE[:SLIDE]  (serve) violation window: tuples behind the
+                         watermark retire with their violations
+                         retracted (tumbling unless SLIDE is given)
+  --max-pending N        (serve) admission queue depth beyond the
+                         concurrently running applies
 ";
 
 #[cfg_attr(test, derive(Debug))]
@@ -113,6 +140,13 @@ struct Args {
     max_block_size: Option<usize>,
     max_component_size: Option<usize>,
     repair_k: Option<usize>,
+    schema: Option<String>,
+    listen: String,
+    shards: usize,
+    max_batch: usize,
+    max_latency_ms: u64,
+    window: Option<String>,
+    max_pending: Option<usize>,
 }
 
 impl Args {
@@ -173,6 +207,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         max_block_size: None,
         max_component_size: None,
         repair_k: None,
+        schema: None,
+        listen: "127.0.0.1:7171".into(),
+        shards: 2,
+        max_batch: 256,
+        max_latency_ms: 25,
+        window: None,
+        max_pending: None,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -216,6 +257,31 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--snapshot-every needs an integer")?
             }
+            "--schema" => args.schema = Some(value("--schema")?),
+            "--listen" => args.listen = value("--listen")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a number")?
+            }
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|_| "--max-batch needs a number")?
+            }
+            "--max-latency-ms" => {
+                args.max_latency_ms = value("--max-latency-ms")?
+                    .parse()
+                    .map_err(|_| "--max-latency-ms needs a number")?
+            }
+            "--window" => args.window = Some(value("--window")?),
+            "--max-pending" => {
+                args.max_pending = Some(
+                    value("--max-pending")?
+                        .parse()
+                        .map_err(|_| "--max-pending needs a number")?,
+                )
+            }
             "--lenient" => args.lenient = true,
             "--explain" => args.explain = true,
             "--partial" => args.partial = true,
@@ -250,6 +316,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
+    }
+    if args.command == "serve" {
+        // serve has no input file: tenants stream their data over HTTP
+        if let Some(extra) = positional.first() {
+            return Err(format!(
+                "unexpected argument `{extra}` (`serve` takes no input file; use --schema)"
+            ));
+        }
+        return Ok(args);
     }
     args.input = positional.first().cloned().ok_or("missing input file")?;
     // Only `delta` (and its crash-test twin) takes trailing positionals
@@ -392,11 +467,61 @@ fn session_exit_code(session: &bigdansing::Session) -> u8 {
     EXIT_DEGRADED
 }
 
+/// The continuous cleansing service: multi-tenant delta streams over
+/// HTTP, micro-batched into per-tenant incremental sessions.
+fn run_serve(args: &Args) -> Result<u8, String> {
+    let spec = args
+        .schema
+        .as_deref()
+        .ok_or("serve needs --schema \"col1,col2,...\"")?;
+    let schema = bigdansing_common::Schema::parse(spec);
+    // collect the rule objects the flags describe via the facade
+    let empty = Table::from_rows("serve", schema.clone(), Vec::new());
+    let rule_sys = build_system(args, &empty)?;
+
+    let mut opts = ServeOptions::new(schema);
+    opts.rules = rule_sys.rules().to_vec();
+    opts.shards = args.shards.max(1);
+    opts.workers = args.workers;
+    opts.max_batch = args.max_batch;
+    opts.max_latency = Duration::from_millis(args.max_latency_ms);
+    opts.window = args
+        .window
+        .as_deref()
+        .map(bigdansing::WindowSpec::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    opts.durable_root = args.durable_dir.clone().map(PathBuf::from);
+    opts.snapshot_every = args.snapshot_every;
+    opts.deadline = args.deadline_ms.map(Duration::from_millis);
+    opts.max_pending = args.max_pending;
+    opts.cleanse = CleanseOptions {
+        max_iterations: args.max_iterations,
+        strategy: parse_strategy(&args.repair)?,
+        repair_options: args.repair_options(),
+        isolation: args.isolation(),
+        ..CleanseOptions::default()
+    };
+
+    let mut server = Server::start(&args.listen, opts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} shard(s) on http://{} — POST /tenant/{{id}}/records, GET /stats, POST /shutdown",
+        args.shards.max(1),
+        server.addr()
+    );
+    server.wait();
+    eprintln!("serve: drained and stopped");
+    Ok(0)
+}
+
 fn run() -> Result<u8, String> {
     let args = parse_args(std::env::args().skip(1))?;
     if args.command == "recover" {
         // The input positional is a durable directory, not a CSV.
         return run_recover(&args);
+    }
+    if args.command == "serve" {
+        return run_serve(&args);
     }
     let (table, quarantine) = load(&args.input, args.lenient)?;
     if let Some(q) = quarantine.as_ref().filter(|q| !q.is_empty()) {
@@ -656,6 +781,39 @@ mod tests {
         assert_eq!(args.durable_dir, None);
         assert_eq!(args.snapshot_every, 8);
         assert!(parse(&["delta", "base.csv", "--snapshot-every", "x"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse_without_an_input_file() {
+        let args = parse(&[
+            "serve",
+            "--schema",
+            "zipcode,city",
+            "--fd",
+            "zipcode -> city",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+            "--max-batch",
+            "64",
+            "--max-latency-ms",
+            "10",
+            "--window",
+            "100:20",
+            "--max-pending",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(args.schema.as_deref(), Some("zipcode,city"));
+        assert_eq!(args.listen, "127.0.0.1:0");
+        assert_eq!(args.shards, 4);
+        assert_eq!(args.max_batch, 64);
+        assert_eq!(args.max_latency_ms, 10);
+        assert_eq!(args.window.as_deref(), Some("100:20"));
+        assert_eq!(args.max_pending, Some(8));
+        // serve rejects positionals — data arrives over HTTP
+        assert!(parse(&["serve", "input.csv", "--schema", "a,b"]).is_err());
     }
 
     #[test]

@@ -128,6 +128,14 @@ pub struct Metrics {
     /// Cell assignments produced by repair rounds (before the cleanse
     /// loop's freeze/no-op filtering).
     pub repair_cells_assigned: AtomicU64,
+    /// Malformed streamed ingest records diverted to a quarantine
+    /// report by the serve front-end's lenient delta parse (the
+    /// streaming counterpart of `rows_quarantined`).
+    pub records_quarantined: AtomicU64,
+    /// Tuples retired from windowed sessions because the watermark
+    /// passed their last containing window (their violations are
+    /// retracted through the provenance path).
+    pub tuples_expired: AtomicU64,
 }
 
 impl Metrics {
@@ -187,6 +195,8 @@ impl Metrics {
             &self.components_partitioned,
             &self.cc_supersteps,
             &self.repair_cells_assigned,
+            &self.records_quarantined,
+            &self.tuples_expired,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -233,6 +243,8 @@ impl Metrics {
             components_partitioned: Metrics::get(&self.components_partitioned),
             cc_supersteps: Metrics::get(&self.cc_supersteps),
             repair_cells_assigned: Metrics::get(&self.repair_cells_assigned),
+            records_quarantined: Metrics::get(&self.records_quarantined),
+            tuples_expired: Metrics::get(&self.tuples_expired),
         }
     }
 }
@@ -316,6 +328,75 @@ pub struct MetricsSnapshot {
     pub cc_supersteps: u64,
     /// See [`Metrics::repair_cells_assigned`].
     pub repair_cells_assigned: u64,
+    /// See [`Metrics::records_quarantined`].
+    pub records_quarantined: u64,
+    /// See [`Metrics::tuples_expired`].
+    pub tuples_expired: u64,
+}
+
+impl MetricsSnapshot {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    /// Lets callers aggregate snapshots from several engines (the serve
+    /// subsystem sums one per shard) without naming each field.
+    pub fn counters(&self) -> [(&'static str, u64); 40] {
+        [
+            ("tuples_scanned", self.tuples_scanned),
+            ("pairs_generated", self.pairs_generated),
+            ("detect_calls", self.detect_calls),
+            ("violations", self.violations),
+            ("records_shuffled", self.records_shuffled),
+            ("partitions_pruned", self.partitions_pruned),
+            ("partitions_joined", self.partitions_joined),
+            ("bytes_spilled", self.bytes_spilled),
+            ("tasks_retried", self.tasks_retried),
+            ("panics_caught", self.panics_caught),
+            ("spill_failures", self.spill_failures),
+            ("stages_degraded", self.stages_degraded),
+            ("jobs_cancelled", self.jobs_cancelled),
+            ("deadline_trips", self.deadline_trips),
+            ("bytes_tracked", self.bytes_tracked),
+            ("pressure_spills", self.pressure_spills),
+            ("jobs_queued", self.jobs_queued),
+            ("jobs_rejected", self.jobs_rejected),
+            ("rows_quarantined", self.rows_quarantined),
+            ("passes_executed", self.passes_executed),
+            ("stages_fused", self.stages_fused),
+            ("tuples_reprocessed", self.tuples_reprocessed),
+            ("blocks_dirty", self.blocks_dirty),
+            ("violations_retracted", self.violations_retracted),
+            ("components_rerepaired", self.components_rerepaired),
+            ("tuples_cloned", self.tuples_cloned),
+            ("bytes_shuffled", self.bytes_shuffled),
+            ("io_retries", self.io_retries),
+            ("wal_appends", self.wal_appends),
+            ("snapshots_written", self.snapshots_written),
+            ("retries_short_circuited", self.retries_short_circuited),
+            ("breaker_trips", self.breaker_trips),
+            ("rules_quarantined", self.rules_quarantined),
+            ("units_skipped", self.units_skipped),
+            ("components_found", self.components_found),
+            ("components_partitioned", self.components_partitioned),
+            ("cc_supersteps", self.cc_supersteps),
+            ("repair_cells_assigned", self.repair_cells_assigned),
+            ("records_quarantined", self.records_quarantined),
+            ("tuples_expired", self.tuples_expired),
+        ]
+    }
+
+    /// Render every counter as one flat JSON object (the serve
+    /// subsystem's `GET /stats` payload; the workspace deliberately has
+    /// no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push('}');
+        out
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,13 @@ pub struct CleanseOptions {
     /// Rule-isolation knobs: strict-vs-partial fault mode, per-rule
     /// soft time budget, outlier-block threshold, breaker tuning.
     pub isolation: IsolationOptions,
+    /// Violation window for *incremental sessions* opened through
+    /// [`crate::BigDansing::open_session`] and friends: arriving
+    /// records get logical event times and tuples behind the watermark
+    /// are retired with their violations retracted. Ignored by the
+    /// batch [`cleanse_loop`] (a one-shot table has no stream to
+    /// window).
+    pub window: Option<bigdansing_incremental::WindowSpec>,
 }
 
 impl Default for CleanseOptions {
@@ -47,6 +54,7 @@ impl Default for CleanseOptions {
             strategy: RepairStrategy::default(),
             repair_options: RepairOptions::default(),
             isolation: IsolationOptions::default(),
+            window: None,
         }
     }
 }

@@ -112,10 +112,11 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
             m.jobs_cancelled, m.deadline_trips, m.pressure_spills, m.jobs_queued, m.jobs_rejected
         ));
     }
-    if m.rows_quarantined != 0 {
+    if m.rows_quarantined != 0 || m.records_quarantined != 0 {
         lines.push(format!(
-            "quarantine: {} malformed input row(s) set aside",
-            m.rows_quarantined
+            "quarantine: {} malformed input row(s) and {} streamed \
+             record(s) set aside",
+            m.rows_quarantined, m.records_quarantined
         ));
     }
     if m.tuples_reprocessed != 0
@@ -127,6 +128,12 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
             "incremental: {} tuple(s) reprocessed across {} dirty block(s), \
              {} violation(s) retracted, {} component(s) re-repaired",
             m.tuples_reprocessed, m.blocks_dirty, m.violations_retracted, m.components_rerepaired
+        ));
+    }
+    if m.tuples_expired != 0 {
+        lines.push(format!(
+            "windows: {} tuple(s) expired past the watermark",
+            m.tuples_expired
         ));
     }
     if m.io_retries != 0 || m.wal_appends != 0 || m.snapshots_written != 0 {

@@ -298,6 +298,7 @@ impl BigDansing {
                     strategy: options.strategy,
                     repair_options: options.repair_options,
                     isolation: options.isolation,
+                    window: options.window,
                 },
             )
         })
@@ -327,6 +328,7 @@ impl BigDansing {
                     strategy: options.strategy,
                     repair_options: options.repair_options,
                     isolation: options.isolation,
+                    window: options.window,
                 },
                 durability,
             )
@@ -352,6 +354,7 @@ impl BigDansing {
                     strategy: options.strategy,
                     repair_options: options.repair_options,
                     isolation: options.isolation,
+                    window: options.window,
                 },
                 durability,
             )

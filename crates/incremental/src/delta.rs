@@ -17,7 +17,7 @@
 //! the end of the table.
 
 use bigdansing_common::csv::split_line;
-use bigdansing_common::{Error, Result, Schema, Table, Tuple, TupleId, Value};
+use bigdansing_common::{Error, Quarantine, Result, Schema, Table, Tuple, TupleId, Value};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -92,40 +92,47 @@ impl DeltaBatch {
             if line.trim().is_empty() {
                 continue;
             }
-            let fields = split_line(line);
-            let op = fields[0].trim().to_ascii_lowercase();
             // The header is the first non-empty line (blank lines above
             // it don't make it data).
-            if std::mem::take(&mut first) && op == "op" {
+            let head = std::mem::take(&mut first);
+            if head && is_header(line) {
                 continue;
             }
-            let fail = |reason: String| Error::Parse(format!("delta line {}: {reason}", i + 1));
-            if fields.len() < 2 {
-                return Err(fail("expected `op,id,…`".into()));
+            match parse_delta_line(line, schema) {
+                Ok(op) => ops.push(op),
+                Err(reason) => return Err(Error::Parse(format!("delta line {}: {reason}", i + 1))),
             }
-            let id: TupleId = fields[1]
-                .trim()
-                .parse()
-                .map_err(|_| fail(format!("invalid tuple id `{}`", fields[1])))?;
-            let values = || -> Result<Vec<Value>> {
-                let cols = &fields[2..];
-                if cols.len() != schema.arity() {
-                    return Err(fail(format!(
-                        "expected {} value fields, found {}",
-                        schema.arity(),
-                        cols.len()
-                    )));
-                }
-                Ok(cols.iter().map(|f| Value::parse_lossy(f)).collect())
-            };
-            ops.push(match op.as_str() {
-                "insert" => DeltaOp::Insert(Tuple::new(id, values()?)),
-                "update" => DeltaOp::Update(Tuple::new(id, values()?)),
-                "delete" => DeltaOp::Delete(id),
-                other => return Err(fail(format!("unknown op `{other}`"))),
-            });
         }
         Ok(DeltaBatch { ops })
+    }
+
+    /// Lenient variant of [`DeltaBatch::parse_str`]: malformed lines are
+    /// diverted into a [`Quarantine`] report (keyed by 1-based line
+    /// number) instead of failing the whole batch — the streamed-ingest
+    /// counterpart of the lenient CSV file parser. The well-formed ops
+    /// are returned in input order.
+    pub fn parse_str_lenient(
+        text: &str,
+        schema: &Schema,
+        source: impl Into<String>,
+    ) -> (DeltaBatch, Quarantine) {
+        let mut ops = Vec::new();
+        let mut quarantine = Quarantine::new(source);
+        let mut first = true;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let head = std::mem::take(&mut first);
+            if head && is_header(line) {
+                continue;
+            }
+            match parse_delta_line(line, schema) {
+                Ok(op) => ops.push(op),
+                Err(reason) => quarantine.push(i + 1, reason),
+            }
+        }
+        (DeltaBatch { ops }, quarantine)
     }
 
     /// Read a delta CSV file from disk.
@@ -134,6 +141,41 @@ impl DeltaBatch {
             .map_err(|e| Error::Io(format!("{}: {e}", path.as_ref().display())))?;
         Self::parse_str(&text, schema)
     }
+}
+
+fn is_header(line: &str) -> bool {
+    split_line(line)[0].trim().eq_ignore_ascii_case("op")
+}
+
+/// Parse one non-header CSV delta line. Errors carry the reason only;
+/// callers prepend the line number (strict mode) or quarantine it.
+fn parse_delta_line(line: &str, schema: &Schema) -> std::result::Result<DeltaOp, String> {
+    let fields = split_line(line);
+    if fields.len() < 2 {
+        return Err("expected `op,id,…`".into());
+    }
+    let op = fields[0].trim().to_ascii_lowercase();
+    let id: TupleId = fields[1]
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid tuple id `{}`", fields[1]))?;
+    let values = || -> std::result::Result<Vec<Value>, String> {
+        let cols = &fields[2..];
+        if cols.len() != schema.arity() {
+            return Err(format!(
+                "expected {} value fields, found {}",
+                schema.arity(),
+                cols.len()
+            ));
+        }
+        Ok(cols.iter().map(|f| Value::parse_lossy(f)).collect())
+    };
+    Ok(match op.as_str() {
+        "insert" => DeltaOp::Insert(Tuple::new(id, values()?)),
+        "update" => DeltaOp::Update(Tuple::new(id, values()?)),
+        "delete" => DeltaOp::Delete(id),
+        other => return Err(format!("unknown op `{other}`")),
+    })
 }
 
 /// Materialize `batch` against `table`: deletes remove the row, updates
@@ -243,6 +285,34 @@ mod tests {
         assert!(DeltaBatch::parse_str("upsert,1,1,LA\n", &schema).is_err());
         assert!(DeltaBatch::parse_str("insert,notanid,1,LA\n", &schema).is_err());
         assert!(DeltaBatch::parse_str("insert,1,justonefield\n", &schema).is_err());
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_bad_lines_keeps_good_ones() {
+        let schema = Schema::parse("zipcode,city");
+        let text = "op,id,zipcode,city\n\
+                    insert,5,90210,LA\n\
+                    upsert,6,1,NY\n\
+                    insert,notanid,2,SF\n\
+                    insert,7,justonefield\n\
+                    delete,5\n";
+        let (batch, q) = DeltaBatch::parse_str_lenient(text, &schema, "tenant-a");
+        assert_eq!(batch.len(), 2, "good insert + delete survive");
+        assert_eq!(batch.ops[1], DeltaOp::Delete(5));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.source(), "tenant-a");
+        assert_eq!(q.entries()[0].0, 3, "1-based line numbers");
+        assert!(q.entries()[0].1.contains("unknown op"), "{:?}", q.entries());
+    }
+
+    #[test]
+    fn lenient_parse_of_clean_input_matches_strict() {
+        let schema = Schema::parse("zipcode,city");
+        let text = "op,id,zipcode,city\ninsert,5,90210,LA\nupdate,0,1,NY\n";
+        let strict = DeltaBatch::parse_str(text, &schema).unwrap();
+        let (lenient, q) = DeltaBatch::parse_str_lenient(text, &schema, "t");
+        assert_eq!(strict, lenient);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -37,11 +37,20 @@
 //! atomic snapshots bound replay time, and [`Session::recover`]
 //! rebuilds an equivalent session after a crash — or after an apply
 //! error that would otherwise leave the session poisoned.
+//!
+//! Streaming sessions can bound their working set with a **violation
+//! window** ([`WindowSpec`]): each arriving record gets a logical event
+//! time, and tuples whose last containing window closed behind the
+//! watermark are retired through the delete path — their violations
+//! retracted via the same provenance indexes. Window state is part of
+//! the durable snapshot, so recovery resumes the watermark exactly.
 
 pub mod delta;
 pub mod session;
 pub mod wal;
+pub mod window;
 
 pub use delta::{apply_batch_to_table, DeltaBatch, DeltaOp};
 pub use session::{DeltaReport, Session, SessionOptions};
 pub use wal::{read_snapshot_table, DurabilityOptions, RecoverStats};
+pub use window::WindowSpec;

@@ -33,8 +33,9 @@
 
 use crate::delta::{apply_batch_to_table, DeltaBatch, DeltaOp};
 use crate::wal::{
-    self, DurabilityOptions, ProvState, RecoverStats, SessionState, StoredState, Wal,
+    self, DurabilityOptions, ProvState, RecoverStats, SessionState, StoredState, Wal, WindowState,
 };
+use crate::window::WindowSpec;
 use bigdansing_common::metrics::Metrics;
 use bigdansing_common::{Cell, Error, Result, Table, Tuple, TupleId, Value};
 use bigdansing_dataflow::bulkhead::IsolationOptions;
@@ -69,6 +70,12 @@ pub struct SessionOptions {
     /// of poisoning the whole session. Quarantine is in-memory only:
     /// [`Session::recover`] gives every rule a fresh trial.
     pub isolation: IsolationOptions,
+    /// Violation window (Bleach-style). When set, every arriving record
+    /// gets a logical event time and tuples whose last containing
+    /// window closes behind the watermark are retired through the
+    /// delete path after each apply — their violations retracted via
+    /// the provenance indexes. `None` keeps the unbounded behaviour.
+    pub window: Option<WindowSpec>,
 }
 
 impl Default for SessionOptions {
@@ -79,6 +86,7 @@ impl Default for SessionOptions {
             strategy: RepairStrategy::default(),
             repair_options: RepairOptions::default(),
             isolation: IsolationOptions::default(),
+            window: None,
         }
     }
 }
@@ -126,6 +134,9 @@ pub struct DeltaReport {
     /// partial isolation mode, a rule whose detection faults is
     /// excluded for the rest of the session instead of poisoning it.
     pub rules_quarantined: u64,
+    /// Tuples retired by the violation window because the watermark
+    /// passed their last containing window (windowed sessions only).
+    pub tuples_expired: usize,
 }
 
 /// How a rule's candidate units are generated incrementally — the
@@ -396,6 +407,17 @@ struct Durable {
     dio: Dio,
 }
 
+/// Violation-window state: the logical clock handing out event times
+/// and the event time of every live tuple. Event times are arrival
+/// ordinals — assigned in batch op order — so WAL replay reproduces
+/// the exact same expirations a live run performed.
+struct Win {
+    spec: WindowSpec,
+    /// Next event time to assign; the watermark is `clock - 1`.
+    clock: u64,
+    times: HashMap<TupleId, u64>,
+}
+
 /// A long-lived incremental cleansing session over one base table.
 pub struct Session {
     executor: Executor,
@@ -428,6 +450,8 @@ pub struct Session {
     /// Durability state when the session was opened with
     /// [`Session::open_durable`] or [`Session::recover`].
     durable: Option<Durable>,
+    /// Window state when [`SessionOptions::window`] was set.
+    win: Option<Win>,
 }
 
 impl Session {
@@ -467,6 +491,18 @@ impl Session {
                 quarantined: None,
             })
             .collect();
+        // Base rows get event times in table order, as if they streamed
+        // in one at a time before the session opened.
+        let win = options.window.map(|spec| Win {
+            spec,
+            clock: table.len() as u64,
+            times: table
+                .tuples()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.id(), i as u64))
+                .collect(),
+        });
         let mut session = Session {
             executor,
             rules,
@@ -481,12 +517,21 @@ impl Session {
             poisoned: false,
             applies: 0,
             durable: None,
+            win,
         };
         let dirty: BTreeSet<TupleId> = table.tuples().iter().map(Tuple::id).collect();
         let fresh: HashMap<TupleId, Tuple> =
             table.tuples().iter().map(|t| (t.id(), t.clone())).collect();
         let mut stats = ApplyStats::default();
         session.redetect(&dirty, &fresh, &mut stats)?;
+        // A base table longer than the window already has closed
+        // windows behind its watermark: retire them now so the session
+        // starts with only live-window rows.
+        let mut expired_dirty = BTreeSet::new();
+        if session.expire_past_watermark(&mut expired_dirty)? > 0 {
+            let fresh = session.snapshot_tuples(&expired_dirty);
+            session.redetect(&expired_dirty, &fresh, &mut stats)?;
+        }
         Ok(session)
     }
 
@@ -654,6 +699,30 @@ impl Session {
             );
         }
         store.next = store.next.max(state.store_next);
+        let win = match (&options.window, &state.window) {
+            (None, None) => None,
+            (Some(spec), Some(ws)) if spec.size == ws.size && spec.slide == ws.slide => Some(Win {
+                spec: *spec,
+                clock: ws.clock,
+                times: table
+                    .tuples()
+                    .iter()
+                    .zip(&ws.times)
+                    .map(|(t, ts)| (t.id(), *ts))
+                    .collect(),
+            }),
+            (opt, snap) => {
+                let show_opt = opt.map(|w| w.to_string()).unwrap_or_else(|| "none".into());
+                let show_snap = snap
+                    .as_ref()
+                    .map(|w| format!("{}:{}", w.size, w.slide))
+                    .unwrap_or_else(|| "none".into());
+                return Err(Error::Repair(format!(
+                    "recover: window mismatch — snapshot has {show_snap}, \
+                     session opened with {show_opt}"
+                )));
+            }
+        };
         let mut session = Session {
             executor,
             rules,
@@ -668,6 +737,7 @@ impl Session {
             poisoned: false,
             applies: state.applies,
             durable: None,
+            win,
         };
         session.rebuild_indexes();
         Ok(session)
@@ -770,6 +840,33 @@ impl Session {
     /// session refuses further batches (open a new session to recover).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// The violation-window geometry, when this session is windowed.
+    pub fn window(&self) -> Option<WindowSpec> {
+        self.win.as_ref().map(|w| w.spec)
+    }
+
+    /// The watermark: the highest logical event time assigned so far.
+    /// `None` for unwindowed sessions and for a windowed session that
+    /// has seen no events yet.
+    pub fn watermark(&self) -> Option<u64> {
+        self.win
+            .as_ref()
+            .filter(|w| w.clock > 0)
+            .map(|w| w.clock - 1)
+    }
+
+    /// The logical event time of a live tuple (windowed sessions only).
+    pub fn event_time(&self, id: TupleId) -> Option<u64> {
+        self.win.as_ref().and_then(|w| w.times.get(&id).copied())
+    }
+
+    /// Number of tuples inside the live window — equal to the table
+    /// length, since expired tuples are retired eagerly. `None` for
+    /// unwindowed sessions.
+    pub fn window_live(&self) -> Option<usize> {
+        self.win.as_ref().map(|w| w.times.len())
     }
 
     /// Rules quarantined by partial-mode fault isolation, as
@@ -951,6 +1048,17 @@ impl Session {
             rule_names: self.rules.iter().map(|r| r.name().to_string()).collect(),
             store_next: self.store.next,
             items,
+            window: self.win.as_ref().map(|w| WindowState {
+                size: w.spec.size,
+                slide: w.spec.slide,
+                clock: w.clock,
+                times: self
+                    .table
+                    .tuples()
+                    .iter()
+                    .map(|t| *w.times.get(&t.id()).expect("live tuple has an event time"))
+                    .collect(),
+            }),
         }
     }
 
@@ -974,6 +1082,26 @@ impl Session {
                 }
             }
         }
+        // Window bookkeeping: every insert/update is a fresh arrival
+        // (it gets the next event time and advances the watermark);
+        // explicit deletes leave the window. Then retire everything the
+        // advanced watermark pushed out of its last containing window —
+        // expired ids join `touched`, so the redetect below retracts
+        // their violations exactly like an explicit delete's.
+        if let Some(win) = &mut self.win {
+            for op in &batch.ops {
+                match op {
+                    DeltaOp::Insert(t) | DeltaOp::Update(t) => {
+                        win.times.insert(t.id(), win.clock);
+                        win.clock += 1;
+                    }
+                    DeltaOp::Delete(id) => {
+                        win.times.remove(id);
+                    }
+                }
+            }
+        }
+        report.tuples_expired = self.expire_past_watermark(&mut touched)?;
         let fresh = self.snapshot_tuples(&touched);
 
         // Delta-driven detection + retraction.
@@ -1007,6 +1135,7 @@ impl Session {
         Metrics::add(&m.blocks_dirty, report.blocks_dirty);
         Metrics::add(&m.violations_retracted, report.violations_retracted);
         Metrics::add(&m.components_rerepaired, report.components_rerepaired);
+        Metrics::add(&m.tuples_expired, report.tuples_expired as u64);
         self.applies += 1;
         Ok(report)
     }
@@ -1053,6 +1182,48 @@ impl Session {
                     .map(|&p| (*id, self.table.tuples()[p].clone()))
             })
             .collect()
+    }
+
+    /// Retire every tuple whose last containing window closed behind
+    /// the watermark: remove it from the table (compacting positions,
+    /// like an explicit delete), drop its sequence number and event
+    /// time, and add its id to `touched` so the caller's redetect
+    /// retracts its violations through the provenance indexes. Returns
+    /// how many tuples were retired. No-op for unwindowed sessions.
+    fn expire_past_watermark(&mut self, touched: &mut BTreeSet<TupleId>) -> Result<usize> {
+        let expired: BTreeSet<TupleId> = match &self.win {
+            Some(win) if win.clock > 0 => {
+                let watermark = win.clock - 1;
+                win.times
+                    .iter()
+                    .filter(|(_, &ts)| win.spec.expired(ts, watermark))
+                    .map(|(&id, _)| id)
+                    .collect()
+            }
+            _ => return Ok(0),
+        };
+        if expired.is_empty() {
+            return Ok(0);
+        }
+        let mut deletes = DeltaBatch::new();
+        for id in &expired {
+            deletes = deletes.delete(*id);
+        }
+        self.table = apply_batch_to_table(&self.table, &deletes)?;
+        self.pos = self
+            .table
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id(), i))
+            .collect();
+        let win = self.win.as_mut().expect("windowed: expired is non-empty");
+        for id in &expired {
+            self.seqs.remove(id);
+            win.times.remove(id);
+            touched.insert(*id);
+        }
+        Ok(expired.len())
     }
 
     /// The current value of `cell`, resolved through the position index
@@ -2148,6 +2319,164 @@ mod tests {
         .unwrap();
         assert_eq!(stats.replayed, 1, "only the valid batch was logged");
         assert_eq!(recovered.table().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn windowed_session(spec: WindowSpec) -> Session {
+        let schema = Schema::parse("zipcode,city");
+        Session::new(
+            Executor::new(Engine::sequential()),
+            fd_rules(&schema),
+            &base_table(&schema),
+            SessionOptions {
+                window: Some(spec),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Session-level oracle: after every apply, the windowed session's
+    /// violation count must match a from-scratch detect over its table.
+    fn assert_window_invariant(s: &Session) {
+        let schema = Schema::parse("zipcode,city");
+        let fresh = Session::new(
+            Executor::new(Engine::sequential()),
+            fd_rules(&schema),
+            s.table(),
+            SessionOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            s.violation_count(),
+            fresh.violation_count(),
+            "windowed store must equal full detect over the live table"
+        );
+    }
+
+    #[test]
+    fn unwindowed_session_has_no_watermark() {
+        let s = fd_session(vec![vec![Value::Int(1), Value::str("LA")]]);
+        assert!(s.window().is_none());
+        assert!(s.watermark().is_none());
+        assert!(s.window_live().is_none());
+    }
+
+    #[test]
+    fn tumbling_window_expires_closed_window_tuples() {
+        let mut s = windowed_session(WindowSpec::tumbling(4).unwrap());
+        // base rows carry event times 0 and 1 → watermark 1, window [0,4) open
+        assert_eq!(s.watermark(), Some(1));
+        assert_eq!(s.window_live(), Some(2));
+        assert_eq!(s.event_time(0), Some(0));
+
+        let insert = |s: &mut Session, id: u64, zip: i64, city: &str| {
+            s.apply(DeltaBatch::new().insert(id, vec![Value::Int(zip), Value::str(city)]))
+                .unwrap()
+        };
+        // ts 2 and 3 keep the watermark inside [0,4): nothing expires yet
+        let r = insert(&mut s, 10, 3, "CH");
+        assert_eq!((r.tuples_expired, s.watermark()), (0, Some(2)));
+        let r = insert(&mut s, 11, 4, "SE");
+        assert_eq!((r.tuples_expired, s.watermark()), (0, Some(3)));
+        assert_eq!(s.window_live(), Some(4));
+
+        // ts 4 closes the [0,4) window: all four earlier tuples retire
+        let r = insert(&mut s, 12, 5, "DC");
+        assert_eq!(r.tuples_expired, 4);
+        assert_eq!(s.watermark(), Some(4));
+        assert_eq!(s.window_live(), Some(1));
+        assert_eq!(s.table().len(), 1);
+        assert_window_invariant(&s);
+    }
+
+    #[test]
+    fn sliding_window_keeps_trailing_span() {
+        let mut s = windowed_session(WindowSpec::sliding(4, 2).unwrap());
+        let insert = |s: &mut Session, id: u64, zip: i64| {
+            s.apply(DeltaBatch::new().insert(id, vec![Value::Int(zip), Value::str("X")]))
+                .unwrap()
+        };
+        // base ts {0,1}; ts 2,3,4 arrive → wm 4 expires ts 0,1 (their last
+        // window [0,4) closed); live = {2,3,4}
+        insert(&mut s, 10, 3);
+        insert(&mut s, 11, 4);
+        let r = insert(&mut s, 12, 5);
+        assert_eq!(r.tuples_expired, 2);
+        assert_eq!(s.window_live(), Some(3));
+        // ts 5 → wm 5: no window boundary crossed
+        let r = insert(&mut s, 13, 6);
+        assert_eq!(r.tuples_expired, 0);
+        assert_eq!(s.window_live(), Some(4));
+        // ts 6 → wm 6 expires ts 2,3 ([2,6) closed); live = {4,5,6}
+        let r = insert(&mut s, 14, 7);
+        assert_eq!(r.tuples_expired, 2);
+        assert_eq!(s.window_live(), Some(3));
+        assert_window_invariant(&s);
+    }
+
+    #[test]
+    fn expiry_retracts_violations_of_expired_tuples() {
+        let mut s = windowed_session(WindowSpec::tumbling(4).unwrap());
+        // conflicting duplicate zipcode: a violation among live tuples
+        s.apply(DeltaBatch::new().insert(10, vec![Value::Int(1), Value::str("SF")]))
+            .unwrap();
+        assert!(s.is_clean(), "repair resolves the FD conflict");
+        // push the watermark past the first window; expired tuples must
+        // leave no dangling violations behind
+        for (i, id) in [(6, 20u64), (7, 21), (8, 22)] {
+            s.apply(DeltaBatch::new().insert(id, vec![Value::Int(i), Value::str("Y")]))
+                .unwrap();
+        }
+        assert!(s.table().len() <= 4);
+        assert_window_invariant(&s);
+    }
+
+    #[test]
+    fn windowed_durable_session_recovers_watermark() {
+        let schema = Schema::parse("zipcode,city");
+        let dir = durable_dir("window");
+        let opts = || SessionOptions {
+            window: Some(WindowSpec::tumbling(3).unwrap()),
+            ..Default::default()
+        };
+        let mut s = Session::open_durable(
+            Executor::new(Engine::sequential()),
+            fd_rules(&schema),
+            &base_table(&schema),
+            opts(),
+            DurabilityOptions::new(&dir).snapshot_every(1),
+        )
+        .unwrap();
+        s.apply(DeltaBatch::new().insert(10, vec![Value::Int(3), Value::str("CH")]))
+            .unwrap();
+        assert_eq!(s.watermark(), Some(2));
+        drop(s);
+
+        // window spec must match the snapshot
+        let err = err_of(Session::recover(
+            Executor::new(Engine::sequential()),
+            fd_rules(&schema),
+            SessionOptions::default(),
+            DurabilityOptions::new(&dir),
+        ));
+        assert!(err.to_string().contains("window mismatch"), "{err}");
+
+        let (mut s, _) = Session::recover(
+            Executor::new(Engine::sequential()),
+            fd_rules(&schema),
+            opts(),
+            DurabilityOptions::new(&dir),
+        )
+        .unwrap();
+        assert_eq!(s.watermark(), Some(2));
+        assert_eq!(s.window_live(), Some(3));
+        // the very next arrival closes [0,3): recovery resumed the clock
+        let r = s
+            .apply(DeltaBatch::new().insert(11, vec![Value::Int(4), Value::str("SE")]))
+            .unwrap();
+        assert_eq!(r.tuples_expired, 3);
+        assert_eq!(s.window_live(), Some(1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -409,6 +409,22 @@ pub struct SessionState {
     pub store_next: u64,
     /// Live violations.
     pub items: Vec<StoredState>,
+    /// Violation-window state, for windowed sessions: geometry, logical
+    /// clock, and per-tuple event times aligned with `tuples`.
+    pub window: Option<WindowState>,
+}
+
+/// Serialized violation-window state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowState {
+    /// Window length in events.
+    pub size: u64,
+    /// Distance between window starts.
+    pub slide: u64,
+    /// Next event time to assign (the watermark is `clock - 1`).
+    pub clock: u64,
+    /// Event time per live tuple, aligned with `SessionState::tuples`.
+    pub times: Vec<u64>,
 }
 
 fn encode_bool(b: bool, buf: &mut Vec<u8>) {
@@ -455,6 +471,16 @@ impl Codec for SessionState {
         for it in &self.items {
             it.encode(buf);
         }
+        encode_bool(self.window.is_some(), buf);
+        if let Some(w) = &self.window {
+            w.size.encode(buf);
+            w.slide.encode(buf);
+            w.clock.encode(buf);
+            (w.times.len() as u64).encode(buf);
+            for t in &w.times {
+                t.encode(buf);
+            }
+        }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         fn vec_of<T: Codec>(buf: &mut &[u8]) -> Result<Vec<T>> {
@@ -476,6 +502,27 @@ impl Codec for SessionState {
         let rule_names = vec_of::<String>(buf)?;
         let store_next = u64::decode(buf)?;
         let items = vec_of::<StoredState>(buf)?;
+        let window = if decode_bool(buf)? {
+            let size = u64::decode(buf)?;
+            let slide = u64::decode(buf)?;
+            let clock = u64::decode(buf)?;
+            let times = vec_of::<u64>(buf)?;
+            if times.len() != tuples.len() {
+                return Err(Error::Corrupt(format!(
+                    "snapshot: {} window event times for {} tuples",
+                    times.len(),
+                    tuples.len()
+                )));
+            }
+            Some(WindowState {
+                size,
+                slide,
+                clock,
+                times,
+            })
+        } else {
+            None
+        };
         if seqs.len() != tuples.len() {
             return Err(Error::Corrupt(format!(
                 "snapshot: {} seqs for {} tuples",
@@ -495,6 +542,7 @@ impl Codec for SessionState {
             rule_names,
             store_next,
             items,
+            window,
         })
     }
 }
@@ -726,6 +774,7 @@ mod tests {
                 )],
                 prov: ProvState::Block(vec![Value::str("90001")]),
             }],
+            window: None,
         }
     }
 
@@ -747,6 +796,32 @@ mod tests {
         let table = read_snapshot_table(&dir).unwrap();
         assert_eq!(table.len(), 2);
         assert_eq!(table.schema().attrs(), ["id", "city"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn windowed_snapshot_roundtrip() {
+        let dir = tdir("snapwin");
+        let dio = Dio::plain();
+        let mut st = state();
+        st.window = Some(WindowState {
+            size: 8,
+            slide: 2,
+            clock: 11,
+            times: vec![9, 10],
+        });
+        write_snapshot(&dir, &st, &dio).unwrap();
+        let back = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(back.window, st.window);
+        // Misaligned event times are corruption, not a silent truncation.
+        st.window.as_mut().unwrap().times.push(12);
+        let mut payload = Vec::new();
+        st.encode(&mut payload);
+        std::fs::write(snapshot_path(&dir), encode_frame(KIND_SNAPSHOT, &payload)).unwrap();
+        match read_snapshot(&dir) {
+            Err(Error::Corrupt(msg)) => assert!(msg.contains("window event times"), "{msg}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

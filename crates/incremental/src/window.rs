@@ -1,0 +1,156 @@
+//! Bleach-style violation windows for streaming sessions.
+//!
+//! *Bleach: A Distributed Stream Data Cleaning System* scopes violation
+//! detection to a sliding window over the record stream: a violation
+//! only matters while every contributing record is still inside some
+//! live window, and closing a window *retracts* the violations it
+//! carried. This module defines the window geometry; the mechanics live
+//! in [`crate::Session`], which assigns each arriving record a logical
+//! event time (its arrival ordinal — deterministic, so WAL replay
+//! reproduces the exact same expirations) and, after every applied
+//! batch, retires the tuples whose last containing window closed. The
+//! retired tuples leave through the ordinary delete path, so their
+//! violations are retracted via the same provenance indexes that serve
+//! explicit deletes.
+//!
+//! Windows start at multiples of `slide` and span `size` events. A
+//! record with event time `ts` belongs to every window `[k·slide,
+//! k·slide + size)` containing `ts`; the *last* of those starts at
+//! `⌊ts/slide⌋·slide`. Once the watermark (the highest event time seen)
+//! reaches the end of that last window, the record can never appear in
+//! a live window again and is expired. `slide == size` gives tumbling
+//! windows, `slide < size` sliding ones.
+
+use bigdansing_common::{Error, Result};
+
+/// Geometry of a violation window, counted in logical events
+/// (arrival ordinals), not wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length in events (≥ 1).
+    pub size: u64,
+    /// Distance between consecutive window starts, `1 ≤ slide ≤ size`.
+    pub slide: u64,
+}
+
+impl WindowSpec {
+    /// A tumbling window: consecutive, non-overlapping spans of `size`
+    /// events.
+    pub fn tumbling(size: u64) -> Result<WindowSpec> {
+        WindowSpec::sliding(size, size)
+    }
+
+    /// A sliding window of `size` events advancing by `slide`.
+    pub fn sliding(size: u64, slide: u64) -> Result<WindowSpec> {
+        if size == 0 {
+            return Err(Error::Parse("window size must be ≥ 1".into()));
+        }
+        if slide == 0 || slide > size {
+            return Err(Error::Parse(format!(
+                "window slide must be in 1..={size}, got {slide}"
+            )));
+        }
+        Ok(WindowSpec { size, slide })
+    }
+
+    /// True when the window tumbles (`slide == size`).
+    pub fn is_tumbling(&self) -> bool {
+        self.slide == self.size
+    }
+
+    /// True when the record with event time `ts` is outside every
+    /// window that is still live at `watermark` (the highest event time
+    /// assigned so far): its last containing window — the one starting
+    /// at `⌊ts/slide⌋·slide` — has closed.
+    pub fn expired(&self, ts: u64, watermark: u64) -> bool {
+        let last_start = (ts / self.slide) * self.slide;
+        watermark >= last_start.saturating_add(self.size)
+    }
+
+    /// Parse `"SIZE"` (tumbling) or `"SIZE:SLIDE"` (sliding), e.g.
+    /// `"1000"` or `"1000:250"` — the CLI `--window` syntax.
+    pub fn parse(s: &str) -> Result<WindowSpec> {
+        let bad = || {
+            Error::Parse(format!(
+                "invalid window spec `{s}`: want SIZE or SIZE:SLIDE"
+            ))
+        };
+        match s.split_once(':') {
+            None => WindowSpec::tumbling(s.trim().parse().map_err(|_| bad())?),
+            Some((size, slide)) => WindowSpec::sliding(
+                size.trim().parse().map_err(|_| bad())?,
+                slide.trim().parse().map_err(|_| bad())?,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_tumbling() {
+            write!(f, "tumbling({})", self.size)
+        } else {
+            write!(f, "sliding({}:{})", self.size, self.slide)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_geometry() {
+        assert!(WindowSpec::tumbling(0).is_err());
+        assert!(WindowSpec::sliding(4, 0).is_err());
+        assert!(WindowSpec::sliding(4, 5).is_err());
+        let w = WindowSpec::sliding(4, 2).unwrap();
+        assert!(!w.is_tumbling());
+        assert!(WindowSpec::tumbling(4).unwrap().is_tumbling());
+    }
+
+    #[test]
+    fn tumbling_expires_whole_windows() {
+        let w = WindowSpec::tumbling(4).unwrap();
+        // Window [0,4) closes when the watermark reaches 4.
+        for ts in 0..4 {
+            assert!(!w.expired(ts, 3), "ts {ts} live at wm 3");
+            assert!(w.expired(ts, 4), "ts {ts} expired at wm 4");
+        }
+        assert!(!w.expired(4, 4));
+        assert!(!w.expired(7, 7));
+        assert!(w.expired(7, 8));
+    }
+
+    #[test]
+    fn sliding_keeps_a_trailing_span() {
+        let w = WindowSpec::sliding(4, 2).unwrap();
+        // ts=3's last window is [2,6): closes at wm 6.
+        assert!(!w.expired(3, 5));
+        assert!(w.expired(3, 6));
+        // At wm 7 the live set is {4..7}.
+        let live: Vec<u64> = (0..=7).filter(|&ts| !w.expired(ts, 7)).collect();
+        assert_eq!(live, vec![4, 5, 6, 7]);
+        // At wm 8 it contracts to {6,7,8} (window [6,10) alone is open).
+        let live: Vec<u64> = (0..=8).filter(|&ts| !w.expired(ts, 8)).collect();
+        assert_eq!(live, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn parse_round_trips_cli_syntax() {
+        assert_eq!(
+            WindowSpec::parse("16").unwrap(),
+            WindowSpec::tumbling(16).unwrap()
+        );
+        assert_eq!(
+            WindowSpec::parse("16:4").unwrap(),
+            WindowSpec::sliding(16, 4).unwrap()
+        );
+        assert!(WindowSpec::parse("x").is_err());
+        assert!(WindowSpec::parse("4:8").is_err());
+        assert_eq!(
+            WindowSpec::parse("16:4").unwrap().to_string(),
+            "sliding(16:4)"
+        );
+    }
+}

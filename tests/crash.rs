@@ -243,3 +243,93 @@ fn clean_run_recovers_to_parity() {
     assert_parity(&recovered, &oracle, "clean");
     scenario.cleanup();
 }
+
+/// A session poisoned by a faulty rule mid-stream — then recovered —
+/// must resume with its violation-window state (watermark, event
+/// times) intact: the next arrival closes exactly the windows it would
+/// have closed had the fault never happened.
+#[test]
+fn poisoned_windowed_session_recovers_with_window_state_intact() {
+    use bigdansing::{Rule, UdfRule, UnitKind, WindowSpec};
+    use bigdansing_common::{csv, Table, Value};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    let root = std::env::temp_dir().join(format!("bd-crash-window-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let schema = Schema::parse("zipcode,city");
+    let system = |schema: &Schema| {
+        let mut sys = BigDansing::sequential();
+        sys.add_fd(FD, schema).unwrap();
+        sys.add_rule(Arc::new(
+            UdfRule::builder("udf:armed", |_| {
+                if ARMED.load(Ordering::SeqCst) {
+                    panic!("armed fault");
+                }
+                Vec::new()
+            })
+            .unit_kind(UnitKind::Single)
+            .build(),
+        ) as Arc<dyn Rule>);
+        sys
+    };
+    let copts = || CleanseOptions {
+        window: Some(WindowSpec::tumbling(3).unwrap()),
+        ..CleanseOptions::default()
+    };
+    let base = Table::from_rows(
+        "t",
+        schema.clone(),
+        vec![
+            vec![Value::Int(1), Value::str("LA")],
+            vec![Value::Int(2), Value::str("NY")],
+        ],
+    );
+    let batch1 = || DeltaBatch::new().insert(10, vec![Value::Int(3), Value::str("CH")]);
+    let batch2 = || DeltaBatch::new().insert(11, vec![Value::Int(4), Value::str("SE")]);
+
+    let sys = system(&schema);
+    let mut s = sys
+        .open_durable_session(
+            &base,
+            copts(),
+            DurabilityOptions::new(&root).snapshot_every(10),
+        )
+        .unwrap();
+    sys.apply_delta(&mut s, batch1()).unwrap();
+    assert_eq!(s.watermark(), Some(2), "base ts 0,1 + one arrival");
+
+    // arm the fault: the apply is WAL-logged, then fails and poisons
+    ARMED.store(true, Ordering::SeqCst);
+    assert!(sys.apply_delta(&mut s, batch2()).is_err());
+    assert!(s.is_poisoned());
+    drop(s);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let (recovered, stats) = sys
+        .recover_session(copts(), DurabilityOptions::new(&root))
+        .unwrap();
+    assert!(
+        stats.replayed >= 1,
+        "the poisoned batch replays from the WAL"
+    );
+    // tuple 11 takes event time 3, closing tumbling window [0,3):
+    // tuples with ts 0,1,2 retire — only tuple 11 stays live
+    assert_eq!(recovered.watermark(), Some(3));
+    assert_eq!(recovered.window_live(), Some(1));
+    assert_eq!(recovered.table().len(), 1);
+
+    // byte-parity with an uninterrupted windowed session
+    let oracle_sys = system(&schema);
+    let mut oracle = oracle_sys.open_session(&base, copts()).unwrap();
+    oracle_sys.apply_delta(&mut oracle, batch1()).unwrap();
+    oracle_sys.apply_delta(&mut oracle, batch2()).unwrap();
+    assert_eq!(
+        csv::to_string(recovered.table()),
+        csv::to_string(oracle.table())
+    );
+    assert_eq!(recovered.violation_count(), oracle.violation_count());
+    let _ = std::fs::remove_dir_all(&root);
+}
