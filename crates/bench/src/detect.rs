@@ -2,9 +2,12 @@
 //! pipeline shapes the translator emits.
 //!
 //! One workload per physical strategy family — FD (blocked pairs), CFD
-//! (single units), inequality DC (OCJoin), dedup UDF (blocked
-//! similarity) — each generated deterministically (no RNG) so every run
-//! and every machine sees the same table and the same violation set.
+//! (single units), inequality DC (OCJoin), dedup UDF (MinHash/LSH
+//! similarity blocking) — each generated deterministically (no RNG) so
+//! every run and every machine sees the same table and the same
+//! violation set. The dedup workload additionally measures **recall**
+//! against an exact all-pairs oracle, since LSH candidate generation is
+//! probabilistic rather than lossless.
 //! Each workload is timed on the parallel engine and cross-checked
 //! against the sequential oracle: `parity` asserts identical violation
 //! sets, `pairs_match` asserts the candidate-pair count is identical,
@@ -14,7 +17,7 @@
 
 use crate::{rows, time_best, Report};
 use bigdansing_common::metrics::MetricsSnapshot;
-use bigdansing_common::{Schema, Table, Value};
+use bigdansing_common::{sim, LshParams, Schema, Table, Value};
 use bigdansing_dataflow::Engine;
 use bigdansing_plan::Executor;
 use bigdansing_rules::{CfdRule, DcRule, DedupRule, FdRule, Rule};
@@ -92,35 +95,106 @@ fn dc_workload(n: usize) -> (Table, Arc<dyn Rule>) {
     (table, rule)
 }
 
-/// Dedup-UDF workload: cities drawn from a small pool with a few
-/// near-duplicate spellings, blocked on the city's first character; the
-/// similarity UDF fires inside each block.
+/// splitmix64 finalizer: a cheap, deterministic bit mixer used to
+/// scatter cluster ids into base strings without an RNG dependency.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Dedup-UDF workload for the LSH-blocked similarity path. Values come
+/// in clusters: one 12-character base string plus three variants with a
+/// single character replaced by `x`, each distinct value appearing ~2
+/// times across the table (every tuple has at least one duplicate
+/// partner, as in a pairwise-duplicated feed). Base letters are drawn pseudo-randomly
+/// (splitmix64 over the cluster id — deterministic, no RNG) from
+/// `a..=w`, so distinct clusters land far apart in both edit distance
+/// and shingle space: true duplicate pairs are the equal-value pairs
+/// and the base↔variant pairs at edit distance 1, while cross-cluster
+/// values share almost no shingles and never merge LSH buckets. `x` is
+/// reserved as the variant marker, which pins base↔variant distance at
+/// exactly 1. Values stay ≤ 13 ascii chars, the precondition that keeps
+/// [`exact_dedup_pairs`]'s deletion-neighborhood oracle exact.
 fn dedup_workload(n: usize) -> (Table, Arc<dyn Rule>) {
-    const POOL: [&str; 12] = [
-        "Karlsruhe",
-        "Melbourne",
-        "Vancouver",
-        "Sao Paulo",
-        "Sao Paolo",
-        "Istanbul",
-        "Winnipeg",
-        "Nagasaki",
-        "Florence",
-        "Florense",
-        "Dortmund",
-        "Budapest",
-    ];
+    let clusters = (n / 8).max(1);
+    let mut values = Vec::with_capacity(clusters * 4);
+    for c in 0..clusters {
+        let mut base = String::with_capacity(12);
+        for p in 0..12u64 {
+            base.push((b'a' + (mix(((c as u64) << 8) | p) % 23) as u8) as char);
+        }
+        for pos in [0usize, 5, 9] {
+            let mut v = base.clone().into_bytes();
+            v[pos] = b'x';
+            values.push(String::from_utf8(v).unwrap());
+        }
+        values.push(base);
+    }
     let tuples = (0..n)
         .map(|i| {
             vec![
                 Value::str(format!("p{i}")),
-                Value::str(POOL[(i * 31) % POOL.len()]),
+                Value::str(values[i % values.len()].clone()),
             ]
         })
         .collect();
     let table = Table::from_rows("dedup_bench", Schema::parse("name,city"), tuples);
-    let rule: Arc<dyn Rule> = Arc::new(DedupRule::new("udf:dedup", 1, 0.8).with_block_prefix(1));
+    let rule: Arc<dyn Rule> =
+        Arc::new(DedupRule::new("udf:dedup", 1, 0.85).with_lsh(LshParams::default()));
     (table, rule)
+}
+
+/// Exact all-pairs ground truth for the dedup workload, without the
+/// O(n²) scan: group tuples by distinct value, then join values whose
+/// edit distance is ≤ 1 through their deletion neighborhoods (`a` and
+/// `b` with `lev(a,b) ≤ 1` always share a key in `{v} ∪ del1(v)`).
+/// Candidates are verified with the rule's own `sim::similar`
+/// predicate, so the join only needs to be a superset — and it is one
+/// precisely because every workload value is short enough (≤ 13 chars,
+/// asserted) that the 0.85 threshold implies an edit budget of 1.
+/// Returns the number of distinct violating tuple pairs.
+fn exact_dedup_pairs(table: &Table, attr: usize, threshold: f64) -> u64 {
+    let mut counts: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for t in table.tuples() {
+        if let Some(s) = t.value(attr).as_str() {
+            assert!(
+                s.is_ascii() && s.len() <= 13,
+                "oracle precondition: ≤13 ascii chars keeps the edit budget at 1"
+            );
+            *counts.entry(s).or_default() += 1;
+        }
+    }
+    let values: Vec<(&str, u64)> = counts.into_iter().collect();
+    // pairs of tuples sharing one value are always duplicates
+    let mut total: u64 = values.iter().map(|(_, c)| c * (c - 1) / 2).sum();
+    let mut buckets: std::collections::HashMap<String, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, (v, _)) in values.iter().enumerate() {
+        buckets.entry((*v).to_string()).or_default().push(i);
+        for p in 0..v.len() {
+            buckets
+                .entry(format!("{}{}", &v[..p], &v[p + 1..]))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for ids in buckets.values() {
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                if lo != hi
+                    && seen.insert((lo, hi))
+                    && sim::similar(values[lo].0, values[hi].0, threshold)
+                {
+                    total += values[lo].1 * values[hi].1;
+                }
+            }
+        }
+    }
+    total
 }
 
 /// Measured outcome for one workload.
@@ -148,26 +222,53 @@ pub struct Outcome {
     pub parity: bool,
     /// Parallel and sequential enumerate the same number of candidates.
     pub pairs_match: bool,
+    /// Detected violations as a fraction of the exact all-pairs ground
+    /// truth. `1.0` for workloads whose candidate generation is
+    /// lossless by construction; < 1.0 only where LSH blocking trades
+    /// a bounded amount of recall for sub-quadratic candidates.
+    pub recall: f64,
+    /// `recall >= 0.95`, the gate CI enforces on the LSH workload.
+    pub recall_ok: bool,
 }
 
 fn run_once(
     engine: Engine,
     table: &Table,
     rule: &Arc<dyn Rule>,
-) -> (BTreeSet<String>, MetricsSnapshot) {
+) -> (bigdansing_plan::DetectOutput, MetricsSnapshot) {
     let exec = Executor::new(engine);
     let out = exec.detect(table, &[Arc::clone(rule)]).unwrap();
-    let sig = out.detected.iter().map(|(v, _)| format!("{v:?}")).collect();
-    (sig, exec.engine().metrics().snapshot())
+    let snap = exec.engine().metrics().snapshot();
+    (out, snap)
+}
+
+/// Canonical violation-set signature, built *outside* the timed region:
+/// Debug-formatting half a million violations is parity-check
+/// scaffolding, not detect work.
+fn signature(out: &bigdansing_plan::DetectOutput) -> BTreeSet<String> {
+    out.detected.iter().map(|(v, _)| format!("{v:?}")).collect()
 }
 
 /// Bench one workload: time the parallel detect, then cross-check the
 /// violation set and candidate-pair count against the sequential
-/// oracle.
-pub fn run(workload: &'static str, table: Table, rule: Arc<dyn Rule>, workers: usize) -> Outcome {
-    let ((sig, snap), detect_secs) =
+/// oracle. `exact_pairs`, when given, is the exact all-pairs ground
+/// truth the detected violations are measured against for recall.
+pub fn run(
+    workload: &'static str,
+    table: Table,
+    rule: Arc<dyn Rule>,
+    workers: usize,
+    exact_pairs: Option<u64>,
+) -> Outcome {
+    let ((out, snap), detect_secs) =
         time_best(|| run_once(Engine::parallel(workers), &table, &rule));
-    let (oracle_sig, oracle_snap) = run_once(Engine::sequential(), &table, &rule);
+    let sig = signature(&out);
+    let (oracle_out, oracle_snap) = run_once(Engine::sequential(), &table, &rule);
+    let oracle_sig = signature(&oracle_out);
+    let recall = match exact_pairs {
+        Some(0) | None => 1.0,
+        Some(exact) => sig.len() as f64 / exact as f64,
+    };
     Outcome {
         workload,
         rule: rule.name().to_string(),
@@ -180,12 +281,15 @@ pub fn run(workload: &'static str, table: Table, rule: Arc<dyn Rule>, workers: u
         violations: sig.len(),
         parity: sig == oracle_sig,
         pairs_match: snap.pairs_generated == oracle_snap.pairs_generated,
+        recall,
+        recall_ok: recall >= 0.95,
     }
 }
 
 /// Row counts per workload (each scaled by `BIGDANSING_SCALE`). The
-/// dedup workload is smaller because its cost is dominated by the
-/// quadratic similarity UDF inside each block, not by data movement.
+/// dedup workload runs at full size: LSH blocking replaced the
+/// quadratic all-pairs comparison, so its cost is near-linear like the
+/// other shapes.
 #[derive(Debug, Clone, Copy)]
 pub struct Sizes {
     /// FD workload rows.
@@ -204,7 +308,7 @@ impl Default for Sizes {
             fd: rows(100_000),
             cfd: rows(100_000),
             dc: rows(100_000),
-            dedup: rows(4_000),
+            dedup: rows(100_000),
         }
     }
 }
@@ -218,11 +322,12 @@ pub fn run_all(sizes: Sizes) -> Vec<Outcome> {
     let (cfd_t, cfd_r) = cfd_workload(sizes.cfd);
     let (dc_t, dc_r) = dc_workload(sizes.dc);
     let (dd_t, dd_r) = dedup_workload(sizes.dedup);
+    let dd_exact = exact_dedup_pairs(&dd_t, 1, 0.85);
     vec![
-        run("fd", fd_t, fd_r, workers),
-        run("cfd", cfd_t, cfd_r, workers),
-        run("dc", dc_t, dc_r, workers),
-        run("dedup", dd_t, dd_r, workers),
+        run("fd", fd_t, fd_r, workers, None),
+        run("cfd", cfd_t, cfd_r, workers, None),
+        run("dc", dc_t, dc_r, workers, None),
+        run("dedup", dd_t, dd_r, workers, Some(dd_exact)),
     ]
 }
 
@@ -246,7 +351,9 @@ pub fn to_json(outcomes: &[Outcome]) -> String {
         let _ = writeln!(s, "      \"tuples_cloned\": {},", o.tuples_cloned);
         let _ = writeln!(s, "      \"violations\": {},", o.violations);
         let _ = writeln!(s, "      \"parity\": {},", o.parity);
-        let _ = writeln!(s, "      \"pairs_match\": {}", o.pairs_match);
+        let _ = writeln!(s, "      \"pairs_match\": {},", o.pairs_match);
+        let _ = writeln!(s, "      \"recall\": {:.4},", o.recall);
+        let _ = writeln!(s, "      \"recall_ok\": {}", o.recall_ok);
         let _ = writeln!(s, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
     }
     s.push_str("  ]\n}\n");
@@ -275,6 +382,7 @@ pub fn report() -> Report {
             "violations",
             "parity",
             "pairs match",
+            "recall",
         ],
     );
     for o in &outcomes {
@@ -289,6 +397,7 @@ pub fn report() -> Report {
             o.violations.into(),
             format!("{}", o.parity).into(),
             format!("{}", o.pairs_match).into(),
+            format!("{:.4}", o.recall).into(),
         ]);
     }
     r
@@ -304,17 +413,42 @@ mod tests {
             fd: 2_000,
             cfd: 1_200,
             dc: 2_000,
-            dedup: 400,
+            dedup: 800,
         });
         assert_eq!(outcomes.len(), 4);
         for o in &outcomes {
             assert!(o.parity, "{}: violation sets diverged", o.workload);
             assert!(o.pairs_match, "{}: pair counts diverged", o.workload);
             assert!(o.violations > 0, "{}: workload found nothing", o.workload);
+            assert!(
+                o.recall_ok,
+                "{}: recall {} below the 0.95 gate",
+                o.workload, o.recall
+            );
         }
         let json = to_json(&outcomes);
         assert!(json.contains("\"throughput_tuples_per_sec\""));
         assert!(json.contains("\"bytes_shuffled\""));
+        assert!(json.contains("\"recall\""));
         assert_eq!(json.matches("\"parity\": true").count(), 4);
+        assert_eq!(json.matches("\"recall_ok\": true").count(), 4);
+    }
+
+    /// The LSH dedup workload must not deep-copy tuples: candidate
+    /// fan-out replicates `Arc`s, and band keys are interned through
+    /// the `KeyDict` rather than cloned per pair.
+    #[test]
+    fn lsh_dedup_is_zero_copy_and_beats_the_oracle_floor() {
+        let (table, rule) = dedup_workload(1_600);
+        let exact = exact_dedup_pairs(&table, 1, 0.85);
+        assert!(exact > 0, "workload must contain true duplicate pairs");
+        let o = run("dedup", table, rule, 2, Some(exact));
+        assert_eq!(o.tuples_cloned, 0, "LSH path must stay zero-copy");
+        assert!(o.recall_ok, "recall {} below the 0.95 gate", o.recall);
+        assert!(
+            o.recall <= 1.0 + 1e-9,
+            "recall {} above 1: oracle missed true pairs",
+            o.recall
+        );
     }
 }

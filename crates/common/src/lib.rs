@@ -18,6 +18,8 @@
 //! * [`csv`] — a small CSV parser/writer used by examples and tools,
 //! * [`rdf`] — the RDF triple model of Appendix C,
 //! * [`sim`] — similarity functions (Levenshtein) used by dedup rules,
+//! * [`minhash`] — MinHash signatures + banded LSH bucketing used to
+//!   block similarity rules sub-quadratically,
 //! * [`metrics`] — lightweight counters used to validate experiment shape,
 //! * [`codec`] — the binary row codec used by the disk-backed execution
 //!   mode that simulates Hadoop-style per-stage materialization,
@@ -31,6 +33,7 @@ pub mod hash;
 pub mod intern;
 pub mod keys;
 pub mod metrics;
+pub mod minhash;
 pub mod quarantine;
 pub mod rdf;
 pub mod schema;
@@ -42,6 +45,7 @@ pub mod value;
 pub use error::{CancelReason, Error, ErrorClass, Result};
 pub use hash::{stable_hash_of, StableHasher};
 pub use keys::{KeyDict, KeyId};
+pub use minhash::LshParams;
 pub use quarantine::Quarantine;
 pub use schema::Schema;
 pub use table::Table;

@@ -136,6 +136,15 @@ pub struct Metrics {
     /// passed their last containing window (their violations are
     /// retracted through the provenance path).
     pub tuples_expired: AtomicU64,
+    /// Candidate pairs actually compared by LSH blocking (after the
+    /// cross-band first-shared-band dedup).
+    pub lsh_candidate_pairs: AtomicU64,
+    /// Within-bucket pairs skipped by LSH because the pair shares an
+    /// earlier band (it is compared exactly once, there).
+    pub lsh_pairs_pruned: AtomicU64,
+    /// LSH band buckets enumerated (batch) or probed by delta tuples
+    /// (incremental sessions).
+    pub lsh_bands_probed: AtomicU64,
 }
 
 impl Metrics {
@@ -197,6 +206,9 @@ impl Metrics {
             &self.repair_cells_assigned,
             &self.records_quarantined,
             &self.tuples_expired,
+            &self.lsh_candidate_pairs,
+            &self.lsh_pairs_pruned,
+            &self.lsh_bands_probed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -245,6 +257,9 @@ impl Metrics {
             repair_cells_assigned: Metrics::get(&self.repair_cells_assigned),
             records_quarantined: Metrics::get(&self.records_quarantined),
             tuples_expired: Metrics::get(&self.tuples_expired),
+            lsh_candidate_pairs: Metrics::get(&self.lsh_candidate_pairs),
+            lsh_pairs_pruned: Metrics::get(&self.lsh_pairs_pruned),
+            lsh_bands_probed: Metrics::get(&self.lsh_bands_probed),
         }
     }
 }
@@ -332,13 +347,19 @@ pub struct MetricsSnapshot {
     pub records_quarantined: u64,
     /// See [`Metrics::tuples_expired`].
     pub tuples_expired: u64,
+    /// See [`Metrics::lsh_candidate_pairs`].
+    pub lsh_candidate_pairs: u64,
+    /// See [`Metrics::lsh_pairs_pruned`].
+    pub lsh_pairs_pruned: u64,
+    /// See [`Metrics::lsh_bands_probed`].
+    pub lsh_bands_probed: u64,
 }
 
 impl MetricsSnapshot {
     /// Every counter as a `(name, value)` pair, in declaration order.
     /// Lets callers aggregate snapshots from several engines (the serve
     /// subsystem sums one per shard) without naming each field.
-    pub fn counters(&self) -> [(&'static str, u64); 40] {
+    pub fn counters(&self) -> [(&'static str, u64); 43] {
         [
             ("tuples_scanned", self.tuples_scanned),
             ("pairs_generated", self.pairs_generated),
@@ -380,6 +401,9 @@ impl MetricsSnapshot {
             ("repair_cells_assigned", self.repair_cells_assigned),
             ("records_quarantined", self.records_quarantined),
             ("tuples_expired", self.tuples_expired),
+            ("lsh_candidate_pairs", self.lsh_candidate_pairs),
+            ("lsh_pairs_pruned", self.lsh_pairs_pruned),
+            ("lsh_bands_probed", self.lsh_bands_probed),
         ]
     }
 

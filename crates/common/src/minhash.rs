@@ -1,0 +1,255 @@
+//! MinHash signatures and banded LSH bucketing for similarity blocking.
+//!
+//! BigDansing's Block abstraction (§3.1) only asks a rule for *some*
+//! candidate-grouping key; for similarity rules (the §6.5 φU Levenshtein
+//! dedup) a single prefix key either over-groups (few huge blocks →
+//! quadratic blowup) or splits true duplicates apart. MinHash/LSH is the
+//! standard fix: hash each string's character shingles under `bands ×
+//! rows_per_band` seeded permutations, take the per-permutation minimum
+//! as the signature, and bucket tuples by the hash of each *band* (a
+//! contiguous run of `rows_per_band` signature rows). Two strings with
+//! shingle-set Jaccard similarity `J` land in the same bucket for a
+//! given band with probability `J^rows_per_band`, and in at least one of
+//! `b` bands with probability `1 − (1 − J^r)^b` — the classic S-curve
+//! that passes near-duplicates with high recall while dissimilar pairs
+//! almost never collide.
+//!
+//! Everything here is deterministic: permutation seeds derive from the
+//! permutation index through a fixed mixer on top of the crate's
+//! [`StableHasher`](crate::hash::StableHasher) constants, so the same
+//! string yields the same signature and buckets on every run, on every
+//! platform, and under every chaos seed.
+
+use crate::hash::StableHasher;
+use std::hash::Hasher;
+
+/// Knobs for LSH blocking: how many bands, how many signature rows per
+/// band, and the character-shingle width the signature is built from.
+///
+/// `bands × rows_per_band` is the total number of hash permutations.
+/// More rows per band sharpens the S-curve (fewer false candidates, at
+/// the cost of recall on weaker matches); more bands raises recall (at
+/// the cost of shuffle volume — each tuple is replicated once per
+/// band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshParams {
+    /// Number of LSH bands (each tuple is bucketed once per band).
+    pub bands: usize,
+    /// Signature rows hashed together per band.
+    pub rows_per_band: usize,
+    /// Character-shingle width used to build the MinHash signature.
+    pub shingle: usize,
+}
+
+impl Default for LshParams {
+    /// `8 bands × 3 rows` over 2-character shingles: tuned so that a
+    /// one-edit variant of a 10–13 character string (shingle Jaccard
+    /// ≈ 0.7) is caught with probability ≈ 0.96 per pair, while
+    /// unrelated strings (J ≲ 0.1) almost never collide.
+    fn default() -> Self {
+        LshParams {
+            bands: 8,
+            rows_per_band: 3,
+            shingle: 2,
+        }
+    }
+}
+
+impl LshParams {
+    /// Total number of hash permutations (`bands × rows_per_band`).
+    pub fn num_hashes(&self) -> usize {
+        self.bands * self.rows_per_band
+    }
+}
+
+/// splitmix64 finalizer: a full-avalanche mix used to derive the i-th
+/// "permutation" from one base shingle hash without recomputing FNV per
+/// permutation.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Seed of the i-th hash permutation, derived deterministically from
+/// the permutation index (never from process state).
+fn permutation_seed(i: usize) -> u64 {
+    mix(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1))
+}
+
+/// Stable base hash of one character shingle (no per-shingle `String`
+/// allocation: code points are fed straight into the hasher).
+fn shingle_hash(chars: &[char]) -> u64 {
+    let mut h = StableHasher::default();
+    for &c in chars {
+        h.write_u32(c as u32);
+    }
+    h.finish()
+}
+
+/// Compute the MinHash signature of `s`: `num_hashes` values, each the
+/// minimum over the string's character shingles under one seeded
+/// permutation.
+///
+/// The string is lowercased first so the signature matches the
+/// case-insensitive spirit of [`crate::sim::similar`]-style matching of
+/// near-duplicate names. Strings shorter than the shingle width (and
+/// the empty string) contribute a single whole-string shingle, so equal
+/// strings always produce identical signatures.
+pub fn compute_minhash_signature(s: &str, num_hashes: usize, shingle: usize) -> Vec<u64> {
+    let width = shingle.max(1);
+    let seeds: Vec<u64> = (0..num_hashes).map(permutation_seed).collect();
+    let mut signature = vec![u64::MAX; num_hashes];
+    let mut fold = |base: u64| {
+        for (slot, seed) in signature.iter_mut().zip(&seeds) {
+            let h = mix(base ^ seed);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    };
+    if s.is_ascii() {
+        // Fast path for the common all-ASCII value: lowercase in place
+        // on bytes and hash byte windows. `write_u32(byte as u32)`
+        // matches `write_u32(char as u32)` exactly, so the signature is
+        // bit-identical to the generic path below.
+        let bytes = s.to_ascii_lowercase().into_bytes();
+        let hash_window = |w: &[u8]| {
+            let mut h = StableHasher::default();
+            for &b in w {
+                h.write_u32(b as u32);
+            }
+            h.finish()
+        };
+        if bytes.len() < width {
+            fold(hash_window(&bytes));
+        } else {
+            for window in bytes.windows(width) {
+                fold(hash_window(window));
+            }
+        }
+        return signature;
+    }
+    let chars: Vec<char> = s.chars().flat_map(|c| c.to_lowercase()).collect();
+    if chars.len() < width {
+        fold(shingle_hash(&chars));
+    } else {
+        for window in chars.windows(width) {
+            fold(shingle_hash(window));
+        }
+    }
+    signature
+}
+
+/// Fold a MinHash signature into one bucket hash per band.
+///
+/// Band `k` hashes signature rows `[k·r, (k+1)·r)` together with the
+/// band index, so buckets from different bands can never be confused
+/// even when their row hashes collide. The signature must have at least
+/// `bands × rows_per_band` rows (as produced by
+/// [`compute_minhash_signature`] with `num_hashes = bands × r`).
+pub fn lsh_buckets_from_signature(
+    signature: &[u64],
+    bands: usize,
+    rows_per_band: usize,
+) -> Vec<u64> {
+    let r = rows_per_band.max(1);
+    (0..bands)
+        .map(|k| {
+            let mut h = StableHasher::default();
+            h.write_u64(k as u64);
+            for row in &signature[k * r..(k + 1) * r] {
+                h.write_u64(*row);
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+/// Convenience: signature + banding in one call — one bucket hash per
+/// band for string `s` under `params`.
+pub fn band_hashes(s: &str, params: &LshParams) -> Vec<u64> {
+    let sig = compute_minhash_signature(s, params.num_hashes(), params.shingle);
+    lsh_buckets_from_signature(&sig, params.bands, params.rows_per_band)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jaccard_estimate(a: &str, b: &str, p: &LshParams) -> f64 {
+        let sa = compute_minhash_signature(a, p.num_hashes(), p.shingle);
+        let sb = compute_minhash_signature(b, p.num_hashes(), p.shingle);
+        let agree = sa.iter().zip(&sb).filter(|(x, y)| x == y).count();
+        agree as f64 / sa.len() as f64
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let p = LshParams::default();
+        for s in ["", "a", "Sao Paulo", "Florence", "日本語テキスト"] {
+            let one = compute_minhash_signature(s, p.num_hashes(), p.shingle);
+            let two = compute_minhash_signature(s, p.num_hashes(), p.shingle);
+            assert_eq!(one, two, "signature of {s:?} must be stable");
+            assert_eq!(band_hashes(s, &p), band_hashes(s, &p));
+        }
+    }
+
+    #[test]
+    fn case_folding_makes_signatures_agree() {
+        let p = LshParams::default();
+        assert_eq!(band_hashes("SAO PAULO", &p), band_hashes("sao paulo", &p));
+    }
+
+    #[test]
+    fn equal_strings_share_every_band() {
+        let p = LshParams::default();
+        let a = band_hashes("Florence", &p);
+        let b = band_hashes("Florence", &p);
+        assert_eq!(a.len(), p.bands);
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn similar_strings_agree_more_than_dissimilar_ones() {
+        let p = LshParams {
+            bands: 16,
+            rows_per_band: 4,
+            shingle: 2,
+        };
+        let near = jaccard_estimate("Sao Paulo", "Sao Paolo", &p);
+        let far = jaccard_estimate("Sao Paulo", "Johannesburg", &p);
+        assert!(
+            near > far,
+            "near-duplicate agreement {near} must exceed unrelated agreement {far}"
+        );
+        assert!(near > 0.4, "one-edit pair should share many rows: {near}");
+    }
+
+    #[test]
+    fn short_and_empty_strings_get_full_signatures() {
+        let p = LshParams::default();
+        for s in ["", "a", "ab"] {
+            let sig = compute_minhash_signature(s, p.num_hashes(), p.shingle);
+            assert_eq!(sig.len(), p.num_hashes());
+            assert!(
+                sig.iter().all(|&v| v != u64::MAX),
+                "no empty slots for {s:?}"
+            );
+            assert_eq!(band_hashes(s, &p).len(), p.bands);
+        }
+    }
+
+    #[test]
+    fn band_index_is_part_of_the_bucket() {
+        // A constant signature row repeated across bands must still
+        // produce distinct per-band buckets (band index is hashed in).
+        let sig = vec![42u64; 6];
+        let buckets = lsh_buckets_from_signature(&sig, 3, 2);
+        assert_eq!(buckets.len(), 3);
+        assert!(buckets[0] != buckets[1] && buckets[1] != buckets[2]);
+    }
+}

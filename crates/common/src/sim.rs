@@ -46,20 +46,97 @@ pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
     1.0 - levenshtein(a, b) as f64 / max_len as f64
 }
 
+/// Banded early-exit Levenshtein (Ukkonen's cutoff): `Some(d)` when the
+/// edit distance is `d ≤ k`, `None` as soon as it provably exceeds `k`.
+///
+/// Only cells within `k` of the diagonal are computed (O(min(n,m)·k)
+/// instead of O(n·m)), and the DP aborts the moment an entire row rises
+/// above the budget. Within the band the distance is exact, so
+/// `levenshtein_within(a, b, k) == Some(d)` iff `levenshtein(a, b) == d
+/// && d <= k`.
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
+    };
+    let (n, m) = (short.len(), long.len());
+    if m - n > k {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    // `cap` is the "provably over budget" sentinel; any cell at `cap`
+    // can never recover to ≤ k.
+    let cap = k + 1;
+    let mut prev: Vec<usize> = (0..=n).map(|i| i.min(cap)).collect();
+    let mut cur = vec![cap; n + 1];
+    for (j, &cb) in long.iter().enumerate() {
+        let row = j + 1;
+        // Band for this row: columns i with |i - row| <= k.
+        let lo = row.saturating_sub(k);
+        let hi = (row + k).min(n);
+        cur[0] = row.min(cap);
+        if lo > 1 {
+            cur[lo - 1] = cap;
+        }
+        let mut row_min = if lo == 0 { cur[0] } else { cap };
+        for i in lo.max(1)..=hi {
+            let sub = prev[i - 1] + usize::from(short[i - 1] != cb);
+            let del = prev[i] + 1;
+            let ins = cur[i - 1] + 1;
+            let best = sub.min(del).min(ins).min(cap);
+            cur[i] = best;
+            row_min = row_min.min(best);
+        }
+        if hi < n {
+            cur[hi + 1] = cap;
+        }
+        if row_min > k {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[n];
+    (d <= k).then_some(d)
+}
+
 /// The `simF` predicate of rule φU: true when similarity ≥ `threshold`.
+///
+/// Instead of a full DP, this runs [`levenshtein_within`] with the
+/// threshold-implied edit budget — the largest `k` with
+/// `1 - k / max_len ≥ threshold` — so comparisons stop as soon as the
+/// distance provably exceeds what the threshold allows.
 pub fn similar(a: &str, b: &str, threshold: f64) -> bool {
-    // Cheap length-difference lower bound on the edit distance: if the
-    // lengths alone force the similarity below the threshold, skip the DP.
     let (la, lb) = (a.chars().count(), b.chars().count());
     let max_len = la.max(lb);
     if max_len == 0 {
         return true;
     }
-    let min_possible = la.abs_diff(lb);
-    if 1.0 - min_possible as f64 / (max_len as f64) < threshold {
+    // Largest k with 1 - k/max_len >= threshold, nudged both ways so the
+    // integer budget agrees exactly with the f64 predicate
+    // `levenshtein_similarity(a, b) >= threshold` it replaces.
+    let m = max_len as f64;
+    let mut k = ((1.0 - threshold) * m).floor() as i64;
+    k = k.clamp(-1, max_len as i64);
+    while k < max_len as i64 && 1.0 - (k + 1) as f64 / m >= threshold {
+        k += 1;
+    }
+    while k >= 0 && 1.0 - k as f64 / m < threshold {
+        k -= 1;
+    }
+    if k < 0 {
         return false;
     }
-    levenshtein_similarity(a, b) >= threshold
+    levenshtein_within(a, b, k as usize).is_some()
 }
 
 /// A cheap blocking key for strings: lowercase first `n` characters.
@@ -107,6 +184,39 @@ mod tests {
     }
 
     #[test]
+    fn within_matches_full_dp_on_known_cases() {
+        assert_eq!(levenshtein_within("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_within("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_within("same", "same", 0), Some(0));
+        assert_eq!(levenshtein_within("", "abc", 3), Some(3));
+        assert_eq!(levenshtein_within("", "abc", 2), None);
+        assert_eq!(levenshtein_within("flaw", "lawn", 2), Some(2));
+        assert_eq!(levenshtein_within("café", "cafe", 1), Some(1));
+    }
+
+    #[test]
+    fn within_is_exhaustively_consistent_with_full_dp() {
+        // Every pair over a small alphabet, every budget: the banded
+        // early-exit DP must agree exactly with the full DP.
+        let words = [
+            "", "a", "b", "ab", "ba", "aab", "abb", "abab", "bbaa", "aaaa",
+        ];
+        for a in words {
+            for b in words {
+                let full = levenshtein(a, b);
+                for k in 0..=5 {
+                    let banded = levenshtein_within(a, b, k);
+                    if full <= k {
+                        assert_eq!(banded, Some(full), "{a:?} vs {b:?} within {k}");
+                    } else {
+                        assert_eq!(banded, None, "{a:?} vs {b:?} within {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prefix_key_normalizes() {
         assert_eq!(prefix_key("Robert", 3), "rob");
         assert_eq!(prefix_key("LA", 3), "la");
@@ -128,6 +238,14 @@ mod tests {
         fn similar_agrees_with_direct_computation(a in "[a-d]{0,10}", b in "[a-d]{0,10}",
                                                   t in 0.0f64..=1.0) {
             prop_assert_eq!(similar(&a, &b, t), levenshtein_similarity(&a, &b) >= t);
+        }
+
+        #[test]
+        fn within_agrees_with_full_dp(a in "[a-d]{0,12}", b in "[a-d]{0,12}",
+                                      k in 0usize..=12) {
+            let full = levenshtein(&a, &b);
+            let banded = levenshtein_within(&a, &b, k);
+            prop_assert_eq!(banded, (full <= k).then_some(full));
         }
     }
 }

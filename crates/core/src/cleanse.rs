@@ -8,9 +8,9 @@
 //! are *frozen* and excluded from further updates.
 
 use bigdansing_common::metrics::Metrics;
-use bigdansing_common::{Cell, Error, Result, Table, Value};
+use bigdansing_common::{Cell, Error, LshParams, Result, Table, Value};
 use bigdansing_dataflow::bulkhead::{Bulkhead, IsolationOptions, RuleGuard};
-use bigdansing_plan::physical::pipeline_for_rule;
+use bigdansing_plan::physical::{pipeline_for_rule, IterateStrategy};
 use bigdansing_plan::{DetectOutput, Executor};
 use bigdansing_repair::{blackbox::RepairOptions, run_repair, Assignment};
 use bigdansing_rules::Rule;
@@ -44,6 +44,12 @@ pub struct CleanseOptions {
     /// batch [`cleanse_loop`] (a one-shot table has no stream to
     /// window).
     pub window: Option<bigdansing_incremental::WindowSpec>,
+    /// Job-level override of the MinHash/LSH banding geometry. Applies
+    /// to every registered similarity rule (a rule whose
+    /// [`Rule::lsh`] is `Some`); a job that sets this while no
+    /// registered rule declares LSH blocking is rejected up front —
+    /// the override would silently do nothing.
+    pub lsh: Option<LshParams>,
 }
 
 impl Default for CleanseOptions {
@@ -55,8 +61,24 @@ impl Default for CleanseOptions {
             repair_options: RepairOptions::default(),
             isolation: IsolationOptions::default(),
             window: None,
+            lsh: None,
         }
     }
+}
+
+/// Reject a job-level LSH override that no rule can honour: the
+/// banding geometry only applies to similarity rules, so if none of
+/// the registered rules declares LSH blocking the override is a
+/// configuration mistake, not a no-op.
+pub fn validate_lsh_override(options: &CleanseOptions, rules: &[Arc<dyn Rule>]) -> Result<()> {
+    if options.lsh.is_some() && !rules.iter().any(|r| r.lsh().is_some()) {
+        return Err(Error::Repair(
+            "LSH blocking options apply only to similarity rules, but no registered rule \
+             declares LSH blocking — register a dedup/similarity rule or drop the LSH options"
+                .into(),
+        ));
+    }
+    Ok(())
 }
 
 /// One rule's health at the end of a cleansing run.
@@ -167,7 +189,18 @@ fn detect_round(
         if !bulkhead.admit(&name) {
             continue;
         }
-        let pipeline = pipeline_for_rule(Arc::clone(rule), table.name());
+        let mut pipeline = pipeline_for_rule(Arc::clone(rule), table.name());
+        if let (
+            Some(p),
+            IterateStrategy::LshBlocks {
+                bands,
+                rows_per_band,
+            },
+        ) = (options.lsh, &mut pipeline.strategy)
+        {
+            *bands = p.bands;
+            *rows_per_band = p.rows_per_band;
+        }
         let guard = RuleGuard::arm(&name, iso);
         let run = executor.run_pipeline_guarded(data.try_duplicate()?, &pipeline, Some(&guard));
         trackers[i].units_processed += guard.units_processed();
@@ -247,6 +280,7 @@ pub fn cleanse_loop(
     if rules.is_empty() {
         return Err(Error::Repair("no rules registered".into()));
     }
+    validate_lsh_override(&options, rules)?;
     let bulkhead = Bulkhead::new(
         options.isolation.breaker,
         options.isolation.mode,
@@ -351,7 +385,7 @@ mod tests {
     use bigdansing_common::Schema;
     use bigdansing_dataflow::Engine;
     use bigdansing_repair::{EquivalenceClassRepair, HypergraphRepair};
-    use bigdansing_rules::{DcRule, FdRule, UdfRule, UnitKind};
+    use bigdansing_rules::{DcRule, DedupRule, FdRule, UdfRule, UnitKind};
 
     fn fd_table() -> Table {
         let schema = Schema::parse("zipcode,city");
@@ -444,6 +478,29 @@ mod tests {
         let t = fd_table();
         let exec = Executor::new(Engine::sequential());
         assert!(cleanse_loop(&exec, &[], &t, CleanseOptions::default()).is_err());
+    }
+
+    /// The job-level LSH geometry override only makes sense for
+    /// similarity rules: a rule set without one rejects it up front
+    /// with an actionable error instead of silently ignoring it.
+    #[test]
+    fn lsh_override_requires_a_similarity_rule() {
+        let t = fd_table();
+        let exec = Executor::new(Engine::sequential());
+        let opts = CleanseOptions {
+            lsh: Some(LshParams::default()),
+            ..Default::default()
+        };
+        let err = cleanse_loop(&exec, &fd_rules(t.schema()), &t, opts.clone()).unwrap_err();
+        assert!(
+            err.to_string().contains("similarity rule"),
+            "unhelpful error: {err}"
+        );
+        // an LSH-blocked dedup rule satisfies the validation
+        let rules: Vec<Arc<dyn Rule>> = vec![Arc::new(
+            DedupRule::new("udf:dedup", 1, 0.9).with_lsh(LshParams::default()),
+        )];
+        assert!(validate_lsh_override(&opts, &rules).is_ok());
     }
 
     #[test]

@@ -60,13 +60,17 @@ pub mod cleanse;
 pub mod report;
 pub mod system;
 
-pub use cleanse::{CleanseOptions, CleanseOutcome, CleanseResult, RepairStrategy, RuleHealth};
+pub use cleanse::{
+    validate_lsh_override, CleanseOptions, CleanseOutcome, CleanseResult, RepairStrategy,
+    RuleHealth,
+};
 pub use system::{AdmissionControl, AdmissionPermit, AdmissionPolicy, BigDansing};
 
 // Re-export the workspace's main vocabulary so downstream users can
 // depend on `bigdansing` alone.
 pub use bigdansing_common::{
-    csv, rdf, sim, CancelReason, Cell, Error, Quarantine, Result, Schema, Table, Tuple, Value,
+    csv, rdf, sim, CancelReason, Cell, Error, LshParams, Quarantine, Result, Schema, Table, Tuple,
+    Value,
 };
 pub use bigdansing_incremental::{
     apply_batch_to_table, read_snapshot_table, DeltaBatch, DeltaOp, DeltaReport, DurabilityOptions,

@@ -79,14 +79,15 @@ pub fn fixes_csv(output: &DetectOutput, table: Option<&Table>) -> String {
 /// counters for a finished run.
 ///
 /// Returns `None` when the run was fault-free and nothing was governed
-/// (nothing worth reporting); otherwise up to five lines — faults
-/// (retries, caught panics, spill failures, degraded stages), governance
-/// (cancelled jobs, deadline trips, pressure spills, queued/rejected
-/// jobs), input quarantine, incremental-cleansing work (tuples
-/// reprocessed, dirty blocks, retracted violations, re-repaired
-/// components), and durability activity (WAL appends, snapshots,
-/// transient IO retries) — suitable for appending to the CLI's run
-/// report.
+/// (nothing worth reporting); otherwise one line per active counter
+/// group — faults (retries, caught panics, spill failures, degraded
+/// stages), governance (cancelled jobs, deadline trips, pressure
+/// spills, queued/rejected jobs), input quarantine, incremental-
+/// cleansing work (tuples reprocessed, dirty blocks, retracted
+/// violations, re-repaired components), LSH blocking activity
+/// (candidate pairs, band buckets, cross-band prunes), window expiry,
+/// and durability activity (WAL appends, snapshots, transient IO
+/// retries) — suitable for appending to the CLI's run report.
 pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
     let mut lines: Vec<String> = Vec::new();
     if m.tasks_retried != 0
@@ -128,6 +129,13 @@ pub fn fault_summary(m: &MetricsSnapshot) -> Option<String> {
             "incremental: {} tuple(s) reprocessed across {} dirty block(s), \
              {} violation(s) retracted, {} component(s) re-repaired",
             m.tuples_reprocessed, m.blocks_dirty, m.violations_retracted, m.components_rerepaired
+        ));
+    }
+    if m.lsh_candidate_pairs != 0 || m.lsh_pairs_pruned != 0 || m.lsh_bands_probed != 0 {
+        lines.push(format!(
+            "lsh blocking: {} candidate pair(s) from {} band bucket(s), \
+             {} cross-band duplicate(s) pruned",
+            m.lsh_candidate_pairs, m.lsh_bands_probed, m.lsh_pairs_pruned
         ));
     }
     if m.tuples_expired != 0 {
@@ -310,6 +318,20 @@ mod tests {
         assert!(line.contains("3 task(s) retried"), "{line}");
         assert!(line.contains("2 panic(s) caught"), "{line}");
         assert!(line.contains("1 stage(s) degraded"), "{line}");
+    }
+
+    #[test]
+    fn fault_summary_reports_lsh_counters() {
+        let snap = bigdansing_common::metrics::MetricsSnapshot {
+            lsh_candidate_pairs: 120,
+            lsh_bands_probed: 16,
+            lsh_pairs_pruned: 40,
+            ..Default::default()
+        };
+        let line = fault_summary(&snap).unwrap();
+        assert!(line.contains("120 candidate pair(s)"), "{line}");
+        assert!(line.contains("16 band bucket(s)"), "{line}");
+        assert!(line.contains("40 cross-band duplicate(s) pruned"), "{line}");
     }
 
     #[test]

@@ -288,6 +288,7 @@ impl BigDansing {
     /// detect as a governed job (admission, deadline, cancellation).
     pub fn open_session(&self, table: &Table, options: CleanseOptions) -> Result<Session> {
         self.governed("session-open", || {
+            crate::cleanse::validate_lsh_override(&options, &self.rules)?;
             Session::new(
                 self.executor.clone(),
                 self.rules.clone(),
@@ -299,6 +300,7 @@ impl BigDansing {
                     repair_options: options.repair_options,
                     isolation: options.isolation,
                     window: options.window,
+                    lsh: options.lsh,
                 },
             )
         })
@@ -318,6 +320,7 @@ impl BigDansing {
         durability: DurabilityOptions,
     ) -> Result<Session> {
         self.governed("session-open", || {
+            crate::cleanse::validate_lsh_override(&options, &self.rules)?;
             Session::open_durable(
                 self.executor.clone(),
                 self.rules.clone(),
@@ -329,6 +332,7 @@ impl BigDansing {
                     repair_options: options.repair_options,
                     isolation: options.isolation,
                     window: options.window,
+                    lsh: options.lsh,
                 },
                 durability,
             )
@@ -345,6 +349,7 @@ impl BigDansing {
         durability: DurabilityOptions,
     ) -> Result<(Session, RecoverStats)> {
         self.governed("session-recover", || {
+            crate::cleanse::validate_lsh_override(&options, &self.rules)?;
             Session::recover(
                 self.executor.clone(),
                 self.rules.clone(),
@@ -355,6 +360,7 @@ impl BigDansing {
                     repair_options: options.repair_options,
                     isolation: options.isolation,
                     window: options.window,
+                    lsh: options.lsh,
                 },
                 durability,
             )

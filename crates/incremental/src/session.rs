@@ -37,7 +37,7 @@ use crate::wal::{
 };
 use crate::window::WindowSpec;
 use bigdansing_common::metrics::Metrics;
-use bigdansing_common::{Cell, Error, Result, Table, Tuple, TupleId, Value};
+use bigdansing_common::{Cell, Error, LshParams, Result, Table, Tuple, TupleId, Value};
 use bigdansing_dataflow::bulkhead::IsolationOptions;
 use bigdansing_dataflow::{Dio, Engine, PDataset};
 use bigdansing_ocjoin::{try_ocjoin, OcIndex, OcJoinConfig};
@@ -46,7 +46,7 @@ use bigdansing_plan::{Executor, IterateStrategy};
 use bigdansing_repair::blackbox::RepairOptions;
 use bigdansing_repair::cc::UnionFind;
 use bigdansing_repair::{run_repair, Detected, RepairStrategy};
-use bigdansing_rules::{BlockKey, DetectUnit, Fix, Rule, Violation};
+use bigdansing_rules::{BlockKey, DetectUnit, Fix, Rule, RuleExt, Violation};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -76,6 +76,11 @@ pub struct SessionOptions {
     /// delete path after each apply — their violations retracted via
     /// the provenance indexes. `None` keeps the unbounded behaviour.
     pub window: Option<WindowSpec>,
+    /// Session-level override of the MinHash/LSH banding geometry,
+    /// mirroring the batch loop's option so an incremental session and
+    /// a from-scratch cleanse of the same job stay comparable. Applies
+    /// to every similarity rule; ignored by rules without LSH blocking.
+    pub lsh: Option<LshParams>,
 }
 
 impl Default for SessionOptions {
@@ -87,6 +92,7 @@ impl Default for SessionOptions {
             repair_options: RepairOptions::default(),
             isolation: IsolationOptions::default(),
             window: None,
+            lsh: None,
         }
     }
 }
@@ -158,6 +164,12 @@ enum Kind {
     List,
     /// Inequality joins through the persistent [`OcIndex`].
     Ordered,
+    /// MinHash/LSH banding for similarity rules: the block index holds
+    /// every tuple under each of its `(band, bucket hash)` keys, delta
+    /// tuples probe all their band buckets, and a cross-band seen-set
+    /// keeps each candidate pair single-shot — mirroring the batch
+    /// executor's first-shared-band dedup.
+    Lsh { bands: usize, rows_per_band: usize },
 }
 
 fn kind_of(strategy: &IterateStrategy) -> Kind {
@@ -180,7 +192,33 @@ fn kind_of(strategy: &IterateStrategy) -> Kind {
             distinct_ids: true,
         },
         IterateStrategy::OcJoin(_) => Kind::Ordered,
+        IterateStrategy::LshBlocks {
+            bands,
+            rows_per_band,
+        } => Kind::Lsh {
+            bands: *bands,
+            rows_per_band: *rows_per_band,
+        },
     }
+}
+
+/// [`kind_of`] with the session-level LSH geometry override applied —
+/// the incremental mirror of the batch loop rewriting its pipeline
+/// strategy from [`SessionOptions::lsh`].
+fn kind_for(rule: &dyn Rule, lsh: Option<LshParams>) -> Kind {
+    let mut strategy = choose_strategy(rule);
+    if let (
+        Some(p),
+        IterateStrategy::LshBlocks {
+            bands,
+            rows_per_band,
+        },
+    ) = (lsh, &mut strategy)
+    {
+        *bands = p.bands;
+        *rows_per_band = p.rows_per_band;
+    }
+    kind_of(&strategy)
 }
 
 /// One scoped tuple resident in a block, with its enumeration position:
@@ -484,7 +522,7 @@ impl Session {
             .iter()
             .map(|r| RuleState {
                 rule: Arc::clone(r),
-                kind: kind_of(&choose_strategy(r.as_ref())),
+                kind: kind_for(r.as_ref(), options.lsh),
                 scoped: HashMap::new(),
                 blocks: HashMap::new(),
                 oc: None,
@@ -662,7 +700,7 @@ impl Session {
             .iter()
             .map(|r| RuleState {
                 rule: Arc::clone(r),
-                kind: kind_of(&choose_strategy(r.as_ref())),
+                kind: kind_for(r.as_ref(), options.lsh),
                 scoped: HashMap::new(),
                 blocks: HashMap::new(),
                 oc: None,
@@ -786,6 +824,18 @@ impl Session {
                     for e in entries {
                         let key = block_key(state.rule.as_ref(), &e.tuple, true);
                         state.blocks.entry(key).or_default().push(e);
+                    }
+                }
+                Kind::Lsh {
+                    bands,
+                    rows_per_band,
+                } => {
+                    // One slot per band key; entries are shallow Arc
+                    // handles, so the b-fold replication is O(1) each.
+                    for e in entries {
+                        for key in state.rule.lsh_keys(&e.tuple, bands, rows_per_band) {
+                            state.blocks.entry(key).or_default().push(e.clone());
+                        }
                     }
                 }
                 Kind::Ordered => {
@@ -1404,6 +1454,17 @@ impl Session {
                         dirty_keys.insert(key);
                     }
                 }
+                Kind::Lsh {
+                    bands,
+                    rows_per_band,
+                } => {
+                    for (rep, t) in &reps {
+                        for key in state.rule.lsh_keys(t, *bands, *rows_per_band) {
+                            remove_entry(&mut state.blocks, &key, old_seq, *id, *rep, t);
+                            dirty_keys.insert(key);
+                        }
+                    }
+                }
                 Kind::Ordered => {
                     if let Some(oc) = &mut state.oc {
                         for (_, t) in &reps {
@@ -1536,6 +1597,97 @@ impl Session {
                     units.push((Provenance::Block(key.clone()), DetectUnit::List(block)));
                 }
             }
+            Kind::Lsh {
+                bands,
+                rows_per_band,
+            } => {
+                // Band keys are computed once per delta entry, then the
+                // entry probes every one of its band buckets. A pair
+                // can meet in several bands (delta×resident) or via
+                // several shared keys (delta×delta); the `seen` set
+                // keeps each unordered pair single-shot, mirroring the
+                // batch executor's first-shared-band rule. Pairs are
+                // oriented (lo, hi) by enumeration position — the same
+                // orientation the batch reducer produces from its
+                // table-ordered buckets — so violations come out
+                // byte-identical to a from-scratch run.
+                let keyed: Vec<(Entry, Vec<BlockKey>)> = new_entries
+                    .into_iter()
+                    .map(|e| {
+                        let keys = state.rule.lsh_keys(&e.tuple, bands, rows_per_band);
+                        (e, keys)
+                    })
+                    .collect();
+                let mut seen: BTreeSet<((u64, u32), (u64, u32))> = BTreeSet::new();
+                let (mut pairs, mut pruned, mut probed) = (0u64, 0u64, 0u64);
+                let mut emit = |a: &Entry, b: &Entry, units: &mut Vec<(Provenance, DetectUnit)>| {
+                    stats.reprocessed.insert(a.tuple.id());
+                    stats.reprocessed.insert(b.tuple.id());
+                    pairs += 1;
+                    let (lo, hi) = if a.pos() <= b.pos() { (a, b) } else { (b, a) };
+                    units.push((
+                        Provenance::Tuples(vec![lo.tuple.id(), hi.tuple.id()]),
+                        DetectUnit::Pair(lo.tuple.clone(), hi.tuple.clone()),
+                    ));
+                };
+                // delta × resident
+                for (e, keys) in &keyed {
+                    for key in keys {
+                        dirty_keys.insert(key.clone());
+                        let Some(residents) = state.blocks.get(key) else {
+                            continue;
+                        };
+                        if !residents.is_empty() {
+                            probed += 1;
+                        }
+                        for r in residents {
+                            let pr = pair_key(e.pos(), r.pos());
+                            if seen.insert(pr) {
+                                emit(e, r, &mut units);
+                            } else {
+                                pruned += 1;
+                            }
+                        }
+                    }
+                }
+                // delta × delta: bucket the news by band key
+                let mut delta_buckets: BTreeMap<&BlockKey, Vec<usize>> = BTreeMap::new();
+                for (idx, (_, keys)) in keyed.iter().enumerate() {
+                    for key in keys {
+                        delta_buckets.entry(key).or_default().push(idx);
+                    }
+                }
+                for members in delta_buckets.values() {
+                    if members.len() > 1 {
+                        probed += 1;
+                    }
+                    for x in 0..members.len() {
+                        for y in (x + 1)..members.len() {
+                            let a = &keyed[members[x]].0;
+                            let b = &keyed[members[y]].0;
+                            let pr = pair_key(a.pos(), b.pos());
+                            if seen.insert(pr) {
+                                emit(a, b, &mut units);
+                            } else {
+                                pruned += 1;
+                            }
+                        }
+                    }
+                }
+                // index the new entries under every band key
+                for (e, keys) in keyed {
+                    for key in keys {
+                        let slot = state.blocks.entry(key).or_default();
+                        let at = slot.partition_point(|x| x.pos() < e.pos());
+                        slot.insert(at, e.clone());
+                    }
+                }
+                let metrics = engine.metrics();
+                Metrics::add(&metrics.pairs_generated, pairs);
+                Metrics::add(&metrics.lsh_candidate_pairs, pairs);
+                Metrics::add(&metrics.lsh_pairs_pruned, pruned);
+                Metrics::add(&metrics.lsh_bands_probed, probed);
+            }
             Kind::Ordered => {
                 let conds = self.states[ri].rule.ordering_conditions();
                 let delta: Vec<Tuple> = new_entries.iter().map(|e| e.tuple.clone()).collect();
@@ -1658,6 +1810,17 @@ fn block_key(rule: &dyn Rule, t: &Tuple, keyed: bool) -> BlockKey {
         rule.block(t).unwrap_or_default()
     } else {
         BlockKey::new()
+    }
+}
+
+/// Canonical unordered identity of a candidate pair, by enumeration
+/// position — the LSH seen-set key that keeps a pair meeting in several
+/// bands single-shot.
+fn pair_key(a: (u64, u32), b: (u64, u32)) -> ((u64, u32), (u64, u32)) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
     }
 }
 

@@ -231,6 +231,88 @@ impl Executor {
                     })
                     .run()
             }
+            IterateStrategy::LshBlocks {
+                bands,
+                rows_per_band,
+            } => {
+                // MinHash/LSH banding: each scoped tuple fans out into
+                // one record per band (an O(1) handle clone — the Arc'd
+                // payload is shared), keyed by the dictionary-encoded
+                // `(band, bucket hash)` pair so the PR-5 KeyId
+                // shuffle path is reused verbatim. The reducer then
+                // enumerates pairs within each bucket, comparing a pair
+                // only in the *first* band its signatures share — a
+                // pair colliding in k bands is detected exactly once.
+                let rb = Arc::clone(rule);
+                let rd = Arc::clone(rule);
+                let (bands, rows) = (*bands, *rows_per_band);
+                let dict = Arc::new(KeyDict::new());
+                let guard = guard.cloned();
+                let sig_op = format!("lsh-signature({})", rule.name());
+                scoped
+                    .flat_map(sig_op, move |t: Tuple| {
+                        let hashes: Arc<[u64]> = rb.lsh_band_hashes(&t, bands, rows).into();
+                        Ok((0..hashes.len() as u32)
+                            .map(move |k| (k, Arc::clone(&hashes), t.clone()))
+                            .collect::<Vec<_>>())
+                    })
+                    .group_by_key(
+                        &block_op,
+                        move |(k, hashes, _): &(u32, Arc<[u64]>, Tuple)| {
+                            // The `(band, bucket hash)` pair is interned
+                            // directly as a `Copy` key — no per-record
+                            // `Vec<Value>` payload on the hot path.
+                            Ok(dict.encode((*k, hashes[*k as usize])))
+                        },
+                    )?
+                    .map_parts(detect_op, move |groups| {
+                        let mut vs = Vec::new();
+                        let (mut pairs, mut pruned, mut probed) = (0u64, 0u64, 0u64);
+                        for (_, bucket) in &groups {
+                            if bucket.len() < 2 {
+                                continue;
+                            }
+                            probed += 1;
+                            let band = bucket[0].0;
+                            if let Some(g) = &guard {
+                                g.check_budget()?;
+                                if !g.admit_block(
+                                    bucket.len(),
+                                    pairs_in_block(bucket.len(), false),
+                                )? {
+                                    continue;
+                                }
+                            }
+                            for i in 0..bucket.len() {
+                                for j in (i + 1)..bucket.len() {
+                                    let (_, ha, a) = &bucket[i];
+                                    let (_, hb, b) = &bucket[j];
+                                    let first_shared =
+                                        ha.iter().zip(hb.iter()).position(|(x, y)| x == y);
+                                    if first_shared != Some(band as usize) {
+                                        pruned += 1;
+                                        continue;
+                                    }
+                                    if let Some(g) = &guard {
+                                        g.check_budget()?;
+                                    }
+                                    pairs += 1;
+                                    vs.extend(rd.detect_pair(a, b));
+                                }
+                            }
+                        }
+                        Metrics::add(&metrics.pairs_generated, pairs);
+                        Metrics::add(&metrics.detect_calls, pairs);
+                        Metrics::add(&metrics.lsh_candidate_pairs, pairs);
+                        Metrics::add(&metrics.lsh_pairs_pruned, pruned);
+                        Metrics::add(&metrics.lsh_bands_probed, probed);
+                        if let Some(g) = &guard {
+                            g.count_units(pairs);
+                        }
+                        Ok(finish(&rd, vs))
+                    })
+                    .run()
+            }
             IterateStrategy::UCrossProduct => {
                 let rd = Arc::clone(rule);
                 let guard = guard.cloned();

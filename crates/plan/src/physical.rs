@@ -4,6 +4,8 @@
 //! realized by one of the [`IterateStrategy`] variants. The enhancer
 //! selection follows §4.2 exactly:
 //!
+//! * rule declares LSH params → **LshBlocks** (MinHash banding, each
+//!   pair compared once in the first band it shares);
 //! * rule blocks → within-block enumeration (unordered when Detect is
 //!   symmetric — the UCrossProduct optimization applied inside blocks);
 //! * no block + ordering comparisons → **OCJoin**;
@@ -32,6 +34,16 @@ pub enum IterateStrategy {
     },
     /// Block, then hand each whole block to Detect (`UnitKind::List`).
     BlockList,
+    /// MinHash/LSH banding for similarity rules: each unit is bucketed
+    /// once per band by its signature's band hash, pairs are enumerated
+    /// within buckets, and a pair sharing several bands is compared
+    /// exactly once (in the *first* band both signatures agree on).
+    LshBlocks {
+        /// Number of LSH bands (per-tuple replication factor).
+        bands: usize,
+        /// Signature rows hashed together per band.
+        rows_per_band: usize,
+    },
     /// The UCrossProduct enhancer: all unordered pairs, n(n−1)/2.
     UCrossProduct,
     /// Plain cross product: all ordered pairs (minus the diagonal).
@@ -88,7 +100,12 @@ pub fn choose_strategy(rule: &dyn Rule) -> IterateStrategy {
         UnitKind::Single => IterateStrategy::SingleUnits,
         UnitKind::List => IterateStrategy::BlockList,
         UnitKind::Pair => {
-            if rule.blocks() {
+            if let Some(p) = rule.lsh() {
+                IterateStrategy::LshBlocks {
+                    bands: p.bands,
+                    rows_per_band: p.rows_per_band,
+                }
+            } else if rule.blocks() {
                 IterateStrategy::BlockPairs {
                     ordered: !rule.symmetric(),
                 }
@@ -168,7 +185,7 @@ pub fn pipeline_for_rule(rule: Arc<dyn Rule>, source: impl Into<String>) -> Rule
 mod tests {
     use super::*;
     use crate::job::Job;
-    use bigdansing_common::Schema;
+    use bigdansing_common::{LshParams, Schema, Tuple, Value};
     use bigdansing_rules::{CfdRule, DcRule, DedupRule, FdRule};
 
     fn schema() -> Schema {
@@ -208,10 +225,45 @@ mod tests {
         assert_eq!(choose_strategy(&cfd), IterateStrategy::SingleUnits);
     }
 
+    /// Regression for the `with_block_prefix(0)` docstring promise: a
+    /// prefix of 0 really does mean "no Block operator", so the planner
+    /// must fall back to the UCrossProduct enhancer — not BlockPairs
+    /// over a degenerate single block, and not a panic.
     #[test]
     fn unblocked_dedup_gets_ucross() {
         let r = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(0);
+        assert!(!r.blocks(), "prefix 0 must disable the Block operator");
+        assert_eq!(r.block(&Tuple::new(1, vec![Value::str("Robert")])), None);
         assert_eq!(choose_strategy(&r), IterateStrategy::UCrossProduct);
+        // and the auto-built pipeline agrees end to end
+        let p = pipeline_for_rule(Arc::new(r), "D");
+        assert_eq!(p.strategy, IterateStrategy::UCrossProduct);
+    }
+
+    #[test]
+    fn lsh_dedup_gets_lsh_blocks() {
+        let r = DedupRule::new("udf:dedup", 0, 0.8).with_lsh(LshParams {
+            bands: 6,
+            rows_per_band: 4,
+            shingle: 2,
+        });
+        assert_eq!(
+            choose_strategy(&r),
+            IterateStrategy::LshBlocks {
+                bands: 6,
+                rows_per_band: 4
+            }
+        );
+        // LSH wins even when a prefix is also configured, and even when
+        // the prefix is 0 (the UCrossProduct fallback is for rules with
+        // *no* candidate-generation hint at all).
+        let r = DedupRule::new("udf:dedup", 0, 0.8)
+            .with_block_prefix(0)
+            .with_lsh(LshParams::default());
+        assert!(matches!(
+            choose_strategy(&r),
+            IterateStrategy::LshBlocks { .. }
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::ops::{DetectUnit, UnitKind};
 use crate::rule::{BlockKey, Rule};
 use crate::violation::{Fix, Violation};
+use bigdansing_common::minhash::{self, LshParams};
 use bigdansing_common::sim;
 use bigdansing_common::{Cell, Tuple, Value};
 use std::sync::Arc;
@@ -27,6 +28,8 @@ pub struct DedupRule {
     threshold: f64,
     /// Characters of the blocking prefix (0 disables blocking).
     block_prefix: usize,
+    /// MinHash/LSH blocking; when set it supersedes the prefix key.
+    lsh: Option<LshParams>,
     /// Optional `(attribute, mapping)` that must agree after mapping.
     context: Option<(usize, ContextFn)>,
     /// Attributes to equalize when generating fixes; defaults to the
@@ -42,6 +45,7 @@ impl DedupRule {
             sim_attr,
             threshold,
             block_prefix: 2,
+            lsh: None,
             context: None,
             merge_attrs: vec![sim_attr],
         }
@@ -58,9 +62,21 @@ impl DedupRule {
     }
 
     /// Override the blocking-prefix length (0 = no blocking, candidates
-    /// come from a UCrossProduct over the whole dataset).
+    /// come from a UCrossProduct over the whole dataset — see the
+    /// `unblocked_dedup_gets_ucross` planner regression test). Ignored
+    /// when [`DedupRule::with_lsh`] is also set: LSH banding supersedes
+    /// the prefix key.
     pub fn with_block_prefix(mut self, chars: usize) -> DedupRule {
         self.block_prefix = chars;
+        self
+    }
+
+    /// Use MinHash/LSH banding over the similarity attribute instead of
+    /// a single prefix key: each tuple is bucketed once per band, so
+    /// near-duplicates that disagree in their first characters still
+    /// meet in some band, and dissimilar strings almost never collide.
+    pub fn with_lsh(mut self, params: LshParams) -> DedupRule {
+        self.lsh = Some(params);
         self
     }
 
@@ -95,7 +111,7 @@ impl Rule for DedupRule {
     }
 
     fn block(&self, unit: &Tuple) -> Option<BlockKey> {
-        if self.block_prefix == 0 {
+        if self.block_prefix == 0 || self.lsh.is_some() {
             return None;
         }
         let key = unit
@@ -107,7 +123,22 @@ impl Rule for DedupRule {
     }
 
     fn blocks(&self) -> bool {
-        self.block_prefix > 0
+        self.block_prefix > 0 && self.lsh.is_none()
+    }
+
+    fn lsh(&self) -> Option<LshParams> {
+        self.lsh
+    }
+
+    fn lsh_band_hashes(&self, unit: &Tuple, bands: usize, rows_per_band: usize) -> Vec<u64> {
+        let shingle = self.lsh.map(|p| p.shingle).unwrap_or(2);
+        let params = LshParams {
+            bands,
+            rows_per_band,
+            shingle,
+        };
+        let s = unit.value(self.sim_attr).as_str().unwrap_or("");
+        minhash::band_hashes(s, &params)
     }
 
     fn unit_kind(&self) -> UnitKind {
@@ -203,6 +234,37 @@ mod tests {
         );
         let r0 = DedupRule::new("udf:dedup", 0, 0.8).with_block_prefix(0);
         assert_eq!(r0.block(&t(1, "Robert", "LA")), None);
+    }
+
+    #[test]
+    fn lsh_supersedes_prefix_blocking() {
+        let r = DedupRule::new("udf:dedup", 0, 0.8)
+            .with_block_prefix(3)
+            .with_lsh(LshParams::default());
+        let row = t(1, "Robert", "LA");
+        assert!(r.lsh().is_some());
+        assert!(!r.blocks(), "LSH replaces the prefix Block operator");
+        assert_eq!(r.block(&row), None);
+        let p = LshParams::default();
+        let hashes = r.lsh_band_hashes(&row, p.bands, p.rows_per_band);
+        assert_eq!(hashes.len(), p.bands);
+        assert_eq!(
+            hashes,
+            r.lsh_band_hashes(&row, p.bands, p.rows_per_band),
+            "band hashes must be deterministic"
+        );
+    }
+
+    #[test]
+    fn lsh_keys_embed_the_band_index() {
+        use crate::rule::RuleExt;
+        let r = DedupRule::new("udf:dedup", 0, 0.8).with_lsh(LshParams::default());
+        let p = LshParams::default();
+        let keys = r.lsh_keys(&t(1, "Robert", "LA"), p.bands, p.rows_per_band);
+        assert_eq!(keys.len(), p.bands);
+        for (k, key) in keys.iter().enumerate() {
+            assert_eq!(key.values()[0], Value::Int(k as i64));
+        }
     }
 
     #[test]

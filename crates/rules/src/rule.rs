@@ -8,7 +8,7 @@
 
 use crate::ops::{DetectUnit, Op, UnitKind};
 use crate::violation::{Fix, Violation};
-use bigdansing_common::{Tuple, Value};
+use bigdansing_common::{LshParams, Tuple, Value};
 
 /// A blocking key: one or more values extracted from a data unit.
 /// Composite keys block on several attributes at once.
@@ -125,6 +125,25 @@ pub trait Rule: Send + Sync {
         false
     }
 
+    /// MinHash/LSH blocking parameters, when this rule wants multi-key
+    /// LSH candidate generation instead of a single [`Rule::block`]
+    /// prefix key. Similarity rules (Levenshtein dedup, fuzzy-match
+    /// UDFs) return `Some`; the planner then routes the rule to the
+    /// `LshBlocks` Iterate strategy and takes precedence over
+    /// [`Rule::blocks`].
+    fn lsh(&self) -> Option<LshParams> {
+        None
+    }
+
+    /// One bucket hash per LSH band for `unit` — the multi-key analogue
+    /// of [`Rule::block`]. Must return exactly `bands` hashes for every
+    /// unit when [`Rule::lsh`] is `Some` (and is never called
+    /// otherwise). The default returns no hashes.
+    fn lsh_band_hashes(&self, unit: &Tuple, bands: usize, rows_per_band: usize) -> Vec<u64> {
+        let _ = (unit, bands, rows_per_band);
+        Vec::new()
+    }
+
     /// The Detect input shape the planner must produce.
     fn unit_kind(&self) -> UnitKind {
         UnitKind::Pair
@@ -160,6 +179,21 @@ pub trait RuleExt: Rule {
         let vs = self.detect_pair(a, b);
         let fixes = vs.iter().flat_map(|v| self.gen_fix(v)).collect();
         (vs, fixes)
+    }
+
+    /// The LSH band keys for `unit`: one [`BlockKey`] per band, each
+    /// embedding the band index alongside the band's bucket hash so
+    /// buckets from different bands can never be confused. This is the
+    /// canonical key construction shared by the batch executor and the
+    /// incremental session's persistent LSH index — both sides must
+    /// bucket identically for delta detection to reproduce batch
+    /// results byte-for-byte.
+    fn lsh_keys(&self, unit: &Tuple, bands: usize, rows_per_band: usize) -> Vec<BlockKey> {
+        self.lsh_band_hashes(unit, bands, rows_per_band)
+            .into_iter()
+            .enumerate()
+            .map(|(k, h)| BlockKey::from(vec![Value::Int(k as i64), Value::Int(h as i64)]))
+            .collect()
     }
 }
 

@@ -20,6 +20,7 @@
 use crate::ops::{DetectUnit, UnitKind};
 use crate::rule::{BlockKey, OrderCond, Rule};
 use crate::violation::{Fix, Violation};
+use bigdansing_common::minhash::{self, LshParams};
 use bigdansing_common::Tuple;
 use std::sync::Arc;
 
@@ -39,6 +40,9 @@ pub struct UdfRule {
     unit_kind: UnitKind,
     symmetric: bool,
     ordering: Vec<OrderCond>,
+    /// `(string attribute, params)` for MinHash/LSH candidate
+    /// generation; supersedes `block` when set.
+    lsh: Option<(usize, LshParams)>,
 }
 
 /// Builder for [`UdfRule`].
@@ -62,6 +66,7 @@ impl UdfRule {
                 unit_kind: UnitKind::Pair,
                 symmetric: true,
                 ordering: Vec::new(),
+                lsh: None,
             },
         }
     }
@@ -105,6 +110,14 @@ impl UdfRuleBuilder {
         self
     }
 
+    /// Declare MinHash/LSH candidate generation over the string in
+    /// `attr` — the similarity-UDF analogue of
+    /// [`crate::DedupRule::with_lsh`]. Supersedes any `block` closure.
+    pub fn lsh(mut self, attr: usize, params: LshParams) -> Self {
+        self.inner.lsh = Some((attr, params));
+        self
+    }
+
     /// Finish the rule.
     pub fn build(self) -> UdfRule {
         self.inner
@@ -124,11 +137,32 @@ impl Rule for UdfRule {
     }
 
     fn block(&self, unit: &Tuple) -> Option<BlockKey> {
+        if self.lsh.is_some() {
+            return None;
+        }
         self.block.as_ref().and_then(|f| f(unit))
     }
 
     fn blocks(&self) -> bool {
-        self.block.is_some()
+        self.block.is_some() && self.lsh.is_none()
+    }
+
+    fn lsh(&self) -> Option<LshParams> {
+        self.lsh.map(|(_, p)| p)
+    }
+
+    fn lsh_band_hashes(&self, unit: &Tuple, bands: usize, rows_per_band: usize) -> Vec<u64> {
+        let (attr, declared) = match self.lsh {
+            Some(pair) => pair,
+            None => return Vec::new(),
+        };
+        let params = LshParams {
+            bands,
+            rows_per_band,
+            shingle: declared.shingle,
+        };
+        let s = unit.value(attr).as_str().unwrap_or("");
+        minhash::band_hashes(s, &params)
     }
 
     fn unit_kind(&self) -> UnitKind {

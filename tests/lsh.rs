@@ -1,0 +1,277 @@
+//! MinHash/LSH blocking invariants, end to end:
+//!
+//! * **Determinism** — signatures and band hashes are pure functions of
+//!   the input string and geometry (seeded `StableHasher`, no process
+//!   state), so every engine shape — and every chaos seed, when this
+//!   suite runs in the chaos matrix — enumerates the identical
+//!   candidate set and detects the identical violations.
+//! * **Single-shot pairs** — a pair colliding in several bands is
+//!   compared exactly once (first shared band), so no violation is ever
+//!   reported twice, and LSH detections are always a subset of the
+//!   exact all-pairs detections.
+//! * **Batch ↔ incremental parity** — a session over an LSH-blocked
+//!   dedup rule stays byte-identical to a from-scratch cleanse after
+//!   every delta batch, including after a durable snapshot + recover.
+
+use bigdansing::{
+    apply_batch_to_table, BigDansing, CleanseOptions, DedupRule, DeltaBatch, DurabilityOptions,
+    LshParams, Session,
+};
+use bigdansing_common::minhash::{band_hashes, compute_minhash_signature};
+use bigdansing_common::{Schema, Table, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn name_table(names: &[&str]) -> Table {
+    Table::from_rows(
+        "addr",
+        Schema::parse("name,city"),
+        names
+            .iter()
+            .map(|n| vec![Value::str(*n), Value::str("LA")])
+            .collect(),
+    )
+}
+
+fn lsh_rule(threshold: f64) -> Arc<DedupRule> {
+    Arc::new(DedupRule::new("udf:dedup", 0, threshold).with_lsh(LshParams::default()))
+}
+
+/// Canonical multiset rendering of `(violation, fixes)` pairs (same
+/// helper as tests/incremental.rs).
+fn canon(detected: &[(bigdansing::Violation, Vec<bigdansing::Fix>)]) -> Vec<String> {
+    let mut out: Vec<String> = detected
+        .iter()
+        .map(|(v, fixes)| format!("{v:?} | {fixes:?}"))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn signatures_and_band_hashes_are_pure_functions() {
+    let p = LshParams::default();
+    for s in ["Karlsruhe", "karlsruhe", "Sao Paulo", "ab", ""] {
+        let sig = compute_minhash_signature(s, p.num_hashes(), p.shingle);
+        assert_eq!(
+            sig,
+            compute_minhash_signature(s, p.num_hashes(), p.shingle),
+            "signature of {s:?} not reproducible"
+        );
+        assert_eq!(
+            band_hashes(s, &p),
+            band_hashes(s, &p),
+            "band hashes of {s:?} not reproducible"
+        );
+    }
+    // case folding happens before shingling
+    assert_eq!(
+        compute_minhash_signature("Karlsruhe", p.num_hashes(), p.shingle),
+        compute_minhash_signature("KARLSRUHE", p.num_hashes(), p.shingle),
+    );
+}
+
+/// Every engine shape must enumerate the identical candidate set and
+/// detect the identical violations: the hashing is seeded and
+/// platform-pinned, so parallelism (and, in the chaos matrix, injected
+/// faults) must not change the answer.
+#[test]
+fn detection_is_identical_across_engine_shapes() {
+    let table = name_table(&[
+        "Jones", "Jonse", "Jomes", "Smith", "Smyth", "Brown", "Braun", "Jones",
+    ]);
+    let rule = lsh_rule(0.6);
+    let mut answers = Vec::new();
+    for sys in [
+        BigDansing::sequential(),
+        BigDansing::parallel(2),
+        BigDansing::parallel(4),
+    ] {
+        let mut sys = sys;
+        sys.add_rule(rule.clone());
+        let out = sys.detect(&table).unwrap();
+        let pairs = sys.engine().metrics().snapshot().lsh_candidate_pairs;
+        answers.push((canon(&out.detected), pairs));
+    }
+    assert!(!answers[0].0.is_empty(), "workload must detect something");
+    assert_eq!(answers[0], answers[1], "sequential vs 2-worker diverged");
+    assert_eq!(answers[1], answers[2], "2-worker vs 4-worker diverged");
+}
+
+/// Signatures are pinned across runs, platforms, and processes: these
+/// golden values were produced by the seeded `StableHasher` pipeline
+/// and must never drift, or persisted sessions would rebuild different
+/// band indexes than the runs that wrote them.
+#[test]
+fn signature_golden_values_are_stable() {
+    let sig = compute_minhash_signature("jones", 4, 2);
+    assert_eq!(sig, vec![GOLDEN[0], GOLDEN[1], GOLDEN[2], GOLDEN[3]]);
+}
+
+const GOLDEN: [u64; 4] = [
+    6906393277733396176,
+    5713052120244571766,
+    376723305296035101,
+    1958295583924779440,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A pair sharing several bands is compared exactly once: no
+    /// violation is ever emitted twice, and the LSH-detected set is a
+    /// subset of the exact all-pairs (UCrossProduct) detections.
+    #[test]
+    fn cross_band_dedup_never_double_detects(
+        names in prop::collection::vec("[ab]{0,5}", 2..10)
+    ) {
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let table = name_table(&refs);
+
+        // maximally collision-prone geometry: 1 row per band makes
+        // similar strings share *many* bands
+        let mut lsh_sys = BigDansing::parallel(2);
+        lsh_sys.add_rule(Arc::new(
+            DedupRule::new("udf:dedup", 0, 0.5).with_lsh(LshParams {
+                bands: 16,
+                rows_per_band: 1,
+                shingle: 2,
+            }),
+        ));
+        let lsh = canon(&lsh_sys.detect(&table).unwrap().detected);
+        for w in lsh.windows(2) {
+            prop_assert_ne!(&w[0], &w[1], "pair detected twice");
+        }
+
+        // exact oracle: the same rule with all-pairs enumeration
+        let mut exact_sys = BigDansing::parallel(2);
+        exact_sys.add_rule(Arc::new(
+            DedupRule::new("udf:dedup", 0, 0.5).with_block_prefix(0),
+        ));
+        let exact = canon(&exact_sys.detect(&table).unwrap().detected);
+        for v in &lsh {
+            prop_assert!(exact.contains(v), "LSH invented a violation: {}", v);
+        }
+    }
+}
+
+/// Drive batches through an LSH-blocked session and, in lockstep,
+/// through the from-scratch oracle (the tests/incremental.rs pattern).
+fn assert_oracle_parity(sys: &BigDansing, base: &Table, batches: Vec<DeltaBatch>) {
+    let options = CleanseOptions::default();
+    let mut session: Session = sys.open_session(base, options.clone()).unwrap();
+    let full = sys.detect(base).unwrap();
+    assert_eq!(
+        canon(&session.detected()),
+        canon(&full.detected),
+        "initial store differs from full detect"
+    );
+    let mut current = base.clone();
+    for (i, batch) in batches.into_iter().enumerate() {
+        current = apply_batch_to_table(&current, &batch).unwrap();
+        sys.apply_delta(&mut session, batch).unwrap();
+        let oracle = sys.cleanse(&current, options.clone()).unwrap();
+        assert_eq!(
+            format!("{:?}", session.table().tuples()),
+            format!("{:?}", oracle.table.tuples()),
+            "batch {i}: repaired table differs from full recompute"
+        );
+        let residue = sys.detect(&oracle.table).unwrap();
+        assert_eq!(
+            canon(&session.detected()),
+            canon(&residue.detected),
+            "batch {i}: violation store differs from full recompute"
+        );
+        current = oracle.table;
+    }
+}
+
+fn lsh_batches() -> Vec<DeltaBatch> {
+    vec![
+        // insert a near-duplicate of an existing name and a stranger
+        DeltaBatch::new()
+            .insert(10, vec![Value::str("Jonez"), Value::str("LA")])
+            .insert(11, vec![Value::str("Zebra"), Value::str("NY")]),
+        // update re-banding a tuple; delete retracts its violations
+        DeltaBatch::new()
+            .update(2, vec![Value::str("Smith"), Value::str("NY")])
+            .delete(1),
+        // delete + reinsert the same id as a different near-duplicate
+        DeltaBatch::new()
+            .delete(0)
+            .insert(0, vec![Value::str("Smyth"), Value::str("NY")]),
+        DeltaBatch::new(),
+        DeltaBatch::new().delete(10),
+    ]
+}
+
+#[test]
+fn lsh_session_matches_full_recompute() {
+    let base = name_table(&["Jones", "Jonse", "Jomes", "Smith", "Brown"]);
+    let mut sys = BigDansing::parallel(2);
+    sys.add_rule(lsh_rule(0.8));
+    assert_oracle_parity(&sys, &base, lsh_batches());
+}
+
+/// The LSH band index is rebuilt deterministically from a durable
+/// snapshot: a recovered session must continue byte-identical to an
+/// uninterrupted one (and so to the from-scratch oracle).
+#[test]
+fn durable_lsh_session_survives_snapshot_and_recover() {
+    let root = std::env::temp_dir().join(format!("bd-lsh-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    let base = name_table(&["Jones", "Jonse", "Jomes", "Smith", "Brown"]);
+    let system = || {
+        let mut sys = BigDansing::parallel(2);
+        sys.add_rule(lsh_rule(0.8));
+        sys
+    };
+    let batches = lsh_batches();
+    let (head, tail) = batches.split_at(2);
+
+    // durable session: apply the head, snapshot every batch, drop
+    let sys = system();
+    let mut s = sys
+        .open_durable_session(
+            &base,
+            CleanseOptions::default(),
+            DurabilityOptions::new(&root).snapshot_every(1),
+        )
+        .unwrap();
+    for b in head {
+        sys.apply_delta(&mut s, b.clone()).unwrap();
+    }
+    drop(s);
+
+    // recover and keep going with the tail
+    let rec_sys = system();
+    let (mut recovered, _) = rec_sys
+        .recover_session(CleanseOptions::default(), DurabilityOptions::new(&root))
+        .unwrap();
+    for b in tail {
+        rec_sys.apply_delta(&mut recovered, b.clone()).unwrap();
+    }
+
+    // uninterrupted oracle session over the same batches
+    let oracle_sys = system();
+    let mut oracle = oracle_sys
+        .open_session(&base, CleanseOptions::default())
+        .unwrap();
+    for b in &batches {
+        oracle_sys.apply_delta(&mut oracle, b.clone()).unwrap();
+    }
+
+    assert_eq!(
+        format!("{:?}", recovered.table().tuples()),
+        format!("{:?}", oracle.table().tuples()),
+        "recovered table diverged from the uninterrupted session"
+    );
+    assert_eq!(
+        canon(&recovered.detected()),
+        canon(&oracle.detected()),
+        "recovered violation store diverged from the uninterrupted session"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
